@@ -1,0 +1,214 @@
+(* accentctl: command-line driver for the Accent migration testbed.
+   `accentctl migrate --workload lisp-del --strategy iou --prefetch 3`
+   runs one trial and prints its report. *)
+
+open Cmdliner
+
+let strategy_of_string name prefetch =
+  match String.lowercase_ascii name with
+  | "copy" | "pure-copy" -> Ok Accent_core.Strategy.pure_copy
+  | "iou" | "pure-iou" -> Ok (Accent_core.Strategy.pure_iou ~prefetch ())
+  | "rs" | "resident-set" ->
+      Ok (Accent_core.Strategy.resident_set ~prefetch ())
+  | "precopy" | "pre-copy" -> Ok (Accent_core.Strategy.pre_copy ())
+  | "ws" | "working-set" -> Ok (Accent_core.Strategy.working_set ~prefetch ())
+  | other -> Error (Printf.sprintf "unknown strategy %S" other)
+
+let workload_arg =
+  let doc =
+    "Representative process: minprog, lisp-t, lisp-del, pm-start, pm-mid, \
+     pm-end, chess."
+  in
+  Arg.(value & opt string "minprog" & info [ "w"; "workload" ] ~doc)
+
+let strategy_arg =
+  let doc = "Transfer strategy: copy, iou, rs, ws, or precopy." in
+  Arg.(value & opt string "iou" & info [ "s"; "strategy" ] ~doc)
+
+let prefetch_arg =
+  let doc = "Pages to prefetch per imaginary fault (0, 1, 3, 7, 15)." in
+  Arg.(value & opt int 0 & info [ "p"; "prefetch" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic simulation seed." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~doc)
+
+let migrate workload strategy prefetch seed =
+  match Accent_workloads.Representative.by_name workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | Some spec -> (
+      match strategy_of_string strategy prefetch with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok strategy ->
+          let result =
+            Accent_experiments.Trial.run ~seed ~spec ~strategy ()
+          in
+          Format.printf "%a@.@." Accent_core.Report.pp_summary
+            result.Accent_experiments.Trial.report;
+          print_string
+            (Accent_experiments.Utilization.render
+               ~duration_s:
+                 (Accent_core.Report.end_to_end_seconds
+                    result.Accent_experiments.Trial.report)
+               (Accent_experiments.Utilization.of_world
+                  result.Accent_experiments.Trial.world)))
+
+let migrate_cmd =
+  let doc = "migrate one representative process and report the trial" in
+  Cmd.v
+    (Cmd.info "migrate" ~doc)
+    Term.(const migrate $ workload_arg $ strategy_arg $ prefetch_arg $ seed_arg)
+
+let csv_arg =
+  let doc = "Also write machine-readable CSVs of every table and figure \
+             into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let tables_cmd =
+  let doc = "regenerate every table and figure of the paper's evaluation" in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc)
+    Term.(
+      const (fun csv_dir ->
+          Accent_experiments.Evaluation.run_all ?csv_dir ())
+      $ csv_arg)
+
+let inspect workload =
+  match Accent_workloads.Representative.by_name workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | Some spec ->
+      let world, proc = Accent_experiments.Trial.build_only ~spec () in
+      ignore world;
+      let space = Accent_kernel.Proc.space_exn proc in
+      let open Accent_mem in
+      Format.printf "%s — %s@.@." spec.Accent_workloads.Spec.name
+        spec.Accent_workloads.Spec.description;
+      Format.printf "composition at migration point:@.";
+      Format.printf "  RealMem   %11s  (%d pages, %d resident)@."
+        (Accent_util.Bytesize.with_commas (Address_space.real_bytes space))
+        (Address_space.pages_materialized space)
+        (List.length (Address_space.resident_pages space));
+      Format.printf "  RealZero  %11s@."
+        (Accent_util.Bytesize.with_commas (Address_space.zero_bytes space));
+      Format.printf "  Total     %11s in %d regions, %d VM segments@."
+        (Accent_util.Bytesize.with_commas (Address_space.total_bytes space))
+        (Address_space.region_count space)
+        (Address_space.vm_segment_count space);
+      let trace = proc.Accent_kernel.Proc.trace in
+      Format.printf "@.post-migration behaviour:@.";
+      Format.printf "  %d references over %d distinct pages, %.1fs of compute@."
+        (Accent_kernel.Trace.length trace)
+        (Accent_kernel.Trace.distinct_pages trace)
+        (Accent_kernel.Trace.total_think_ms trace /. 1000.);
+      let amap = Address_space.build_amap space in
+      Format.printf "@.AMap: %d entries, %s on the wire@."
+        (Amap.entry_count amap)
+        (Accent_util.Bytesize.to_string (Amap.wire_size amap))
+
+let workloads () =
+  let table =
+    Accent_util.Text_table.create
+      ~title:"The seven representative processes (paper Section 4.1)"
+      [
+        ("name", Accent_util.Text_table.Left);
+        ("Real", Accent_util.Text_table.Right);
+        ("Total", Accent_util.Text_table.Right);
+        ("RS", Accent_util.Text_table.Right);
+        ("touched", Accent_util.Text_table.Right);
+        ("description", Accent_util.Text_table.Left);
+      ]
+  in
+  List.iter
+    (fun spec ->
+      Accent_util.Text_table.add_row table
+        [
+          spec.Accent_workloads.Spec.name;
+          Accent_util.Bytesize.to_string spec.Accent_workloads.Spec.real_bytes;
+          Accent_util.Bytesize.to_string spec.Accent_workloads.Spec.total_bytes;
+          Accent_util.Bytesize.to_string spec.Accent_workloads.Spec.rs_bytes;
+          Printf.sprintf "%.0f%%"
+            (100.
+            *. float_of_int spec.Accent_workloads.Spec.touched_real_pages
+            /. float_of_int (Accent_workloads.Spec.real_pages spec));
+          spec.Accent_workloads.Spec.description;
+        ])
+    Accent_workloads.Representative.all;
+  Accent_util.Text_table.print table
+
+let workloads_cmd =
+  let doc = "list the representative workloads" in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const workloads $ const ())
+
+let inspect_cmd =
+  let doc = "show a representative workload's reconstructed state" in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ workload_arg)
+
+let compare_workload workload prefetch seed =
+  match Accent_workloads.Representative.by_name workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | Some spec ->
+      let open Accent_core in
+      let table =
+        Accent_util.Text_table.create
+          ~title:(Printf.sprintf "%s under every strategy" spec.Accent_workloads.Spec.name)
+          [
+            ("strategy", Accent_util.Text_table.Left);
+            ("transfer (s)", Accent_util.Text_table.Right);
+            ("exec (s)", Accent_util.Text_table.Right);
+            ("end-to-end (s)", Accent_util.Text_table.Right);
+            ("downtime (s)", Accent_util.Text_table.Right);
+            ("bytes", Accent_util.Text_table.Right);
+            ("faults", Accent_util.Text_table.Right);
+          ]
+      in
+      List.iter
+        (fun strategy ->
+          let result =
+            Accent_experiments.Trial.run ~seed ~write_fraction:0.1 ~spec
+              ~strategy ()
+          in
+          let r = result.Accent_experiments.Trial.report in
+          Accent_util.Text_table.add_row table
+            [
+              Strategy.name strategy;
+              Accent_util.Text_table.cell_f (Report.transfer_seconds r);
+              Accent_util.Text_table.cell_f (Report.remote_execution_seconds r);
+              Accent_util.Text_table.cell_f (Report.end_to_end_seconds r);
+              Accent_util.Text_table.cell_f (Report.downtime_seconds r);
+              Accent_util.Text_table.cell_bytes (Report.bytes_total r);
+              string_of_int r.Report.dest_faults_imag;
+            ])
+        [
+          Strategy.pure_copy;
+          Strategy.pure_iou ~prefetch ();
+          Strategy.resident_set ~prefetch ();
+          Strategy.pre_copy ();
+        ];
+      Accent_util.Text_table.print table
+
+let compare_cmd =
+  let doc = "run one workload under every strategy and tabulate" in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const compare_workload $ workload_arg $ prefetch_arg $ seed_arg)
+
+let ablate_cmd =
+  let doc = "run the design-choice ablations (bandwidth, caching, backer \
+             load, memory pressure, strategy face-off)" in
+  Cmd.v
+    (Cmd.info "ablate" ~doc)
+    Term.(const (fun () -> Accent_experiments.Ablations.run_all ()) $ const ())
+
+let main_cmd =
+  let doc = "Accent copy-on-reference process migration testbed" in
+  Cmd.group (Cmd.info "accentctl" ~doc) [ migrate_cmd; tables_cmd; ablate_cmd; inspect_cmd; compare_cmd; workloads_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

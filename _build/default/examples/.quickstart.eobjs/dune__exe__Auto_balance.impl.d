@@ -1,0 +1,1 @@
+examples/auto_balance.ml: Accent_core Accent_kernel Accent_sim Accent_workloads Auto_migrator Format Host List Printf Proc_runner String World

@@ -1,0 +1,1 @@
+examples/auto_balance.mli:

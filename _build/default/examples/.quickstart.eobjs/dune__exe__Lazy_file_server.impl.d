@@ -1,0 +1,1 @@
+examples/lazy_file_server.ml: Accent_core Accent_kernel Accent_mem Accent_net Accent_sim Accent_util Address_space Backing_server Bytes Char Format Host List Page Proc Proc_runner Time Trace World

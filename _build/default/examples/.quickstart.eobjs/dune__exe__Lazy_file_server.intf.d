@@ -1,0 +1,1 @@
+examples/lazy_file_server.mli:

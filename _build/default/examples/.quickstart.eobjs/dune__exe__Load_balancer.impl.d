@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Accent_core Accent_kernel Accent_workloads Format Host List Migration_manager Printf Proc Proc_runner Report Strategy World

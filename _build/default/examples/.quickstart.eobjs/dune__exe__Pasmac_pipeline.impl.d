@@ -1,0 +1,1 @@
+examples/pasmac_pipeline.ml: Accent_core Accent_experiments Accent_util Accent_workloads Float List Printf Report Representative Spec Strategy

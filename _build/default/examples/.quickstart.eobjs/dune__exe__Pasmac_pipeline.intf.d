@@ -1,0 +1,1 @@
+examples/pasmac_pipeline.mli:

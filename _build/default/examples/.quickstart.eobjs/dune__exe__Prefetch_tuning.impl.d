@@ -1,0 +1,1 @@
+examples/prefetch_tuning.ml: Accent_core Accent_experiments Accent_workloads Format List Printf Report Strategy

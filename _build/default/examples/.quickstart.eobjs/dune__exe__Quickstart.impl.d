@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accent_core Accent_kernel Accent_mem Accent_util Accent_workloads Format Report Strategy World

@@ -1,0 +1,1 @@
+examples/residual_dependency.mli:

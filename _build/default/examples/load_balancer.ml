@@ -1,0 +1,79 @@
+(* A sketch of the paper's "future research" direction (§6): automatic
+   migration as a load-management tool.  Three hosts; host 0 starts
+   overloaded with four compute-bound processes; a naive balancer migrates
+   the two youngest away with copy-on-reference shipment.  Because ports
+   are location transparent, nothing that names the processes notices.
+
+   Run with: dune exec examples/load_balancer.exe *)
+
+open Accent_core
+open Accent_kernel
+
+let worker i =
+  {
+    Accent_workloads.Spec.name = Printf.sprintf "worker%d" i;
+    description = "compute-bound worker";
+    real_bytes = 256 * 1024;
+    total_bytes = 1024 * 1024;
+    rs_bytes = 128 * 1024;
+    touched_real_pages = 180;
+    rs_touched_overlap = 120;
+    real_runs = 6;
+    vm_segments = 4;
+    pattern =
+      Accent_workloads.Access_pattern.Hot_cold
+        { hot_fraction = 0.4; hot_prob = 0.85 };
+    refs = 2_000;
+    total_think_ms = 60_000.;
+    zero_touch_pages = 5;
+    (* keep the workers' spaces apart so they could share a host *)
+    base_addr = 0x40000 + (i * 8 * 1024 * 1024);
+  }
+
+let () =
+  let world = World.create ~n_hosts:3 () in
+  let procs =
+    List.init 4 (fun i ->
+        Accent_workloads.Spec.build (World.host world 0) (worker i))
+  in
+  Format.printf "host0 starts with %d processes; hosts 1 and 2 are idle.@."
+    (Host.proc_count (World.host world 0));
+
+  (* Start the first two workers locally; they stay put. *)
+  let finished = ref 0 in
+  List.iteri
+    (fun i proc ->
+      if i < 2 then begin
+        proc.Proc.on_complete <- Some (fun _ -> incr finished);
+        Proc_runner.start (World.host world 0) proc
+      end)
+    procs;
+
+  (* Migrate the other two away, one per idle host. *)
+  let reports =
+    List.filteri (fun i _ -> i >= 2) procs
+    |> List.mapi (fun j proc ->
+           let dst = 1 + j in
+           Migration_manager.migrate (World.manager world 0) ~proc
+             ~dest:(Migration_manager.port (World.manager world dst))
+             ~strategy:(Strategy.pure_iou ~prefetch:1 ())
+             ~on_complete:(fun _ _ -> incr finished)
+             ())
+  in
+  ignore (World.run world);
+  assert (!finished = 4);
+  List.iteri
+    (fun j report ->
+      Format.printf
+        "worker%d relocated to host%d: transfer %.2fs, finished %.1fs after \
+         the request (%d demand fetches).@." (2 + j) (1 + j)
+        (Report.transfer_seconds report)
+        (Report.end_to_end_seconds report)
+        report.Report.dest_faults_imag)
+    reports;
+  Format.printf
+    "final process counts: host0=%d host1=%d host2=%d; all four workers \
+     completed.@."
+    (Host.proc_count (World.host world 0))
+    (Host.proc_count (World.host world 1))
+    (Host.proc_count (World.host world 2))

@@ -1,0 +1,1 @@
+lib/core/adaptive_prefetch.ml: Accent_kernel Accent_sim Engine List Pcb Proc Time

@@ -1,0 +1,1 @@
+lib/core/adaptive_prefetch.mli: Accent_kernel Accent_sim

@@ -1,0 +1,1 @@
+lib/core/auto_migrator.ml: Accent_kernel Accent_sim Array Engine Host List Load_metric Migration_manager Option Pcb Proc Proc_runner Strategy Time World

@@ -1,0 +1,1 @@
+lib/core/auto_migrator.mli: Strategy World

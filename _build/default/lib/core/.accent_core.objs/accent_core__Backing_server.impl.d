@@ -1,0 +1,1 @@
+lib/core/backing_server.ml: Accent_ipc Accent_kernel Accent_mem Accent_sim Engine Host Kernel_ipc List Logs Message Pager Port Protocol Segment_store Time

@@ -1,0 +1,1 @@
+lib/core/backing_server.mli: Accent_ipc Accent_kernel Accent_mem

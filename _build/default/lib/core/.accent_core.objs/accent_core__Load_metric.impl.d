@@ -1,0 +1,1 @@
+lib/core/load_metric.ml: Accent_kernel Accent_mem Accent_net Accent_sim Hashtbl Host List Option Pager Proc

@@ -1,0 +1,1 @@
+lib/core/load_metric.mli: Accent_kernel Accent_net

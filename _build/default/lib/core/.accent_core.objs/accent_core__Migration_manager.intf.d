@@ -1,0 +1,1 @@
+lib/core/migration_manager.mli: Accent_ipc Accent_kernel Backing_server Report Strategy

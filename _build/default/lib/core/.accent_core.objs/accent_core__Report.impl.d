@@ -1,0 +1,1 @@
+lib/core/report.ml: Accent_kernel Accent_sim Accent_util Float Format Strategy

@@ -1,0 +1,1 @@
+lib/core/report.mli: Accent_kernel Accent_sim Format Strategy

@@ -1,0 +1,1 @@
+lib/core/world.mli: Accent_kernel Accent_net Accent_sim Migration_manager Report Strategy

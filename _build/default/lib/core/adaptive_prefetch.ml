@@ -1,0 +1,81 @@
+open Accent_sim
+open Accent_kernel
+
+type params = {
+  period_ms : float;
+  raise_threshold : float;
+  lower_threshold : float;
+  min_prefetch : int;
+  max_prefetch : int;
+}
+
+let default_params =
+  {
+    period_ms = 500.;
+    raise_threshold = 0.7;
+    lower_threshold = 0.35;
+    min_prefetch = 1;
+    max_prefetch = 15;
+  }
+
+type t = {
+  engine : Engine.t;
+  proc : Proc.t;
+  params : params;
+  mutable last_extra : int;
+  mutable last_hits : int;
+  mutable adjustments : int;
+  mutable trajectory : (float * int) list; (* reversed *)
+}
+
+let clamp t v = max t.params.min_prefetch (min t.params.max_prefetch v)
+
+let sample t =
+  let de = t.proc.Proc.prefetch_extra - t.last_extra in
+  let dh = t.proc.Proc.prefetch_hits - t.last_hits in
+  t.last_extra <- t.proc.Proc.prefetch_extra;
+  t.last_hits <- t.proc.Proc.prefetch_hits;
+  (* too few new prefetched pages carry no signal; hold *)
+  if de >= 4 then begin
+    let ratio = float_of_int dh /. float_of_int de in
+    let current = t.proc.Proc.prefetch in
+    let next =
+      if ratio >= t.params.raise_threshold then clamp t ((2 * current) + 1)
+      else if ratio <= t.params.lower_threshold then clamp t (current / 2)
+      else current
+    in
+    if next <> current then begin
+      t.proc.Proc.prefetch <- next;
+      t.adjustments <- t.adjustments + 1
+    end
+  end;
+  t.trajectory <-
+    (Time.to_ms (Engine.now t.engine), t.proc.Proc.prefetch) :: t.trajectory
+
+let rec tick t =
+  match t.proc.Proc.pcb.Pcb.status with
+  | Pcb.Running | Pcb.Ready ->
+      sample t;
+      ignore
+        (Engine.schedule t.engine ~delay:(Time.ms t.params.period_ms)
+           (fun () -> tick t))
+  | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> ()
+
+let attach ?(params = default_params) engine proc =
+  let t =
+    {
+      engine;
+      proc;
+      params;
+      last_extra = proc.Proc.prefetch_extra;
+      last_hits = proc.Proc.prefetch_hits;
+      adjustments = 0;
+      trajectory = [];
+    }
+  in
+  proc.Proc.prefetch <- clamp t proc.Proc.prefetch;
+  ignore (Engine.schedule engine ~delay:(Time.ms params.period_ms) (fun () -> tick t));
+  t
+
+let adjustments t = t.adjustments
+let trajectory t = List.rev t.trajectory

@@ -1,0 +1,120 @@
+open Accent_sim
+open Accent_kernel
+
+type policy = {
+  period_ms : float;
+  imbalance_threshold : float;
+  affinity_weight : float;
+  strategy : Strategy.t;
+  max_migrations : int;
+}
+
+let default_policy =
+  {
+    period_ms = 2_000.;
+    imbalance_threshold = 1.5;
+    affinity_weight = 2.0;
+    strategy = Strategy.pure_iou ~prefetch:1 ();
+    max_migrations = 8;
+  }
+
+type t = {
+  world : World.t;
+  policy : policy;
+  mutable triggered : int;
+  mutable decisions : (int * string * int * int) list; (* reversed *)
+}
+
+(* A process is movable if it is actually executing and not already in
+   the middle of a fault (Excise refuses those). *)
+let movable proc =
+  match proc.Proc.pcb.Pcb.status with
+  | Pcb.Running -> not proc.Proc.in_flight
+  | Pcb.Ready | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> false
+
+let pick_victim host = List.find_opt movable (Host.procs host)
+
+let pick_destination t ~src proc =
+  let registry = t.world.World.registry in
+  let src_host = World.host t.world src in
+  let best = ref None in
+  Array.iteri
+    (fun i host ->
+      if i <> src then begin
+        let score =
+          Load_metric.host_load host
+          -. (t.policy.affinity_weight
+             *. Load_metric.affinity ~registry src_host proc ~host_id:i)
+        in
+        match !best with
+        | Some (_, best_score) when best_score <= score -> ()
+        | _ -> best := Some (i, score)
+      end)
+    t.world.World.hosts;
+  Option.map fst !best
+
+let live_procs_anywhere t =
+  Array.exists
+    (fun host -> Host.live_proc_count host > 0)
+    t.world.World.hosts
+
+let rec tick t =
+  (* stop when done migrating or when nothing is left running, so the
+     engine can go quiescent *)
+  if t.triggered < t.policy.max_migrations && live_procs_anywhere t then begin
+    let loads =
+      Array.map Load_metric.host_load t.world.World.hosts
+    in
+    let max_i = ref 0 and min_load = ref infinity in
+    Array.iteri
+      (fun i l ->
+        if l > loads.(!max_i) then max_i := i;
+        if l < !min_load then min_load := l)
+      loads;
+    (if loads.(!max_i) -. !min_load > t.policy.imbalance_threshold then
+       let src = !max_i in
+       match pick_victim (World.host t.world src) with
+       | None -> ()
+       | Some proc -> (
+           match pick_destination t ~src proc with
+           | None -> ()
+           | Some dst ->
+               t.triggered <- t.triggered + 1;
+               t.decisions <-
+                 ( int_of_float (Time.to_ms (World.now t.world)),
+                   proc.Proc.name,
+                   src,
+                   dst )
+                 :: t.decisions;
+               (* freeze cleanly before excision: wait for any in-flight
+                  reference to retire *)
+               Proc_runner.interrupt proc;
+               let rec when_quiet () =
+                 if proc.Proc.in_flight then
+                   ignore
+                     (Engine.schedule t.world.World.engine ~delay:(Time.ms 2.)
+                        (fun () -> when_quiet ()))
+                 else
+                   ignore
+                     (Migration_manager.migrate
+                        (World.manager t.world src)
+                        ~proc
+                        ~dest:
+                          (Migration_manager.port (World.manager t.world dst))
+                        ~strategy:t.policy.strategy ())
+               in
+               when_quiet ()));
+    ignore
+      (Engine.schedule t.world.World.engine ~delay:(Time.ms t.policy.period_ms)
+         (fun () -> tick t))
+  end
+
+let start world policy =
+  let t = { world; policy; triggered = 0; decisions = [] } in
+  ignore
+    (Engine.schedule world.World.engine ~delay:(Time.ms policy.period_ms)
+       (fun () -> tick t));
+  t
+
+let migrations_triggered t = t.triggered
+let decisions t = List.rev t.decisions

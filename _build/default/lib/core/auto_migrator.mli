@@ -1,0 +1,34 @@
+(** An automatic migration policy — the §6 "creation and evaluation of
+    automatic migration strategies" made concrete.
+
+    A daemon samples every host's load on a fixed period.  When the
+    spread between the busiest and idlest host exceeds a threshold, it
+    picks a Running process from the busiest host and relocates it with
+    copy-on-reference shipment.  The destination is chosen by
+    [load - affinity_weight × affinity]: all else equal the process moves
+    {e toward} whichever host already backs its imaginary memory, turning
+    remote page fetches into local IPC (see {!Load_metric.dispersion}). *)
+
+type policy = {
+  period_ms : float;  (** sampling period *)
+  imbalance_threshold : float;
+      (** act when max load - min load exceeds this *)
+  affinity_weight : float;
+      (** how strongly data placement discounts a destination's load *)
+  strategy : Strategy.t;  (** how to ship the victims *)
+  max_migrations : int;  (** lifetime cap (safety against thrashing) *)
+}
+
+val default_policy : policy
+
+type t
+
+val start : World.t -> policy -> t
+(** Begin sampling on the world's engine.  The daemon reschedules itself
+    while the simulation runs and stops once the cap is reached or the
+    world goes quiescent. *)
+
+val migrations_triggered : t -> int
+
+val decisions : t -> (int * string * int * int) list
+(** [(time_ms, proc_name, from_host, to_host)] log, oldest first. *)

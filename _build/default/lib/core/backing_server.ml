@@ -1,0 +1,84 @@
+open Accent_sim
+open Accent_ipc
+open Accent_kernel
+
+type t = {
+  host : Host.t;
+  name : string;
+  port : Port.id;
+  store : Segment_store.t;
+  service_ms : float;
+  mutable faults_served : int;
+  mutable pages_served : int;
+  mutable deaths : int;
+}
+
+let handler t msg =
+  match msg.Message.payload with
+  | Protocol.Imaginary_read_request { segment_id; offset; pages } -> (
+      match msg.Message.reply_to with
+      | None ->
+          Logs.warn (fun m -> m "%s: read request without reply port" t.name)
+      | Some reply_port ->
+          ignore
+            (Engine.schedule (Host.engine t.host)
+               ~delay:(Time.ms t.service_ms) (fun () ->
+                 let page_data =
+                   Segment_store.read_run t.store ~segment_id ~offset ~pages
+                 in
+                 t.faults_served <- t.faults_served + 1;
+                 t.pages_served <- t.pages_served + List.length page_data;
+                 Kernel_ipc.send (Host.kernel t.host)
+                   (Protocol.read_reply ~ids:(Host.ids t.host) ~dest:reply_port
+                      ~segment_id ~offset ~page_data))))
+  | Protocol.Imaginary_segment_death { segment_id } ->
+      t.deaths <- t.deaths + 1;
+      Segment_store.drop_segment t.store ~segment_id
+  | _ -> Logs.warn (fun m -> m "%s: unexpected message" t.name)
+
+let create ?(service_ms = 50.) host ~name =
+  let port = Host.new_port host in
+  let t =
+    {
+      host;
+      name;
+      port;
+      store = Segment_store.create ();
+      service_ms;
+      faults_served = 0;
+      pages_served = 0;
+      deaths = 0;
+    }
+  in
+  Kernel_ipc.bind (Host.kernel host) port (handler t);
+  t
+
+let port t = t.port
+let name t = t.name
+let new_segment t = Accent_sim.Ids.next (Host.ids t.host)
+
+let put_bytes t ~segment_id ~offset data =
+  Segment_store.put_bytes t.store ~segment_id ~offset data
+
+let segment_bytes t ~segment_id = Segment_store.segment_bytes t.store ~segment_id
+
+let map_into t dest_host space ~at ~segment_id ~offset ~len =
+  Accent_mem.Address_space.map_imaginary space
+    (Accent_mem.Vaddr.of_len at len)
+    ~segment_id ~offset;
+  let pager = Host.pager dest_host in
+  Pager.register_segment pager
+    ~space_id:(Accent_mem.Address_space.id space)
+    ~segment_id ~backing_port:t.port;
+  Pager.register_segment_range pager ~segment_id ~offset ~len ~vaddr:at
+
+let fail t =
+  List.iter
+    (fun segment_id -> Segment_store.drop_segment t.store ~segment_id)
+    (Segment_store.segments t.store);
+  Kernel_ipc.unbind (Host.kernel t.host) t.port
+
+let faults_served t = t.faults_served
+let pages_served t = t.pages_served
+let segments_alive t = List.length (Segment_store.segments t.store)
+let deaths_received t = t.deaths

@@ -1,0 +1,56 @@
+(** A user-level backing process for imaginary segments.
+
+    "Any process may create an imaginary segment based on one of its ports,
+    map all or part of it into its address space and pass this memory to
+    another process via an IPC message" (§2.2).  This module is that
+    generic facility: it owns a port, stores segment pages, answers
+    Imaginary Read Requests with the requested run of pages, and retires
+    segments when their death notice arrives.
+
+    Used by the MigrationManager to back the non-resident remainder under
+    the resident-set strategy, and directly by applications that want lazy
+    shipment of their own data (see examples/lazy_file_server.ml). *)
+
+type t
+
+val create : ?service_ms:float -> Accent_kernel.Host.t -> name:string -> t
+(** Bind a fresh backing port on the host.  [service_ms] (default 50) is
+    the wakeup-plus-lookup latency charged per request served, calibrated
+    so a remote fault through an application backer costs the same ~115 ms
+    as one through the NetMsgServer cache. *)
+
+val port : t -> Accent_ipc.Port.id
+val name : t -> string
+
+val new_segment : t -> int
+(** Allocate a segment id backed by this server. *)
+
+val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
+(** Provide segment contents (page-aligned [offset]). *)
+
+val segment_bytes : t -> segment_id:int -> int
+
+val map_into :
+  t ->
+  Accent_kernel.Host.t ->
+  Accent_mem.Address_space.t ->
+  at:int ->
+  segment_id:int ->
+  offset:int ->
+  len:int ->
+  unit
+(** Map [len] bytes of the segment (starting at [offset]) into the space at
+    address [at], teaching that host's pager where faults go.  This is the
+    "pass an IOU through a message" path condensed to a call — the
+    message-borne variant is what migration uses. *)
+
+(** {2 Accounting} *)
+
+val fail : t -> unit
+(** Failure injection: drop every segment and stop answering, as if the
+    backing process crashed.  Mapped-in faulters will time out. *)
+
+val faults_served : t -> int
+val pages_served : t -> int
+val segments_alive : t -> int
+val deaths_received : t -> int

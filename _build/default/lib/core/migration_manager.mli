@@ -1,0 +1,43 @@
+(** The MigrationManager (paper §3.2).
+
+    One runs on every participating host.  Given a process and a
+    destination, the source manager excises the context, prepares the
+    RIMAS message according to the chosen transfer strategy, and sends
+    both context messages to the destination manager, which reinserts the
+    process and restarts it:
+
+    - {b pure-copy}: RIMAS data shipped as-is with NoIOUs set;
+    - {b pure-IOU}: NoIOUs cleared — "the MigrationManager allows the
+      intermediary NetMsgServers to cache the data and become its backer";
+    - {b resident-set}: the manager plays backer itself: resident pages
+      stay physical in the RIMAS, everything else is replaced by IOUs on
+      the manager's own backing server. *)
+
+type t
+
+val create : Accent_kernel.Host.t -> t
+(** Bind the manager's command port on the host. *)
+
+val port : t -> Accent_ipc.Port.id
+val host : t -> Accent_kernel.Host.t
+
+val backing : t -> Backing_server.t
+(** The manager's own backing server (used by the resident-set strategy). *)
+
+val migrate :
+  t ->
+  proc:Accent_kernel.Proc.t ->
+  dest:Accent_ipc.Port.id ->
+  strategy:Strategy.t ->
+  ?on_complete:(Accent_kernel.Proc.t -> Report.t -> unit) ->
+  ?on_restart:(Accent_kernel.Proc.t -> unit) ->
+  unit ->
+  Report.t
+(** Start a migration of [proc] to the manager listening on [dest].  The
+    returned report is stamped as phases complete; [on_restart] fires at
+    the destination just before the reincarnated process resumes (e.g. to
+    attach an {!Adaptive_prefetch} controller); [on_complete] fires when
+    the relocated process finishes its remote execution. *)
+
+val migrations_started : t -> int
+val migrations_received : t -> int

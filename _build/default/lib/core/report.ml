@@ -1,0 +1,111 @@
+type t = {
+  proc_name : string;
+  strategy : Strategy.t;
+  mutable requested_at : Accent_sim.Time.t option;
+  mutable excised_at : Accent_sim.Time.t option;
+  mutable core_delivered_at : Accent_sim.Time.t option;
+  mutable rimas_delivered_at : Accent_sim.Time.t option;
+  mutable inserted_at : Accent_sim.Time.t option;
+  mutable restarted_at : Accent_sim.Time.t option;
+  mutable completed_at : Accent_sim.Time.t option;
+  mutable excise : Accent_kernel.Excise.timings option;
+  mutable insert_ms : float option;
+  mutable frozen_at : Accent_sim.Time.t option;
+  mutable precopy_rounds : int;
+  mutable precopy_bytes : int;
+  mutable dest_faults_zero : int;
+  mutable dest_faults_disk : int;
+  mutable dest_faults_imag : int;
+  mutable prefetch_extra : int;
+  mutable prefetch_hits : int;
+  mutable remote_touched_pages : int;
+  mutable remote_real_bytes_fetched : int;
+  mutable bytes_control : int;
+  mutable bytes_bulk : int;
+  mutable bytes_fault : int;
+  mutable network_messages : int;
+  mutable message_seconds : float;
+}
+
+let create ~proc_name ~strategy =
+  {
+    proc_name;
+    strategy;
+    requested_at = None;
+    excised_at = None;
+    core_delivered_at = None;
+    rimas_delivered_at = None;
+    inserted_at = None;
+    restarted_at = None;
+    completed_at = None;
+    excise = None;
+    insert_ms = None;
+    frozen_at = None;
+    precopy_rounds = 0;
+    precopy_bytes = 0;
+    dest_faults_zero = 0;
+    dest_faults_disk = 0;
+    dest_faults_imag = 0;
+    prefetch_extra = 0;
+    prefetch_hits = 0;
+    remote_touched_pages = 0;
+    remote_real_bytes_fetched = 0;
+    bytes_control = 0;
+    bytes_bulk = 0;
+    bytes_fault = 0;
+    network_messages = 0;
+    message_seconds = 0.;
+  }
+
+let span later earlier =
+  match (later, earlier) with
+  | Some b, Some a -> Accent_sim.Time.to_seconds (Accent_sim.Time.diff b a)
+  | _ -> 0.
+
+let excise_seconds t = span t.excised_at t.requested_at
+let core_transfer_seconds t = span t.core_delivered_at t.excised_at
+
+(* The two context messages travel concurrently (their fragments interleave
+   on the wire), so RIMAS delivery is measured from excision, not from Core
+   delivery — under pure-IOU the tiny RIMAS routinely arrives first. *)
+let rimas_transfer_seconds t = span t.rimas_delivered_at t.excised_at
+
+let transfer_seconds t =
+  (* the transfer phase ends when the later of the two messages lands *)
+  match (t.core_delivered_at, t.rimas_delivered_at) with
+  | Some a, Some b -> span (Some (Float.max a b)) t.excised_at
+  | _ -> 0.
+let insert_seconds t = span t.inserted_at t.rimas_delivered_at
+let remote_execution_seconds t = span t.completed_at t.restarted_at
+let end_to_end_seconds t = span t.completed_at t.requested_at
+
+let downtime_seconds t =
+  let stop = match t.frozen_at with Some _ as f -> f | None -> t.requested_at in
+  span t.restarted_at stop
+
+let transfer_plus_execution_seconds t =
+  transfer_seconds t +. remote_execution_seconds t
+
+let bytes_total t = t.bytes_control + t.bytes_bulk + t.bytes_fault
+
+let prefetch_hit_ratio t =
+  if t.prefetch_extra = 0 then None
+  else Some (float_of_int t.prefetch_hits /. float_of_int t.prefetch_extra)
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>%s under %s:@,\
+    \  excise %.2fs, transfer %.2fs (core %.2f + rimas %.2f), insert %.2fs@,\
+    \  remote execution %.2fs, end-to-end %.2fs@,\
+    \  faults at destination: %d zero, %d disk, %d imaginary@,\
+    \  bytes: %s total (%s bulk, %s fault, %s control) in %d messages@,\
+    \  message handling: %.2fs@]" t.proc_name (Strategy.name t.strategy)
+    (excise_seconds t) (transfer_seconds t) (core_transfer_seconds t)
+    (rimas_transfer_seconds t) (insert_seconds t)
+    (remote_execution_seconds t) (end_to_end_seconds t) t.dest_faults_zero
+    t.dest_faults_disk t.dest_faults_imag
+    (Accent_util.Bytesize.to_string (bytes_total t))
+    (Accent_util.Bytesize.to_string t.bytes_bulk)
+    (Accent_util.Bytesize.to_string t.bytes_fault)
+    (Accent_util.Bytesize.to_string t.bytes_control)
+    t.network_messages t.message_seconds

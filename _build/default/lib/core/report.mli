@@ -1,0 +1,79 @@
+(** Everything measured about one migration trial.
+
+    The MigrationManagers stamp phase boundaries as the trial progresses;
+    the experiment layer adds traffic totals read from the transfer monitor
+    when the relocated process completes.  Accessors derive the quantities
+    the paper reports: phase durations, end-to-end time, byte and
+    message-cost totals, prefetch hit ratios. *)
+
+type t = {
+  proc_name : string;
+  strategy : Strategy.t;
+  mutable requested_at : Accent_sim.Time.t option;
+      (** migration request received by the source MigrationManager *)
+  mutable excised_at : Accent_sim.Time.t option;
+  mutable core_delivered_at : Accent_sim.Time.t option;
+  mutable rimas_delivered_at : Accent_sim.Time.t option;
+  mutable inserted_at : Accent_sim.Time.t option;
+  mutable restarted_at : Accent_sim.Time.t option;
+  mutable completed_at : Accent_sim.Time.t option;
+  mutable excise : Accent_kernel.Excise.timings option;
+  mutable insert_ms : float option;
+  (* pre-copy strategy only *)
+  mutable frozen_at : Accent_sim.Time.t option;
+      (** the process stopped executing at the source (for the classic
+          strategies this coincides with the request) *)
+  mutable precopy_rounds : int;
+  mutable precopy_bytes : int;  (** payload bytes shipped by the rounds *)
+  (* destination-side execution accounting *)
+  mutable dest_faults_zero : int;
+  mutable dest_faults_disk : int;
+  mutable dest_faults_imag : int;
+  mutable prefetch_extra : int;
+  mutable prefetch_hits : int;
+  mutable remote_touched_pages : int;
+  mutable remote_real_bytes_fetched : int;
+      (** bytes of RealMem content physically moved to the new site,
+          whether at migration time or by faulting *)
+  (* traffic totals over the whole trial (filled by the experiment layer) *)
+  mutable bytes_control : int;
+  mutable bytes_bulk : int;
+  mutable bytes_fault : int;
+  mutable network_messages : int;
+  mutable message_seconds : float;
+      (** node time spent manipulating messages, summed over both hosts *)
+}
+
+val create : proc_name:string -> strategy:Strategy.t -> t
+
+(** {2 Derived durations (seconds)} *)
+
+val excise_seconds : t -> float
+val core_transfer_seconds : t -> float
+(** Excision end to Core delivery. *)
+
+val rimas_transfer_seconds : t -> float
+(** Excision end to RIMAS delivery — the paper's Table 4-5 quantity.  The
+    two context messages travel concurrently, so this is not measured from
+    Core delivery (under pure-IOU the small RIMAS often lands first). *)
+
+val transfer_seconds : t -> float
+(** Excision end to the later of the two deliveries. *)
+
+val insert_seconds : t -> float
+val remote_execution_seconds : t -> float
+val end_to_end_seconds : t -> float
+(** Request to remote completion. *)
+
+val downtime_seconds : t -> float
+(** How long the program executed nowhere: freeze (or request, for the
+    classic strategies, which stop the process immediately) to restart at
+    the destination.  The metric pre-copy exists to minimise. *)
+
+val transfer_plus_execution_seconds : t -> float
+(** The sum Figure 4-2 compares across strategies. *)
+
+val bytes_total : t -> int
+val prefetch_hit_ratio : t -> float option
+
+val pp_summary : Format.formatter -> t -> unit

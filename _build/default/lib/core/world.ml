@@ -1,0 +1,77 @@
+open Accent_sim
+open Accent_net
+open Accent_kernel
+
+type t = {
+  engine : Engine.t;
+  ids : Ids.t;
+  costs : Cost_model.t;
+  monitor : Transfer_monitor.t;
+  link : Link.t;
+  registry : Net_registry.t;
+  hosts : Host.t array;
+  managers : Migration_manager.t array;
+}
+
+let create ?(seed = 42L) ?(costs = Cost_model.default) ~n_hosts () =
+  assert (n_hosts >= 1);
+  let engine = Engine.create ~seed () in
+  let ids = Ids.create () in
+  let monitor = Transfer_monitor.create () in
+  let link = Link.create engine ~params:costs.Cost_model.link ~monitor in
+  let registry = Net_registry.create () in
+  let hosts =
+    Array.init n_hosts (fun i ->
+        Host.create engine ~ids ~id:i
+          ~name:(Printf.sprintf "host%d" i)
+          ~costs ~link ~registry ~monitor)
+  in
+  let managers = Array.map Migration_manager.create hosts in
+  { engine; ids; costs; monitor; link; registry; hosts; managers }
+
+let host t i = t.hosts.(i)
+let manager t i = t.managers.(i)
+let now t = Engine.now t.engine
+let run ?limit t = Engine.run ?limit t.engine
+
+let message_seconds t =
+  Array.fold_left (fun acc h -> acc +. Host.message_seconds h) 0. t.hosts
+
+let reset_accounting t =
+  Transfer_monitor.reset t.monitor;
+  Array.iter
+    (fun h ->
+      Netmsgserver.reset_accounting (Host.nms h);
+      Queue_server.reset_accounting (Host.cpu h);
+      Queue_server.reset_accounting (Host.disk_server h))
+    t.hosts
+
+let migrate_and_run ?(after_ms = 0.) t ~proc ~src ~dst ~strategy =
+  reset_accounting t;
+  let report =
+    ref
+      (Report.create ~proc_name:proc.Accent_kernel.Proc.name ~strategy)
+  in
+  let request () =
+    report :=
+      Migration_manager.migrate t.managers.(src) ~proc
+        ~dest:(Migration_manager.port t.managers.(dst))
+        ~strategy ()
+  in
+  if after_ms <= 0. then request ()
+  else ignore (Engine.schedule t.engine ~delay:(Time.ms after_ms) request);
+  ignore (run t);
+  let report = !report in
+  (match report.Report.completed_at with
+  | Some _ -> ()
+  | None ->
+      failwith
+        (Printf.sprintf "World.migrate_and_run: %s never completed"
+           proc.Proc.name));
+  let bytes c = Transfer_monitor.bytes_of t.monitor c in
+  report.Report.bytes_control <- bytes Accent_ipc.Message.Control;
+  report.Report.bytes_bulk <- bytes Accent_ipc.Message.Bulk;
+  report.Report.bytes_fault <- bytes Accent_ipc.Message.Fault;
+  report.Report.network_messages <- Transfer_monitor.messages_total t.monitor;
+  report.Report.message_seconds <- message_seconds t;
+  report

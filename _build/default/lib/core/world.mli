@@ -1,0 +1,47 @@
+(** A complete simulated testbed: engine, shared link, registry, traffic
+    monitor, and N hosts each running a kernel, NetMsgServer, Pager and
+    MigrationManager.
+
+    Every experiment, example and integration test starts by building one
+    of these. *)
+
+type t = {
+  engine : Accent_sim.Engine.t;
+  ids : Accent_sim.Ids.t;
+  costs : Accent_kernel.Cost_model.t;
+  monitor : Accent_net.Transfer_monitor.t;
+  link : Accent_net.Link.t;
+  registry : Accent_net.Net_registry.t;
+  hosts : Accent_kernel.Host.t array;
+  managers : Migration_manager.t array;
+}
+
+val create :
+  ?seed:int64 -> ?costs:Accent_kernel.Cost_model.t -> n_hosts:int -> unit -> t
+(** Hosts are numbered 0 .. n-1 and named "host0", "host1", ... *)
+
+val host : t -> int -> Accent_kernel.Host.t
+val manager : t -> int -> Migration_manager.t
+val now : t -> Accent_sim.Time.t
+
+val run : ?limit:Accent_sim.Time.t -> t -> Accent_sim.Time.t
+(** Run the engine until quiescent (or until [limit]). *)
+
+val message_seconds : t -> float
+(** Total message-manipulation time across all hosts — the Figure 4-4
+    quantity. *)
+
+val migrate_and_run :
+  ?after_ms:float ->
+  t ->
+  proc:Accent_kernel.Proc.t ->
+  src:int ->
+  dst:int ->
+  strategy:Strategy.t ->
+  Report.t
+(** Convenience for the common experiment: reset traffic accounting,
+    migrate [proc] from host [src] to host [dst], run the world to
+    quiescence (the process executes remotely to completion), then fill the
+    report's traffic totals.  [after_ms] delays the migration request, for
+    live-migration experiments where the process executes at the source
+    first.  Raises [Failure] if the process never completes. *)

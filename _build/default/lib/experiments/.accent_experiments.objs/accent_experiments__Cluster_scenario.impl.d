@@ -1,0 +1,1 @@
+lib/experiments/cluster_scenario.ml: Accent_core Accent_kernel Accent_sim Accent_util Accent_workloads Auto_migrator Engine Host List Option Printf Proc Proc_runner String Time World

@@ -1,0 +1,1 @@
+lib/experiments/cluster_scenario.mli: Accent_core

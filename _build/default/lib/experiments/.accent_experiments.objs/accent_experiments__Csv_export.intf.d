@@ -1,0 +1,1 @@
+lib/experiments/csv_export.mli: Figure_4_5 Sweep Table_4_1 Table_4_2 Table_4_3 Table_4_4 Table_4_5 Trial

@@ -1,0 +1,1 @@
+lib/experiments/evaluation.ml: Buffer Csv_export Figure_4_1 Figure_4_2 Figure_4_3 Figure_4_4 Figure_4_5 Float List Paper Printf Sweep Table_4_1 Table_4_2 Table_4_3 Table_4_4 Table_4_5

@@ -1,0 +1,1 @@
+lib/experiments/evaluation.mli: Sweep

@@ -1,0 +1,1 @@
+lib/experiments/figure_4_1.ml: Accent_core Accent_workloads Buffer Float Grid List Printf Report String Sweep Trial

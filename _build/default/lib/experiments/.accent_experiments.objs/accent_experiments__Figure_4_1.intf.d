@@ -1,0 +1,1 @@
+lib/experiments/figure_4_1.mli: Sweep Trial

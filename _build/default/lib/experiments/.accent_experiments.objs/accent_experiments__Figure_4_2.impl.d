@@ -1,0 +1,1 @@
+lib/experiments/figure_4_2.ml: Accent_core Accent_util Accent_workloads Buffer Float List Printf Report Sweep Trial

@@ -1,0 +1,1 @@
+lib/experiments/figure_4_2.mli: Sweep Trial

@@ -1,0 +1,1 @@
+lib/experiments/figure_4_3.mli: Sweep Trial

@@ -1,0 +1,1 @@
+lib/experiments/figure_4_4.ml: Accent_core Accent_util Float Grid List Report Sweep Trial

@@ -1,0 +1,1 @@
+lib/experiments/figure_4_4.mli: Sweep Trial

@@ -1,0 +1,1 @@
+lib/experiments/figure_4_5.ml: Accent_core Accent_ipc Accent_net Accent_util Accent_workloads Array Ascii_chart Buffer Float Hashtbl List Option Printf Report Series Strategy Trial World

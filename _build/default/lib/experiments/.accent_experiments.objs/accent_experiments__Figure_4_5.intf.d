@@ -1,0 +1,1 @@
+lib/experiments/figure_4_5.mli: Accent_core Accent_workloads

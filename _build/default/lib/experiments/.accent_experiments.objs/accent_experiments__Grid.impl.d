@@ -1,0 +1,1 @@
+lib/experiments/grid.ml: Accent_util Accent_workloads Ascii_chart Buffer List Printf Sweep Text_table

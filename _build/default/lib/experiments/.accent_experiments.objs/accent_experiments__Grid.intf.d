@@ -1,0 +1,1 @@
+lib/experiments/grid.mli: Sweep Trial

@@ -1,0 +1,1 @@
+lib/experiments/replication.ml: Accent_util Accent_workloads Figure_4_1 Figure_4_3 Figure_4_4 Fun List Option Printf Sweep Table_4_5

@@ -1,0 +1,1 @@
+lib/experiments/replication.mli: Accent_workloads

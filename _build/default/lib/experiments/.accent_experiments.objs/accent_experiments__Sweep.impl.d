@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Accent_core Accent_workloads List Printf Strategy Trial

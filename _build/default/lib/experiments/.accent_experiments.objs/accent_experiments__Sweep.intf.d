@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Accent_kernel Accent_workloads Trial

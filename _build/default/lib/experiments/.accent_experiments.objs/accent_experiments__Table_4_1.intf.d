@@ -1,0 +1,1 @@
+lib/experiments/table_4_1.mli: Accent_kernel Accent_workloads

@@ -1,0 +1,1 @@
+lib/experiments/table_4_2.ml: Accent_kernel Accent_mem Accent_util Accent_workloads Address_space List Printf Text_table Trial

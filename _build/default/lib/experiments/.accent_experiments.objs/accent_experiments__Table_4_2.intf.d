@@ -1,0 +1,1 @@
+lib/experiments/table_4_2.mli: Accent_kernel Accent_workloads

@@ -1,0 +1,1 @@
+lib/experiments/table_4_3.ml: Accent_core Accent_util Accent_workloads List Printf Report Sweep Text_table Trial

@@ -1,0 +1,1 @@
+lib/experiments/table_4_4.ml: Accent_core Accent_kernel Accent_util Accent_workloads List Option Paper Printf Report Sweep Text_table Trial

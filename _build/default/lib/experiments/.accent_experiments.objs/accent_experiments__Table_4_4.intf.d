@@ -1,0 +1,1 @@
+lib/experiments/table_4_4.mli: Sweep

@@ -1,0 +1,1 @@
+lib/experiments/table_4_5.ml: Accent_core Accent_util Accent_workloads Float List Option Paper Printf Report Sweep Text_table Trial

@@ -1,0 +1,1 @@
+lib/experiments/table_4_5.mli: Paper Sweep

@@ -1,0 +1,1 @@
+lib/experiments/trial.ml: Accent_core Accent_kernel Accent_workloads Report Strategy World

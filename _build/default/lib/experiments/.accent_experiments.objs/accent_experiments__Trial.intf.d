@@ -1,0 +1,1 @@
+lib/experiments/trial.mli: Accent_core Accent_kernel Accent_workloads

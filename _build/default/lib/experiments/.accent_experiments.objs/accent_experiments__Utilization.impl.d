@@ -1,0 +1,1 @@
+lib/experiments/utilization.ml: Accent_core Accent_kernel Accent_net Accent_sim Accent_util Array Host List Printf Queue_server Time World

@@ -1,0 +1,1 @@
+lib/experiments/utilization.mli: Accent_core

@@ -1,0 +1,131 @@
+open Accent_sim
+open Accent_kernel
+open Accent_core
+
+type config = {
+  n_hosts : int;
+  n_jobs : int;
+  arrival_spread_ms : float;
+  job_think_ms : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    n_hosts = 3;
+    n_jobs = 6;
+    arrival_spread_ms = 5_000.;
+    job_think_ms = 40_000.;
+    seed = 42L;
+  }
+
+type outcome = {
+  label : string;
+  makespan_s : float;
+  mean_turnaround_s : float;
+  migrations : int;
+  placements : int list;
+}
+
+let job_spec config i =
+  {
+    Accent_workloads.Spec.name = Printf.sprintf "job%d" i;
+    description = "cluster batch job";
+    real_bytes = 128 * 1024;
+    total_bytes = 512 * 1024;
+    rs_bytes = 64 * 1024;
+    touched_real_pages = 100;
+    rs_touched_overlap = 70;
+    real_runs = 5;
+    vm_segments = 3;
+    pattern =
+      Accent_workloads.Access_pattern.Hot_cold
+        { hot_fraction = 0.4; hot_prob = 0.85 };
+    refs = 800;
+    total_think_ms = config.job_think_ms;
+    zero_touch_pages = 4;
+    base_addr = 0x40000 + (i * 4 * 1024 * 1024);
+  }
+
+let run ?(config = default_config) ~policy ~label () =
+  let world = World.create ~seed:config.seed ~n_hosts:config.n_hosts () in
+  let h0 = World.host world 0 in
+  let turnarounds = ref [] in
+  (* jobs arrive staggered on host 0 and start executing there *)
+  List.iteri
+    (fun i spec ->
+      let arrival =
+        config.arrival_spread_ms *. float_of_int i
+        /. float_of_int (max 1 (config.n_jobs - 1))
+      in
+      ignore
+        (Engine.schedule world.World.engine ~delay:(Time.ms arrival)
+           (fun () ->
+             let proc = Accent_workloads.Spec.build h0 spec in
+             proc.Proc.on_complete <-
+               Some
+                 (fun p ->
+                   match p.Proc.finished_at with
+                   | Some t ->
+                       turnarounds :=
+                         Time.to_seconds (Time.diff t (Time.ms arrival))
+                         :: !turnarounds
+                   | None -> ());
+             Proc_runner.start h0 proc)))
+    (List.init config.n_jobs (job_spec config));
+  let migrator = Option.map (Auto_migrator.start world) policy in
+  ignore (World.run world);
+  {
+    label;
+    makespan_s = Time.to_seconds (World.now world);
+    mean_turnaround_s = Accent_util.Stats.mean_of !turnarounds;
+    migrations =
+      Option.value ~default:0
+        (Option.map Auto_migrator.migrations_triggered migrator);
+    placements =
+      List.init config.n_hosts (fun i ->
+          Host.proc_count (World.host world i));
+  }
+
+let compare_policies ?(config = default_config) () =
+  let base_policy =
+    {
+      Auto_migrator.default_policy with
+      Auto_migrator.period_ms = 2_000.;
+      max_migrations = config.n_jobs;
+    }
+  in
+  [
+    run ~config ~policy:None ~label:"unmanaged" ();
+    run ~config
+      ~policy:(Some { base_policy with Auto_migrator.affinity_weight = 0. })
+      ~label:"load-levelling" ();
+    run ~config ~policy:(Some base_policy) ~label:"load + affinity" ();
+  ]
+
+let render outcomes =
+  let t =
+    Accent_util.Text_table.create
+      ~title:
+        "Extension: automatic migration policies (batch of jobs arriving \
+         on one host of a cluster; Section 6's future work evaluated)"
+      [
+        ("policy", Accent_util.Text_table.Left);
+        ("makespan (s)", Accent_util.Text_table.Right);
+        ("mean turnaround (s)", Accent_util.Text_table.Right);
+        ("migrations", Accent_util.Text_table.Right);
+        ("final placement", Accent_util.Text_table.Left);
+      ]
+  in
+  List.iter
+    (fun o ->
+      Accent_util.Text_table.add_row t
+        [
+          o.label;
+          Accent_util.Text_table.cell_f ~dec:1 o.makespan_s;
+          Accent_util.Text_table.cell_f ~dec:1 o.mean_turnaround_s;
+          string_of_int o.migrations;
+          String.concat "/" (List.map string_of_int o.placements);
+        ])
+    outcomes;
+  Accent_util.Text_table.render t

@@ -1,0 +1,44 @@
+(** Evaluating automatic migration strategies — §6's "creation and
+    evaluation of automatic migration strategies ... good load metrics"
+    turned into a measurable scenario.
+
+    A batch of compute-bound jobs arrives on one host of an N-host
+    cluster.  Co-located jobs contend for the execution CPU, so the
+    cluster's throughput depends on whether (and how well) an automatic
+    policy spreads them.  Three configurations are compared:
+
+    - no balancing at all;
+    - the {!Accent_core.Auto_migrator} with affinity disabled (pure
+      load-levelling);
+    - the full policy, whose destination choice also discounts hosts that
+      already back a candidate's imaginary memory.
+
+    All relocations use copy-on-reference with one page of prefetch — the
+    paper's recommended configuration. *)
+
+type config = {
+  n_hosts : int;
+  n_jobs : int;
+  arrival_spread_ms : float;  (** jobs arrive uniformly over this window *)
+  job_think_ms : float;  (** per-job compute *)
+  seed : int64;
+}
+
+val default_config : config
+
+type outcome = {
+  label : string;
+  makespan_s : float;  (** last completion *)
+  mean_turnaround_s : float;  (** mean per-job start-to-finish *)
+  migrations : int;
+  placements : int list;  (** final process count per host *)
+}
+
+val run :
+  ?config:config -> policy:Accent_core.Auto_migrator.policy option ->
+  label:string -> unit -> outcome
+
+val compare_policies : ?config:config -> unit -> outcome list
+(** The three configurations above. *)
+
+val render : outcome list -> string

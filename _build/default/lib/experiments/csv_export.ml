@@ -1,0 +1,168 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+
+let quote s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_line cells = String.concat "," (List.map quote cells)
+
+let render header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (csv_line header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (csv_line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let f v = Printf.sprintf "%.6f" v
+let i = string_of_int
+
+let table_4_1 rows =
+  render
+    [ "process"; "real_bytes"; "realz_bytes"; "total_bytes"; "pct_realz" ]
+    (List.map
+       (fun (r : Table_4_1.row) ->
+         [ r.name; i r.real; i r.realz; i r.total; f r.pct_realz ])
+       rows)
+
+let table_4_2 rows =
+  render
+    [ "process"; "rs_bytes"; "pct_of_real"; "pct_of_total" ]
+    (List.map
+       (fun (r : Table_4_2.row) ->
+         [ r.name; i r.rs_size; f r.pct_of_real; f r.pct_of_total ])
+       rows)
+
+let table_4_3 rows =
+  render
+    [
+      "process"; "iou_pct_real"; "iou_pct_total"; "rs_pct_real"; "rs_pct_total";
+    ]
+    (List.map
+       (fun (r : Table_4_3.row) ->
+         [
+           r.name;
+           f r.iou_pct_real;
+           f r.iou_pct_total;
+           f r.rs_pct_real;
+           f r.rs_pct_total;
+         ])
+       rows)
+
+let table_4_4 rows =
+  render
+    [
+      "process"; "amap_s"; "rimas_s"; "overall_s"; "insert_s"; "paper_amap_s";
+      "paper_rimas_s"; "paper_overall_s";
+    ]
+    (List.map
+       (fun (r : Table_4_4.row) ->
+         [
+           r.name; f r.amap_s; f r.rimas_s; f r.overall_s; f r.insert_s;
+           f r.paper_amap_s; f r.paper_rimas_s; f r.paper_overall_s;
+         ])
+       rows)
+
+let table_4_5 rows =
+  render
+    [
+      "process"; "iou_s"; "rs_s"; "copy_s"; "paper_iou_s"; "paper_rs_s";
+      "paper_copy_s";
+    ]
+    (List.map
+       (fun (r : Table_4_5.row) ->
+         let p field default =
+           match r.Table_4_5.paper with
+           | Some paper -> f (field paper)
+           | None -> default
+         in
+         [
+           r.name;
+           f r.iou_s;
+           f r.rs_s;
+           f r.copy_s;
+           p (fun x -> x.Paper.iou_s) "";
+           p (fun x -> x.Paper.rs_s) "";
+           p (fun x -> x.Paper.copy_s) "";
+         ])
+       rows)
+
+let figure_grid sweep ~metric =
+  let rows =
+    List.concat_map
+      (fun (rep : Sweep.rep_results) ->
+        let name = rep.Sweep.spec.Accent_workloads.Spec.name in
+        let cell strategy prefetch result =
+          [ name; strategy; i prefetch; f (metric result) ]
+        in
+        List.map (fun (p, r) -> cell "iou" p r) rep.Sweep.iou
+        @ List.map (fun (p, r) -> cell "rs" p r) rep.Sweep.rs
+        @ [ cell "copy" 0 rep.Sweep.copy ])
+      sweep
+  in
+  render [ "process"; "strategy"; "prefetch"; "value" ] rows
+
+let figure_4_2 sweep =
+  let rows =
+    List.concat_map
+      (fun (rep : Sweep.rep_results) ->
+        let name = rep.Sweep.spec.Accent_workloads.Spec.name in
+        let cell strategy prefetch result =
+          [
+            name;
+            strategy;
+            i prefetch;
+            f (Figure_4_2.speedup_pct ~baseline:rep.Sweep.copy result);
+          ]
+        in
+        List.map (fun (p, r) -> cell "iou" p r) rep.Sweep.iou
+        @ List.map (fun (p, r) -> cell "rs" p r) rep.Sweep.rs)
+      sweep
+  in
+  render [ "process"; "strategy"; "prefetch"; "speedup_pct" ] rows
+
+let figure_4_5 panels =
+  let rows =
+    List.concat_map
+      (fun (panel : Figure_4_5.panel) ->
+        let name = Accent_core.Strategy.name panel.Figure_4_5.strategy in
+        let at = Hashtbl.create 64 in
+        Array.iter
+          (fun (t, v) -> Hashtbl.replace at t v)
+          panel.Figure_4_5.fault;
+        Array.to_list
+          (Array.map
+             (fun (t, other) ->
+               let fault = Option.value ~default:0. (Hashtbl.find_opt at t) in
+               [ name; f t; f fault; f other ])
+             panel.Figure_4_5.other))
+      panels
+  in
+  render [ "strategy"; "second"; "fault_bytes_per_s"; "other_bytes_per_s" ] rows
+
+let write_file ~dir name contents =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_all ~dir sweep panels =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_file ~dir "table_4_1.csv" (table_4_1 (Table_4_1.rows ()));
+  write_file ~dir "table_4_2.csv" (table_4_2 (Table_4_2.rows ()));
+  write_file ~dir "table_4_3.csv" (table_4_3 (Table_4_3.rows sweep));
+  write_file ~dir "table_4_4.csv" (table_4_4 (Table_4_4.rows sweep));
+  write_file ~dir "table_4_5.csv" (table_4_5 (Table_4_5.rows sweep));
+  write_file ~dir "figure_4_1.csv"
+    (figure_grid sweep ~metric:Figure_4_1.remote_seconds);
+  write_file ~dir "figure_4_2.csv" (figure_4_2 sweep);
+  write_file ~dir "figure_4_3.csv" (figure_grid sweep ~metric:Figure_4_3.bytes);
+  write_file ~dir "figure_4_4.csv"
+    (figure_grid sweep ~metric:Figure_4_4.seconds);
+  write_file ~dir "figure_4_5.csv" (figure_4_5 panels)

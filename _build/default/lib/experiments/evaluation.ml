@@ -1,0 +1,93 @@
+let headline_summary sweep =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let t45 = Table_4_5.rows sweep in
+  line "Headline claims (paper value in parentheses):";
+  line "  max copy/IOU transfer-time ratio: %.0fx (up to ~1000x)"
+    (Table_4_5.max_copy_over_iou t45);
+  line "  mean IOU byte savings over copy: %.1f%% (%.1f%%)"
+    (Figure_4_3.mean_iou_savings_pct sweep)
+    Paper.byte_savings_pct;
+  line "  mean IOU message-cost savings:   %.1f%% (%.1f%%)"
+    (Figure_4_4.mean_iou_savings_pct sweep)
+    Paper.message_cost_savings_pct;
+  (try
+     let minprog = Sweep.find sweep "Minprog" in
+     line "  Minprog IOU execution penalty:   %.0fx slower (%.0fx)"
+       (Figure_4_1.iou_penalty minprog)
+       Paper.minprog_iou_slowdown
+   with Not_found -> ());
+  (try
+     let chess = Sweep.find sweep "Chess" in
+     line "  Chess IOU execution penalty:     +%.1f%% (~%.0f%%)"
+       ((Figure_4_1.iou_penalty chess -. 1.) *. 100.)
+       Paper.chess_iou_penalty_pct
+   with Not_found -> ());
+  (try
+     let pm = Sweep.find sweep "PM-Start" in
+     let ratios =
+       List.filter_map
+         (fun (p, _) ->
+           if p = 0 then None else Figure_4_1.hit_ratio pm ~prefetch:p)
+         pm.Sweep.iou
+     in
+     if ratios <> [] then
+       line "  Pasmac prefetch hit ratio:       %.0f%%..%.0f%% (~%.0f%% flat)"
+         (100. *. List.fold_left Float.min 1. ratios)
+         (100. *. List.fold_left Float.max 0. ratios)
+         (100. *. Paper.pasmac_hit_ratio)
+   with Not_found -> ());
+  (try
+     let lisp = Sweep.find sweep "Lisp-Del" in
+     let at p = Figure_4_1.hit_ratio lisp ~prefetch:p in
+     match (at 1, at 15) with
+     | Some low_pf, Some high_pf ->
+         line "  Lisp prefetch hit ratio pf1->pf15: %.0f%% -> %.0f%% (40%% -> 20%%)"
+           (100. *. low_pf) (100. *. high_pf)
+     | _ -> ()
+   with Not_found -> ());
+  line "  prefetch=1 never hurts end-to-end: %b (paper: always helps)"
+    (Figure_4_2.pf1_always_helps sweep);
+  line "  prefetch=1 reduces message costs:  %b (paper: slight drop)"
+    (Figure_4_4.pf1_reduces_cost sweep);
+  Buffer.contents buf
+
+let run_all ?seed ?(progress = true) ?csv_dir () =
+  print_string (Table_4_1.render (Table_4_1.rows ?seed ()));
+  print_newline ();
+  print_string (Table_4_2.render (Table_4_2.rows ?seed ()));
+  print_newline ();
+  let sweep = Sweep.run ?seed ~progress () in
+  print_string (Table_4_3.render (Table_4_3.rows sweep));
+  print_newline ();
+  print_string (Table_4_4.render (Table_4_4.rows sweep));
+  print_newline ();
+  print_string (Table_4_5.render (Table_4_5.rows sweep));
+  print_newline ();
+  print_string (Figure_4_1.render sweep);
+  print_newline ();
+  print_string (Figure_4_2.render sweep);
+  print_newline ();
+  print_string (Figure_4_3.render sweep);
+  print_newline ();
+  print_string (Figure_4_4.render sweep);
+  print_newline ();
+  let panels = Figure_4_5.panels ?seed () in
+  print_string (Figure_4_5.render panels);
+  print_newline ();
+  print_string (headline_summary sweep);
+  (* §4.4.3: "sustained network transmission speeds are reduced up to 66%" *)
+  (match panels with
+  | iou :: _ :: copy :: _ ->
+      Printf.printf
+        "  peak wire rate, IOU vs copy:     -%.0f%% (paper: reduced up to \
+         66%%)\n"
+        (100.
+        *. (1.
+           -. Figure_4_5.peak_rate iou /. Figure_4_5.peak_rate copy))
+  | _ -> ());
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      Csv_export.write_all ~dir sweep panels;
+      Printf.printf "\nCSV artifacts written to %s/\n" dir

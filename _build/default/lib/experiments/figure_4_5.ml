@@ -1,0 +1,66 @@
+open Accent_core
+open Accent_util
+
+type panel = {
+  strategy : Strategy.t;
+  fault : (float * float) array;
+  other : (float * float) array;
+  end_to_end_s : float;
+}
+
+let panels ?seed ?(spec = Accent_workloads.Representative.lisp_del)
+    ?(bin_s = 1.0) () =
+  List.map
+    (fun strategy ->
+      let result = Trial.run ?seed ~spec ~strategy () in
+      let monitor = result.Trial.world.World.monitor in
+      let width = bin_s *. 1000. (* series times are in ms *) in
+      let to_seconds bins =
+        Array.map (fun (t, v) -> (t /. 1000., v /. bin_s)) bins
+      in
+      let fault_series =
+        Accent_net.Transfer_monitor.series_of monitor Accent_ipc.Message.Fault
+      in
+      (* bulk and control merge into the paper's "all other transfers" *)
+      let other = Series.create () in
+      List.iter
+        (fun category ->
+          List.iter
+            (fun (time, value) -> Series.add other ~time ~value)
+            (Series.samples (Accent_net.Transfer_monitor.series_of monitor category)))
+        [ Accent_ipc.Message.Bulk; Accent_ipc.Message.Control ];
+      {
+        strategy;
+        fault = to_seconds (Series.bin fault_series ~width);
+        other = to_seconds (Series.bin other ~width);
+        end_to_end_s = Report.end_to_end_seconds result.Trial.report;
+      })
+    [ Strategy.pure_iou (); Strategy.resident_set (); Strategy.pure_copy ]
+
+let peak_rate panel =
+  let at = Hashtbl.create 64 in
+  Array.iter (fun (t, v) -> Hashtbl.replace at t v) panel.other;
+  Array.fold_left
+    (fun acc (t, v) ->
+      Float.max acc (v +. Option.value ~default:0. (Hashtbl.find_opt at t)))
+    (Array.fold_left (fun acc (_, v) -> Float.max acc v) 0. panel.other)
+    panel.fault
+
+let render panels =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "Figure 4-5: Byte Transfer Rates for Lisp-Del (bytes/second; 'o' = \
+     imaginary-fault traffic, '#' = all other transfers)\n\n";
+  List.iter
+    (fun panel ->
+      Buffer.add_string buf
+        (Ascii_chart.stacked_timeline
+           ~title:
+             (Printf.sprintf "  strategy %s (completes at %.0fs, peak %.0f B/s)"
+                (Strategy.name panel.strategy)
+                panel.end_to_end_s (peak_rate panel))
+           ~y_label:"B/s" ~x_label:"seconds since migration request"
+           panel.other panel.fault);
+      Buffer.add_char buf '\n')
+    panels;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+open Accent_util
+
+let cells (rep : Sweep.rep_results) ~metric =
+  List.map
+    (fun (p, result) -> (Printf.sprintf "iou pf%d" p, metric result))
+    rep.Sweep.iou
+  @ List.map
+      (fun (p, result) -> (Printf.sprintf "rs pf%d" p, metric result))
+      rep.Sweep.rs
+  @ [ ("copy", metric rep.Sweep.copy) ]
+
+let table sweep ~title ~metric =
+  match sweep with
+  | [] -> title ^ "\n  (no trials)\n"
+  | first :: _ ->
+      let labels = List.map fst (cells first ~metric) in
+      let t =
+        Text_table.create ~title
+          (("", Text_table.Left)
+          :: List.map (fun l -> (l, Text_table.Right)) labels)
+      in
+      List.iter
+        (fun (rep : Sweep.rep_results) ->
+          Text_table.add_row t
+            (rep.Sweep.spec.Accent_workloads.Spec.name
+            :: List.map
+                 (fun (_, v) -> Printf.sprintf "%.2f" v)
+                 (cells rep ~metric)))
+        sweep;
+      Text_table.render t
+
+let chart sweep ~title ~unit_label ~metric =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (rep : Sweep.rep_results) ->
+      (* each representative's panel is scaled individually, as in the
+         paper's figures *)
+      Buffer.add_string buf
+        (Ascii_chart.hbar_groups ~unit_label
+           ~title:""
+           [ (rep.Sweep.spec.Accent_workloads.Spec.name, cells rep ~metric) ]))
+    sweep;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Statistical replication of the headline claims.
+
+    The trace generators are deterministic given a seed, so the default
+    run is exactly reproducible — but is it {e representative}?  This
+    module re-runs the reduced sweep under several seeds (different random
+    layouts, touched sets, reference orders; same Table 4-1/4-2
+    compositions, which are fixed) and reports mean ± sd for each headline
+    metric, demonstrating that the reproduced effects are properties of
+    the workload structure, not of one lucky arrangement. *)
+
+type metric = {
+  metric : string;
+  mean : float;
+  stddev : float;
+  min_v : float;
+  max_v : float;
+  paper : float option;
+}
+
+val run :
+  ?seeds:int64 list ->
+  ?specs:Accent_workloads.Spec.t list ->
+  ?progress:bool ->
+  unit ->
+  metric list
+(** Default: seeds 1..5, the seven representatives, prefetch {0,1} only
+    (the headline metrics don't need the full prefetch grid).  Metrics:
+    max copy/IOU transfer ratio, mean byte savings, mean message-cost
+    savings, Minprog IOU penalty, Chess IOU penalty. *)
+
+val render : metric list -> string

@@ -1,0 +1,37 @@
+open Accent_core
+
+type rep_results = {
+  spec : Accent_workloads.Spec.t;
+  copy : Trial.result;
+  iou : (int * Trial.result) list;
+  rs : (int * Trial.result) list;
+}
+
+type t = rep_results list
+
+let run ?seed ?costs ?(specs = Accent_workloads.Representative.all)
+    ?(prefetches = Strategy.paper_prefetch_values) ?(progress = true) () =
+  let note fmt = Printf.ksprintf (fun s -> if progress then prerr_endline s) fmt in
+  List.map
+    (fun spec ->
+      let name = spec.Accent_workloads.Spec.name in
+      let one strategy =
+        note "  trial: %-9s %s" name (Strategy.name strategy);
+        Trial.run ?seed ?costs ~spec ~strategy ()
+      in
+      {
+        spec;
+        copy = one Strategy.pure_copy;
+        iou = List.map (fun p -> (p, one (Strategy.pure_iou ~prefetch:p ()))) prefetches;
+        rs =
+          List.map
+            (fun p -> (p, one (Strategy.resident_set ~prefetch:p ())))
+            prefetches;
+      })
+    specs
+
+let find t name =
+  List.find (fun r -> r.spec.Accent_workloads.Spec.name = name) t
+
+let iou_at rep p = List.assoc p rep.iou
+let rs_at rep p = List.assoc p rep.rs

@@ -1,0 +1,29 @@
+(** The full trial grid behind Figures 4-1 through 4-4: every representative
+    × every strategy × the paper's prefetch values, each in its own fresh
+    world.  Run once and share across the figure modules. *)
+
+type rep_results = {
+  spec : Accent_workloads.Spec.t;
+  copy : Trial.result;
+  iou : (int * Trial.result) list;  (** keyed by prefetch value *)
+  rs : (int * Trial.result) list;
+}
+
+type t = rep_results list
+
+val run :
+  ?seed:int64 ->
+  ?costs:Accent_kernel.Cost_model.t ->
+  ?specs:Accent_workloads.Spec.t list ->
+  ?prefetches:int list ->
+  ?progress:bool ->
+  unit ->
+  t
+(** Defaults: the seven representatives, prefetch {0,1,3,7,15}, progress
+    lines on stderr. *)
+
+val find : t -> string -> rep_results
+(** By representative name; raises [Not_found]. *)
+
+val iou_at : rep_results -> int -> Trial.result
+val rs_at : rep_results -> int -> Trial.result

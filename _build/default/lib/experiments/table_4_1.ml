@@ -1,0 +1,55 @@
+open Accent_mem
+open Accent_util
+
+type row = {
+  name : string;
+  real : int;
+  realz : int;
+  total : int;
+  pct_realz : float;
+}
+
+let row_of_proc proc =
+  let space = Accent_kernel.Proc.space_exn proc in
+  let real = Address_space.real_bytes space in
+  let realz = Address_space.zero_bytes space in
+  let total = Address_space.total_bytes space in
+  {
+    name = Accent_kernel.Proc.(proc.name);
+    real;
+    realz;
+    total;
+    pct_realz = 100. *. float_of_int realz /. float_of_int total;
+  }
+
+let rows ?seed ?(specs = Accent_workloads.Representative.all) () =
+  List.map
+    (fun spec ->
+      let _, proc = Trial.build_only ?seed ~spec () in
+      row_of_proc proc)
+    specs
+
+let render rows =
+  let t =
+    Text_table.create
+      ~title:"Table 4-1: Representative Address Space Sizes in Bytes"
+      [
+        ("", Text_table.Left);
+        ("Real", Text_table.Right);
+        ("RealZ", Text_table.Right);
+        ("Total", Text_table.Right);
+        ("% RealZ", Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [
+          r.name;
+          Text_table.cell_bytes r.real;
+          Text_table.cell_bytes r.realz;
+          Text_table.cell_bytes r.total;
+          Text_table.cell_pct r.pct_realz;
+        ])
+    rows;
+  Text_table.render t

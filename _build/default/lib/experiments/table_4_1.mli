@@ -1,0 +1,21 @@
+(** Table 4-1: representative address-space sizes in bytes — non-zero data
+    (Real), allocated-but-untouched zero fill (RealZ), total validated
+    memory, and RealZ's share.
+
+    Measured from the built address spaces, which must reproduce the
+    paper's values exactly (they are the workload definition; a mismatch
+    means the builder is broken). *)
+
+type row = {
+  name : string;
+  real : int;
+  realz : int;
+  total : int;
+  pct_realz : float;
+}
+
+val rows :
+  ?seed:int64 -> ?specs:Accent_workloads.Spec.t list -> unit -> row list
+
+val render : row list -> string
+val row_of_proc : Accent_kernel.Proc.t -> row

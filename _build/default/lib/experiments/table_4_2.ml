@@ -1,0 +1,50 @@
+open Accent_mem
+open Accent_util
+
+type row = {
+  name : string;
+  rs_size : int;
+  pct_of_real : float;
+  pct_of_total : float;
+}
+
+let row_of_proc proc =
+  let space = Accent_kernel.Proc.space_exn proc in
+  let rs = Address_space.resident_bytes space in
+  let real = Address_space.real_bytes space in
+  let total = Address_space.total_bytes space in
+  {
+    name = Accent_kernel.Proc.(proc.name);
+    rs_size = rs;
+    pct_of_real = 100. *. float_of_int rs /. float_of_int real;
+    pct_of_total = 100. *. float_of_int rs /. float_of_int total;
+  }
+
+let rows ?seed ?(specs = Accent_workloads.Representative.all) () =
+  List.map
+    (fun spec ->
+      let _, proc = Trial.build_only ?seed ~spec () in
+      row_of_proc proc)
+    specs
+
+let render rows =
+  let t =
+    Text_table.create ~title:"Table 4-2: Representative Resident Sets"
+      [
+        ("", Text_table.Left);
+        ("RS Size", Text_table.Right);
+        ("% of Real", Text_table.Right);
+        ("% of Total", Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [
+          r.name;
+          Text_table.cell_bytes r.rs_size;
+          Text_table.cell_pct r.pct_of_real;
+          Printf.sprintf "%.3f" r.pct_of_total;
+        ])
+    rows;
+  Text_table.render t

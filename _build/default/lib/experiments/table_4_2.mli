@@ -1,0 +1,15 @@
+(** Table 4-2: resident set sizes at migration time and their relation to
+    the non-zero data and the total allocated space. *)
+
+type row = {
+  name : string;
+  rs_size : int;
+  pct_of_real : float;
+  pct_of_total : float;
+}
+
+val rows :
+  ?seed:int64 -> ?specs:Accent_workloads.Spec.t list -> unit -> row list
+
+val render : row list -> string
+val row_of_proc : Accent_kernel.Proc.t -> row

@@ -1,0 +1,18 @@
+(** Table 4-3: percent of the address space actually shipped to the new
+    site under the lazy strategies (no prefetch).
+
+    For each representative: the share of RealMem (and, bracketed in the
+    paper, of the total allocated space) that crossed the wire — migration-
+    time data plus demand-fetched pages.  Pure-copy is 100% of RealMem by
+    definition. *)
+
+type row = {
+  name : string;
+  iou_pct_real : float;
+  iou_pct_total : float;
+  rs_pct_real : float;
+  rs_pct_total : float;
+}
+
+val rows : Sweep.t -> row list
+val render : row list -> string

@@ -1,0 +1,67 @@
+open Accent_core
+open Accent_util
+
+type row = {
+  name : string;
+  amap_s : float;
+  rimas_s : float;
+  overall_s : float;
+  insert_s : float;
+  paper_amap_s : float;
+  paper_rimas_s : float;
+  paper_overall_s : float;
+}
+
+let rows sweep =
+  List.map
+    (fun (rep : Sweep.rep_results) ->
+      let name = rep.Sweep.spec.Accent_workloads.Spec.name in
+      let report = (Sweep.iou_at rep 0).Trial.report in
+      let timings =
+        match report.Report.excise with
+        | Some t -> t
+        | None -> failwith "trial without excise timings"
+      in
+      let paper_amap_s, paper_rimas_s, paper_overall_s =
+        match List.find_opt (fun (n, _, _, _) -> n = name) Paper.table_4_4 with
+        | Some (_, a, r, o) -> (a, r, o)
+        | None -> (nan, nan, nan)
+      in
+      {
+        name;
+        amap_s = timings.Accent_kernel.Excise.amap_ms /. 1000.;
+        rimas_s = timings.Accent_kernel.Excise.rimas_ms /. 1000.;
+        overall_s = timings.Accent_kernel.Excise.overall_ms /. 1000.;
+        insert_s = Option.value report.Report.insert_ms ~default:0. /. 1000.;
+        paper_amap_s;
+        paper_rimas_s;
+        paper_overall_s;
+      })
+    sweep
+
+let render rows =
+  let t =
+    Text_table.create
+      ~title:
+        "Table 4-4: Process Excision Times in Seconds (paper values in \
+         parentheses; Insert column is this system's InsertProcess time)"
+      [
+        ("", Text_table.Left);
+        ("AMap", Text_table.Right);
+        ("RIMAS", Text_table.Right);
+        ("Overall", Text_table.Right);
+        ("Insert", Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [
+          r.name;
+          Printf.sprintf "%.2f (%.2f)" r.amap_s r.paper_amap_s;
+          Printf.sprintf "%.2f (%.2f)" r.rimas_s r.paper_rimas_s;
+          Printf.sprintf "%.2f (%.2f)" r.overall_s r.paper_overall_s;
+          Printf.sprintf "%.2f" r.insert_s;
+        ])
+    rows;
+  Text_table.render t

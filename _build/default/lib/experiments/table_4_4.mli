@@ -1,0 +1,17 @@
+(** Table 4-4: process excision times — AMap construction, RIMAS creation,
+    and the whole ExciseProcess trap — plus the paper's §4.3.1 insertion
+    figures, side by side with the published values. *)
+
+type row = {
+  name : string;
+  amap_s : float;
+  rimas_s : float;
+  overall_s : float;
+  insert_s : float;  (** InsertProcess under the pure-IOU trial *)
+  paper_amap_s : float;
+  paper_rimas_s : float;
+  paper_overall_s : float;
+}
+
+val rows : Sweep.t -> row list
+val render : row list -> string

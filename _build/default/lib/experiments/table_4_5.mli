@@ -1,0 +1,20 @@
+(** Table 4-5: address-space (RIMAS) transfer times in seconds under the
+    three strategies, with the paper's values alongside.
+
+    The headline lives here: pure-IOU times are nearly constant while
+    pure-copy varies with RealMem size, making the extreme case (Lisp-Del)
+    roughly three orders of magnitude cheaper to ship lazily. *)
+
+type row = {
+  name : string;
+  iou_s : float;
+  rs_s : float;
+  copy_s : float;
+  paper : Paper.row_4_5 option;
+}
+
+val rows : Sweep.t -> row list
+val render : row list -> string
+
+val max_copy_over_iou : row list -> float
+(** The largest copy/IOU ratio — the paper's "up to 1,000 times faster". *)

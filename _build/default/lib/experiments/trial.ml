@@ -1,0 +1,37 @@
+open Accent_core
+
+type result = {
+  spec : Accent_workloads.Spec.t;
+  strategy : Strategy.t;
+  world : World.t;
+  proc : Accent_kernel.Proc.t;
+  report : Report.t;
+}
+
+let build_only ?(seed = 42L) ?costs ?write_fraction ~spec () =
+  let world = World.create ~seed ?costs ~n_hosts:2 () in
+  let proc =
+    Accent_workloads.Spec.build ?write_fraction (World.host world 0) spec
+  in
+  (world, proc)
+
+let run ?seed ?costs ?write_fraction ?(migrate_after_ms = 0.) ~spec ~strategy
+    () =
+  let world, proc = build_only ?seed ?costs ?write_fraction ~spec () in
+  (* live-migration strategies need the process executing at the source *)
+  (match strategy.Strategy.transfer with
+  | Strategy.Pre_copy _ | Strategy.Working_set _ ->
+      Accent_kernel.Proc_runner.start (World.host world 0) proc
+  | Strategy.Pure_copy | Strategy.Pure_iou | Strategy.Resident_set ->
+      if migrate_after_ms > 0. then
+        Accent_kernel.Proc_runner.start (World.host world 0) proc);
+  let report =
+    World.migrate_and_run ~after_ms:migrate_after_ms world ~proc ~src:0 ~dst:1
+      ~strategy
+  in
+  let proc =
+    match Accent_kernel.Host.find_proc (World.host world 1) proc.Accent_kernel.Proc.id with
+    | Some p -> p
+    | None -> proc
+  in
+  { spec; strategy; world; proc; report }

@@ -1,0 +1,17 @@
+(** Per-host resource utilisation over a trial — where the machines'
+    time actually went (§4.4.3's "distribution of costs" from the hosts'
+    point of view rather than the wire's). *)
+
+type host_row = {
+  host : string;
+  nms_busy_s : float;  (** NetMsgServer CPU *)
+  kernel_busy_s : float;  (** kernel IPC CPU *)
+  exec_busy_s : float;  (** user computation *)
+  disk_busy_s : float;
+  nms_messages : int;
+}
+
+val of_world : Accent_core.World.t -> host_row list
+
+val render : duration_s:float -> host_row list -> string
+(** Table with busy fractions relative to the trial duration. *)

@@ -1,0 +1,1 @@
+lib/ipc/kernel_ipc.ml: Accent_mem Accent_sim Engine Logs Message Port Queue_server Time

@@ -1,0 +1,1 @@
+lib/ipc/kernel_ipc.mli: Accent_sim Message Port

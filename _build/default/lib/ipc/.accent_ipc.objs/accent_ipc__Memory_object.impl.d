@@ -1,0 +1,1 @@
+lib/ipc/memory_object.ml: Accent_mem Bytes List Port Vaddr

@@ -1,0 +1,1 @@
+lib/ipc/memory_object.mli: Accent_mem Port

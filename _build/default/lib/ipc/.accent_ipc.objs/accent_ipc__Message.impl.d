@@ -1,0 +1,1 @@
+lib/ipc/message.ml: Accent_sim Format List Memory_object Option Port Printf

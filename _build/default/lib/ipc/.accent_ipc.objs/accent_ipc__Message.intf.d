@@ -1,0 +1,1 @@
+lib/ipc/message.mli: Accent_sim Format Memory_object Port

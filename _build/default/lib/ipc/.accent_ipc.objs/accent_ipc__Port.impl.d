@@ -1,0 +1,1 @@
+lib/ipc/port.ml: Accent_sim Format Hashtbl Int Set

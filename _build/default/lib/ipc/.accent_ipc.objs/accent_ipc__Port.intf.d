@@ -1,0 +1,1 @@
+lib/ipc/port.mli: Accent_sim Format Hashtbl Set

@@ -1,0 +1,1 @@
+lib/ipc/protocol.ml: Accent_mem List Message

@@ -1,0 +1,1 @@
+lib/ipc/protocol.mli: Accent_mem Accent_sim Message Port

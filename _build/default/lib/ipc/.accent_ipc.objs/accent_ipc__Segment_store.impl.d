@@ -1,0 +1,1 @@
+lib/ipc/segment_store.ml: Accent_mem Bytes Hashtbl List Option Page

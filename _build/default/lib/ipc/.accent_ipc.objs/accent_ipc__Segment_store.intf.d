@@ -1,0 +1,1 @@
+lib/ipc/segment_store.mli: Accent_mem

@@ -1,0 +1,53 @@
+(** Per-host kernel IPC: local delivery of messages to ports.
+
+    Servers holding Receive rights for a port register a handler; [send]
+    charges the kernel's message-handling cost on the host CPU (a shared
+    {!Accent_sim.Queue_server}) and then delivers locally or hands off to
+    the forwarder (the NetMsgServer) when no local receiver exists — which
+    is precisely the transparency that lets Accent extend ports across the
+    network with a user-level process (§2.1, §2.4).
+
+    Cost model (per paper §2.1): small messages are physically copied twice
+    (in and out of the kernel) at a per-byte cost; messages above the
+    copy-on-write threshold are memory-mapped at a per-page cost,
+    independent of how much data they carry. *)
+
+type params = {
+  local_base_ms : float;  (** fixed kernel overhead per message *)
+  copy_threshold : int;  (** bytes; at or below this, data is copied *)
+  copy_per_byte_ms : float;
+  map_per_page_ms : float;  (** COW-mapping cost per 512-byte page *)
+}
+
+val default_params : params
+
+type t
+
+val create :
+  Accent_sim.Engine.t -> cpu:Accent_sim.Queue_server.t -> params -> t
+
+val bind : t -> Port.id -> (Message.t -> unit) -> unit
+(** Install the Receive-rights holder's handler.  Rebinding replaces the
+    previous handler (rights moved). *)
+
+val unbind : t -> Port.id -> unit
+
+val has_local_receiver : t -> Port.id -> bool
+
+val set_forwarder : t -> (Message.t -> unit) -> unit
+(** Where messages for non-local ports go (the NetMsgServer). *)
+
+val send : t -> Message.t -> unit
+(** Queue the message through the kernel.  Delivery (local handler or
+    forwarder) happens after the kernel handling cost has been served on
+    the host CPU. *)
+
+val handling_cost : params -> Message.t -> Accent_sim.Time.t
+(** The cost charged per message; exposed for tests and for the
+    excision/insertion cost model. *)
+
+(** {2 Accounting} *)
+
+val sent : t -> int
+val delivered_locally : t -> int
+val forwarded : t -> int

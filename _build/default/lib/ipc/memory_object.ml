@@ -1,0 +1,61 @@
+open Accent_mem
+
+type content =
+  | Data of bytes
+  | Iou of { segment_id : int; backing_port : Port.id; offset : int }
+
+type chunk = { range : Vaddr.range; content : content }
+type t = chunk list
+
+let validate t =
+  let check_chunk { range; content } =
+    if not (Vaddr.page_aligned range) then
+      invalid_arg "Memory_object: chunk range not page-aligned";
+    match content with
+    | Data bytes ->
+        if Bytes.length bytes <> Vaddr.len range then
+          invalid_arg "Memory_object: data length disagrees with range"
+    | Iou _ -> ()
+  in
+  let rec check_order = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+        if a.range.Vaddr.hi > b.range.Vaddr.lo then
+          invalid_arg "Memory_object: chunks overlap or out of order";
+        check_order rest
+  in
+  List.iter check_chunk t;
+  check_order t
+
+let data_bytes t =
+  List.fold_left
+    (fun acc c ->
+      match c.content with Data b -> acc + Bytes.length b | Iou _ -> acc)
+    0 t
+
+let iou_bytes t =
+  List.fold_left
+    (fun acc c ->
+      match c.content with Iou _ -> acc + Vaddr.len c.range | Data _ -> acc)
+    0 t
+
+let total_bytes t =
+  List.fold_left (fun acc c -> acc + Vaddr.len c.range) 0 t
+
+let chunk_count = List.length
+
+let descriptor_bytes t = 24 * chunk_count t
+
+let iou_ports t =
+  List.fold_left
+    (fun acc c ->
+      match c.content with
+      | Iou { backing_port; _ } -> Port.Set.add backing_port acc
+      | Data _ -> acc)
+    Port.Set.empty t
+  |> Port.Set.elements
+
+let map_chunks t ~f =
+  let t' = List.map f t in
+  validate t';
+  t'

@@ -1,0 +1,47 @@
+(** Out-of-line memory carried by an IPC message.
+
+    A memory object describes a run of address-space content as a list of
+    chunks, each either physically present data or an IOU — a promise that
+    the bytes can be demanded from an imaginary segment backed by a port
+    somewhere.  The RIMAS message of ExciseProcess is exactly one of these
+    (paper §3.1), and the NetMsgServer's fragmentation, reassembly and
+    IOU-caching logic (§2.4) operates on this structure. *)
+
+type content =
+  | Data of bytes  (** physically present; page-multiple length *)
+  | Iou of { segment_id : int; backing_port : Port.id; offset : int }
+      (** fetch on demand from the segment via its backing port; [offset]
+          is the segment offset corresponding to the chunk's [range.lo]
+          (they coincide for freshly-cached data but diverge when an IOU is
+          re-shipped, e.g. on a second migration) *)
+
+type chunk = { range : Accent_mem.Vaddr.range; content : content }
+(** [range] is in the {e collapsed} coordinate space of the memory object —
+    for a RIMAS message, offsets within the condensed address-space image
+    that ExciseProcess produces (§3.1). *)
+
+type t = chunk list
+(** Chunks in increasing, non-overlapping address order. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if ranges overlap, are out of order, are not
+    page-aligned, or a Data chunk's length disagrees with its range. *)
+
+val data_bytes : t -> int
+(** Bytes physically present. *)
+
+val iou_bytes : t -> int
+(** Bytes promised by IOUs. *)
+
+val total_bytes : t -> int
+val chunk_count : t -> int
+
+val descriptor_bytes : t -> int
+(** Wire overhead of the chunk table: 24 bytes per chunk. *)
+
+val iou_ports : t -> Port.id list
+(** Backing ports referenced by Iou chunks (deduplicated). *)
+
+val map_chunks : t -> f:(chunk -> chunk) -> t
+(** Rebuild with [f] applied to each chunk (used by the NetMsgServer to
+    substitute its own IOUs); the result is re-validated. *)

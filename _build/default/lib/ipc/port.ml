@@ -1,0 +1,23 @@
+type id = int
+
+let fresh ids = Accent_sim.Ids.next ids
+let compare = Int.compare
+let equal = Int.equal
+let to_int id = id
+let pp ppf id = Format.fprintf ppf "port#%d" id
+
+type right = Receive | Send | Ownership
+
+let right_to_string = function
+  | Receive -> "Receive"
+  | Send -> "Send"
+  | Ownership -> "Ownership"
+
+module Set = Set.Make (Int)
+
+module Table = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

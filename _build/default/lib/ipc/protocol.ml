@@ -1,0 +1,22 @@
+type Message.payload +=
+  | Imaginary_read_request of { segment_id : int; offset : int; pages : int }
+  | Imaginary_read_reply of {
+      segment_id : int;
+      offset : int;
+      page_data : Accent_mem.Page.data list;
+    }
+  | Imaginary_segment_death of { segment_id : int }
+
+let read_request ~ids ~dest ~reply_to ~segment_id ~offset ~pages =
+  Message.make ~ids ~dest ~reply_to ~inline_bytes:32 ~category:Message.Fault
+    (Imaginary_read_request { segment_id; offset; pages })
+
+let read_reply ~ids ~dest ~segment_id ~offset ~page_data =
+  let data_bytes = List.length page_data * Accent_mem.Page.size in
+  Message.make ~ids ~dest ~category:Message.Fault
+    ~inline_bytes:(32 + data_bytes)
+    (Imaginary_read_reply { segment_id; offset; page_data })
+
+let segment_death ~ids ~dest ~segment_id =
+  Message.make ~ids ~dest ~inline_bytes:32
+    (Imaginary_segment_death { segment_id })

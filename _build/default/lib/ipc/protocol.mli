@@ -1,0 +1,51 @@
+(** The imaginary-memory IPC protocol (paper §2.2).
+
+    These are the message kinds exchanged between the Pager/Scheduler of a
+    faulting host and whichever process holds Receive rights for an
+    imaginary segment's backing port: page fetches, their replies, and the
+    death notification sent when all references to a segment are gone.
+
+    Declared here — below both the NetMsgServer and the migration layer —
+    because {e any} holder of a backing port must speak it: the NetMsgServer
+    when it caches message data and passes IOUs, the MigrationManager if it
+    manages excised address spaces itself, and ordinary applications using
+    copy-on-reference for their own data. *)
+
+type Message.payload +=
+  | Imaginary_read_request of {
+      segment_id : int;
+      offset : int;  (** page-aligned segment offset being faulted *)
+      pages : int;
+          (** how many contiguous pages to return: 1 + prefetch count *)
+    }
+  | Imaginary_read_reply of {
+      segment_id : int;
+      offset : int;
+      page_data : Accent_mem.Page.data list;
+          (** pages from [offset] upward; may be shorter than requested if
+              the segment ends or has holes *)
+    }
+  | Imaginary_segment_death of { segment_id : int }
+
+val read_request :
+  ids:Accent_sim.Ids.t ->
+  dest:Port.id ->
+  reply_to:Port.id ->
+  segment_id:int ->
+  offset:int ->
+  pages:int ->
+  Message.t
+(** Build a well-formed request (small inline body, Fault category sizing:
+    the inline body is 64 bytes). *)
+
+val read_reply :
+  ids:Accent_sim.Ids.t ->
+  dest:Port.id ->
+  segment_id:int ->
+  offset:int ->
+  page_data:Accent_mem.Page.data list ->
+  Message.t
+(** Build the reply; its inline size reflects the pages carried. *)
+
+val segment_death :
+  ids:Accent_sim.Ids.t -> dest:Port.id -> segment_id:int -> Message.t

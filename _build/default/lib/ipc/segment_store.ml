@@ -1,0 +1,67 @@
+open Accent_mem
+
+type t = (int, (int, Page.data) Hashtbl.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let segment_table t segment_id =
+  match Hashtbl.find_opt t segment_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.replace t segment_id tbl;
+      tbl
+
+let add_segment t ~segment_id = ignore (segment_table t segment_id)
+
+let put_page t ~segment_id ~offset data =
+  if offset mod Page.size <> 0 then
+    invalid_arg "Segment_store.put_page: unaligned offset";
+  if Bytes.length data <> Page.size then
+    invalid_arg "Segment_store.put_page: not one page";
+  Hashtbl.replace (segment_table t segment_id) offset (Page.copy data)
+
+let put_bytes t ~segment_id ~offset data =
+  if offset mod Page.size <> 0 then
+    invalid_arg "Segment_store.put_bytes: unaligned offset";
+  let len = Bytes.length data in
+  let n = (len + Page.size - 1) / Page.size in
+  for i = 0 to n - 1 do
+    let page = Page.zero () in
+    let off = i * Page.size in
+    Bytes.blit data off page 0 (min Page.size (len - off));
+    Hashtbl.replace
+      (segment_table t segment_id)
+      (offset + (i * Page.size))
+      page
+  done
+
+let get_page t ~segment_id ~offset =
+  match Hashtbl.find_opt t segment_id with
+  | None -> None
+  | Some tbl -> Option.map Page.copy (Hashtbl.find_opt tbl offset)
+
+let read_run t ~segment_id ~offset ~pages =
+  assert (pages >= 1);
+  let rec loop i acc =
+    if i >= pages then List.rev acc
+    else
+      match get_page t ~segment_id ~offset:(offset + (i * Page.size)) with
+      | None -> List.rev acc
+      | Some data -> loop (i + 1) (data :: acc)
+  in
+  loop 0 []
+
+let has_segment t ~segment_id = Hashtbl.mem t segment_id
+
+let segment_pages t ~segment_id =
+  match Hashtbl.find_opt t segment_id with
+  | None -> 0
+  | Some tbl -> Hashtbl.length tbl
+
+let segment_bytes t ~segment_id = segment_pages t ~segment_id * Page.size
+let drop_segment t ~segment_id = Hashtbl.remove t segment_id
+let segments t = Hashtbl.fold (fun id _ acc -> id :: acc) t [] |> List.sort compare
+
+let total_bytes t =
+  Hashtbl.fold (fun _ tbl acc -> acc + (Hashtbl.length tbl * Page.size)) t 0

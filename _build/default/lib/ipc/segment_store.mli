@@ -1,0 +1,42 @@
+(** Content store for imaginary segments held by a backing process.
+
+    Whoever holds Receive rights for a backing port needs the segment's
+    pages at hand to answer read requests.  This store keeps them indexed
+    by page-aligned segment offset and implements the request-answering
+    logic shared by the NetMsgServer cache and application-level backing
+    servers: return up to [pages] contiguous pages starting at an offset,
+    stopping early at holes or the segment end. *)
+
+type t
+
+val create : unit -> t
+
+val add_segment : t -> segment_id:int -> unit
+(** Declare a segment (idempotent). *)
+
+val put_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.data ->
+  unit
+(** Store one page at the page-aligned [offset].  Implicitly declares the
+    segment. *)
+
+val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
+(** Store a run of pages; trailing partial page zero-padded. *)
+
+val get_page : t -> segment_id:int -> offset:int ->
+  Accent_mem.Page.data option
+
+val read_run : t -> segment_id:int -> offset:int -> pages:int ->
+  Accent_mem.Page.data list
+(** Pages at [offset], [offset+512], ... while present, at most [pages] of
+    them — the service routine for {!Protocol.Imaginary_read_request}.
+    Empty if the first page is absent. *)
+
+val has_segment : t -> segment_id:int -> bool
+val segment_pages : t -> segment_id:int -> int
+val segment_bytes : t -> segment_id:int -> int
+
+val drop_segment : t -> segment_id:int -> unit
+(** Forget a dead segment's pages. *)
+
+val segments : t -> int list
+val total_bytes : t -> int

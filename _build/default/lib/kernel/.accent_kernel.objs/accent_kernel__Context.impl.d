@@ -1,0 +1,1 @@
+lib/kernel/context.ml: Accent_ipc Accent_mem Cost_model List Pcb Trace

@@ -1,0 +1,1 @@
+lib/kernel/context.mli: Accent_ipc Accent_mem Cost_model Pcb Trace

@@ -1,0 +1,1 @@
+lib/kernel/cost_model.ml: Accent_ipc Accent_net

@@ -1,0 +1,1 @@
+lib/kernel/excise.ml: Accent_ipc Accent_mem Accent_sim Address_space Bytes Context Cost_model Engine Host List Memory_object Page Pager Pcb Proc Proc_runner Time Vaddr

@@ -1,0 +1,1 @@
+lib/kernel/excise.mli: Accent_ipc Accent_mem Context Cost_model Host Proc

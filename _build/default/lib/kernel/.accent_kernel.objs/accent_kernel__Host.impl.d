@@ -1,0 +1,1 @@
+lib/kernel/host.ml: Accent_ipc Accent_mem Accent_net Accent_sim Address_space Cost_model Engine Hashtbl Ids List Logs Pager Paging_disk Pcb Phys_mem Printf Proc Queue_server Time

@@ -1,0 +1,1 @@
+lib/kernel/host.mli: Accent_ipc Accent_mem Accent_net Accent_sim Cost_model Pager Proc Trace

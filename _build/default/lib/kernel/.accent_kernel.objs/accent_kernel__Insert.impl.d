@@ -1,0 +1,1 @@
+lib/kernel/insert.ml: Accent_ipc Accent_mem Accent_sim Accessibility Address_space Amap Bytes Context Cost_model Engine Host List Memory_object Page Pager Pcb Proc Time Vaddr

@@ -1,0 +1,1 @@
+lib/kernel/insert.mli: Accent_ipc Context Cost_model Host Proc

@@ -1,0 +1,1 @@
+lib/kernel/pager.mli: Accent_ipc Accent_mem Accent_sim Cost_model Proc

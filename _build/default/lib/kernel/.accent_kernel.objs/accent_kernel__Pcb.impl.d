@@ -1,0 +1,1 @@
+lib/kernel/pcb.ml: Accent_mem Bytes Char

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Accent_ipc Accent_mem Accent_sim Bytes Hashtbl List Pcb Printf Trace

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Accent_ipc Accent_mem Accent_sim Hashtbl Pcb Trace

@@ -1,0 +1,1 @@
+lib/kernel/proc_runner.ml: Accent_mem Accent_sim Engine Host Pager Pcb Proc Queue_server Time Trace

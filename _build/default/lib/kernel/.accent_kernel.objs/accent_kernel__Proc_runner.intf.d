@@ -1,0 +1,1 @@
+lib/kernel/proc_runner.mli: Host Proc

@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Accent_mem Accent_util Array Fun Hashtbl List

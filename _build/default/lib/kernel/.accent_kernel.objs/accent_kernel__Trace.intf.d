@@ -1,0 +1,1 @@
+lib/kernel/trace.mli: Accent_mem Accent_util

@@ -1,0 +1,52 @@
+(** Every calibrated time constant of the simulated testbed, in one place.
+
+    Sources, all from the paper's own measurements on the Perq/Accent
+    testbed (§4.3): a local disk fault costs 40.8 ms; a remote imaginary
+    fault costs ~115 ms end-to-end; pure-copy shipment of an address space
+    sustains roughly 15 KB/s effective (Table 4-5 Copy column ÷ Table 4-1
+    Real column); AMap construction and RIMAS collapse costs fit linear
+    models in region count, materialised pages, VM segments and resident
+    pages (Table 4-4).  test/test_calibration.ml checks the emergent
+    end-to-end numbers against these anchors. *)
+
+type t = {
+  ipc : Accent_ipc.Kernel_ipc.params;
+  nms : Accent_net.Netmsgserver.params;
+  link : Accent_net.Link.params;
+  (* --- fault service (paper §2.3, §4.3.3) --- *)
+  fill_zero_ms : float;  (** FillZero: reserve a frame, zero it, map it *)
+  pager_ms : float;  (** Pager/Scheduler bookkeeping charged per fault *)
+  disk_service_ms : float;
+      (** paging-disk access; with [pager_ms] this makes the 40.8 ms local
+          disk fault *)
+  imag_install_per_page_ms : float;
+      (** mapping in each page that arrives in an imaginary read reply *)
+  (* --- ExciseProcess (Table 4-4) --- *)
+  excise_base_ms : float;
+  amap_base_ms : float;
+  amap_per_region_ms : float;  (** per interval of the process map *)
+  amap_per_real_page_ms : float;  (** page-table walk per materialised page *)
+  amap_per_vm_segment_ms : float;
+      (** the "costly search of system virtual memory tables" per segment *)
+  rimas_base_ms : float;
+  rimas_per_resident_page_ms : float;  (** remapping a resident page *)
+  rimas_per_disk_page_ms : float;  (** re-describing an on-disk page *)
+  (* --- InsertProcess (§4.3.1) --- *)
+  insert_base_ms : float;
+  insert_per_amap_entry_ms : float;
+  insert_per_data_page_ms : float;  (** per physically-shipped page mapped *)
+  (* --- context sizes --- *)
+  pcb_bytes : int;  (** microstate + kernel stack + PCB: "roughly 1 Kbyte" *)
+  fault_timeout_ms : float;
+      (** give up on an imaginary fault after this long with no reply —
+          the residual-dependency hazard of lazy migration: if the backing
+          site dies, so does the relocated process *)
+  (* --- host --- *)
+  frames_per_host : int;  (** physical memory pool (2 MB Perq = 4096) *)
+}
+
+val default : t
+
+val disk_fault_ms : t -> float
+(** The full local disk fault cost ([pager_ms + disk_service_ms]);
+    40.8 ms under {!default}. *)

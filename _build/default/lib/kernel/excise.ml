@@ -1,0 +1,138 @@
+open Accent_sim
+open Accent_mem
+open Accent_ipc
+
+type timings = { amap_ms : float; rimas_ms : float; overall_ms : float }
+
+type excised = {
+  core : Context.core;
+  rimas : Memory_object.t;
+  layout : Context.layout_run list;
+  resident : Page.index list;
+  timings : timings;
+}
+
+let estimate_timings (costs : Cost_model.t) space =
+  let resident_pages = List.length (Address_space.resident_pages space) in
+  let real_pages = Address_space.pages_materialized space in
+  let disk_pages = real_pages - resident_pages in
+  let amap_ms =
+    costs.amap_base_ms
+    +. (costs.amap_per_region_ms
+       *. float_of_int (Address_space.region_count space))
+    +. (costs.amap_per_real_page_ms *. float_of_int real_pages)
+    +. (costs.amap_per_vm_segment_ms
+       *. float_of_int (Address_space.vm_segment_count space))
+  in
+  let rimas_ms =
+    costs.rimas_base_ms
+    +. (costs.rimas_per_resident_page_ms *. float_of_int resident_pages)
+    +. (costs.rimas_per_disk_page_ms *. float_of_int disk_pages)
+  in
+  {
+    amap_ms;
+    rimas_ms;
+    overall_ms = costs.excise_base_ms +. amap_ms +. rimas_ms;
+  }
+
+(* Concatenate the materialised pages of [lo, hi) into one buffer. *)
+let range_data space ~lo ~hi =
+  let out = Bytes.create (hi - lo) in
+  let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
+  for idx = first to last do
+    match Address_space.page_data space idx with
+    | Some data ->
+        Bytes.blit data 0 out (Page.addr_of_index idx - lo) Page.size
+    | None -> failwith "Excise: Real range with missing page"
+  done;
+  out
+
+(* Walk the region list, assigning collapsed offsets to content-bearing
+   ranges and building the chunk list; adjacent Data chunks merge into the
+   single contiguous area the paper describes. *)
+let collapse pager space =
+  let chunks = ref [] and layout = ref [] and cursor = ref 0 in
+  let emit_chunk range content =
+    chunks := { Memory_object.range; content } :: !chunks
+  in
+  List.iter
+    (fun (lo, hi, backing) ->
+      match (backing : Address_space.backing) with
+      | Zero -> ()
+      | Real ->
+          let len = hi - lo in
+          let range = Vaddr.range !cursor (!cursor + len) in
+          emit_chunk range (Memory_object.Data (range_data space ~lo ~hi));
+          layout :=
+            { Context.vaddr_lo = lo; vaddr_hi = hi; collapsed_lo = !cursor }
+            :: !layout;
+          cursor := !cursor + len
+      | Imaginary { segment_id; base } ->
+          let len = hi - lo in
+          let range = Vaddr.range !cursor (!cursor + len) in
+          let backing_port =
+            match Pager.backing_port pager ~segment_id with
+            | Some port -> port
+            | None ->
+                failwith "Excise: imaginary region with unknown backing port"
+          in
+          emit_chunk range
+            (Memory_object.Iou { segment_id; backing_port; offset = base + lo });
+          layout :=
+            { Context.vaddr_lo = lo; vaddr_hi = hi; collapsed_lo = !cursor }
+            :: !layout;
+          cursor := !cursor + len)
+    (Address_space.backed_ranges space);
+  (* Merge adjacent Data chunks: the collapse produces one contiguous
+     physical area, not one chunk per source region. *)
+  let merged =
+    List.fold_left
+      (fun acc chunk ->
+        match (acc, chunk.Memory_object.content) with
+        | ( { Memory_object.range = prev_range; content = Data prev_data }
+            :: rest,
+            Memory_object.Data data )
+          when prev_range.Vaddr.hi = chunk.Memory_object.range.Vaddr.lo ->
+            {
+              Memory_object.range =
+                Vaddr.range prev_range.Vaddr.lo chunk.Memory_object.range.Vaddr.hi;
+              content = Data (Bytes.cat prev_data data);
+            }
+            :: rest
+        | _ -> chunk :: acc)
+      []
+      (List.rev !chunks)
+  in
+  (List.rev merged, List.rev !layout)
+
+let excise host proc ~k =
+  Proc_runner.interrupt proc;
+  let space = Proc.space_exn proc in
+  let pager = Host.pager host in
+  if Pager.pending_faults_for pager ~proc_id:proc.Proc.id > 0 then
+    invalid_arg "Excise: process has a fault in flight";
+  let timings = estimate_timings (Host.costs host) space in
+  let resident = List.map fst (Address_space.resident_pages space) in
+  let rimas, layout = collapse pager space in
+  Memory_object.validate rimas;
+  let core =
+    {
+      Context.proc_id = proc.Proc.id;
+      proc_name = proc.Proc.name;
+      pcb = proc.Proc.pcb;
+      port_rights = proc.Proc.ports;
+      amap = Address_space.build_amap space;
+      trace = proc.Proc.trace;
+    }
+  in
+  (* The context now holds everything; the local incarnation dissolves. *)
+  proc.Proc.pcb.Pcb.status <- Pcb.Excised;
+  proc.Proc.pcb.Pcb.migrations <- proc.Proc.pcb.Pcb.migrations + 1;
+  proc.Proc.space <- None;
+  Pager.forget_segments pager ~space_id:(Address_space.id space);
+  Host.drop_space host space;
+  Host.remove_proc host proc;
+  let result = { core; rimas; layout; resident; timings } in
+  ignore
+    (Engine.schedule (Host.engine host) ~delay:(Time.ms timings.overall_ms)
+       (fun () -> k result))

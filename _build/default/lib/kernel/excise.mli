@@ -1,0 +1,39 @@
+(** The ExciseProcess kernel trap (paper §3.1).
+
+    Removes a process's complete context from its host: the process ceases
+    to exist locally, its address space is collapsed into a contiguous
+    RIMAS image, and the caller receives both context pieces ready for
+    shipment.  Port rights pass transparently, so nothing that can name
+    the process's ports notices.
+
+    The two dominant costs — AMap construction over the complex process
+    map, and the collapse of process memory — are charged on the virtual
+    clock using the linear models calibrated against Table 4-4. *)
+
+type timings = {
+  amap_ms : float;  (** AMap construction *)
+  rimas_ms : float;  (** address-space collapse *)
+  overall_ms : float;  (** whole trap, including fixed overhead *)
+}
+
+type excised = {
+  core : Context.core;
+  rimas : Accent_ipc.Memory_object.t;
+      (** the collapsed content: Data chunks for RealMem, Iou chunks for
+          any pre-existing ImagMem (e.g. on a second migration) *)
+  layout : Context.layout_run list;
+      (** virtual-address ↔ collapsed-offset correspondence *)
+  resident : Accent_mem.Page.index list;
+      (** pages that were resident at excision — the resident set a
+          strategy may choose to ship *)
+  timings : timings;
+}
+
+val excise : Host.t -> Proc.t -> k:(excised -> unit) -> unit
+(** Freeze, extract and dismantle: [k] fires once the trap's cost has
+    elapsed, with the context in hand.  The process must not have a fault
+    in flight.  Its space is destroyed (the data now lives in the RIMAS)
+    and the process is removed from the host's tables. *)
+
+val estimate_timings : Cost_model.t -> Accent_mem.Address_space.t -> timings
+(** The cost model by itself, for tests and what-if analysis. *)

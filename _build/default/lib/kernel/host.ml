@@ -1,0 +1,140 @@
+open Accent_sim
+open Accent_mem
+
+type t = {
+  engine : Engine.t;
+  ids : Ids.t;
+  id : int;
+  name : string;
+  costs : Cost_model.t;
+  mem : Phys_mem.t;
+  disk_store : Paging_disk.t;
+  disk_server : Queue_server.t;
+  cpu : Queue_server.t;
+  exec_cpu : Queue_server.t;
+  kernel : Accent_ipc.Kernel_ipc.t;
+  nms : Accent_net.Netmsgserver.t;
+  pager : Pager.t;
+  registry : Accent_net.Net_registry.t;
+  spaces : (int, Address_space.t) Hashtbl.t;
+  procs : (int, Proc.t) Hashtbl.t;
+}
+
+let create engine ~ids ~id ~name ~costs ~link ~registry ~monitor =
+  let mem = Phys_mem.create ~frames:costs.Cost_model.frames_per_host in
+  let disk_store = Paging_disk.create () in
+  let disk_server =
+    Queue_server.create engine ~name:(Printf.sprintf "%s/disk" name)
+  in
+  let cpu = Queue_server.create engine ~name:(Printf.sprintf "%s/cpu" name) in
+  let exec_cpu =
+    Queue_server.create engine ~name:(Printf.sprintf "%s/exec" name)
+  in
+  let kernel =
+    Accent_ipc.Kernel_ipc.create engine ~cpu costs.Cost_model.ipc
+  in
+  let nms =
+    Accent_net.Netmsgserver.create engine ~ids ~host_id:id ~kernel ~link
+      ~registry ~monitor ~params:costs.Cost_model.nms
+  in
+  let pager =
+    Pager.create engine ~ids ~kernel ~disk:disk_server ~costs ~host_id:id
+  in
+  let t =
+    {
+      engine;
+      ids;
+      id;
+      name;
+      costs;
+      mem;
+      disk_store;
+      disk_server;
+      cpu;
+      exec_cpu;
+      kernel;
+      nms;
+      pager;
+      registry;
+      spaces = Hashtbl.create 8;
+      procs = Hashtbl.create 8;
+    }
+  in
+  Accent_net.Net_registry.set_port_home registry (Pager.port pager)
+    ~host_id:id;
+  (* Evicted frames page out to the owning space's slot on the local disk. *)
+  Phys_mem.set_evict_handler mem (fun owner data ~dirty ->
+      match Hashtbl.find_opt t.spaces owner.Phys_mem.space_id with
+      | Some space -> Address_space.evict_page space owner.Phys_mem.page data ~dirty
+      | None ->
+          Logs.warn (fun m ->
+              m "%s: evicting frame of unknown space %d" name
+                owner.Phys_mem.space_id));
+  t
+
+let id t = t.id
+let name t = t.name
+let engine t = t.engine
+let ids t = t.ids
+let costs t = t.costs
+let mem t = t.mem
+let kernel t = t.kernel
+let nms t = t.nms
+let pager t = t.pager
+let registry t = t.registry
+
+let new_space t ~name =
+  let space =
+    Address_space.create ~id:(Ids.next t.ids) ~name ~mem:t.mem
+      ~disk:t.disk_store
+  in
+  Hashtbl.replace t.spaces (Address_space.id space) space;
+  space
+
+let drop_space t space =
+  Address_space.destroy space;
+  Hashtbl.remove t.spaces (Address_space.id space)
+
+let new_port t =
+  let port = Accent_ipc.Port.fresh t.ids in
+  Accent_net.Net_registry.set_port_home t.registry port ~host_id:t.id;
+  port
+
+let spawn t ~name ~trace ~space ?(n_ports = 2) () =
+  let ports = List.init n_ports (fun _ -> new_port t) in
+  let proc = Proc.create ~id:(Ids.next t.ids) ~name ~trace ~ports ~space () in
+  Hashtbl.replace t.procs proc.Proc.id proc;
+  proc
+
+let adopt t proc =
+  Hashtbl.replace t.procs proc.Proc.id proc;
+  List.iter
+    (fun port ->
+      Accent_net.Net_registry.set_port_home t.registry port ~host_id:t.id)
+    proc.Proc.ports
+
+let remove_proc t proc = Hashtbl.remove t.procs proc.Proc.id
+let proc_count t = Hashtbl.length t.procs
+let find_proc t id = Hashtbl.find_opt t.procs id
+
+let procs t =
+  Hashtbl.fold (fun _ proc acc -> proc :: acc) t.procs []
+  |> List.sort (fun a b -> compare a.Proc.id b.Proc.id)
+
+let live_proc_count t =
+  List.length
+    (List.filter
+       (fun p ->
+         match p.Proc.pcb.Pcb.status with
+         | Pcb.Running | Pcb.Ready -> true
+         | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> false)
+       (procs t))
+let disk_server t = t.disk_server
+let cpu t = t.cpu
+let exec_cpu t = t.exec_cpu
+
+let message_seconds t =
+  Time.to_seconds
+    (Time.add
+       (Accent_net.Netmsgserver.busy_time t.nms)
+       (Queue_server.busy_time t.cpu))

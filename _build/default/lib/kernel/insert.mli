@@ -1,0 +1,20 @@
+(** The InsertProcess kernel trap (paper §3.1).
+
+    Recreates a process from its two self-contained context messages: the
+    AMap guides address-space reconstruction while the RIMAS supplies the
+    ammunition — physically-shipped data is installed, IOU chunks become
+    imaginary mappings whose faults will be channelled to the original
+    backing site.  Embedded port rights pass to the new incarnation. *)
+
+val insert :
+  Host.t ->
+  core:Context.core ->
+  rimas:Accent_ipc.Memory_object.t ->
+  k:(Proc.t -> unit) ->
+  unit
+(** Reconstruct on this host; [k] fires with the reincarnated (Ready, not
+    yet running) process once the insertion cost has elapsed. *)
+
+val estimate_ms :
+  Cost_model.t -> Context.core -> Accent_ipc.Memory_object.t -> float
+(** The insertion cost model alone. *)

@@ -1,0 +1,29 @@
+(** Process control blocks and the microengine state.
+
+    Of a process's five context components (paper §3.1) — microstate,
+    kernel stack, PCB, port rights, address space — the first three travel
+    as an opaque blob of roughly 1 KB inside the Core message.  We carry
+    them as real bytes (checksummable across a migration) plus the few
+    fields the simulator interprets. *)
+
+type status = Ready | Running | Blocked | Terminated | Excised
+
+type t = {
+  mutable status : status;
+  mutable priority : int;
+  mutable pc : int;  (** microengine "program counter": next trace step *)
+  microstate : bytes;  (** opaque register/stack image *)
+  mutable faults_zero : int;
+  mutable faults_disk : int;
+  mutable faults_imag : int;
+  mutable migrations : int;
+}
+
+val create : ?priority:int -> ?microstate_bytes:int -> tag:int -> unit -> t
+(** Fresh PCB with deterministic microstate contents derived from [tag]
+    ([microstate_bytes] defaults to 1024, the paper's "roughly 1 Kbyte"). *)
+
+val size_bytes : t -> int
+val checksum : t -> int
+val status_to_string : status -> string
+val total_faults : t -> int

@@ -1,0 +1,42 @@
+open Accent_sim
+
+let finish host proc =
+  proc.Proc.pcb.Pcb.status <- Pcb.Terminated;
+  proc.Proc.finished_at <- Some (Engine.now (Host.engine host));
+  (match proc.Proc.space with
+  | Some space ->
+      Pager.release_segments (Host.pager host)
+        ~space_id:(Accent_mem.Address_space.id space)
+  | None -> ());
+  match proc.Proc.on_complete with None -> () | Some f -> f proc
+
+let rec step host proc =
+  match proc.Proc.pcb.Pcb.status with
+  | Pcb.Running ->
+      if Proc.is_done proc then finish host proc
+      else begin
+        let s = Trace.step proc.Proc.trace proc.Proc.pcb.Pcb.pc in
+        (* compute runs on the host's execution CPU, so co-located
+           processes contend for it *)
+        Queue_server.submit (Host.exec_cpu host)
+          ~service_time:(Time.ms s.Trace.think_ms) (fun () ->
+               if proc.Proc.pcb.Pcb.status = Pcb.Running then begin
+                 proc.Proc.in_flight <- true;
+                 Pager.reference (Host.pager host) proc s.Trace.page
+                   ~k:(fun () ->
+                     if s.Trace.write then Proc.apply_write proc s.Trace.page;
+                     proc.Proc.in_flight <- false;
+                     proc.Proc.pcb.Pcb.pc <- proc.Proc.pcb.Pcb.pc + 1;
+                     step host proc)
+               end)
+      end
+  | Pcb.Ready | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> ()
+
+let start host proc =
+  proc.Proc.pcb.Pcb.status <- Pcb.Running;
+  proc.Proc.started_at <- Some (Engine.now (Host.engine host));
+  step host proc
+
+let interrupt proc =
+  if proc.Proc.pcb.Pcb.status = Pcb.Running then
+    proc.Proc.pcb.Pcb.status <- Pcb.Ready

@@ -1,0 +1,15 @@
+(** Drives a process's trace on a host.
+
+    Each step spends its think time on the virtual clock, then makes its
+    page reference through the Pager; faults block the process exactly as
+    long as their service takes.  When the trace is exhausted the process
+    terminates: its imaginary segments receive death notices and its
+    [on_complete] callback fires. *)
+
+val start : Host.t -> Proc.t -> unit
+(** Begin (or resume, after migration) execution at the host.  Sets
+    [started_at], runs to completion or until excised. *)
+
+val interrupt : Proc.t -> unit
+(** Freeze the process before its next step (used by ExciseProcess); the
+    in-flight step, if any, completes first. *)

@@ -1,0 +1,36 @@
+type step = { page : Accent_mem.Page.index; think_ms : float; write : bool }
+type t = step array
+
+let step_read ?(think_ms = 0.) page = { page; think_ms; write = false }
+let step_write ?(think_ms = 0.) page = { page; think_ms; write = true }
+let of_steps steps = Array.of_list steps
+let of_array = Fun.id
+let length = Array.length
+let step t i = t.(i)
+
+let total_think_ms t =
+  Array.fold_left (fun acc s -> acc +. s.think_ms) 0. t
+
+let pages t =
+  let seen = Hashtbl.create 256 in
+  let order = ref [] in
+  Array.iter
+    (fun s ->
+      if not (Hashtbl.mem seen s.page) then begin
+        Hashtbl.replace seen s.page ();
+        order := s.page :: !order
+      end)
+    t;
+  List.rev !order
+
+let distinct_pages t = List.length (pages t)
+let concat a b = Array.append a b
+let iter t ~f = Array.iter f t
+
+let write_count t =
+  Array.fold_left (fun acc s -> if s.write then acc + 1 else acc) 0 t
+
+let with_writes ~rng ~fraction t =
+  Array.map
+    (fun s -> { s with write = Accent_util.Rng.bernoulli rng fraction })
+    t

@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Accessibility Amap Bytes Hashtbl Interval_map List Option Page Paging_disk Phys_mem Printf Vaddr

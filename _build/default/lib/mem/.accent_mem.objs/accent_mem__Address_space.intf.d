@@ -1,0 +1,1 @@
+lib/mem/address_space.mli: Accessibility Amap Page Paging_disk Phys_mem Vaddr

@@ -1,0 +1,1 @@
+lib/mem/amap.ml: Accent_util Accessibility Format Interval_map List Vaddr

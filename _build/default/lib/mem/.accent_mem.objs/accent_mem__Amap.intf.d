@@ -1,0 +1,1 @@
+lib/mem/amap.mli: Accessibility Format

@@ -1,0 +1,1 @@
+lib/mem/cow.ml: Array Bytes Hashtbl Page

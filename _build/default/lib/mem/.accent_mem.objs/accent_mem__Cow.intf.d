@@ -1,0 +1,1 @@
+lib/mem/cow.mli: Page

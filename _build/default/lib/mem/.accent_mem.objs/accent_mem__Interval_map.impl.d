@@ -1,0 +1,1 @@
+lib/mem/interval_map.ml: Int List Map

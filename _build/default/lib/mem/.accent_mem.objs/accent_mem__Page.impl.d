@@ -1,0 +1,1 @@
+lib/mem/page.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/mem/paging_disk.ml: Hashtbl Page

@@ -1,0 +1,1 @@
+lib/mem/vaddr.mli: Format

@@ -1,0 +1,1 @@
+lib/mem/working_set.ml: Accent_sim Hashtbl List Page

@@ -1,0 +1,1 @@
+lib/mem/working_set.mli: Accent_sim Page

@@ -1,0 +1,260 @@
+type backing = Zero | Real | Imaginary of { segment_id : int; base : int }
+(* [base] is chosen so that the segment offset of an address [a] inside the
+   region is [base + a]: regions mapping consecutive segment offsets then
+   carry equal [base] values and coalesce in the interval map. *)
+
+type presence =
+  | Resident of Phys_mem.frame_id
+  | Paged_out of Paging_disk.block_id
+  | Zero_pending
+  | Imaginary_pending of { segment_id : int; offset : int }
+  | Invalid
+
+type location = In_mem of Phys_mem.frame_id | On_disk of Paging_disk.block_id
+
+type t = {
+  id : int;
+  name : string;
+  mem : Phys_mem.t;
+  disk : Paging_disk.t;
+  mutable regions : backing Interval_map.t;
+  pages : (Page.index, location) Hashtbl.t;
+  touched : (Page.index, unit) Hashtbl.t;
+  segments : (string, unit) Hashtbl.t;
+}
+
+let backing_equal a b =
+  match (a, b) with
+  | Zero, Zero | Real, Real -> true
+  | Imaginary { segment_id = s1; base = b1 },
+    Imaginary { segment_id = s2; base = b2 } ->
+      s1 = s2 && b1 = b2
+  | (Zero | Real | Imaginary _), _ -> false
+
+let create ~id ~name ~mem ~disk =
+  {
+    id;
+    name;
+    mem;
+    disk;
+    regions = Interval_map.empty ~equal:backing_equal ();
+    pages = Hashtbl.create 256;
+    touched = Hashtbl.create 256;
+    segments = Hashtbl.create 8;
+  }
+
+let id t = t.id
+let name t = t.name
+
+let require_aligned op (range : Vaddr.range) =
+  if not (Vaddr.page_aligned range) then
+    invalid_arg (Printf.sprintf "Address_space.%s: range not page-aligned" op)
+
+let require_unmapped t op (range : Vaddr.range) =
+  let occupied =
+    Interval_map.fold_range t.regions ~lo:range.lo ~hi:range.hi ~init:false
+      ~f:(fun _ _ _ _ -> true)
+  in
+  if occupied then
+    invalid_arg (Printf.sprintf "Address_space.%s: range already validated" op)
+
+let validate_zero t range =
+  require_aligned "validate_zero" range;
+  require_unmapped t "validate_zero" range;
+  t.regions <- Interval_map.set t.regions ~lo:range.lo ~hi:range.hi Zero
+
+let map_imaginary t range ~segment_id ~offset =
+  require_aligned "map_imaginary" range;
+  require_unmapped t "map_imaginary" range;
+  if offset mod Page.size <> 0 then
+    invalid_arg "Address_space.map_imaginary: unaligned segment offset";
+  t.regions <-
+    Interval_map.set t.regions ~lo:range.lo ~hi:range.hi
+      (Imaginary { segment_id; base = offset - range.lo })
+
+let page_range idx =
+  (Page.addr_of_index idx, Page.addr_of_index idx + Page.size)
+
+let drop_materialized t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | None -> ()
+  | Some (In_mem frame) ->
+      Phys_mem.free t.mem frame;
+      Hashtbl.remove t.pages idx
+  | Some (On_disk block) ->
+      Paging_disk.free t.disk block;
+      Hashtbl.remove t.pages idx
+
+let materialize t idx data ~resident =
+  drop_materialized t idx;
+  let location =
+    if resident then
+      In_mem
+        (Phys_mem.allocate t.mem ~owner:{ space_id = t.id; page = idx } data)
+    else On_disk (Paging_disk.alloc t.disk data)
+  in
+  Hashtbl.replace t.pages idx location;
+  let lo, hi = page_range idx in
+  t.regions <- Interval_map.set t.regions ~lo ~hi Real
+
+let install_page t ~addr data ~resident =
+  if addr mod Page.size <> 0 then
+    invalid_arg "Address_space.install_page: unaligned address";
+  if Bytes.length data <> Page.size then
+    invalid_arg "Address_space.install_page: data is not one page";
+  materialize t (Page.index_of_addr addr) data ~resident
+
+let install_bytes ?(segment = "<anon>") t ~addr data ~resident =
+  if addr mod Page.size <> 0 then
+    invalid_arg "Address_space.install_bytes: unaligned address";
+  Hashtbl.replace t.segments segment ();
+  let len = Bytes.length data in
+  let n_pages = (len + Page.size - 1) / Page.size in
+  for i = 0 to n_pages - 1 do
+    let page = Page.zero () in
+    let off = i * Page.size in
+    Bytes.blit data off page 0 (min Page.size (len - off));
+    materialize t (Page.index_of_addr addr + i) page ~resident
+  done
+
+let presence_of_page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some (In_mem frame) -> Resident frame
+  | Some (On_disk block) -> Paged_out block
+  | None -> (
+      let addr = Page.addr_of_index idx in
+      match Interval_map.find t.regions addr with
+      | Some Zero -> Zero_pending
+      | Some (Imaginary { segment_id; base }) ->
+          Imaginary_pending { segment_id; offset = base + addr }
+      | Some Real ->
+          (* Region says Real but no page entry: broken invariant. *)
+          assert false
+      | None -> Invalid)
+
+let presence t addr = presence_of_page t (Page.index_of_addr addr)
+
+let classify t addr : Accessibility.t =
+  match presence t addr with
+  | Resident _ | Paged_out _ -> Real_mem
+  | Zero_pending -> Real_zero_mem
+  | Imaginary_pending _ -> Imag_mem
+  | Invalid -> Bad_mem
+
+let build_amap t =
+  let ranges =
+    Interval_map.fold t.regions ~init:[] ~f:(fun acc lo hi backing ->
+        let cls : Accessibility.t =
+          match backing with
+          | Zero -> Real_zero_mem
+          | Real -> Real_mem
+          | Imaginary _ -> Imag_mem
+        in
+        (lo, hi, cls) :: acc)
+  in
+  Amap.of_ranges (List.rev ranges)
+
+let resolve_zero_fault t idx =
+  match presence_of_page t idx with
+  | Zero_pending -> materialize t idx (Page.zero ()) ~resident:true
+  | _ -> invalid_arg "Address_space.resolve_zero_fault: page not zero-pending"
+
+let resolve_disk_fault t idx =
+  match presence_of_page t idx with
+  | Paged_out block ->
+      let data = Paging_disk.read t.disk block in
+      Paging_disk.free t.disk block;
+      Hashtbl.remove t.pages idx;
+      materialize t idx data ~resident:true
+  | _ -> invalid_arg "Address_space.resolve_disk_fault: page not on disk"
+
+let resolve_imaginary_fault t idx data =
+  match presence_of_page t idx with
+  | Imaginary_pending _ -> materialize t idx data ~resident:true
+  | _ ->
+      invalid_arg "Address_space.resolve_imaginary_fault: page not imaginary"
+
+let note_reference t idx = Hashtbl.replace t.touched idx ()
+
+let touch t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some (In_mem frame) -> Phys_mem.touch t.mem frame
+  | Some (On_disk _) | None -> ()
+
+let page_data t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some (In_mem frame) -> Some (Page.copy (Phys_mem.read t.mem frame))
+  | Some (On_disk block) -> Some (Paging_disk.read t.disk block)
+  | None -> None
+
+let write_page t idx data =
+  match Hashtbl.find_opt t.pages idx with
+  | Some (In_mem frame) -> Phys_mem.write t.mem frame data
+  | Some (On_disk _) | None ->
+      invalid_arg "Address_space.write_page: page not resident"
+
+let evict_page t idx data ~dirty =
+  ignore dirty;
+  match Hashtbl.find_opt t.pages idx with
+  | Some (In_mem _) ->
+      (* The frame itself is reclaimed by Phys_mem; we just record where the
+         contents now live. *)
+      let block = Paging_disk.alloc t.disk data in
+      Hashtbl.replace t.pages idx (On_disk block)
+  | Some (On_disk _) | None ->
+      invalid_arg "Address_space.evict_page: page not resident"
+
+let resident_pages t = Phys_mem.frames_of_space t.mem t.id
+let resident_bytes t = List.length (resident_pages t) * Page.size
+let real_bytes t = Hashtbl.length t.pages * Page.size
+
+let zero_bytes t =
+  Interval_map.length_where t.regions ~f:(function
+    | Zero -> true
+    | Real | Imaginary _ -> false)
+
+let imag_bytes t =
+  Interval_map.length_where t.regions ~f:(function
+    | Imaginary _ -> true
+    | Real | Zero -> false)
+
+let total_bytes t = Interval_map.total_length t.regions
+
+let real_ranges t =
+  Interval_map.fold t.regions ~init:[] ~f:(fun acc lo hi backing ->
+      match backing with
+      | Real -> (lo, hi) :: acc
+      | Zero | Imaginary _ -> acc)
+  |> List.rev
+
+let backed_ranges t = Interval_map.ranges t.regions
+
+let imag_segments t =
+  let tbl = Hashtbl.create 8 in
+  Interval_map.iter_range t.regions ~lo:0 ~hi:Vaddr.space_limit
+    ~f:(fun lo hi backing ->
+      match backing with
+      | Imaginary { segment_id; base = _ } ->
+          let prev =
+            Option.value ~default:0 (Hashtbl.find_opt tbl segment_id)
+          in
+          Hashtbl.replace tbl segment_id (prev + hi - lo)
+      | Zero | Real -> ());
+  Hashtbl.fold (fun seg bytes acc -> (seg, bytes) :: acc) tbl []
+  |> List.sort compare
+
+let region_count t = Interval_map.cardinal t.regions
+let vm_segment_count t = Hashtbl.length t.segments
+let touched_pages t = Hashtbl.length t.touched
+let pages_materialized t = Hashtbl.length t.pages
+
+let destroy t =
+  let entries = Hashtbl.fold (fun idx loc acc -> (idx, loc) :: acc) t.pages [] in
+  List.iter
+    (fun (_, loc) ->
+      match loc with
+      | In_mem frame -> Phys_mem.free t.mem frame
+      | On_disk block -> Paging_disk.free t.disk block)
+    entries;
+  Hashtbl.reset t.pages;
+  t.regions <- Interval_map.empty ~equal:backing_equal ()

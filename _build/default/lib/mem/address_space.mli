@@ -1,0 +1,146 @@
+(** Sparse per-process virtual address spaces.
+
+    An address space is a set of validated regions over the 4 GB range,
+    each backed one of three ways — untouched zero-fill, real local data
+    (in a physical frame or on the paging disk), or an imaginary segment
+    reached through IPC — plus the per-page state of every materialised
+    page.  This is the object that migration exists to move.
+
+    The module provides mechanism only: page classification, fault
+    resolution steps, eviction.  Fault {e costs} and the decision of which
+    fault to take live in the kernel's Pager. *)
+
+type t
+
+type backing =
+  | Zero  (** validated, conceptually zero-filled, never touched *)
+  | Real  (** materialised local data *)
+  | Imaginary of { segment_id : int; base : int }
+      (** an IOU: data lives behind the segment's backing port; the segment
+          offset of address [a] in the region is [base + a] *)
+
+type presence =
+  | Resident of Phys_mem.frame_id
+  | Paged_out of Paging_disk.block_id
+  | Zero_pending  (** FillZero fault will materialise it *)
+  | Imaginary_pending of { segment_id : int; offset : int }
+      (** offset is the byte offset of the page within the segment *)
+  | Invalid
+
+val create :
+  id:int -> name:string -> mem:Phys_mem.t -> disk:Paging_disk.t -> t
+(** A fresh, empty (all-BadMem) space bound to one host's physical memory
+    and paging disk.  [id] must be unique per simulation; the host registers
+    the space with its eviction dispatcher. *)
+
+val id : t -> int
+val name : t -> string
+
+(** {2 Building the space} *)
+
+val validate_zero : t -> Vaddr.range -> unit
+(** Validate a page-aligned range as zero-filled memory.  Raises
+    [Invalid_argument] if it overlaps existing regions or is unaligned. *)
+
+val map_imaginary : t -> Vaddr.range -> segment_id:int -> offset:int -> unit
+(** Map a page-aligned range to an imaginary segment: the byte at range
+    offset [k] corresponds to segment offset [offset + k].  [offset] must be
+    page-aligned.  Excised address spaces are shipped {e collapsed} into a
+    contiguous segment (paper §3.1), so segment offsets generally differ
+    from virtual addresses. *)
+
+val install_page : t -> addr:int -> Page.data -> resident:bool -> unit
+(** Materialise one page of real data at the page-aligned [addr]; resident
+    pages take a physical frame (possibly evicting), others go straight to
+    the paging disk.  Overwrites any previous backing for that page. *)
+
+val install_bytes :
+  ?segment:string -> t -> addr:int -> bytes -> resident:bool -> unit
+(** Install a whole page-aligned run of data, page by page; a trailing
+    partial page is zero-padded.  [segment] labels the Accent VM segment
+    this data belongs to (program text, a mapped file...) purely for the
+    excision cost model; unlabelled installs count as one anonymous
+    segment. *)
+
+(** {2 Classification} *)
+
+val classify : t -> int -> Accessibility.t
+val presence : t -> int -> presence
+val presence_of_page : t -> Page.index -> presence
+
+val build_amap : t -> Amap.t
+(** Accessibility snapshot of the whole space (pure; the time cost of AMap
+    construction is the kernel's concern). *)
+
+(** {2 Fault resolution steps (called by the Pager)} *)
+
+val resolve_zero_fault : t -> Page.index -> unit
+(** Materialise a [Zero_pending] page as a zero-filled resident frame. *)
+
+val resolve_disk_fault : t -> Page.index -> unit
+(** Bring a [Paged_out] page into a frame; frees its disk block. *)
+
+val resolve_imaginary_fault : t -> Page.index -> Page.data -> unit
+(** Install data that arrived from the backing port, making the page
+    resident real memory (a subsequent page-out goes to the local disk, as
+    in the paper). *)
+
+val note_reference : t -> Page.index -> unit
+(** Record that the process referenced this page (utilisation stats). *)
+
+val touch : t -> Page.index -> unit
+(** Bump the LRU recency of a resident page; no-op otherwise. *)
+
+(** {2 Page access} *)
+
+val page_data : t -> Page.index -> Page.data option
+(** Copy of a materialised page's bytes, wherever it lives; [None] for
+    zero-pending (all zeros), imaginary or invalid pages. *)
+
+val write_page : t -> Page.index -> Page.data -> unit
+(** Store new contents into a resident page (marks the frame dirty).
+    Raises if the page is not resident. *)
+
+val evict_page : t -> Page.index -> Page.data -> dirty:bool -> unit
+(** Eviction callback: the named resident page lost its frame; record its
+    contents on the paging disk. *)
+
+(** {2 Inventory} *)
+
+val resident_pages : t -> (Page.index * Phys_mem.frame_id) list
+val resident_bytes : t -> int
+val real_bytes : t -> int
+(** Bytes of materialised (RealMem) data, resident or on disk. *)
+
+val zero_bytes : t -> int
+(** Bytes validated as zero-fill and still untouched (RealZeroMem). *)
+
+val imag_bytes : t -> int
+val total_bytes : t -> int
+(** All validated bytes: Real + RealZero + Imag. *)
+
+val real_ranges : t -> (int * int) list
+(** Half-open byte ranges currently backed by real data. *)
+
+val backed_ranges : t -> (int * int * backing) list
+(** Every validated range with its backing, in increasing address order —
+    the raw material of ExciseProcess's address-space collapse. *)
+
+val imag_segments : t -> (int * int) list
+(** [(segment_id, remaining_bytes)] for every imaginary segment that still
+    backs part of the space. *)
+
+val region_count : t -> int
+(** Number of distinct intervals in the region map — the fragmentation that
+    makes Accent AMap construction expensive. *)
+
+val vm_segment_count : t -> int
+(** Number of labelled VM segments (code, stack, mapped files...). *)
+
+val touched_pages : t -> int
+(** Distinct pages referenced via {!note_reference} since creation. *)
+
+val pages_materialized : t -> int
+
+val destroy : t -> unit
+(** Free all frames and disk blocks; the space becomes empty. *)

@@ -1,0 +1,41 @@
+(** Accessibility Maps (AMaps, paper §2.3).
+
+    An AMap is an immutable snapshot describing the accessibility of every
+    virtual address of a process: which ranges are allocated-but-untouched
+    zeros, which are real local data, which are imaginary (port-backed), and
+    which are invalid.  ExciseProcess ships one in the Core message so the
+    destination can rebuild the address space and the NetMsgServers can
+    decide which portions to transmit physically. *)
+
+type t
+
+val of_ranges : (int * int * Accessibility.t) list -> t
+(** Build from half-open ranges.  Ranges must not overlap; gaps are
+    implicitly {!Accessibility.Bad_mem}.  [Bad_mem] entries may also be
+    given explicitly; they are normalised away. *)
+
+val classify : t -> int -> Accessibility.t
+(** Accessibility of a single address ([Bad_mem] for gaps). *)
+
+val ranges : t -> (int * int * Accessibility.t) list
+(** Non-[Bad_mem] ranges in increasing address order. *)
+
+val ranges_of : t -> Accessibility.t -> (int * int) list
+(** Ranges of exactly the given class. *)
+
+val entry_count : t -> int
+(** Number of stored ranges — the size driver for AMap construction and
+    wire representation. *)
+
+val bytes_of : t -> Accessibility.t -> int
+(** Total bytes in the given class ([Bad_mem] counts explicit entries only,
+    not implicit gaps). *)
+
+val total_validated : t -> int
+(** Bytes that are not [Bad_mem]: the paper's "Total" column. *)
+
+val wire_size : t -> int
+(** Bytes this AMap occupies inside a Core message: a 16-byte header plus
+    12 bytes per entry. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let size = 512
+
+type index = int
+
+let index_of_addr addr = addr / size
+let addr_of_index idx = idx * size
+
+let span ~lo ~hi =
+  assert (lo < hi);
+  (index_of_addr lo, index_of_addr (hi - 1))
+
+let count_in ~lo ~hi =
+  if lo >= hi then 0
+  else
+    let first, last = span ~lo ~hi in
+    last - first + 1
+
+type data = bytes
+
+let zero () = Bytes.make size '\000'
+
+let is_zero data =
+  let rec loop i = i >= size || (Bytes.get data i = '\000' && loop (i + 1)) in
+  loop 0
+
+let pattern ~tag idx =
+  let data = Bytes.create size in
+  (* A cheap LCG keyed by (tag, idx); every byte depends on both so two
+     pages never coincide unless (tag, idx) do. *)
+  let state = ref ((tag * 0x1000193) lxor (idx * 0x9E3779B9) lor 1) in
+  for i = 0 to size - 1 do
+    state := ((!state * 0x9E3779B9) + 0x7F4A7C15) land max_int;
+    Bytes.set data i (Char.chr ((!state lsr 24) land 0xFF))
+  done;
+  data
+
+let checksum data =
+  let h = ref 0xCBF29CE484222 in
+  for i = 0 to Bytes.length data - 1 do
+    h := (!h lxor Char.code (Bytes.get data i)) * 0x100000001B3 land max_int
+  done;
+  !h
+
+let copy = Bytes.copy

@@ -1,0 +1,38 @@
+(** Pages: the 512-byte unit of all memory movement in Accent.
+
+    Page contents are real [bytes] so that the migration machinery can be
+    tested end-to-end: a page generated at the source must arrive at the
+    destination bit-identical, however lazily it travelled. *)
+
+val size : int
+(** 512, as in Accent. *)
+
+type index = int
+(** Page number: virtual address divided by {!size}. *)
+
+val index_of_addr : int -> index
+val addr_of_index : index -> int
+
+val span : lo:int -> hi:int -> index * index
+(** [span ~lo ~hi] is the inclusive range of page indices touched by the
+    half-open byte range [lo, hi).  Requires [lo < hi]. *)
+
+val count_in : lo:int -> hi:int -> int
+(** Number of pages overlapping the byte range. *)
+
+type data = bytes
+(** Always exactly {!size} bytes long. *)
+
+val zero : unit -> data
+(** A fresh zero-filled page. *)
+
+val is_zero : data -> bool
+
+val pattern : tag:int -> index -> data
+(** [pattern ~tag idx] deterministically fills a page from [(tag, idx)], so
+    every page of a synthetic process has distinct, checkable contents. *)
+
+val checksum : data -> int
+(** FNV-1a over the page contents (63-bit, non-cryptographic). *)
+
+val copy : data -> data

@@ -1,0 +1,42 @@
+type block_id = int
+
+type t = {
+  blocks : (block_id, Page.data) Hashtbl.t;
+  mutable next_id : int;
+  mutable free_list : block_id list;
+}
+
+let create () = { blocks = Hashtbl.create 1024; next_id = 0; free_list = [] }
+
+let alloc t data =
+  let id =
+    match t.free_list with
+    | id :: rest ->
+        t.free_list <- rest;
+        id
+    | [] ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        id
+  in
+  Hashtbl.replace t.blocks id (Page.copy data);
+  id
+
+let find t id =
+  match Hashtbl.find_opt t.blocks id with
+  | Some data -> data
+  | None -> invalid_arg "Paging_disk: unknown block"
+
+let read t id = Page.copy (find t id)
+
+let write t id data =
+  ignore (find t id);
+  Hashtbl.replace t.blocks id (Page.copy data)
+
+let free t id =
+  ignore (find t id);
+  Hashtbl.remove t.blocks id;
+  t.free_list <- id :: t.free_list
+
+let blocks_in_use t = Hashtbl.length t.blocks
+let bytes_in_use t = blocks_in_use t * Page.size

@@ -1,0 +1,24 @@
+(** The local paging disk of one host.
+
+    Stores page images evicted from physical memory and the backing blocks
+    of RealMem data.  Purely a content store — the 40.8 ms service time of a
+    disk fault is charged by the kernel's cost model, and queueing for the
+    disk arm is modelled with a {!Accent_sim.Queue_server} at the host
+    level. *)
+
+type t
+type block_id = int
+
+val create : unit -> t
+
+val alloc : t -> Page.data -> block_id
+(** Store a copy of the page and return its block. *)
+
+val read : t -> block_id -> Page.data
+(** A copy of the block's contents. *)
+
+val write : t -> block_id -> Page.data -> unit
+val free : t -> block_id -> unit
+
+val blocks_in_use : t -> int
+val bytes_in_use : t -> int

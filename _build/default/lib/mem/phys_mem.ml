@@ -1,0 +1,148 @@
+type frame_id = int
+type owner = { space_id : int; page : Page.index }
+
+type frame = {
+  mutable owner : owner;
+  mutable data : Page.data;
+  mutable dirty : bool;
+  mutable pinned : bool;
+  mutable last_use : int; (* LRU clock stamp *)
+}
+
+type t = {
+  capacity : int;
+  frames : (frame_id, frame) Hashtbl.t;
+  mutable free_list : frame_id list;
+  mutable next_id : int;
+  mutable clock : int;
+  mutable evict : (owner -> Page.data -> dirty:bool -> unit) option;
+  mutable evictions : int;
+  (* space_id -> page -> frame, for O(1) resident-set queries *)
+  by_space : (int, (Page.index, frame_id) Hashtbl.t) Hashtbl.t;
+}
+
+let create ~frames =
+  assert (frames > 0);
+  {
+    capacity = frames;
+    frames = Hashtbl.create (min frames 4096);
+    free_list = [];
+    next_id = 0;
+    clock = 0;
+    evict = None;
+    evictions = 0;
+    by_space = Hashtbl.create 16;
+  }
+
+let set_evict_handler t f = t.evict <- Some f
+let capacity t = t.capacity
+let in_use t = Hashtbl.length t.frames
+let free_frames t = t.capacity - in_use t
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let index_owner t owner id =
+  let tbl =
+    match Hashtbl.find_opt t.by_space owner.space_id with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 64 in
+        Hashtbl.replace t.by_space owner.space_id tbl;
+        tbl
+  in
+  Hashtbl.replace tbl owner.page id
+
+let unindex_owner t owner =
+  match Hashtbl.find_opt t.by_space owner.space_id with
+  | None -> ()
+  | Some tbl ->
+      Hashtbl.remove tbl owner.page;
+      if Hashtbl.length tbl = 0 then Hashtbl.remove t.by_space owner.space_id
+
+let find_frame t id =
+  match Hashtbl.find_opt t.frames id with
+  | Some f -> f
+  | None -> invalid_arg "Phys_mem: unknown frame"
+
+(* Choose the unpinned frame with the smallest LRU stamp. *)
+let choose_victim t =
+  Hashtbl.fold
+    (fun id f best ->
+      if f.pinned then best
+      else
+        match best with
+        | Some (_, best_f) when best_f.last_use <= f.last_use -> best
+        | _ -> Some (id, f))
+    t.frames None
+
+let evict_one t =
+  match choose_victim t with
+  | None -> failwith "Phys_mem: all frames pinned, cannot evict"
+  | Some (id, f) ->
+      (match t.evict with
+      | Some handler -> handler f.owner f.data ~dirty:f.dirty
+      | None -> failwith "Phys_mem: pool full and no evict handler set");
+      t.evictions <- t.evictions + 1;
+      unindex_owner t f.owner;
+      Hashtbl.remove t.frames id;
+      t.free_list <- id :: t.free_list
+
+let allocate t ~owner data =
+  if in_use t >= t.capacity then evict_one t;
+  let id =
+    match t.free_list with
+    | id :: rest ->
+        t.free_list <- rest;
+        id
+    | [] ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        id
+  in
+  Hashtbl.replace t.frames id
+    {
+      owner;
+      data = Page.copy data;
+      dirty = false;
+      pinned = false;
+      last_use = tick t;
+    };
+  index_owner t owner id;
+  id
+
+let free t id =
+  let f = find_frame t id in
+  unindex_owner t f.owner;
+  Hashtbl.remove t.frames id;
+  t.free_list <- id :: t.free_list
+
+let read t id =
+  let f = find_frame t id in
+  f.last_use <- tick t;
+  f.data
+
+let write t id data =
+  let f = find_frame t id in
+  f.data <- Page.copy data;
+  f.dirty <- true;
+  f.last_use <- tick t
+
+let touch t id =
+  let f = find_frame t id in
+  f.last_use <- tick t
+
+let pin t id = (find_frame t id).pinned <- true
+let unpin t id = (find_frame t id).pinned <- false
+let owner_of t id = (find_frame t id).owner
+let is_dirty t id = (find_frame t id).dirty
+
+let frames_of_space t space_id =
+  match Hashtbl.find_opt t.by_space space_id with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun page id acc -> (page, id) :: acc) tbl []
+      |> List.sort compare
+
+let evictions t = t.evictions

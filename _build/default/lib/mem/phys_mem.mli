@@ -1,0 +1,57 @@
+(** Physical memory of one host: a fixed pool of 512-byte frames with LRU
+    replacement.
+
+    Frames are owned by (address-space id, page index) pairs.  When an
+    allocation finds no free frame, the least-recently-used frame is evicted
+    through the registered handler, which is how the owning address space
+    learns that its page must move to the paging disk.  Accent used physical
+    memory as a disk cache — a behaviour the paper blames for resident-set
+    shipment bringing over dead file pages — and this module reproduces
+    that: nothing is evicted until the pool is full. *)
+
+type t
+type frame_id = int
+
+type owner = { space_id : int; page : Page.index }
+
+val create : frames:int -> t
+(** [frames] is the pool size (a 2 MB Perq-class machine has 4096). *)
+
+val set_evict_handler : t -> (owner -> Page.data -> dirty:bool -> unit) -> unit
+(** Called with the contents of each frame chosen for eviction, before the
+    frame is reused.  Must be set before the pool can overflow. *)
+
+val capacity : t -> int
+val in_use : t -> int
+val free_frames : t -> int
+
+val allocate : t -> owner:owner -> Page.data -> frame_id
+(** Take a frame (evicting if needed), fill it with a copy of the given
+    data, and return its id.  The frame starts clean. *)
+
+val free : t -> frame_id -> unit
+(** Release a frame without eviction processing (page discarded). *)
+
+val read : t -> frame_id -> Page.data
+(** The frame's contents (not a copy); bumps LRU recency. *)
+
+val write : t -> frame_id -> Page.data -> unit
+(** Overwrite contents, mark dirty, bump recency. *)
+
+val touch : t -> frame_id -> unit
+(** Bump recency only. *)
+
+val pin : t -> frame_id -> unit
+(** Exclude from eviction (kernel pages). *)
+
+val unpin : t -> frame_id -> unit
+
+val owner_of : t -> frame_id -> owner
+val is_dirty : t -> frame_id -> bool
+
+val frames_of_space : t -> int -> (Page.index * frame_id) list
+(** All frames currently owned by the given address-space id: its resident
+    set. *)
+
+val evictions : t -> int
+(** Total evictions performed (for tests and reports). *)

@@ -1,0 +1,35 @@
+type t = {
+  window : Accent_sim.Time.t;
+  last_ref : (Page.index, Accent_sim.Time.t) Hashtbl.t;
+  mutable refs : int;
+}
+
+let create ~window = { window; last_ref = Hashtbl.create 256; refs = 0 }
+let window t = t.window
+
+let reference t ~time idx =
+  t.refs <- t.refs + 1;
+  Hashtbl.replace t.last_ref idx time
+
+let in_window t ~time last = last >= time -. t.window && last <= time
+
+let size_at t ~time =
+  Hashtbl.fold
+    (fun _ last acc -> if in_window t ~time last then acc + 1 else acc)
+    t.last_ref 0
+
+let pages_at t ~time =
+  Hashtbl.fold
+    (fun idx last acc -> if in_window t ~time last then idx :: acc else acc)
+    t.last_ref []
+  |> List.sort compare
+
+let pages_within t ~time ~window =
+  Hashtbl.fold
+    (fun idx last acc ->
+      if last >= time -. window && last <= time then idx :: acc else acc)
+    t.last_ref []
+  |> List.sort compare
+
+let references t = t.refs
+let distinct_pages t = Hashtbl.length t.last_ref

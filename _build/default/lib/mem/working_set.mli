@@ -1,0 +1,33 @@
+(** Denning working-set estimation (CACM 1968), the model the paper cites
+    when treating resident sets as working-set approximations (§4.2.2).
+
+    Feeds on the reference stream of a process and answers "which pages were
+    touched in the last τ time units".  Used by the resident-set analysis
+    and by the ablation that asks how quickly working sets drift. *)
+
+type t
+
+val create : window:Accent_sim.Time.t -> t
+(** [window] is τ. *)
+
+val window : t -> Accent_sim.Time.t
+
+val reference : t -> time:Accent_sim.Time.t -> Page.index -> unit
+(** Record a reference.  Times must be non-decreasing. *)
+
+val size_at : t -> time:Accent_sim.Time.t -> int
+(** Number of distinct pages referenced in [time - window, time]. *)
+
+val pages_at : t -> time:Accent_sim.Time.t -> Page.index list
+(** The working set itself, sorted. *)
+
+val pages_within :
+  t -> time:Accent_sim.Time.t -> window:Accent_sim.Time.t -> Page.index list
+(** Like {!pages_at} but with an explicit τ instead of the estimator's
+    own. *)
+
+val references : t -> int
+(** Total references recorded. *)
+
+val distinct_pages : t -> int
+(** Distinct pages ever referenced. *)

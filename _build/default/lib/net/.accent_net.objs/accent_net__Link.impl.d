@@ -1,0 +1,1 @@
+lib/net/link.ml: Accent_sim Engine Queue_server Time Transfer_monitor

@@ -1,0 +1,1 @@
+lib/net/link.mli: Accent_ipc Accent_sim Transfer_monitor

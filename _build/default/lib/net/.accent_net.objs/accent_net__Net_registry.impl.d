@@ -1,0 +1,1 @@
+lib/net/net_registry.ml: Accent_ipc Hashtbl List Message Port

@@ -1,0 +1,1 @@
+lib/net/net_registry.mli: Accent_ipc

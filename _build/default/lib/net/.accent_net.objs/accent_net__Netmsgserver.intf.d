@@ -1,0 +1,1 @@
+lib/net/netmsgserver.mli: Accent_ipc Accent_sim Link Net_registry Transfer_monitor

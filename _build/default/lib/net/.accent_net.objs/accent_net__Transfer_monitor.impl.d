@@ -1,0 +1,1 @@
+lib/net/transfer_monitor.ml: Accent_ipc Accent_util List Message

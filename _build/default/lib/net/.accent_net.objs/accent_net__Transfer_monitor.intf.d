@@ -1,0 +1,1 @@
+lib/net/transfer_monitor.mli: Accent_ipc Accent_sim Accent_util

@@ -1,0 +1,67 @@
+open Accent_sim
+
+type params = {
+  bytes_per_ms : float;
+  latency_ms : float;
+  fragment_bytes : int;
+  fragment_overhead_bytes : int;
+}
+
+let default_params =
+  {
+    bytes_per_ms = 1250.; (* 10 Mbit/s *)
+    latency_ms = 2.;
+    fragment_bytes = 1536;
+    fragment_overhead_bytes = 32;
+  }
+
+type t = {
+  engine : Engine.t;
+  params : params;
+  monitor : Transfer_monitor.t;
+  medium : Queue_server.t;
+  mutable bytes : int;
+  mutable fragments : int;
+}
+
+let create engine ~params ~monitor =
+  {
+    engine;
+    params;
+    monitor;
+    medium = Queue_server.create engine ~name:"link";
+    bytes = 0;
+    fragments = 0;
+  }
+
+let params_of t = t.params
+
+let fragments_for params bytes =
+  max 1 ((bytes + params.fragment_bytes - 1) / params.fragment_bytes)
+
+let wire_bytes_for params bytes =
+  bytes + (fragments_for params bytes * params.fragment_overhead_bytes)
+
+let transmit t ~bytes ~category k =
+  let n = fragments_for t.params bytes in
+  let remaining = ref bytes and sent = ref 0 in
+  for _ = 1 to n do
+    let payload = min t.params.fragment_bytes !remaining in
+    remaining := !remaining - payload;
+    let wire = payload + t.params.fragment_overhead_bytes in
+    let service = Time.ms (float_of_int wire /. t.params.bytes_per_ms) in
+    Queue_server.submit t.medium ~service_time:service (fun () ->
+        t.bytes <- t.bytes + wire;
+        t.fragments <- t.fragments + 1;
+        Transfer_monitor.record t.monitor ~time:(Engine.now t.engine)
+          ~category ~bytes:wire;
+        incr sent;
+        if !sent = n then
+          (* Propagation delay applies once the last fragment leaves. *)
+          ignore
+            (Engine.schedule t.engine ~delay:(Time.ms t.params.latency_ms) k))
+  done
+
+let bytes_sent t = t.bytes
+let fragments_sent t = t.fragments
+let busy_time t = Queue_server.busy_time t.medium

@@ -1,0 +1,47 @@
+(** The shared network medium.
+
+    One link connects all hosts of the testbed (a 10 Mbit Ethernet in the
+    paper).  Transmissions are fragmented into packets; the medium is a
+    single FIFO resource, so concurrent transfers queue and bulk traffic
+    delays fault traffic — the contention that makes pure-copy's burst
+    behaviour visible in Figure 4-5. *)
+
+type params = {
+  bytes_per_ms : float;  (** raw medium bandwidth *)
+  latency_ms : float;  (** per-packet propagation + media access *)
+  fragment_bytes : int;  (** maximum payload per packet *)
+  fragment_overhead_bytes : int;  (** per-packet header on the wire *)
+}
+
+val default_params : params
+(** 10 Mbit/s, 2 ms latency, 1536-byte fragments with 32 bytes of header. *)
+
+type t
+
+val create :
+  Accent_sim.Engine.t -> params:params -> monitor:Transfer_monitor.t -> t
+
+val transmit :
+  t ->
+  bytes:int ->
+  category:Accent_ipc.Message.category ->
+  (unit -> unit) ->
+  unit
+(** Ship [bytes] across the medium as a train of fragments, invoking the
+    continuation when the last fragment (plus latency) has arrived.  Each
+    fragment's bytes are recorded with the monitor as it completes, so the
+    monitor's series reflect actual wire occupancy over time. *)
+
+val params_of : t -> params
+(** The link's parameters (NetMsgServers size their fragment pipeline to
+    the medium's packet size). *)
+
+val fragments_for : params -> int -> int
+(** How many packets a transmission of the given size needs. *)
+
+val wire_bytes_for : params -> int -> int
+(** Bytes on the wire including per-fragment headers. *)
+
+val bytes_sent : t -> int
+val fragments_sent : t -> int
+val busy_time : t -> Accent_sim.Time.t

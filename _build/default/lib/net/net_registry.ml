@@ -1,0 +1,28 @@
+open Accent_ipc
+
+type fragment = {
+  msg : Message.t;
+  index : int;
+  count : int;
+  wire_bytes : int;
+  ack : unit -> unit;
+}
+
+type t = {
+  homes : int Port.Table.t;
+  inbound : (int, fragment -> unit) Hashtbl.t;
+}
+
+let create () = { homes = Port.Table.create 128; inbound = Hashtbl.create 8 }
+
+let register_host t ~host_id ~deliver = Hashtbl.replace t.inbound host_id deliver
+let set_port_home t port ~host_id = Port.Table.replace t.homes port host_id
+let port_home t port = Port.Table.find_opt t.homes port
+let forget_port t port = Port.Table.remove t.homes port
+
+let deliver_to t ~host_id msg =
+  match Hashtbl.find_opt t.inbound host_id with
+  | Some deliver -> deliver msg
+  | None -> invalid_arg "Net_registry.deliver_to: unknown host"
+
+let hosts t = Hashtbl.fold (fun id _ acc -> id :: acc) t.inbound [] |> List.sort compare

@@ -1,0 +1,39 @@
+(** The NetMsgServers' shared notion of where ports live.
+
+    Accent NetMsgServers kept (and gossiped) tables mapping ports to hosts;
+    we model that state as a registry shared by all NMS instances in one
+    simulated world.  Receive rights moving — as happens for every port of
+    a migrated process — update the home entry, which is what gives Accent
+    its location transparency: senders keep using the same port id. *)
+
+type fragment = {
+  msg : Accent_ipc.Message.t;
+  index : int;  (** 0-based fragment number *)
+  count : int;  (** total fragments of this message *)
+  wire_bytes : int;  (** this fragment's share of the wire size *)
+  ack : unit -> unit;
+      (** flow control: the receiver calls this once the fragment is
+          processed, releasing the sender's next fragment (the protocol is
+          stop-and-wait, as 1987 NetMsgServers were) *)
+}
+(** Messages travel as trains of fragments; the receiving NetMsgServer
+    reassembles (fragments of one message arrive in order — the medium is
+    FIFO). *)
+
+type t
+
+val create : unit -> t
+
+val register_host :
+  t -> host_id:int -> deliver:(fragment -> unit) -> unit
+(** Attach a host's NetMsgServer inbound-delivery entry point. *)
+
+val set_port_home : t -> Accent_ipc.Port.id -> host_id:int -> unit
+val port_home : t -> Accent_ipc.Port.id -> int option
+val forget_port : t -> Accent_ipc.Port.id -> unit
+
+val deliver_to : t -> host_id:int -> fragment -> unit
+(** Hand a fragment that arrived off the wire to a host's NetMsgServer.
+    Raises [Invalid_argument] for unknown hosts. *)
+
+val hosts : t -> int list

@@ -1,0 +1,277 @@
+open Accent_sim
+open Accent_ipc
+
+type params = {
+  base_ms : float;
+  per_byte_ms : float;
+  per_chunk_ms : float;
+  iou_cache_setup_ms : float;
+  cache_per_page_ms : float;
+  stand_in_per_chunk_ms : float;
+  backing_lookup_ms : float;
+  iou_caching : bool;
+  flow_window : int;
+}
+
+(* Calibrated (see Accent_kernel.Cost_model and test/test_calibration.ml)
+   so that one remote imaginary page fetch costs ~115 ms end-to-end (of
+   which ~60 ms is NMS CPU and the rest kernel, link and backing-process
+   wakeup latency) and bulk shipment sustains the ~14 KB/s the paper's
+   pure-copy times imply (Table 4-5 Copy ÷ Table 4-1 Real). *)
+let default_params =
+  {
+    base_ms = 2.0;
+    per_byte_ms = 0.032;
+    per_chunk_ms = 0.8;
+    iou_cache_setup_ms = 100.;
+    cache_per_page_ms = 0.006;
+    stand_in_per_chunk_ms = 3.;
+    backing_lookup_ms = 38.;
+    iou_caching = true;
+    flow_window = 1;
+  }
+
+type t = {
+  engine : Engine.t;
+  ids : Ids.t;
+  host_id : int;
+  kernel : Kernel_ipc.t;
+  link : Link.t;
+  registry : Net_registry.t;
+  monitor : Transfer_monitor.t;
+  params : params;
+  cpu : Queue_server.t;
+  cache : Segment_store.t;
+  backing_ports : (int, Port.id) Hashtbl.t; (* segment -> port *)
+  mutable handled : int;
+  mutable cached_bytes : int;
+  mutable faults_served : int;
+  mutable pages_served : int;
+}
+
+let host_id t = t.host_id
+
+let chunk_count msg =
+  match msg.Message.memory with
+  | None -> 0
+  | Some m -> Memory_object.chunk_count m
+
+(* Serve an imaginary read request aimed at one of our cached segments.
+   The lookup delay models waking the backing process and walking its maps
+   — latency, not message-handling CPU, so it is charged on the clock
+   rather than the CPU server (it does not appear in Figure 4-4). *)
+let serve_fault t msg segment_id offset pages =
+  match msg.Message.reply_to with
+  | None ->
+      Logs.warn (fun m -> m "NMS%d: read request without reply port" t.host_id)
+  | Some reply_port ->
+      ignore
+        (Engine.schedule t.engine ~delay:(Time.ms t.params.backing_lookup_ms)
+           (fun () ->
+             let page_data =
+               Segment_store.read_run t.cache ~segment_id ~offset ~pages
+             in
+             t.faults_served <- t.faults_served + 1;
+             t.pages_served <- t.pages_served + List.length page_data;
+             let reply =
+               Protocol.read_reply ~ids:t.ids ~dest:reply_port ~segment_id
+                 ~offset ~page_data
+             in
+             Kernel_ipc.send t.kernel reply))
+
+let drop_segment t segment_id =
+  Segment_store.drop_segment t.cache ~segment_id;
+  match Hashtbl.find_opt t.backing_ports segment_id with
+  | None -> ()
+  | Some port ->
+      Hashtbl.remove t.backing_ports segment_id;
+      Kernel_ipc.unbind t.kernel port;
+      Net_registry.forget_port t.registry port
+
+let backing_handler t msg =
+  match msg.Message.payload with
+  | Protocol.Imaginary_read_request { segment_id; offset; pages } ->
+      serve_fault t msg segment_id offset pages
+  | Protocol.Imaginary_segment_death { segment_id } ->
+      drop_segment t segment_id
+  | _ ->
+      Logs.warn (fun m ->
+          m "NMS%d: unexpected message on backing port" t.host_id)
+
+(* §2.4: retain the Data chunks of an outbound memory object, become their
+   backer, and substitute IOUs.  One fresh segment covers the whole
+   message's data; chunk offsets within the object address the segment. *)
+let substitute_ious t msg =
+  match msg.Message.memory with
+  | Some memory
+    when t.params.iou_caching && (not msg.Message.no_ious)
+         && Memory_object.data_bytes memory > 0 ->
+      let segment_id = Ids.next t.ids in
+      let backing_port = Port.fresh t.ids in
+      Hashtbl.replace t.backing_ports segment_id backing_port;
+      Kernel_ipc.bind t.kernel backing_port (backing_handler t);
+      Net_registry.set_port_home t.registry backing_port ~host_id:t.host_id;
+      let memory =
+        Memory_object.map_chunks memory ~f:(fun chunk ->
+            match chunk.Memory_object.content with
+            | Memory_object.Iou _ -> chunk
+            | Memory_object.Data bytes ->
+                t.cached_bytes <- t.cached_bytes + Bytes.length bytes;
+                Segment_store.put_bytes t.cache ~segment_id
+                  ~offset:chunk.Memory_object.range.Accent_mem.Vaddr.lo bytes;
+                {
+                  chunk with
+                  Memory_object.content =
+                    Memory_object.Iou
+                      {
+                        segment_id;
+                        backing_port;
+                        offset = chunk.Memory_object.range.Accent_mem.Vaddr.lo;
+                      };
+                })
+      in
+      (Message.with_memory msg (Some memory), true)
+  | _ -> (msg, false)
+
+let iou_chunks msg =
+  match msg.Message.memory with
+  | None -> 0
+  | Some m ->
+      List.length
+        (List.filter
+           (fun c ->
+             match c.Memory_object.content with
+             | Memory_object.Iou _ -> true
+             | Memory_object.Data _ -> false)
+           m)
+
+(* Inbound: one fragment arrived off the wire.  Reassembly cost is charged
+   per fragment; the per-message costs (stand-in creation for IOU chunks,
+   chunk table processing) are charged with the last fragment, after which
+   the whole message enters the local kernel. *)
+let receive t (frag : Net_registry.fragment) =
+  let msg = frag.Net_registry.msg in
+  let last = frag.Net_registry.index = frag.Net_registry.count - 1 in
+  if last then t.handled <- t.handled + 1;
+  let cost =
+    t.params.base_ms
+    +. (t.params.per_byte_ms *. float_of_int frag.Net_registry.wire_bytes)
+    +.
+    if last then
+      (t.params.per_chunk_ms *. float_of_int (chunk_count msg))
+      +. (t.params.stand_in_per_chunk_ms *. float_of_int (iou_chunks msg))
+    else 0.
+  in
+  Queue_server.submit t.cpu ~service_time:(Time.ms cost) (fun () ->
+      if last then Kernel_ipc.send t.kernel msg;
+      frag.Net_registry.ack ())
+
+(* Outbound: the kernel had no local receiver; route over the network.
+   The message is cut into link-packet-sized fragments and each is pushed
+   through this NMS's CPU, the medium, and the peer NMS's CPU in turn, so
+   large transfers occupy the wire for their true duration instead of
+   appearing as an instantaneous burst after one big CPU charge. *)
+let forward t msg =
+  match Net_registry.port_home t.registry msg.Message.dest with
+  | None ->
+      Logs.warn (fun m ->
+          m "NMS%d: no home for %a; dropping" t.host_id Port.pp
+            msg.Message.dest)
+  | Some dest_host when dest_host = t.host_id ->
+      Logs.warn (fun m ->
+          m "NMS%d: %a homed here but unbound; dropping" t.host_id Port.pp
+            msg.Message.dest)
+  | Some dest_host ->
+      t.handled <- t.handled + 1;
+      let bytes_before = t.cached_bytes in
+      let msg, cached = substitute_ious t msg in
+      let setup =
+        if cached then
+          t.params.iou_cache_setup_ms
+          +. t.params.cache_per_page_ms
+             *. float_of_int
+                  ((t.cached_bytes - bytes_before) / Accent_mem.Page.size)
+        else 0.
+      in
+      Transfer_monitor.note_message t.monitor ~category:msg.Message.category;
+      let wire = Message.wire_size msg in
+      let link_params = Link.params_of t.link in
+      let payload = link_params.Link.fragment_bytes in
+      let count = max 1 ((wire + payload - 1) / payload) in
+      let window = max 1 t.params.flow_window in
+      (* sliding window: up to [window] fragments may be unacknowledged.
+         window = 1 is classic stop-and-wait. *)
+      let next = ref 0 in
+      let rec send_fragment () =
+        if !next < count then begin
+          let index = !next in
+          next := index + 1;
+          let wire_bytes = min payload (wire - (index * payload)) in
+          let cost =
+            t.params.base_ms
+            +. (t.params.per_byte_ms *. float_of_int wire_bytes)
+            +.
+            if index = 0 then
+              setup +. (t.params.per_chunk_ms *. float_of_int (chunk_count msg))
+            else 0.
+          in
+          Queue_server.submit t.cpu ~service_time:(Time.ms cost) (fun () ->
+              Link.transmit t.link ~bytes:wire_bytes
+                ~category:msg.Message.category (fun () ->
+                  let ack () =
+                    (* the acknowledgement rides back after one link latency,
+                       releasing the next window slot *)
+                    ignore
+                      (Engine.schedule t.engine
+                         ~delay:(Time.ms link_params.Link.latency_ms)
+                         send_fragment)
+                  in
+                  Net_registry.deliver_to t.registry ~host_id:dest_host
+                    { Net_registry.msg; index; count; wire_bytes; ack }))
+        end
+      in
+      for _ = 1 to window do
+        send_fragment ()
+      done
+
+let create engine ~ids ~host_id ~kernel ~link ~registry ~monitor ~params =
+  let t =
+    {
+      engine;
+      ids;
+      host_id;
+      kernel;
+      link;
+      registry;
+      monitor;
+      params;
+      cpu = Queue_server.create engine ~name:(Printf.sprintf "nms%d" host_id);
+      cache = Segment_store.create ();
+      backing_ports = Hashtbl.create 16;
+      handled = 0;
+      cached_bytes = 0;
+      faults_served = 0;
+      pages_served = 0;
+    }
+  in
+  Kernel_ipc.set_forwarder kernel (forward t);
+  Net_registry.register_host registry ~host_id ~deliver:(receive t);
+  t
+
+let busy_time t = Queue_server.busy_time t.cpu
+let messages_handled t = t.handled
+let bytes_cached t = t.cached_bytes
+let segments_backed t = Hashtbl.length t.backing_ports
+let faults_served t = t.faults_served
+let pages_served t = t.pages_served
+
+let reset_accounting t =
+  Queue_server.reset_accounting t.cpu;
+  t.handled <- 0;
+  t.cached_bytes <- 0;
+  t.faults_served <- 0;
+  t.pages_served <- 0
+
+let fail_backing t =
+  let segments = Hashtbl.fold (fun s _ acc -> s :: acc) t.backing_ports [] in
+  List.iter (drop_segment t) segments

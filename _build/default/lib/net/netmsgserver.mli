@@ -1,0 +1,84 @@
+(** The NetMsgServer: Accent's user-level network IPC extension (§2.4).
+
+    One runs on every host.  It receives messages the local kernel cannot
+    deliver (no local Receive rights), looks the destination port up in the
+    shared registry, fragments the message onto the link, and on the far
+    side charges reassembly and hands the message to that kernel.
+
+    Its distinguishing feature for this paper: {b IOU caching}.  On its own
+    initiative — unless the sender set the NoIOUs bit — it may retain the
+    physically-present portions of an outbound memory object, create an
+    imaginary segment over them backed by a port it serves, and transmit
+    only IOUs.  A MigrationManager that "doesn't attempt sophisticated
+    address space management" gets lazy copy-on-reference shipment simply
+    by leaving NoIOUs clear (§3.2).  The NMS then fields Imaginary Read
+    Requests for the cached data until the segment's death notice
+    arrives. *)
+
+type params = {
+  base_ms : float;  (** handling cost per message, each side *)
+  per_byte_ms : float;  (** protocol cost per wire byte, each side *)
+  per_chunk_ms : float;  (** fragmentation/reassembly cost per memory chunk *)
+  iou_cache_setup_ms : float;
+      (** send side, once per message cached: creating the segment and its
+          backing port *)
+  cache_per_page_ms : float;
+      (** send side, per page retained: the cache is built by memory
+          mapping, so this is small *)
+  stand_in_per_chunk_ms : float;
+      (** receive side, per IOU chunk: creating the local stand-in
+          imaginary object *)
+  backing_lookup_ms : float;  (** servicing one read request from the cache *)
+  iou_caching : bool;  (** master switch for §2.4 caching behaviour *)
+  flow_window : int;
+      (** fragments a sender may have unacknowledged at once.  1 =
+          stop-and-wait, the 1987 behaviour; larger windows pipeline the
+          two NMS CPUs and the wire (a what-if ablation — Theimer reported
+          exactly the buffering overruns this risks) *)
+}
+
+val default_params : params
+
+type t
+
+val create :
+  Accent_sim.Engine.t ->
+  ids:Accent_sim.Ids.t ->
+  host_id:int ->
+  kernel:Accent_ipc.Kernel_ipc.t ->
+  link:Link.t ->
+  registry:Net_registry.t ->
+  monitor:Transfer_monitor.t ->
+  params:params ->
+  t
+(** Wires itself up: becomes the kernel's forwarder and registers its
+    inbound entry point with the registry. *)
+
+val host_id : t -> int
+
+(** {2 Accounting (drives Figure 4-4)} *)
+
+val busy_time : t -> Accent_sim.Time.t
+(** CPU time this NMS has spent handling messages. *)
+
+val messages_handled : t -> int
+val bytes_cached : t -> int
+(** Data retained by IOU caching so far. *)
+
+val segments_backed : t -> int
+(** Cached segments currently alive. *)
+
+val faults_served : t -> int
+(** Imaginary read requests answered from the cache. *)
+
+val pages_served : t -> int
+(** Pages returned by those replies (> faults when prefetching). *)
+
+val reset_accounting : t -> unit
+
+val fail_backing : t -> unit
+(** Failure injection: the server loses its cached segments and unbinds
+    their ports, as if the machine (or the NetMsgServer process) crashed
+    and restarted without its cache.  Outstanding and future read requests
+    for those segments go unanswered — the residual-dependency hazard of
+    copy-on-reference migration made testable. *)

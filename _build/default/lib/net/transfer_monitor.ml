@@ -1,0 +1,44 @@
+open Accent_ipc
+
+type slot = {
+  mutable bytes : int;
+  mutable messages : int;
+  mutable series : Accent_util.Series.t;
+}
+
+type t = { control : slot; bulk : slot; fault : slot }
+
+let fresh_slot () =
+  { bytes = 0; messages = 0; series = Accent_util.Series.create () }
+
+let create () =
+  { control = fresh_slot (); bulk = fresh_slot (); fault = fresh_slot () }
+
+let slot t (category : Message.category) =
+  match category with
+  | Control -> t.control
+  | Bulk -> t.bulk
+  | Fault -> t.fault
+
+let record t ~time ~category ~bytes =
+  let s = slot t category in
+  s.bytes <- s.bytes + bytes;
+  Accent_util.Series.add s.series ~time ~value:(float_of_int bytes)
+
+let note_message t ~category =
+  let s = slot t category in
+  s.messages <- s.messages + 1
+
+let bytes_of t category = (slot t category).bytes
+let bytes_total t = t.control.bytes + t.bulk.bytes + t.fault.bytes
+let messages_of t category = (slot t category).messages
+let messages_total t = t.control.messages + t.bulk.messages + t.fault.messages
+let series_of t category = (slot t category).series
+
+let reset t =
+  List.iter
+    (fun s ->
+      s.bytes <- 0;
+      s.messages <- 0;
+      s.series <- Accent_util.Series.create ())
+    [ t.control; t.bulk; t.fault ]

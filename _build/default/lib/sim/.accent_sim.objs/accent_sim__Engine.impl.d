@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Accent_util Event_queue Float Time

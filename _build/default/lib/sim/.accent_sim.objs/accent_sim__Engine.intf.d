@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Accent_util Event_queue Time

@@ -1,0 +1,1 @@
+lib/sim/event_queue.mli: Time

@@ -1,0 +1,1 @@
+lib/sim/queue_server.ml: Accent_util Engine Queue Time

@@ -1,0 +1,1 @@
+lib/sim/queue_server.mli: Accent_util Engine Time

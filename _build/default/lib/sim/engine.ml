@@ -1,0 +1,62 @@
+type t = {
+  mutable clock : Time.t;
+  queue : (unit -> unit) Event_queue.t;
+  root_rng : Accent_util.Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 1L) () =
+  {
+    clock = Time.zero;
+    queue = Event_queue.create ();
+    root_rng = Accent_util.Rng.create seed;
+    executed = 0;
+  }
+
+let now t = t.clock
+let rng t label = Accent_util.Rng.of_label t.root_rng label
+
+let schedule t ~delay f =
+  let delay = Float.max 0. delay in
+  Event_queue.push t.queue ~time:(Time.add t.clock delay) f
+
+let schedule_at t ~time f =
+  let time = Float.max t.clock time in
+  Event_queue.push t.queue ~time f
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f ();
+      true
+
+let run ?limit t =
+  let continue () =
+    match limit with
+    | None -> true
+    | Some l -> (
+        match Event_queue.peek_time t.queue with
+        | None -> false
+        | Some next -> next <= l)
+  in
+  while (not (Event_queue.is_empty t.queue)) && continue () do
+    ignore (step t)
+  done;
+  (match limit with
+  | Some l when t.clock < l && not (Event_queue.is_empty t.queue) ->
+      t.clock <- l
+  | _ -> ());
+  t.clock
+
+let run_until t time =
+  let final = run ~limit:time t in
+  if final < time then t.clock <- time;
+  t.clock
+
+let pending t = Event_queue.size t.queue
+let events_executed t = t.executed

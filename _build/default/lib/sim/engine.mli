@@ -1,0 +1,46 @@
+(** The discrete-event simulation engine.
+
+    A single engine instance drives one experiment: components schedule
+    closures at future virtual times, and [run] executes them in time order
+    while advancing the clock.  Everything in the testbed (network links,
+    fault handling, process execution, servers) is expressed as chains of
+    scheduled events. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with the clock at zero.  [seed] (default 1) roots the
+    engine's random-stream tree; see {!rng}. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> string -> Accent_util.Rng.t
+(** [rng t label] is the deterministic random stream for the component named
+    [label].  The same label always yields the same stream for a given
+    engine seed. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> Event_queue.handle
+(** [schedule t ~delay f] runs [f] at [now t + delay].  Negative delays are
+    clamped to zero. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> Event_queue.handle
+(** Absolute-time variant; times in the past are clamped to [now]. *)
+
+val cancel : t -> Event_queue.handle -> unit
+
+val run : ?limit:Time.t -> t -> Time.t
+(** Execute events until the queue drains or the clock passes [limit]
+    (default: no limit).  Returns the final clock value.  Raises
+    [Stalled] via {!val-pending} inspection is not needed — a drained queue
+    is the normal termination. *)
+
+val run_until : t -> Time.t -> Time.t
+(** [run_until t time] executes events up to and including [time], then
+    advances the clock to exactly [time] (even if idle) and returns it. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)
+
+val events_executed : t -> int
+(** Total events fired so far (for tests and sanity limits). *)

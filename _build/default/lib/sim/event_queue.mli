@@ -1,0 +1,28 @@
+(** Pending-event set for the discrete-event engine.
+
+    A binary min-heap ordered by (time, insertion sequence): events at equal
+    times fire in scheduling order, which keeps runs deterministic. *)
+
+type 'a t
+
+type handle
+(** Names a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Live (non-cancelled) events currently queued. *)
+
+val push : 'a t -> time:Time.t -> 'a -> handle
+(** Schedule a payload at [time] and return its cancellation handle. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancel the event; a no-op if it already fired or was cancelled.
+    Cancelled events are dropped lazily on pop. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event, or [None] when empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest live event without removing it. *)

@@ -1,0 +1,10 @@
+type t = { mutable next : int }
+
+let create ?(start = 1) () = { next = start }
+
+let next t =
+  let id = t.next in
+  t.next <- id + 1;
+  id
+
+let peek t = t.next

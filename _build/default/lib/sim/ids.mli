@@ -1,0 +1,13 @@
+(** Deterministic id allocation.
+
+    Every simulation world owns one source; all ports, processes, segments
+    and messages draw from it, so object ids are a pure function of the
+    experiment's construction order — never of global state shared between
+    experiments. *)
+
+type t
+
+val create : ?start:int -> unit -> t
+val next : t -> int
+val peek : t -> int
+(** The id the next call to [next] will return. *)

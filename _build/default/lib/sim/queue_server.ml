@@ -1,0 +1,63 @@
+type job = {
+  service_time : Time.t;
+  arrived : Time.t;
+  k : unit -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  waiting : job Queue.t;
+  mutable in_service : bool;
+  mutable completed : int;
+  mutable busy_total : Time.t;
+  mutable waits : Accent_util.Stats.t;
+  mutable sojourns : Accent_util.Stats.t;
+}
+
+let create engine ~name =
+  {
+    engine;
+    name;
+    waiting = Queue.create ();
+    in_service = false;
+    completed = 0;
+    busy_total = Time.zero;
+    waits = Accent_util.Stats.create ();
+    sojourns = Accent_util.Stats.create ();
+  }
+
+let name t = t.name
+let busy t = t.in_service
+let queue_length t = Queue.length t.waiting
+
+let rec start_next t =
+  match Queue.take_opt t.waiting with
+  | None -> t.in_service <- false
+  | Some job ->
+      t.in_service <- true;
+      let started = Engine.now t.engine in
+      Accent_util.Stats.add t.waits (Time.diff started job.arrived);
+      ignore
+        (Engine.schedule t.engine ~delay:job.service_time (fun () ->
+             t.completed <- t.completed + 1;
+             t.busy_total <- Time.add t.busy_total job.service_time;
+             Accent_util.Stats.add t.sojourns
+               (Time.diff (Engine.now t.engine) job.arrived);
+             job.k ();
+             start_next t))
+
+let submit t ~service_time k =
+  Queue.add { service_time; arrived = Engine.now t.engine; k } t.waiting;
+  if not t.in_service then start_next t
+
+let jobs_completed t = t.completed
+let busy_time t = t.busy_total
+let wait_stats t = t.waits
+let sojourn_stats t = t.sojourns
+
+let reset_accounting t =
+  t.completed <- 0;
+  t.busy_total <- Time.zero;
+  t.waits <- Accent_util.Stats.create ();
+  t.sojourns <- Accent_util.Stats.create ()

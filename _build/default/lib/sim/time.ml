@@ -1,0 +1,11 @@
+type t = float
+
+let zero = 0.
+let ms x = x
+let seconds x = x *. 1000.
+let to_seconds t = t /. 1000.
+let to_ms t = t
+let add = ( +. )
+let diff later earlier = later -. earlier
+let compare = Float.compare
+let pp ppf t = Format.fprintf ppf "%.3fs" (to_seconds t)

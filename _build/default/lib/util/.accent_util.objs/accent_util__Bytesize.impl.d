@@ -1,0 +1,1 @@
+lib/util/bytesize.ml: Buffer Format String

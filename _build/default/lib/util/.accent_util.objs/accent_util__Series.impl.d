@@ -1,0 +1,1 @@
+lib/util/series.ml: Array Float List

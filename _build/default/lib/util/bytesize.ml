@@ -1,0 +1,25 @@
+let pp ppf n =
+  let f = float_of_int n in
+  if f < 1024. then Format.fprintf ppf "%d B" n
+  else if f < 1024. *. 1024. then Format.fprintf ppf "%.1f KB" (f /. 1024.)
+  else if f < 1024. *. 1024. *. 1024. then
+    Format.fprintf ppf "%.1f MB" (f /. (1024. *. 1024.))
+  else Format.fprintf ppf "%.2f GB" (f /. (1024. *. 1024. *. 1024.))
+
+let to_string n = Format.asprintf "%a" pp n
+
+let with_commas n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_kb n = n * 1024
+let of_mb n = n * 1024 * 1024
+let of_gb n = n * 1024 * 1024 * 1024

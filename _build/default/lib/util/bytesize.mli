@@ -1,0 +1,15 @@
+(** Byte-quantity formatting for tables and reports. *)
+
+val pp : Format.formatter -> int -> unit
+(** Render with a binary-unit suffix: [142336] prints as ["139.0 KB"]. *)
+
+val to_string : int -> string
+(** [to_string n] is [Format.asprintf "%a" pp n]. *)
+
+val with_commas : int -> string
+(** Render with thousands separators, as the paper's tables do:
+    [4228129280] becomes ["4,228,129,280"]. *)
+
+val of_kb : int -> int
+val of_mb : int -> int
+val of_gb : int -> int

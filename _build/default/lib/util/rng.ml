@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Finalizer from splitmix64: two xor-shift-multiply rounds give full
+   avalanche, so consecutive seeds produce uncorrelated streams. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* FNV-1a over the label bytes, folded into the parent's seed.  Used only to
+   derive stream seeds, not as a general-purpose hash. *)
+let hash_label label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  !h
+
+let of_label t label = create (mix (Int64.logxor t.state (hash_label label)))
+let split t = create (bits64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+  r mod bound
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 random bits scaled to [0,1), as in the Java reference. *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t 1.0 < p
+
+let exponential t mean =
+  assert (mean > 0.);
+  let u = float t 1.0 in
+  (* 1 - u avoids log 0. *)
+  -.mean *. log (1.0 -. u)
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = float t 1.0 in
+    int_of_float (Float.floor (log (1.0 -. u) /. log (1.0 -. p)))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))

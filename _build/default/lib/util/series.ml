@@ -1,0 +1,42 @@
+type t = {
+  mutable samples : (float * float) list; (* reversed *)
+  mutable n : int;
+  mutable total : float;
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+let create () =
+  { samples = []; n = 0; total = 0.; t_min = infinity; t_max = neg_infinity }
+
+let add t ~time ~value =
+  t.samples <- (time, value) :: t.samples;
+  t.n <- t.n + 1;
+  t.total <- t.total +. value;
+  if time < t.t_min then t.t_min <- time;
+  if time > t.t_max then t.t_max <- time
+
+let is_empty t = t.n = 0
+let length t = t.n
+let duration t = if t.n < 2 then 0. else t.t_max -. t.t_min
+let total t = t.total
+let samples t = List.rev t.samples
+
+let bin t ~width =
+  assert (width > 0.);
+  if t.n = 0 then [||]
+  else begin
+    let last = int_of_float (Float.floor (t.t_max /. width)) in
+    let bins = Array.make (last + 1) 0. in
+    List.iter
+      (fun (time, v) ->
+        if time >= 0. then begin
+          let i = int_of_float (Float.floor (time /. width)) in
+          if i >= 0 && i <= last then bins.(i) <- bins.(i) +. v
+        end)
+      t.samples;
+    Array.mapi (fun i v -> (float_of_int i *. width, v)) bins
+  end
+
+let rate_bins t ~width =
+  Array.map (fun (start, v) -> (start, v /. width)) (bin t ~width)

@@ -1,0 +1,33 @@
+(** Time series of (time, value) samples with fixed-width binning.
+
+    Used by the transfer-rate monitor to turn per-message byte counts into
+    the bytes-per-second panels of Figure 4-5. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> time:float -> value:float -> unit
+(** Record [value] occurring at [time].  Times need not be monotone. *)
+
+val is_empty : t -> bool
+val length : t -> int
+
+val duration : t -> float
+(** [max time - min time]; 0 if fewer than two samples. *)
+
+val total : t -> float
+(** Sum of all recorded values. *)
+
+val samples : t -> (float * float) list
+(** All samples in insertion order. *)
+
+val bin : t -> width:float -> (float * float) array
+(** [bin t ~width] sums values into consecutive bins of [width] time units
+    starting at time 0.  Result pairs are (bin start time, summed value);
+    bins run contiguously from 0 through the last sample so that quiet
+    periods appear as zero bins. *)
+
+val rate_bins : t -> width:float -> (float * float) array
+(** Like [bin] but each bin's sum is divided by [width], yielding a rate
+    (e.g. bytes per second when times are seconds and values bytes). *)

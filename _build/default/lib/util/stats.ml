@@ -1,0 +1,75 @@
+type t = {
+  mutable samples : float list; (* reversed insertion order *)
+  mutable count : int;
+  mutable total : float;
+  mutable mean : float;
+  mutable m2 : float; (* Welford's sum of squared deviations *)
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    samples = [];
+    count = 0;
+    total = 0.;
+    mean = 0.;
+    m2 = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0. else t.mean
+let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let percentile t p =
+  if t.count = 0 then 0.
+  else begin
+    let arr = Array.of_list t.samples in
+    Array.sort compare arr;
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = p /. 100. *. float_of_int (t.count - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let to_list t = List.rev t.samples
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (to_list a);
+  List.iter (add t) (to_list b);
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.count
+    (mean t) (stddev t) t.min_v t.max_v
+
+let mean_of = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> 0.
+  | xs ->
+      let logs = List.map log xs in
+      exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length xs))

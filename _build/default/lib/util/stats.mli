@@ -1,0 +1,46 @@
+(** Streaming and batch descriptive statistics used by the measurement
+    layer: trial summaries, hit ratios, percentile reporting. *)
+
+type t
+(** A mutable accumulator of floating-point observations. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val total : t -> float
+
+val mean : t -> float
+(** Mean of the observations; 0 if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (Welford); 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** Smallest observation; [infinity] if empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] if empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0,100], by linear interpolation over the
+    sorted retained samples; 0 if empty.  All samples are retained, so this
+    is exact. *)
+
+val to_list : t -> float list
+(** Observations in insertion order. *)
+
+val merge : t -> t -> t
+(** Combined accumulator over both observation sets. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line [n/mean/stddev/min/max] rendering. *)
+
+(** {2 Batch helpers} *)
+
+val mean_of : float list -> float
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 if the list is empty. *)

@@ -1,0 +1,1 @@
+lib/workloads/access_pattern.ml: Accent_kernel Accent_util Array Float Fun Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/workloads/access_pattern.mli: Accent_kernel Accent_mem Accent_util

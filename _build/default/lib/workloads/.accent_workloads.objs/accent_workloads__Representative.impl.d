@@ -1,0 +1,1 @@
+lib/workloads/representative.ml: Access_pattern List Spec String

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Accent_kernel Accent_mem Accent_sim Accent_util Access_pattern Address_space Array Bytes Char Hashtbl Host List Page Printf Rng String Trace Vaddr

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Accent_kernel Access_pattern

@@ -1,0 +1,203 @@
+open Accent_util
+
+type t =
+  | Sequential of { streams : int; revisit : float; run : int }
+  | Clustered_random of { cluster : float }
+  | Hot_cold of { hot_fraction : float; hot_prob : float }
+
+(* Positions here index the universe array — i.e. they are collapsed-space
+   page numbers, which is the coordinate system prefetch operates in. *)
+
+(* Each stream owns a section of the universe and touches runs of ~[run]
+   consecutive pages separated by gaps (distinct mapped files and data
+   areas are not perfectly contiguous in the collapsed space), which is
+   what keeps large-prefetch hit ratios below 100%. *)
+let span_positions ~rng ~universe_len ~count ~parts ~run =
+  let parts = max 1 (min parts count) in
+  let run = max 1 run in
+  let section = universe_len / parts in
+  let per = count / parts and extra = count mod parts in
+  List.concat
+    (List.init parts (fun i ->
+         let want = min section (per + if i < extra then 1 else 0) in
+         let base = i * section in
+         let n_runs = max 1 ((want + run - 1) / run) in
+         let slack = max 0 (section - want) in
+         let gap = slack / max 1 n_runs in
+         let jitter = if gap > 1 then Rng.int rng gap else 0 in
+         let rec place acc pos left =
+           if left <= 0 then acc
+           else begin
+             let take = min run left in
+             let acc =
+               List.rev_append (List.init take (fun j -> pos + j)) acc
+             in
+             place acc (pos + take + gap) (left - take)
+           end
+         in
+         List.rev (place [] (base + jitter) want)))
+
+let cluster_positions ~rng ~universe_len ~count ~cluster =
+  let mean = Float.max 1. cluster in
+  let taken = Hashtbl.create count in
+  let rec collect acc n =
+    if n >= count then acc
+    else begin
+      let len = 1 + Rng.geometric rng (1. /. mean) in
+      let len = min len (count - n) in
+      (* the +1 keeps the final page reachable: without it a touched set
+         equal to the whole universe could never complete *)
+      let start = Rng.int rng (max 1 (universe_len - len + 1)) in
+      let fresh =
+        List.filter
+          (fun p -> p < universe_len && not (Hashtbl.mem taken p))
+          (List.init len (fun j -> start + j))
+      in
+      List.iter (fun p -> Hashtbl.replace taken p ()) fresh;
+      collect (List.rev_append fresh acc) (n + List.length fresh)
+    end
+  in
+  collect [] 0
+
+let hot_cold_positions ~rng ~universe_len ~count ~hot_fraction =
+  let hot_n = max 1 (int_of_float (hot_fraction *. float_of_int count)) in
+  let hot_n = min hot_n count in
+  let start = Rng.int rng (max 1 (universe_len - hot_n + 1)) in
+  let hot = List.init hot_n (fun j -> start + j) in
+  let taken = Hashtbl.create count in
+  List.iter (fun p -> Hashtbl.replace taken p ()) hot;
+  let rec cold acc n =
+    if n = 0 then acc
+    else begin
+      let p = Rng.int rng universe_len in
+      if Hashtbl.mem taken p then cold acc n
+      else begin
+        Hashtbl.replace taken p ();
+        cold (p :: acc) (n - 1)
+      end
+    end
+  in
+  hot @ cold [] (count - hot_n)
+
+let choose_touched t ~rng ~universe ~count =
+  let universe_len = Array.length universe in
+  if count > universe_len then
+    invalid_arg "Access_pattern.choose_touched: count exceeds universe";
+  let positions =
+    match t with
+    | Sequential { streams; run; _ } ->
+        span_positions ~rng ~universe_len ~count ~parts:streams ~run
+    | Clustered_random { cluster } ->
+        cluster_positions ~rng ~universe_len ~count ~cluster
+    | Hot_cold { hot_fraction; _ } ->
+        hot_cold_positions ~rng ~universe_len ~count ~hot_fraction
+  in
+  let positions = List.sort_uniq compare positions in
+  (* Overlapping spans can deduplicate below [count]; top up with the first
+     free positions so the touched-set size is exact. *)
+  let positions =
+    let have = List.length positions in
+    if have >= count then positions
+    else begin
+      let taken = Hashtbl.create count in
+      List.iter (fun p -> Hashtbl.replace taken p ()) positions;
+      let extra = ref [] and need = ref (count - have) and p = ref 0 in
+      while !need > 0 && !p < universe_len do
+        if not (Hashtbl.mem taken !p) then begin
+          extra := !p :: !extra;
+          decr need
+        end;
+        incr p
+      done;
+      List.sort compare (positions @ !extra)
+    end
+  in
+  Array.of_list (List.map (fun p -> universe.(p)) positions)
+
+(* --- trace generation --------------------------------------------------- *)
+
+let steps_of ~rng ~mean_think pages =
+  List.map
+    (fun page ->
+      { Accent_kernel.Trace.page; think_ms = Rng.exponential rng mean_think; write = false })
+    pages
+
+let sequential_order ~rng ~streams ~revisit touched =
+  let n = Array.length touched in
+  let streams = max 1 (min streams n) in
+  let bounds =
+    Array.init streams (fun i -> (i * n / streams, (i + 1) * n / streams))
+  in
+  let cursors = Array.map fst bounds in
+  let order = ref [] and emitted = ref 0 in
+  let live () =
+    Array.exists (fun i -> cursors.(i) < snd bounds.(i)) (Array.init streams Fun.id)
+  in
+  let stream = ref 0 in
+  while live () do
+    let s = !stream mod streams in
+    stream := !stream + 1;
+    let lo, hi = bounds.(s) in
+    ignore lo;
+    if cursors.(s) < hi then begin
+      let pos = cursors.(s) in
+      cursors.(s) <- pos + 1;
+      order := touched.(pos) :: !order;
+      incr emitted;
+      (* occasional re-reference to a recently-seen page of this stream *)
+      if Rng.bernoulli rng revisit && pos > fst bounds.(s) then begin
+        let back = 1 + Rng.int rng (min 8 (pos - fst bounds.(s))) in
+        order := touched.(pos - back) :: !order;
+        incr emitted
+      end
+    end
+  done;
+  List.rev !order
+
+let clusters_of touched =
+  let n = Array.length touched in
+  let rec split i start acc =
+    if i >= n then List.rev ((start, n) :: acc)
+    else if touched.(i) = touched.(i - 1) + 1 then split (i + 1) start acc
+    else split (i + 1) i ((start, i) :: acc)
+  in
+  if n = 0 then [] else split 1 0 []
+
+let clustered_order ~rng touched =
+  let clusters = Array.of_list (clusters_of touched) in
+  Rng.shuffle rng clusters;
+  Array.to_list clusters
+  |> List.concat_map (fun (lo, hi) ->
+         List.init (hi - lo) (fun j -> touched.(lo + j)))
+
+let generate t ~rng ~touched ~refs ~total_think_ms =
+  let n = Array.length touched in
+  if n = 0 then []
+  else begin
+    let base_order =
+      match t with
+      | Sequential { streams; revisit; run = _ } ->
+          sequential_order ~rng ~streams ~revisit touched
+      | Clustered_random _ -> clustered_order ~rng touched
+      | Hot_cold { hot_fraction; _ } ->
+          (* hot span first (initialisation), then the cold pages *)
+          ignore hot_fraction;
+          Array.to_list touched
+    in
+    let filler_count = max 0 (refs - List.length base_order) in
+    let filler =
+      match t with
+      | Hot_cold { hot_fraction; hot_prob } ->
+          let hot_n =
+            max 1 (int_of_float (hot_fraction *. float_of_int n))
+          in
+          List.init filler_count (fun _ ->
+              if Rng.bernoulli rng hot_prob then touched.(Rng.int rng hot_n)
+              else touched.(Rng.int rng n))
+      | Sequential _ | Clustered_random _ ->
+          List.init filler_count (fun _ -> touched.(Rng.int rng n))
+    in
+    let pages = base_order @ filler in
+    let mean_think = total_think_ms /. float_of_int (List.length pages) in
+    steps_of ~rng ~mean_think pages
+  end

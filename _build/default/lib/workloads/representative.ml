@@ -1,0 +1,142 @@
+(* Composition columns are verbatim from Tables 4-1/4-2.  Touched-page
+   counts are Table 4-3's IOU column times Real; resident-set overlaps are
+   solved from Table 4-3's RS column (transferred = RS + touched - overlap).
+   Compute times and reference counts are set so remote-execution behaviour
+   matches the §4.3.3 anchors (Minprog ~44x slower under IOU, Chess ~3%
+   longer, Lisp-Del finishing within the pure-copy transfer window). *)
+
+let base = 0x40000 (* 256 KB: leave the bottom of the space invalid *)
+
+let minprog =
+  {
+    Spec.name = "Minprog";
+    description = "minimal Perq Pascal program (prints and exits)";
+    real_bytes = 142_336;
+    total_bytes = 330_240;
+    rs_bytes = 71_680;
+    touched_real_pages = 24; (* 8.6% of 278 real pages *)
+    rs_touched_overlap = 24; (* everything it touches is resident *)
+    real_runs = 10;
+    vm_segments = 6;
+    pattern = Access_pattern.Sequential { streams = 1; revisit = 0.4; run = 64 };
+    refs = 60;
+    total_think_ms = 50.;
+    zero_touch_pages = 6;
+    base_addr = base;
+  }
+
+let lisp_t =
+  {
+    Spec.name = "Lisp-T";
+    description = "SPICE Lisp evaluating T";
+    real_bytes = 2_203_136;
+    total_bytes = 4_228_129_280;
+    rs_bytes = 190_464;
+    touched_real_pages = 129; (* ~3% of 4303 real pages *)
+    rs_touched_overlap = 110;
+    real_runs = 300;
+    vm_segments = 12;
+    pattern = Access_pattern.Clustered_random { cluster = 2.0 };
+    refs = 500;
+    total_think_ms = 1_800.;
+    zero_touch_pages = 20;
+    base_addr = base;
+  }
+
+let lisp_del =
+  {
+    Spec.name = "Lisp-Del";
+    description = "SPICE Lisp running Delaunay triangulation";
+    real_bytes = 2_200_064;
+    total_bytes = 4_228_129_280;
+    rs_bytes = 190_464;
+    touched_real_pages = 709; (* 16.5% of 4297 real pages *)
+    rs_touched_overlap = 333;
+    real_runs = 300;
+    vm_segments = 25;
+    pattern = Access_pattern.Clustered_random { cluster = 2.0 };
+    refs = 5_000;
+    total_think_ms = 65_000.;
+    zero_touch_pages = 60;
+    base_addr = base;
+  }
+
+let pm_start =
+  {
+    Spec.name = "PM-Start";
+    description = "Pasmac macro processor, first definition file opening";
+    real_bytes = 449_024;
+    total_bytes = 950_784;
+    rs_bytes = 132_096;
+    touched_real_pages = 509; (* 58.0% of 877 real pages *)
+    rs_touched_overlap = 100;
+    real_runs = 20;
+    vm_segments = 60;
+    pattern = Access_pattern.Sequential { streams = 3; revisit = 0.15; run = 22 };
+    refs = 1_500;
+    total_think_ms = 24_000.;
+    zero_touch_pages = 25;
+    base_addr = base;
+  }
+
+let pm_mid =
+  {
+    Spec.name = "PM-Mid";
+    description = "Pasmac after all definition files are read";
+    real_bytes = 446_464;
+    total_bytes = 912_896;
+    rs_bytes = 190_976;
+    touched_real_pages = 449; (* 51.5% of 872 real pages *)
+    rs_touched_overlap = 168;
+    real_runs = 22;
+    vm_segments = 70;
+    pattern = Access_pattern.Sequential { streams = 3; revisit = 0.15; run = 22 };
+    refs = 1_300;
+    total_think_ms = 21_000.;
+    zero_touch_pages = 25;
+    base_addr = base;
+  }
+
+let pm_end =
+  {
+    Spec.name = "PM-End";
+    description = "Pasmac with expansion nearly complete";
+    real_bytes = 492_032;
+    total_bytes = 890_880;
+    rs_bytes = 302_080;
+    touched_real_pages = 258; (* 26.9% of 961 real pages *)
+    rs_touched_overlap = 151;
+    real_runs = 25;
+    vm_segments = 120;
+    pattern = Access_pattern.Sequential { streams = 2; revisit = 0.15; run = 22 };
+    refs = 800;
+    total_think_ms = 11_000.;
+    zero_touch_pages = 15;
+    base_addr = base;
+  }
+
+let chess =
+  {
+    Spec.name = "Chess";
+    description = "Siemens chess program with a ticking game clock";
+    real_bytes = 195_584;
+    total_bytes = 500_736;
+    rs_bytes = 110_080;
+    touched_real_pages = 136; (* 35.6% of 382 real pages *)
+    rs_touched_overlap = 99;
+    real_runs = 12;
+    vm_segments = 10;
+    pattern = Access_pattern.Hot_cold { hot_fraction = 0.35; hot_prob = 0.85 };
+    refs = 9_800;
+    total_think_ms = 490_000.;
+    zero_touch_pages = 10;
+    base_addr = base;
+  }
+
+let all = [ minprog; lisp_t; lisp_del; pm_start; pm_mid; pm_end; chess ]
+
+let by_name name =
+  let target = String.lowercase_ascii name in
+  List.find_opt
+    (fun spec -> String.lowercase_ascii spec.Spec.name = target)
+    all

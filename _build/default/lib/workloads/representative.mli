@@ -1,0 +1,39 @@
+(** The seven representative processes of the paper's evaluation (§4.1).
+
+    Composition numbers (Real, Total, resident set) are taken verbatim from
+    Tables 4-1 and 4-2; access behaviour parameters (touched pages,
+    resident-set overlap, pattern, compute time) are reconstructed from
+    Table 4-3 and the §4.3/§4.4 narrative.  See DESIGN.md §6 for the
+    derivations. *)
+
+val minprog : Spec.t
+(** Minimal Perq Pascal program: prints a message and dies — the "null
+    trap" of migration measurements. *)
+
+val lisp_t : Spec.t
+(** SPICE Lisp asked to evaluate [T]: a 4 GB validated space of which
+    almost nothing is touched. *)
+
+val lisp_del : Spec.t
+(** SPICE Lisp running Dwyer's Delaunay triangulation: real computation and
+    I/O over the same enormous, weakly-local space. *)
+
+val pm_start : Spec.t
+(** Pasmac macro processor migrated as it opens its first definition
+    file: most of its sequential file reading still ahead. *)
+
+val pm_mid : Spec.t
+(** Pasmac migrated after all definition files are read. *)
+
+val pm_end : Spec.t
+(** Pasmac migrated with expansion nearly complete. *)
+
+val chess : Spec.t
+(** Siemens chess program: long-lived, compute-bound, small hot set, a
+    screen clock ticking every second. *)
+
+val all : Spec.t list
+(** In the paper's table order. *)
+
+val by_name : string -> Spec.t option
+(** Lookup by case-insensitive name, e.g. ["pm-start"]. *)

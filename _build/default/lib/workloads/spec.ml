@@ -1,0 +1,200 @@
+open Accent_util
+open Accent_mem
+open Accent_kernel
+
+type t = {
+  name : string;
+  description : string;
+  real_bytes : int;
+  total_bytes : int;
+  rs_bytes : int;
+  touched_real_pages : int;
+  rs_touched_overlap : int;
+  real_runs : int;
+  vm_segments : int;
+  pattern : Access_pattern.t;
+  refs : int;
+  total_think_ms : float;
+  zero_touch_pages : int;
+  base_addr : int;
+}
+
+let realz_bytes t = t.total_bytes - t.real_bytes
+let real_pages t = t.real_bytes / Page.size
+let rs_pages t = t.rs_bytes / Page.size
+
+let content_tag t =
+  (* stable across runs: derived from the name only *)
+  String.fold_left (fun acc c -> (acc * 131) + Char.code c) 7 t.name
+  land 0x3FFFFFFF
+
+let validate t =
+  let page_multiple label n =
+    if n mod Page.size <> 0 then
+      invalid_arg (Printf.sprintf "%s: %s not a page multiple" t.name label)
+  in
+  page_multiple "real_bytes" t.real_bytes;
+  page_multiple "total_bytes" t.total_bytes;
+  page_multiple "rs_bytes" t.rs_bytes;
+  page_multiple "base_addr" t.base_addr;
+  if t.real_bytes <= 0 || t.total_bytes < t.real_bytes then
+    invalid_arg (t.name ^ ": inconsistent real/total");
+  if t.rs_bytes > t.real_bytes then invalid_arg (t.name ^ ": RS > Real");
+  if t.touched_real_pages > real_pages t then
+    invalid_arg (t.name ^ ": touched > real pages");
+  if
+    t.rs_touched_overlap > t.touched_real_pages
+    || t.rs_touched_overlap > rs_pages t
+  then invalid_arg (t.name ^ ": overlap too large");
+  (* the RS pages outside the overlap must come from untouched pages *)
+  if rs_pages t - t.rs_touched_overlap > real_pages t - t.touched_real_pages
+  then invalid_arg (t.name ^ ": overlap too small for this RS size");
+  if t.refs < t.touched_real_pages then
+    invalid_arg (t.name ^ ": refs < touched pages");
+  if t.real_runs < 1 || t.vm_segments < 1 then
+    invalid_arg (t.name ^ ": runs/segments must be positive");
+  if t.base_addr + t.total_bytes > Vaddr.space_limit then
+    invalid_arg (t.name ^ ": exceeds the 4 GB space")
+
+(* Split [total] into [parts] integer shares, largest-first remainders. *)
+let shares total parts =
+  let parts = max 1 parts in
+  let base = total / parts and extra = total mod parts in
+  List.init parts (fun i -> base + if i < extra then 1 else 0)
+
+(* Lay the space out as gap/run/gap/run/.../gap and install run contents
+   (straight to the paging disk, like data faulted in long ago). *)
+let build_layout space t =
+  let tag = content_tag t in
+  let runs = min t.real_runs (real_pages t) in
+  let run_sizes = Array.of_list (shares (real_pages t) runs) in
+  let gap_sizes =
+    Array.of_list (shares (realz_bytes t / Page.size) (runs + 1))
+  in
+  let universe = ref [] and zero_candidates = ref [] in
+  let slices = max runs t.vm_segments in
+  let slice_counter = ref 0 in
+  let addr = ref t.base_addr in
+  let emit_gap pages =
+    if pages > 0 then begin
+      Address_space.validate_zero space (Vaddr.of_len !addr (pages * Page.size));
+      zero_candidates := Page.index_of_addr !addr :: !zero_candidates;
+      addr := !addr + (pages * Page.size)
+    end
+  in
+  let emit_run i pages =
+    (* each run is cut into label slices so the space carries exactly
+       [vm_segments] distinct VM segments overall *)
+    let run_slices =
+      let total = max 1 (real_pages t) in
+      max 1 (((slices * pages) + total - 1) / total)
+    in
+    let run_slices = min run_slices pages in
+    List.iter
+      (fun slice_pages ->
+        if slice_pages > 0 then begin
+          let label =
+            Printf.sprintf "seg%d" (!slice_counter mod t.vm_segments)
+          in
+          incr slice_counter;
+          let buf = Bytes.create (slice_pages * Page.size) in
+          for p = 0 to slice_pages - 1 do
+            let idx = Page.index_of_addr !addr + p in
+            universe := idx :: !universe;
+            Bytes.blit (Page.pattern ~tag idx) 0 buf (p * Page.size) Page.size
+          done;
+          Address_space.install_bytes ~segment:label space ~addr:!addr buf
+            ~resident:false;
+          addr := !addr + (slice_pages * Page.size)
+        end)
+      (shares pages run_slices);
+    ignore i
+  in
+  Array.iteri
+    (fun i run_pages ->
+      emit_gap gap_sizes.(i);
+      emit_run i run_pages)
+    run_sizes;
+  emit_gap gap_sizes.(runs);
+  (Array.of_list (List.rev !universe), List.rev !zero_candidates)
+
+(* Pick [k] elements of [arr] spread evenly, excluding [excluded]. *)
+let spread_pick arr k ~excluded =
+  let eligible = Array.of_list (List.filter (fun x -> not (Hashtbl.mem excluded x)) (Array.to_list arr)) in
+  let n = Array.length eligible in
+  if k > n then invalid_arg "spread_pick: not enough eligible elements";
+  List.init k (fun i -> eligible.(i * n / max 1 k))
+
+let promote_resident space t ~universe ~touched =
+  let touched_set = Hashtbl.create (Array.length touched) in
+  Array.iter (fun p -> Hashtbl.replace touched_set p ()) touched;
+  let from_touched =
+    spread_pick touched t.rs_touched_overlap ~excluded:(Hashtbl.create 0)
+  in
+  let rest = rs_pages t - t.rs_touched_overlap in
+  let from_untouched = spread_pick universe rest ~excluded:touched_set in
+  let resident = List.sort_uniq compare (from_touched @ from_untouched) in
+  assert (List.length resident = rs_pages t);
+  List.iter (fun idx -> Address_space.resolve_disk_fault space idx) resident
+
+(* Interleave FillZero touches (stack growth and the like) into the trace
+   at evenly-spread positions. *)
+let add_zero_touches ~rng t ~zero_candidates steps =
+  let z = min t.zero_touch_pages (List.length zero_candidates) in
+  if z = 0 then steps
+  else begin
+    let candidates = Array.of_list zero_candidates in
+    Rng.shuffle rng candidates;
+    let steps = Array.of_list steps in
+    let n = Array.length steps in
+    let insertions =
+      List.init z (fun i ->
+          ( (i + 1) * n / (z + 1),
+            { Trace.page = candidates.(i); think_ms = 1.0; write = false } ))
+    in
+    let out = ref [] in
+    Array.iteri
+      (fun i s ->
+        List.iter
+          (fun (pos, step) -> if pos = i then out := step :: !out)
+          insertions;
+        out := s :: !out)
+      steps;
+    List.rev !out
+  end
+
+let build ?(write_fraction = 0.) host t =
+  validate t;
+  let rng =
+    Accent_sim.Engine.rng (Host.engine host) ("workload:" ^ t.name)
+  in
+  let space = Host.new_space host ~name:t.name in
+  let universe, zero_candidates = build_layout space t in
+  let touched =
+    Access_pattern.choose_touched t.pattern ~rng ~universe
+      ~count:t.touched_real_pages
+  in
+  promote_resident space t ~universe ~touched;
+  let steps =
+    Access_pattern.generate t.pattern ~rng ~touched ~refs:t.refs
+      ~total_think_ms:t.total_think_ms
+  in
+  let steps = add_zero_touches ~rng t ~zero_candidates steps in
+  (* Post-conditions: state matches the paper's tables exactly. *)
+  assert (Address_space.real_bytes space = t.real_bytes);
+  assert (Address_space.total_bytes space = t.total_bytes);
+  assert (Address_space.zero_bytes space = realz_bytes t);
+  (* the resident set matches the table exactly unless the host's physical
+     memory is too small to hold it (the memory-pressure ablation) *)
+  (let resident = Address_space.resident_bytes space in
+   assert (
+     resident = t.rs_bytes
+     || resident < t.rs_bytes
+        && Accent_mem.Phys_mem.free_frames (Host.mem host) = 0));
+  let trace = Trace.of_steps steps in
+  let trace =
+    if write_fraction > 0. then
+      Trace.with_writes ~rng ~fraction:write_fraction trace
+    else trace
+  in
+  Host.spawn host ~name:t.name ~trace ~space ~n_ports:3 ()

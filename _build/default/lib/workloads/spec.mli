@@ -1,0 +1,59 @@
+(** Workload specifications and the state builder.
+
+    A spec captures a program {e at its migration point}: the paper's
+    Tables 4-1 and 4-2 give the address-space composition and resident set
+    directly, Table 4-3 and the §4.3.3 discussion pin down how much of the
+    space the program goes on to touch and in what pattern.  [build]
+    reconstructs that state on a host — real page contents (deterministic
+    and checksummable), scattered across the address space in [real_runs]
+    runs, with the resident set promoted into physical memory — and
+    attaches the post-migration reference trace. *)
+
+type t = {
+  name : string;
+  description : string;
+  real_bytes : int;  (** Table 4-1 "Real" *)
+  total_bytes : int;  (** Table 4-1 "Total" *)
+  rs_bytes : int;  (** Table 4-2 "RS Size" *)
+  touched_real_pages : int;
+      (** distinct RealMem pages the program touches after migration
+          (Table 4-3 IOU column × Real) *)
+  rs_touched_overlap : int;
+      (** how many of those are in the resident set — controls how useful
+          resident-set shipment is (Table 4-3 RS column).  Must satisfy
+          [rs_pages - overlap <= real_pages - touched]: the rest of the
+          resident set is drawn from untouched pages. *)
+  real_runs : int;  (** scatter of real data across the space *)
+  vm_segments : int;
+      (** distinct VM segments (program text, mapped files...); drives the
+          AMap-construction cost of Table 4-4 *)
+  pattern : Access_pattern.t;
+  refs : int;  (** post-migration references (≥ touched pages) *)
+  total_think_ms : float;  (** pure compute time of the remote execution *)
+  zero_touch_pages : int;
+      (** allocated-but-untouched pages the program will dirty (stack
+          growth etc. — FillZero faults at the new site) *)
+  base_addr : int;
+}
+
+val realz_bytes : t -> int
+(** [total_bytes - real_bytes]: the RealZeroMem of Table 4-1. *)
+
+val real_pages : t -> int
+val rs_pages : t -> int
+
+val content_tag : t -> int
+(** Tag from which all the workload's page contents derive; a page's bytes
+    are [Page.pattern ~tag idx], so any copy anywhere can be verified. *)
+
+val build :
+  ?write_fraction:float -> Accent_kernel.Host.t -> t -> Accent_kernel.Proc.t
+(** Construct the space and process on the host.  Post-condition (checked):
+    the space's Real/RealZero/Total/resident byte counts equal the spec's
+    exactly.  [write_fraction] (default 0) marks that share of the trace's
+    references as stores — relevant to the pre-copy baseline, which must
+    re-send dirtied pages. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent parameters (sizes not
+    page-multiples, overlap larger than the touched or resident sets...). *)

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Ablations Accent_experiments Accent_workloads Alcotest Float List String Test_helpers

@@ -1,0 +1,1 @@
+test/test_address_space.ml: Accent_mem Accessibility Address_space Alcotest Amap Bytes Gen List Page Paging_disk Phys_mem QCheck QCheck_alcotest Vaddr

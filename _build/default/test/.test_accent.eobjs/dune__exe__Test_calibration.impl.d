@@ -1,0 +1,1 @@
+test/test_calibration.ml: Accent_core Accent_experiments Accent_kernel Accent_workloads Alcotest Cost_model Excise Float List Printf Proc Report Strategy Test_helpers

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Accent_workloads String

@@ -1,0 +1,1 @@
+test/test_interval_map.ml: Accent_mem Alcotest Array Gen Interval_map List Printf QCheck QCheck_alcotest String

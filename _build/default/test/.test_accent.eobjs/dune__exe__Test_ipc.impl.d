@@ -1,0 +1,1 @@
+test/test_ipc.ml: Accent_ipc Accent_mem Accent_sim Alcotest Bytes Engine Ids Kernel_ipc List Memory_object Message Option Port Queue_server Segment_store Time

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Accent_core Accent_kernel Accent_mem Accent_net Accent_sim Address_space Alcotest Bytes Char Cost_model Host List Option Pager Pcb Printf Proc Proc_runner Time Trace Vaddr

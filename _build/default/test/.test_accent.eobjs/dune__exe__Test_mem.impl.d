@@ -1,0 +1,1 @@
+test/test_mem.ml: Accent_mem Alcotest Bytes Cow Gen List Page Paging_disk Phys_mem QCheck QCheck_alcotest String Vaddr Working_set

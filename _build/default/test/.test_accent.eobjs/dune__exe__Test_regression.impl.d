@@ -1,0 +1,1 @@
+test/test_regression.ml: Accent_core Accent_experiments Accent_workloads Alcotest List Option Printf Report Strategy Trial

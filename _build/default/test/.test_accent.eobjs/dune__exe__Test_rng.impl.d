@@ -1,0 +1,1 @@
+test/test_rng.ml: Accent_util Alcotest Array Fun List QCheck QCheck_alcotest Rng Stats

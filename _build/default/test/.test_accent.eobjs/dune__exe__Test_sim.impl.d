@@ -1,0 +1,1 @@
+test/test_sim.ml: Accent_sim Accent_util Alcotest Engine Event_queue Format Fun Gen Ids List Option QCheck QCheck_alcotest Queue_server Time

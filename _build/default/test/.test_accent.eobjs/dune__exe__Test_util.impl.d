@@ -1,0 +1,1 @@
+test/test_util.ml: Accent_util Alcotest Array Ascii_chart Bytesize Float Gen List QCheck QCheck_alcotest Series Stats String Test_helpers Text_table

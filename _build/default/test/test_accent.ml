@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "accent"
+    [
+      Test_rng.suite;
+      Test_util.suite;
+      Test_sim.suite;
+      Test_interval_map.suite;
+      Test_mem.suite;
+      Test_address_space.suite;
+      Test_ipc.suite;
+      Test_net.suite;
+      Test_kernel.suite;
+      Test_migration.suite;
+      Test_workloads.suite;
+      Test_calibration.suite;
+      Test_experiments.suite;
+      Test_precopy.suite;
+      Test_ablations.suite;
+      Test_auto_migration.suite;
+      Test_core_api.suite;
+      Test_properties.suite;
+      Test_edge_cases.suite;
+      Test_regression.suite;
+      Test_failures.suite;
+      Test_printers.suite;
+      Test_coverage_extra.suite;
+    ]

@@ -1,0 +1,127 @@
+(* Failure injection: the residual-dependency hazard of lazy migration.
+   A process relocated copy-on-reference depends on the source until the
+   last page is fetched; if the backing site dies, so does the process.
+   Pure-copy has no such window once the transfer completes. *)
+open Accent_sim
+open Accent_kernel
+open Accent_core
+
+let spec =
+  {
+    Test_helpers.small_spec with
+    Accent_workloads.Spec.name = "Fragile";
+    refs = 200;
+    total_think_ms = 20_000.;
+  }
+
+(* Fast timeout so the tests stay quick. *)
+let costs =
+  { Cost_model.default with Cost_model.fault_timeout_ms = 2_000. }
+
+let migrate_then_crash ~strategy ~crash_at =
+  let world = World.create ~costs ~n_hosts:2 () in
+  let proc = Accent_workloads.Spec.build (World.host world 0) spec in
+  let report =
+    Migration_manager.migrate (World.manager world 0) ~proc
+      ~dest:(Migration_manager.port (World.manager world 1))
+      ~strategy ()
+  in
+  ignore
+    (Engine.schedule world.World.engine ~delay:(Time.ms crash_at) (fun () ->
+         Accent_net.Netmsgserver.fail_backing
+           (Host.nms (World.host world 0))));
+  ignore (World.run world);
+  let relocated =
+    Option.get (Host.find_proc (World.host world 1) proc.Proc.id)
+  in
+  (world, relocated, report)
+
+let test_source_crash_kills_lazy_process () =
+  let world, proc, report =
+    migrate_then_crash ~strategy:(Strategy.pure_iou ()) ~crash_at:4_000.
+  in
+  Alcotest.(check bool) "process failed" true proc.Proc.failed;
+  Alcotest.(check bool) "did not complete" true
+    (report.Report.completed_at = None);
+  Alcotest.(check bool) "not all of the trace executed" true
+    (not (Proc.is_done proc));
+  Alcotest.(check bool) "a fault timed out" true
+    (Pager.fault_timeouts (Host.pager (World.host world 1)) >= 1)
+
+let test_source_crash_harmless_after_copy () =
+  let _, proc, report =
+    migrate_then_crash ~strategy:Strategy.pure_copy ~crash_at:4_000.
+  in
+  (* everything was physically shipped: the crash has nothing to take *)
+  Alcotest.(check bool) "process unharmed" false proc.Proc.failed;
+  Alcotest.(check bool) "completed" true (report.Report.completed_at <> None)
+
+let test_crash_after_last_fetch_is_harmless () =
+  (* crash the backer only after remote execution has finished: by then
+     every page the process wanted is local and the death notice already
+     retired the segment *)
+  let world, proc, report =
+    migrate_then_crash ~strategy:(Strategy.pure_iou ()) ~crash_at:3.0e6
+  in
+  ignore world;
+  Alcotest.(check bool) "process unharmed" false proc.Proc.failed;
+  Alcotest.(check bool) "completed" true (report.Report.completed_at <> None)
+
+let test_timeout_counts_once_per_fault () =
+  let world, proc, _ =
+    migrate_then_crash ~strategy:(Strategy.pure_iou ()) ~crash_at:4_000.
+  in
+  ignore proc;
+  (* a single blocked reference produces a single timeout, not a storm *)
+  Alcotest.(check int) "exactly one timeout" 1
+    (Pager.fault_timeouts (Host.pager (World.host world 1)))
+
+let test_rs_survives_nms_crash () =
+  (* under RS the non-resident remainder is backed by the MigrationManager
+     itself, not the NetMsgServer cache — so crashing the NMS cache alone
+     is harmless *)
+  let _, proc, report =
+    migrate_then_crash ~strategy:(Strategy.resident_set ()) ~crash_at:4_000.
+  in
+  Alcotest.(check bool) "unharmed by NMS crash" false proc.Proc.failed;
+  Alcotest.(check bool) "completed" true (report.Report.completed_at <> None)
+
+let test_rs_dies_with_its_manager_backer () =
+  (* ...but if the manager's own backing server dies, the residual
+     dependency bites exactly as it does for pure IOU *)
+  let world = World.create ~costs ~n_hosts:2 () in
+  let proc = Accent_workloads.Spec.build (World.host world 0) spec in
+  let report =
+    Migration_manager.migrate (World.manager world 0) ~proc
+      ~dest:(Migration_manager.port (World.manager world 1))
+      ~strategy:(Strategy.resident_set ()) ()
+  in
+  ignore
+    (Engine.schedule world.World.engine ~delay:(Time.ms 4_000.) (fun () ->
+         Backing_server.fail (Migration_manager.backing (World.manager world 0))));
+  ignore (World.run world);
+  let relocated =
+    Option.get (Host.find_proc (World.host world 1) proc.Proc.id)
+  in
+  Alcotest.(check bool) "eventually failed" true relocated.Proc.failed;
+  Alcotest.(check bool) "did not complete" true
+    (report.Report.completed_at = None);
+  Alcotest.(check bool) "made progress on shipped pages first" true
+    (relocated.Proc.pcb.Pcb.pc > 0)
+
+let suite =
+  ( "failures",
+    [
+      Alcotest.test_case "source crash kills lazy process" `Quick
+        test_source_crash_kills_lazy_process;
+      Alcotest.test_case "crash harmless after pure copy" `Quick
+        test_source_crash_harmless_after_copy;
+      Alcotest.test_case "crash harmless after last fetch" `Quick
+        test_crash_after_last_fetch_is_harmless;
+      Alcotest.test_case "one timeout per blocked fault" `Quick
+        test_timeout_counts_once_per_fault;
+      Alcotest.test_case "RS survives NMS crash" `Quick
+        test_rs_survives_nms_crash;
+      Alcotest.test_case "RS dies with its manager backer" `Quick
+        test_rs_dies_with_its_manager_backer;
+    ] )

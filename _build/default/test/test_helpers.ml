@@ -1,0 +1,35 @@
+(* Small shared helpers for the test suite. *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+(* A tiny two-host world with a small synthetic workload, shared by the
+   integration suites. *)
+let small_spec =
+  {
+    Accent_workloads.Spec.name = "Tiny";
+    description = "small synthetic workload for tests";
+    real_bytes = 64 * 512;
+    total_bytes = 160 * 512;
+    rs_bytes = 24 * 512;
+    touched_real_pages = 20;
+    rs_touched_overlap = 10;
+    real_runs = 4;
+    vm_segments = 3;
+    pattern =
+      Accent_workloads.Access_pattern.Sequential
+        { streams = 2; revisit = 0.2; run = 8 };
+    refs = 40;
+    total_think_ms = 100.;
+    zero_touch_pages = 3;
+    base_addr = 0x40000;
+  }
+
+let random_spec =
+  {
+    small_spec with
+    Accent_workloads.Spec.name = "TinyRandom";
+    pattern = Accent_workloads.Access_pattern.Clustered_random { cluster = 2. };
+  }

@@ -1,0 +1,253 @@
+(* IPC layer: ports, messages and their wire accounting, memory objects,
+   segment stores and local kernel delivery with its cost model. *)
+open Accent_sim
+open Accent_ipc
+
+let ids () = Ids.create ()
+
+(* --- Port --- *)
+
+let test_port_fresh_distinct () =
+  let ids = ids () in
+  let a = Port.fresh ids and b = Port.fresh ids in
+  Alcotest.(check bool) "distinct" false (Port.equal a b)
+
+let test_port_rights_names () =
+  Alcotest.(check string) "receive" "Receive" (Port.right_to_string Port.Receive);
+  Alcotest.(check string) "send" "Send" (Port.right_to_string Port.Send);
+  Alcotest.(check string) "ownership" "Ownership"
+    (Port.right_to_string Port.Ownership)
+
+(* --- Memory_object --- *)
+
+let data_chunk ~lo len =
+  {
+    Memory_object.range = Accent_mem.Vaddr.of_len lo len;
+    content = Memory_object.Data (Bytes.make len 'd');
+  }
+
+let iou_chunk ids ~lo len =
+  {
+    Memory_object.range = Accent_mem.Vaddr.of_len lo len;
+    content =
+      Memory_object.Iou
+        { segment_id = 1; backing_port = Port.fresh ids; offset = lo };
+  }
+
+let test_memory_object_accounting () =
+  let ids = ids () in
+  let m = [ data_chunk ~lo:0 1024; iou_chunk ids ~lo:1024 2048 ] in
+  Memory_object.validate m;
+  Alcotest.(check int) "data" 1024 (Memory_object.data_bytes m);
+  Alcotest.(check int) "iou" 2048 (Memory_object.iou_bytes m);
+  Alcotest.(check int) "total" 3072 (Memory_object.total_bytes m);
+  Alcotest.(check int) "chunks" 2 (Memory_object.chunk_count m);
+  Alcotest.(check int) "descriptors" 48 (Memory_object.descriptor_bytes m);
+  Alcotest.(check int) "one backing port" 1
+    (List.length (Memory_object.iou_ports m))
+
+let test_memory_object_rejects_overlap () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Memory_object: chunks overlap or out of order")
+    (fun () ->
+      Memory_object.validate [ data_chunk ~lo:0 1024; data_chunk ~lo:512 1024 ])
+
+let test_memory_object_rejects_bad_length () =
+  let chunk =
+    {
+      Memory_object.range = Accent_mem.Vaddr.of_len 0 1024;
+      content = Memory_object.Data (Bytes.make 512 'd');
+    }
+  in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Memory_object: data length disagrees with range")
+    (fun () -> Memory_object.validate [ chunk ])
+
+let test_memory_object_rejects_unaligned () =
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Memory_object: chunk range not page-aligned") (fun () ->
+      Memory_object.validate [ data_chunk ~lo:100 512 ])
+
+(* --- Message --- *)
+
+let test_message_sizes () =
+  let ids = ids () in
+  let dest = Port.fresh ids in
+  let m = [ data_chunk ~lo:0 1024; iou_chunk ids ~lo:1024 2048 ] in
+  let msg =
+    Message.make ~ids ~dest ~inline_bytes:100 ~memory:m
+      ~rights:[ Port.fresh ids; Port.fresh ids ]
+      (Message.Ping 0)
+  in
+  Alcotest.(check int) "local size includes promised memory"
+    (Message.header_bytes + 100 + 16 + 3072)
+    (Message.local_size msg);
+  Alcotest.(check int) "wire size counts data + descriptors only"
+    (Message.header_bytes + 100 + 16 + 48 + 1024)
+    (Message.wire_size msg)
+
+let test_message_defaults () =
+  let ids = ids () in
+  let msg = Message.make ~ids ~dest:(Port.fresh ids) (Message.Ping 1) in
+  Alcotest.(check int) "default inline" 64 msg.Message.inline_bytes;
+  Alcotest.(check bool) "no_ious off" false msg.Message.no_ious;
+  Alcotest.(check bool) "control category" true
+    (msg.Message.category = Message.Control)
+
+let test_with_memory_validates () =
+  let ids = ids () in
+  let msg = Message.make ~ids ~dest:(Port.fresh ids) (Message.Ping 1) in
+  Alcotest.check_raises "swap validates"
+    (Invalid_argument "Memory_object: chunks overlap or out of order")
+    (fun () ->
+      ignore
+        (Message.with_memory msg
+           (Some [ data_chunk ~lo:0 1024; data_chunk ~lo:0 1024 ])))
+
+(* --- Segment_store --- *)
+
+let test_segment_store_roundtrip () =
+  let store = Segment_store.create () in
+  Segment_store.put_bytes store ~segment_id:1 ~offset:0 (Bytes.make 1200 'a');
+  Alcotest.(check int) "pages" 3 (Segment_store.segment_pages store ~segment_id:1);
+  (match Segment_store.get_page store ~segment_id:1 ~offset:512 with
+  | Some page -> Alcotest.(check char) "content" 'a' (Bytes.get page 0)
+  | None -> Alcotest.fail "page missing");
+  Alcotest.(check (option Alcotest.reject)) "absent offset" None
+    (Option.map ignore (Segment_store.get_page store ~segment_id:1 ~offset:4096))
+
+let test_segment_store_read_run () =
+  let store = Segment_store.create () in
+  Segment_store.put_bytes store ~segment_id:1 ~offset:0 (Bytes.make 1024 'a');
+  (* a hole at page 2, then another page *)
+  Segment_store.put_page store ~segment_id:1 ~offset:1536
+    (Bytes.make 512 'b');
+  Alcotest.(check int) "run stops at hole" 2
+    (List.length (Segment_store.read_run store ~segment_id:1 ~offset:0 ~pages:8));
+  Alcotest.(check int) "empty when first absent" 0
+    (List.length
+       (Segment_store.read_run store ~segment_id:1 ~offset:1024 ~pages:2));
+  Alcotest.(check int) "bounded by pages" 1
+    (List.length (Segment_store.read_run store ~segment_id:1 ~offset:0 ~pages:1))
+
+let test_segment_store_drop () =
+  let store = Segment_store.create () in
+  Segment_store.put_bytes store ~segment_id:5 ~offset:0 (Bytes.make 512 'x');
+  Alcotest.(check bool) "present" true (Segment_store.has_segment store ~segment_id:5);
+  Segment_store.drop_segment store ~segment_id:5;
+  Alcotest.(check bool) "dropped" false
+    (Segment_store.has_segment store ~segment_id:5);
+  Alcotest.(check int) "no bytes" 0 (Segment_store.total_bytes store)
+
+(* --- Kernel_ipc --- *)
+
+let kernel_world () =
+  let engine = Engine.create () in
+  let cpu = Queue_server.create engine ~name:"cpu" in
+  let kernel = Kernel_ipc.create engine ~cpu Kernel_ipc.default_params in
+  (engine, kernel)
+
+let test_kernel_local_delivery () =
+  let engine, kernel = kernel_world () in
+  let ids = ids () in
+  let port = Port.fresh ids in
+  let got = ref None in
+  Kernel_ipc.bind kernel port (fun msg -> got := Some msg.Message.payload);
+  Kernel_ipc.send kernel (Message.make ~ids ~dest:port (Message.Ping 42));
+  ignore (Engine.run engine);
+  (match !got with
+  | Some (Message.Ping 42) -> ()
+  | _ -> Alcotest.fail "expected local delivery of Ping 42");
+  Alcotest.(check int) "counted" 1 (Kernel_ipc.delivered_locally kernel);
+  Alcotest.(check bool) "delivery takes kernel time" true
+    (Engine.now engine > 0.)
+
+let test_kernel_forwarding () =
+  let engine, kernel = kernel_world () in
+  let ids = ids () in
+  let forwarded = ref 0 in
+  Kernel_ipc.set_forwarder kernel (fun _ -> incr forwarded);
+  Kernel_ipc.send kernel
+    (Message.make ~ids ~dest:(Port.fresh ids) (Message.Ping 0));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "forwarded" 1 !forwarded;
+  Alcotest.(check int) "nothing local" 0 (Kernel_ipc.delivered_locally kernel)
+
+let test_kernel_unbind () =
+  let engine, kernel = kernel_world () in
+  let ids = ids () in
+  let port = Port.fresh ids in
+  let hits = ref 0 in
+  Kernel_ipc.bind kernel port (fun _ -> incr hits);
+  Kernel_ipc.unbind kernel port;
+  Alcotest.(check bool) "no receiver" false
+    (Kernel_ipc.has_local_receiver kernel port);
+  Kernel_ipc.send kernel (Message.make ~ids ~dest:port (Message.Ping 0));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "dropped silently" 0 !hits
+
+let test_kernel_cost_small_vs_large () =
+  let params = Kernel_ipc.default_params in
+  let ids = ids () in
+  let dest = Port.fresh ids in
+  let small = Message.make ~ids ~dest ~inline_bytes:64 (Message.Ping 0) in
+  let large =
+    Message.make ~ids ~dest ~inline_bytes:64
+      ~memory:[ data_chunk ~lo:0 (512 * 200) ]
+      (Message.Ping 0)
+  in
+  let small_cost = Kernel_ipc.handling_cost params small in
+  let large_cost = Kernel_ipc.handling_cost params large in
+  Alcotest.(check bool) "copy path for small" true
+    (Time.to_ms small_cost < 2.);
+  (* 200 pages at the map rate, not 100 KB at the copy rate *)
+  Alcotest.(check bool) "map path for large" true
+    (Time.to_ms large_cost < 10.);
+  Alcotest.(check bool) "large still costs more" true
+    (Time.to_ms large_cost > Time.to_ms small_cost)
+
+let test_kernel_fifo_order () =
+  let engine, kernel = kernel_world () in
+  let ids = ids () in
+  let port = Port.fresh ids in
+  let seen = ref [] in
+  Kernel_ipc.bind kernel port (fun msg ->
+      match msg.Message.payload with
+      | Message.Ping n -> seen := n :: !seen
+      | _ -> ());
+  for i = 1 to 5 do
+    Kernel_ipc.send kernel (Message.make ~ids ~dest:port (Message.Ping i))
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !seen)
+
+let suite =
+  ( "ipc",
+    [
+      Alcotest.test_case "port fresh distinct" `Quick test_port_fresh_distinct;
+      Alcotest.test_case "port right names" `Quick test_port_rights_names;
+      Alcotest.test_case "memory object accounting" `Quick
+        test_memory_object_accounting;
+      Alcotest.test_case "memory object overlap" `Quick
+        test_memory_object_rejects_overlap;
+      Alcotest.test_case "memory object bad length" `Quick
+        test_memory_object_rejects_bad_length;
+      Alcotest.test_case "memory object unaligned" `Quick
+        test_memory_object_rejects_unaligned;
+      Alcotest.test_case "message sizes" `Quick test_message_sizes;
+      Alcotest.test_case "message defaults" `Quick test_message_defaults;
+      Alcotest.test_case "with_memory validates" `Quick
+        test_with_memory_validates;
+      Alcotest.test_case "segment store roundtrip" `Quick
+        test_segment_store_roundtrip;
+      Alcotest.test_case "segment store read_run" `Quick
+        test_segment_store_read_run;
+      Alcotest.test_case "segment store drop" `Quick test_segment_store_drop;
+      Alcotest.test_case "kernel local delivery" `Quick
+        test_kernel_local_delivery;
+      Alcotest.test_case "kernel forwarding" `Quick test_kernel_forwarding;
+      Alcotest.test_case "kernel unbind" `Quick test_kernel_unbind;
+      Alcotest.test_case "kernel cost model" `Quick
+        test_kernel_cost_small_vs_large;
+      Alcotest.test_case "kernel fifo order" `Quick test_kernel_fifo_order;
+    ] )

@@ -1,0 +1,315 @@
+(* Memory substrate: pages, ranges, physical memory with LRU eviction, the
+   paging disk, working sets and copy-on-write sharing. *)
+open Accent_mem
+
+(* --- Page --- *)
+
+let test_page_constants () =
+  Alcotest.(check int) "512-byte pages" 512 Page.size;
+  Alcotest.(check int) "index" 2 (Page.index_of_addr 1024);
+  Alcotest.(check int) "addr" 1024 (Page.addr_of_index 2)
+
+let test_page_span () =
+  Alcotest.(check (pair int int)) "exact pages" (0, 1)
+    (Page.span ~lo:0 ~hi:1024);
+  Alcotest.(check (pair int int)) "partial end" (0, 2)
+    (Page.span ~lo:0 ~hi:1025);
+  Alcotest.(check int) "count" 3 (Page.count_in ~lo:511 ~hi:1025);
+  Alcotest.(check int) "empty count" 0 (Page.count_in ~lo:10 ~hi:10)
+
+let test_page_pattern_deterministic () =
+  let a = Page.pattern ~tag:7 42 and b = Page.pattern ~tag:7 42 in
+  Alcotest.(check bool) "same inputs same page" true (Bytes.equal a b);
+  let c = Page.pattern ~tag:8 42 in
+  Alcotest.(check bool) "tag changes content" false (Bytes.equal a c);
+  let d = Page.pattern ~tag:7 43 in
+  Alcotest.(check bool) "index changes content" false (Bytes.equal a d)
+
+let test_page_zero () =
+  Alcotest.(check bool) "zero page is zero" true (Page.is_zero (Page.zero ()));
+  Alcotest.(check bool) "pattern page is not" false
+    (Page.is_zero (Page.pattern ~tag:1 1))
+
+let test_page_checksum () =
+  let a = Page.pattern ~tag:3 9 in
+  Alcotest.(check int) "checksum stable" (Page.checksum a) (Page.checksum a);
+  Alcotest.(check bool) "checksum discriminates" true
+    (Page.checksum a <> Page.checksum (Page.zero ()))
+
+let prop_span_count_consistent =
+  QCheck.Test.make ~name:"span and count agree"
+    QCheck.(pair (int_range 0 100_000) (int_range 1 100_000))
+    (fun (lo, len) ->
+      let hi = lo + len in
+      let first, last = Page.span ~lo ~hi in
+      Page.count_in ~lo ~hi = last - first + 1)
+
+(* --- Vaddr --- *)
+
+let test_vaddr_basic () =
+  let r = Vaddr.range 100 200 in
+  Alcotest.(check int) "len" 100 (Vaddr.len r);
+  Alcotest.(check bool) "contains lo" true (Vaddr.contains r 100);
+  Alcotest.(check bool) "excludes hi" false (Vaddr.contains r 200);
+  Alcotest.(check bool) "overlap" true
+    (Vaddr.overlaps r (Vaddr.range 150 250));
+  Alcotest.(check bool) "no overlap when abutting" false
+    (Vaddr.overlaps r (Vaddr.range 200 300))
+
+let test_vaddr_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Vaddr.range") (fun () ->
+      ignore (Vaddr.range 10 5));
+  Alcotest.check_raises "beyond 4GB" (Invalid_argument "Vaddr.range")
+    (fun () -> ignore (Vaddr.range 0 (Vaddr.space_limit + 1)))
+
+let test_vaddr_intersect () =
+  let a = Vaddr.range 0 100 and b = Vaddr.range 50 150 in
+  (match Vaddr.intersect a b with
+  | Some r ->
+      Alcotest.(check int) "lo" 50 r.Vaddr.lo;
+      Alcotest.(check int) "hi" 100 r.Vaddr.hi
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "disjoint" true
+    (Vaddr.intersect a (Vaddr.range 100 200) = None)
+
+let test_vaddr_align () =
+  let r = Vaddr.align_out (Vaddr.range 100 1000) in
+  Alcotest.(check int) "aligned lo" 0 r.Vaddr.lo;
+  Alcotest.(check int) "aligned hi" 1024 r.Vaddr.hi;
+  Alcotest.(check bool) "is aligned" true (Vaddr.page_aligned r)
+
+(* --- Phys_mem --- *)
+
+let owner space_id page = { Phys_mem.space_id; page }
+
+let test_phys_alloc_read () =
+  let mem = Phys_mem.create ~frames:4 in
+  let data = Page.pattern ~tag:1 0 in
+  let f = Phys_mem.allocate mem ~owner:(owner 1 0) data in
+  Alcotest.(check bool) "content preserved" true
+    (Bytes.equal data (Phys_mem.read mem f));
+  Alcotest.(check int) "in use" 1 (Phys_mem.in_use mem);
+  Alcotest.(check int) "free" 3 (Phys_mem.free_frames mem);
+  (* allocate copies: mutating the source must not affect the frame *)
+  Bytes.set data 0 'X';
+  Alcotest.(check bool) "defensive copy" false
+    (Bytes.equal data (Phys_mem.read mem f))
+
+let test_phys_write_dirty () =
+  let mem = Phys_mem.create ~frames:2 in
+  let f = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
+  Alcotest.(check bool) "clean initially" false (Phys_mem.is_dirty mem f);
+  Phys_mem.write mem f (Page.pattern ~tag:2 0);
+  Alcotest.(check bool) "dirty after write" true (Phys_mem.is_dirty mem f)
+
+let test_phys_lru_eviction () =
+  let mem = Phys_mem.create ~frames:2 in
+  let evicted = ref [] in
+  Phys_mem.set_evict_handler mem (fun o _ ~dirty:_ ->
+      evicted := o.Phys_mem.page :: !evicted);
+  let f0 = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
+  let _f1 = Phys_mem.allocate mem ~owner:(owner 1 1) (Page.zero ()) in
+  (* touch page 0 so page 1 is the LRU victim *)
+  Phys_mem.touch mem f0;
+  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 2) (Page.zero ()) in
+  Alcotest.(check (list int)) "evicted the LRU page" [ 1 ] !evicted;
+  Alcotest.(check int) "eviction count" 1 (Phys_mem.evictions mem)
+
+let test_phys_pin_protects () =
+  let mem = Phys_mem.create ~frames:2 in
+  let evicted = ref [] in
+  Phys_mem.set_evict_handler mem (fun o _ ~dirty:_ ->
+      evicted := o.Phys_mem.page :: !evicted);
+  let f0 = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
+  let _f1 = Phys_mem.allocate mem ~owner:(owner 1 1) (Page.zero ()) in
+  Phys_mem.pin mem f0;
+  (* page 0 is older but pinned; page 1 must be chosen *)
+  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 2) (Page.zero ()) in
+  Alcotest.(check (list int)) "pinned survives" [ 1 ] !evicted
+
+let test_phys_frames_of_space () =
+  let mem = Phys_mem.create ~frames:8 in
+  ignore (Phys_mem.allocate mem ~owner:(owner 1 10) (Page.zero ()));
+  ignore (Phys_mem.allocate mem ~owner:(owner 2 20) (Page.zero ()));
+  ignore (Phys_mem.allocate mem ~owner:(owner 1 11) (Page.zero ()));
+  let pages = List.map fst (Phys_mem.frames_of_space mem 1) in
+  Alcotest.(check (list int)) "per-space resident pages" [ 10; 11 ] pages;
+  Alcotest.(check (list int)) "other space" [ 20 ]
+    (List.map fst (Phys_mem.frames_of_space mem 2));
+  Alcotest.(check (list int)) "unknown space" []
+    (List.map fst (Phys_mem.frames_of_space mem 3))
+
+let test_phys_free_recycles () =
+  let mem = Phys_mem.create ~frames:1 in
+  let f = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
+  Phys_mem.free mem f;
+  Alcotest.(check int) "freed" 0 (Phys_mem.in_use mem);
+  (* no evict handler needed: the freed frame is reused *)
+  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 1) (Page.zero ()) in
+  Alcotest.(check int) "reused" 1 (Phys_mem.in_use mem)
+
+(* --- Paging_disk --- *)
+
+let test_disk_roundtrip () =
+  let disk = Paging_disk.create () in
+  let data = Page.pattern ~tag:5 3 in
+  let b = Paging_disk.alloc disk data in
+  Alcotest.(check bool) "roundtrip" true
+    (Bytes.equal data (Paging_disk.read disk b));
+  Paging_disk.write disk b (Page.zero ());
+  Alcotest.(check bool) "overwrite" true
+    (Page.is_zero (Paging_disk.read disk b));
+  Alcotest.(check int) "in use" 1 (Paging_disk.blocks_in_use disk);
+  Paging_disk.free disk b;
+  Alcotest.(check int) "freed" 0 (Paging_disk.blocks_in_use disk)
+
+let test_disk_unknown_block () =
+  let disk = Paging_disk.create () in
+  Alcotest.check_raises "read unknown"
+    (Invalid_argument "Paging_disk: unknown block") (fun () ->
+      ignore (Paging_disk.read disk 42))
+
+(* --- Working_set --- *)
+
+let test_working_set_window () =
+  let ws = Working_set.create ~window:100. in
+  Working_set.reference ws ~time:0. 1;
+  Working_set.reference ws ~time:50. 2;
+  Working_set.reference ws ~time:120. 3;
+  Alcotest.(check int) "page 1 aged out at t=120" 2
+    (Working_set.size_at ws ~time:120.);
+  Alcotest.(check (list int)) "members" [ 2; 3 ]
+    (Working_set.pages_at ws ~time:120.);
+  Alcotest.(check int) "total refs" 3 (Working_set.references ws);
+  Alcotest.(check int) "distinct" 3 (Working_set.distinct_pages ws)
+
+let test_working_set_rereference_refreshes () =
+  let ws = Working_set.create ~window:100. in
+  Working_set.reference ws ~time:0. 1;
+  Working_set.reference ws ~time:90. 1;
+  Alcotest.(check int) "re-reference keeps page in" 1
+    (Working_set.size_at ws ~time:150.)
+
+(* --- Cow --- *)
+
+let test_cow_share_read () =
+  let store = Cow.create_store () in
+  let data = Bytes.of_string (String.make 1000 'x') in
+  let h = Cow.share store data in
+  Alcotest.(check int) "length" 1000 (Cow.length store h);
+  Alcotest.(check int) "pages" 2 (Cow.pages_of store h);
+  Alcotest.(check bool) "roundtrip" true (Bytes.equal data (Cow.read store h))
+
+let test_cow_dup_no_copy () =
+  let store = Cow.create_store () in
+  let h = Cow.share store (Bytes.make 2048 'a') in
+  let d = Cow.dup store h in
+  Alcotest.(check int) "no new physical pages" 4 (Cow.live_pages store);
+  Alcotest.(check int) "logical doubled" 8 (Cow.logical_pages store);
+  Alcotest.(check int) "no deferred copies yet" 0 (Cow.deferred_copies store);
+  Alcotest.(check bool) "same contents" true
+    (Bytes.equal (Cow.read store h) (Cow.read store d))
+
+let test_cow_write_isolates () =
+  let store = Cow.create_store () in
+  let h = Cow.share store (Bytes.make 2048 'a') in
+  let d = Cow.dup store h in
+  Cow.write store d ~offset:0 (Bytes.of_string "zz");
+  Alcotest.(check char) "writer sees change" 'z' (Bytes.get (Cow.read store d) 0);
+  Alcotest.(check char) "sharer unaffected" 'a' (Bytes.get (Cow.read store h) 0);
+  Alcotest.(check int) "only the touched page copied" 1
+    (Cow.deferred_copies store);
+  Alcotest.(check int) "five physical pages now" 5 (Cow.live_pages store)
+
+let test_cow_write_exclusive_in_place () =
+  let store = Cow.create_store () in
+  let h = Cow.share store (Bytes.make 512 'a') in
+  Cow.write store h ~offset:10 (Bytes.of_string "b");
+  Alcotest.(check int) "no copy when exclusive" 0 (Cow.deferred_copies store)
+
+let test_cow_write_spanning_pages () =
+  let store = Cow.create_store () in
+  let h = Cow.share store (Bytes.make 2048 'a') in
+  let d = Cow.dup store h in
+  (* write across the page-1/page-2 boundary *)
+  Cow.write store d ~offset:1020 (Bytes.make 10 'c');
+  Alcotest.(check int) "both touched pages copied" 2
+    (Cow.deferred_copies store);
+  let out = Cow.read store d in
+  Alcotest.(check char) "start" 'c' (Bytes.get out 1020);
+  Alcotest.(check char) "end" 'c' (Bytes.get out 1029);
+  Alcotest.(check char) "sharer intact" 'a' (Bytes.get (Cow.read store h) 1025)
+
+let test_cow_release_frees () =
+  let store = Cow.create_store () in
+  let h = Cow.share store (Bytes.make 1024 'a') in
+  let d = Cow.dup store h in
+  Cow.release store h;
+  Alcotest.(check int) "pages survive via dup" 2 (Cow.live_pages store);
+  Cow.release store d;
+  Alcotest.(check int) "all freed" 0 (Cow.live_pages store)
+
+let test_cow_released_handle_rejected () =
+  let store = Cow.create_store () in
+  let h = Cow.share store (Bytes.make 512 'a') in
+  Cow.release store h;
+  Alcotest.check_raises "use after release"
+    (Invalid_argument "Cow: released handle") (fun () ->
+      ignore (Cow.read store h))
+
+let test_cow_sharing_ratio () =
+  let store = Cow.create_store () in
+  (* a system-building pattern: lots of duplication, almost no writes *)
+  let h = Cow.share store (Bytes.make (512 * 100) 'a') in
+  let dups = List.init 50 (fun _ -> Cow.dup store h) in
+  Cow.write store (List.hd dups) ~offset:0 (Bytes.of_string "x");
+  let ratio = Cow.sharing_ratio store in
+  Alcotest.(check bool) "like Fitzgerald's 99.98%" true (ratio > 0.999)
+
+let prop_cow_dup_read_equal =
+  QCheck.Test.make ~name:"dup reads equal original"
+    QCheck.(string_of_size Gen.(int_range 1 3000))
+    (fun s ->
+      let store = Cow.create_store () in
+      let h = Cow.share store (Bytes.of_string s) in
+      let d = Cow.dup store h in
+      Bytes.to_string (Cow.read store d) = s)
+
+let suite =
+  ( "mem",
+    [
+      Alcotest.test_case "page constants" `Quick test_page_constants;
+      Alcotest.test_case "page span" `Quick test_page_span;
+      Alcotest.test_case "page pattern" `Quick test_page_pattern_deterministic;
+      Alcotest.test_case "page zero" `Quick test_page_zero;
+      Alcotest.test_case "page checksum" `Quick test_page_checksum;
+      QCheck_alcotest.to_alcotest prop_span_count_consistent;
+      Alcotest.test_case "vaddr basics" `Quick test_vaddr_basic;
+      Alcotest.test_case "vaddr invalid" `Quick test_vaddr_invalid;
+      Alcotest.test_case "vaddr intersect" `Quick test_vaddr_intersect;
+      Alcotest.test_case "vaddr align" `Quick test_vaddr_align;
+      Alcotest.test_case "phys alloc/read" `Quick test_phys_alloc_read;
+      Alcotest.test_case "phys write dirty" `Quick test_phys_write_dirty;
+      Alcotest.test_case "phys LRU eviction" `Quick test_phys_lru_eviction;
+      Alcotest.test_case "phys pin protects" `Quick test_phys_pin_protects;
+      Alcotest.test_case "phys frames of space" `Quick
+        test_phys_frames_of_space;
+      Alcotest.test_case "phys free recycles" `Quick test_phys_free_recycles;
+      Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
+      Alcotest.test_case "disk unknown block" `Quick test_disk_unknown_block;
+      Alcotest.test_case "working set window" `Quick test_working_set_window;
+      Alcotest.test_case "working set refresh" `Quick
+        test_working_set_rereference_refreshes;
+      Alcotest.test_case "cow share/read" `Quick test_cow_share_read;
+      Alcotest.test_case "cow dup no copy" `Quick test_cow_dup_no_copy;
+      Alcotest.test_case "cow write isolates" `Quick test_cow_write_isolates;
+      Alcotest.test_case "cow exclusive write in place" `Quick
+        test_cow_write_exclusive_in_place;
+      Alcotest.test_case "cow write spans pages" `Quick
+        test_cow_write_spanning_pages;
+      Alcotest.test_case "cow release frees" `Quick test_cow_release_frees;
+      Alcotest.test_case "cow rejects released handle" `Quick
+        test_cow_released_handle_rejected;
+      Alcotest.test_case "cow sharing ratio" `Quick test_cow_sharing_ratio;
+      QCheck_alcotest.to_alcotest prop_cow_dup_read_equal;
+    ] )

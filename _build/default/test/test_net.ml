@@ -1,0 +1,313 @@
+(* Network substrate: link fragmentation and timing, the registry, and
+   NetMsgServer forwarding including §2.4 IOU caching and backing
+   service.  These build small two-host worlds from kernel-level parts. *)
+open Accent_sim
+open Accent_ipc
+open Accent_net
+
+let monitor () = Transfer_monitor.create ()
+
+(* --- Link --- *)
+
+let test_link_fragment_math () =
+  let p = Link.default_params in
+  Alcotest.(check int) "one fragment minimum" 1 (Link.fragments_for p 0);
+  Alcotest.(check int) "exact" 1 (Link.fragments_for p p.Link.fragment_bytes);
+  Alcotest.(check int) "spill" 2
+    (Link.fragments_for p (p.Link.fragment_bytes + 1));
+  Alcotest.(check int) "wire includes headers"
+    (3000 + (2 * p.Link.fragment_overhead_bytes))
+    (Link.wire_bytes_for p 3000)
+
+let test_link_transmit_timing () =
+  let engine = Engine.create () in
+  let mon = monitor () in
+  let link = Link.create engine ~params:Link.default_params ~monitor:mon in
+  let arrived = ref (-1.) in
+  Link.transmit link ~bytes:1250 ~category:Message.Bulk (fun () ->
+      arrived := Engine.now engine);
+  ignore (Engine.run engine);
+  (* (1250 + 32) / 1250 B/ms + 2ms latency *)
+  Alcotest.(check (float 0.01)) "arrival time" 3.0256 !arrived;
+  Alcotest.(check int) "bytes recorded with headers" 1282 (Link.bytes_sent link);
+  Alcotest.(check int) "monitor saw it" 1282
+    (Transfer_monitor.bytes_of mon Message.Bulk)
+
+let test_link_serializes_transfers () =
+  let engine = Engine.create () in
+  let link = Link.create engine ~params:Link.default_params ~monitor:(monitor ()) in
+  let order = ref [] in
+  Link.transmit link ~bytes:12500 ~category:Message.Bulk (fun () ->
+      order := "big" :: !order);
+  Link.transmit link ~bytes:100 ~category:Message.Fault (fun () ->
+      order := "small" :: !order);
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "FIFO medium" [ "big"; "small" ]
+    (List.rev !order)
+
+(* --- Transfer_monitor --- *)
+
+let test_monitor_accounting () =
+  let mon = monitor () in
+  Transfer_monitor.record mon ~time:10. ~category:Message.Fault ~bytes:100;
+  Transfer_monitor.record mon ~time:20. ~category:Message.Bulk ~bytes:500;
+  Transfer_monitor.note_message mon ~category:Message.Fault;
+  Alcotest.(check int) "fault bytes" 100
+    (Transfer_monitor.bytes_of mon Message.Fault);
+  Alcotest.(check int) "total" 600 (Transfer_monitor.bytes_total mon);
+  Alcotest.(check int) "messages" 1 (Transfer_monitor.messages_total mon);
+  Transfer_monitor.reset mon;
+  Alcotest.(check int) "reset" 0 (Transfer_monitor.bytes_total mon)
+
+(* --- Net_registry --- *)
+
+let test_registry_homes () =
+  let reg = Net_registry.create () in
+  let ids = Ids.create () in
+  let port = Port.fresh ids in
+  Alcotest.(check (option int)) "unknown" None (Net_registry.port_home reg port);
+  Net_registry.set_port_home reg port ~host_id:3;
+  Alcotest.(check (option int)) "homed" (Some 3)
+    (Net_registry.port_home reg port);
+  Net_registry.set_port_home reg port ~host_id:4;
+  Alcotest.(check (option int)) "rehomed (rights moved)" (Some 4)
+    (Net_registry.port_home reg port);
+  Net_registry.forget_port reg port;
+  Alcotest.(check (option int)) "forgotten" None
+    (Net_registry.port_home reg port)
+
+(* --- Two-host NMS world --- *)
+
+type nms_world = {
+  engine : Engine.t;
+  ids : Ids.t;
+  registry : Net_registry.t;
+  monitor : Transfer_monitor.t;
+  kernels : Kernel_ipc.t array;
+  servers : Netmsgserver.t array;
+}
+
+let nms_world ?(params = Netmsgserver.default_params) () =
+  let engine = Engine.create () in
+  let ids = Ids.create () in
+  let registry = Net_registry.create () in
+  let monitor = Transfer_monitor.create () in
+  let link = Link.create engine ~params:Link.default_params ~monitor in
+  let make host_id =
+    let cpu = Queue_server.create engine ~name:(Printf.sprintf "cpu%d" host_id) in
+    let kernel = Kernel_ipc.create engine ~cpu Kernel_ipc.default_params in
+    let nms =
+      Netmsgserver.create engine ~ids ~host_id ~kernel ~link ~registry
+        ~monitor ~params
+    in
+    (kernel, nms)
+  in
+  let pairs = Array.init 2 make in
+  {
+    engine;
+    ids;
+    registry;
+    monitor;
+    kernels = Array.map fst pairs;
+    servers = Array.map snd pairs;
+  }
+
+let remote_port w ~on:host_id handler =
+  let port = Port.fresh w.ids in
+  Kernel_ipc.bind w.kernels.(host_id) port handler;
+  Net_registry.set_port_home w.registry port ~host_id;
+  port
+
+let test_nms_cross_host_delivery () =
+  let w = nms_world () in
+  let got = ref [] in
+  let port =
+    remote_port w ~on:1 (fun msg ->
+        match msg.Message.payload with
+        | Message.Ping n -> got := n :: !got
+        | _ -> ())
+  in
+  (* sent from host 0's kernel; no local receiver -> NMS -> host 1 *)
+  Kernel_ipc.send w.kernels.(0) (Message.make ~ids:w.ids ~dest:port (Message.Ping 7));
+  ignore (Engine.run w.engine);
+  Alcotest.(check (list int)) "delivered across hosts" [ 7 ] !got;
+  Alcotest.(check int) "both servers handled it" 2
+    (Netmsgserver.messages_handled w.servers.(0)
+    + Netmsgserver.messages_handled w.servers.(1));
+  Alcotest.(check bool) "busy time accrued on both sides" true
+    (Netmsgserver.busy_time w.servers.(0) > 0.
+    && Netmsgserver.busy_time w.servers.(1) > 0.)
+
+let test_nms_large_message_fragments () =
+  let w = nms_world () in
+  let delivered = ref 0 in
+  let port = remote_port w ~on:1 (fun _ -> incr delivered) in
+  let memory =
+    [
+      {
+        Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 20);
+        content = Memory_object.Data (Bytes.make (512 * 20) 'x');
+      };
+    ]
+  in
+  Kernel_ipc.send w.kernels.(0)
+    (Message.make ~ids:w.ids ~dest:port ~memory ~no_ious:true
+       ~category:Message.Bulk (Message.Ping 0));
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "delivered exactly once" 1 !delivered;
+  (* ~10 KB at 1536 B/fragment: several packets on the wire *)
+  Alcotest.(check bool) "fragmented" true
+    (Transfer_monitor.bytes_of w.monitor Message.Bulk > 512 * 20)
+
+let test_nms_iou_caching () =
+  let w = nms_world () in
+  let received_memory = ref None in
+  let port =
+    remote_port w ~on:1 (fun msg -> received_memory := msg.Message.memory)
+  in
+  let payload_bytes = Bytes.make (512 * 8) 'y' in
+  let memory =
+    [
+      {
+        Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 8);
+        content = Memory_object.Data payload_bytes;
+      };
+    ]
+  in
+  Kernel_ipc.send w.kernels.(0)
+    (Message.make ~ids:w.ids ~dest:port ~memory ~category:Message.Bulk
+       (Message.Ping 0));
+  ignore (Engine.run w.engine);
+  (* the sender-side NMS must have retained the data and passed IOUs *)
+  Alcotest.(check int) "data cached at source" (512 * 8)
+    (Netmsgserver.bytes_cached w.servers.(0));
+  Alcotest.(check int) "one segment backed" 1
+    (Netmsgserver.segments_backed w.servers.(0));
+  (match !received_memory with
+  | Some [ { Memory_object.content = Memory_object.Iou _; _ } ] -> ()
+  | _ -> Alcotest.fail "receiver should have seen a single IOU chunk");
+  (* almost nothing crossed the wire *)
+  Alcotest.(check bool) "bytes stayed home" true
+    (Transfer_monitor.bytes_of w.monitor Message.Bulk < 1024)
+
+let test_nms_no_ious_bit_respected () =
+  let w = nms_world () in
+  let port = remote_port w ~on:1 (fun _ -> ()) in
+  let memory =
+    [
+      {
+        Memory_object.range = Accent_mem.Vaddr.of_len 0 512;
+        content = Memory_object.Data (Bytes.make 512 'z');
+      };
+    ]
+  in
+  Kernel_ipc.send w.kernels.(0)
+    (Message.make ~ids:w.ids ~dest:port ~memory ~no_ious:true
+       ~category:Message.Bulk (Message.Ping 0));
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "nothing cached" 0
+    (Netmsgserver.bytes_cached w.servers.(0));
+  Alcotest.(check bool) "data crossed the wire" true
+    (Transfer_monitor.bytes_of w.monitor Message.Bulk >= 512)
+
+let test_nms_caching_disabled_by_params () =
+  let w =
+    nms_world
+      ~params:{ Netmsgserver.default_params with Netmsgserver.iou_caching = false }
+      ()
+  in
+  let port = remote_port w ~on:1 (fun _ -> ()) in
+  let memory =
+    [
+      {
+        Memory_object.range = Accent_mem.Vaddr.of_len 0 512;
+        content = Memory_object.Data (Bytes.make 512 'z');
+      };
+    ]
+  in
+  Kernel_ipc.send w.kernels.(0)
+    (Message.make ~ids:w.ids ~dest:port ~memory ~category:Message.Bulk
+       (Message.Ping 0));
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "ablation: no caching" 0
+    (Netmsgserver.bytes_cached w.servers.(0))
+
+let test_nms_serves_cached_faults_and_death () =
+  let w = nms_world () in
+  let received = ref None in
+  let dest_port = remote_port w ~on:1 (fun msg -> received := Some msg) in
+  let payload = Bytes.init (512 * 4) (fun i -> Char.chr (i mod 251)) in
+  let memory =
+    [
+      {
+        Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 4);
+        content = Memory_object.Data payload;
+      };
+    ]
+  in
+  Kernel_ipc.send w.kernels.(0)
+    (Message.make ~ids:w.ids ~dest:dest_port ~memory ~category:Message.Bulk
+       (Message.Ping 0));
+  ignore (Engine.run w.engine);
+  let segment_id, backing_port =
+    match !received with
+    | Some
+        {
+          Message.memory =
+            Some
+              [
+                {
+                  Memory_object.content =
+                    Memory_object.Iou { segment_id; backing_port; _ };
+                  _;
+                };
+              ];
+          _;
+        } ->
+        (segment_id, backing_port)
+    | _ -> Alcotest.fail "expected an IOU"
+  in
+  (* fault on pages 1-2 from host 1 *)
+  let reply = ref None in
+  let reply_port = remote_port w ~on:1 (fun msg -> reply := Some msg) in
+  Kernel_ipc.send w.kernels.(1)
+    (Protocol.read_request ~ids:w.ids ~dest:backing_port ~reply_to:reply_port
+       ~segment_id ~offset:512 ~pages:2);
+  ignore (Engine.run w.engine);
+  (match !reply with
+  | Some { Message.payload = Protocol.Imaginary_read_reply r; _ } ->
+      Alcotest.(check int) "offset echoed" 512 r.offset;
+      Alcotest.(check int) "two pages" 2 (List.length r.page_data);
+      let first = List.hd r.page_data in
+      Alcotest.(check bool) "page contents are the cached data" true
+        (Bytes.equal first (Bytes.sub payload 512 512))
+  | _ -> Alcotest.fail "expected a read reply");
+  Alcotest.(check int) "fault served" 1
+    (Netmsgserver.faults_served w.servers.(0));
+  Alcotest.(check int) "pages served" 2 (Netmsgserver.pages_served w.servers.(0));
+  (* death retires the segment *)
+  Kernel_ipc.send w.kernels.(1)
+    (Protocol.segment_death ~ids:w.ids ~dest:backing_port ~segment_id);
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "segment retired" 0
+    (Netmsgserver.segments_backed w.servers.(0))
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "link fragment math" `Quick test_link_fragment_math;
+      Alcotest.test_case "link transmit timing" `Quick test_link_transmit_timing;
+      Alcotest.test_case "link serializes" `Quick test_link_serializes_transfers;
+      Alcotest.test_case "monitor accounting" `Quick test_monitor_accounting;
+      Alcotest.test_case "registry homes" `Quick test_registry_homes;
+      Alcotest.test_case "cross-host delivery" `Quick
+        test_nms_cross_host_delivery;
+      Alcotest.test_case "large message fragments" `Quick
+        test_nms_large_message_fragments;
+      Alcotest.test_case "iou caching" `Quick test_nms_iou_caching;
+      Alcotest.test_case "NoIOUs respected" `Quick test_nms_no_ious_bit_respected;
+      Alcotest.test_case "caching ablation switch" `Quick
+        test_nms_caching_disabled_by_params;
+      Alcotest.test_case "serves faults and death" `Quick
+        test_nms_serves_cached_faults_and_death;
+    ] )

@@ -1,0 +1,211 @@
+(* Whole-system property tests: random workload shapes pushed through full
+   migrations under random strategies, checking the invariants that must
+   hold regardless of parameters — completion, bit-exact content, byte
+   accounting, phase ordering. *)
+open Accent_mem
+open Accent_kernel
+open Accent_core
+
+(* Generator for small but varied workload specs. *)
+let spec_gen =
+  QCheck.Gen.(
+    let* real_pages = int_range 8 80 in
+    let* zero_pages = int_range 2 120 in
+    let* touched = int_range 1 real_pages in
+    let* rs_pages = int_range 0 real_pages in
+    (* keep the RS satisfiable: its non-overlap part must fit in the
+       untouched pages *)
+    let min_overlap = max 0 (rs_pages - (real_pages - touched)) in
+    let max_overlap = min touched rs_pages in
+    let* overlap = int_range (min min_overlap max_overlap) max_overlap in
+    let* runs = int_range 1 (max 1 (real_pages / 2)) in
+    let* segments = int_range 1 6 in
+    let* pattern_kind = int_range 0 2 in
+    let* streams = int_range 1 3 in
+    let* cluster = float_range 1. 4. in
+    let* refs_factor = int_range 1 4 in
+    let* zero_touch = int_range 0 3 in
+    let pattern =
+      match pattern_kind with
+      | 0 ->
+          Accent_workloads.Access_pattern.Sequential
+            { streams; revisit = 0.2; run = 8 }
+      | 1 -> Accent_workloads.Access_pattern.Clustered_random { cluster }
+      | _ ->
+          Accent_workloads.Access_pattern.Hot_cold
+            { hot_fraction = 0.4; hot_prob = 0.8 }
+    in
+    return
+      {
+        Accent_workloads.Spec.name = "Prop";
+        description = "generated";
+        real_bytes = real_pages * Page.size;
+        total_bytes = (real_pages + zero_pages) * Page.size;
+        rs_bytes = rs_pages * Page.size;
+        touched_real_pages = touched;
+        rs_touched_overlap = overlap;
+        real_runs = runs;
+        vm_segments = segments;
+        pattern;
+        refs = touched * refs_factor;
+        total_think_ms = 200.;
+        zero_touch_pages = zero_touch;
+        base_addr = 0x40000;
+      })
+
+let spec_print spec =
+  Printf.sprintf "real=%d total=%d rs=%d touched=%d overlap=%d runs=%d"
+    spec.Accent_workloads.Spec.real_bytes spec.Accent_workloads.Spec.total_bytes
+    spec.Accent_workloads.Spec.rs_bytes
+    spec.Accent_workloads.Spec.touched_real_pages
+    spec.Accent_workloads.Spec.rs_touched_overlap
+    spec.Accent_workloads.Spec.real_runs
+
+let strategy_of_int n =
+  match n mod 4 with
+  | 0 -> Strategy.pure_copy
+  | 1 -> Strategy.pure_iou ~prefetch:(n mod 5) ()
+  | 2 -> Strategy.resident_set ~prefetch:(n mod 3) ()
+  | _ -> Strategy.pre_copy ~max_rounds:3 ()
+
+let arb =
+  QCheck.make
+    ~print:(fun (spec, n) ->
+      Printf.sprintf "%s strat=%s" (spec_print spec)
+        (Strategy.name (strategy_of_int n)))
+    QCheck.Gen.(pair spec_gen (int_range 0 19))
+
+(* Every page of the final space must be explainable: the generator
+   pattern, the pattern with a store marker, zeros, or marked zeros. *)
+let content_ok spec space =
+  let tag = Accent_workloads.Spec.content_tag spec in
+  let ok = ref true in
+  List.iter
+    (fun (lo, hi) ->
+      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
+      for idx = first to last do
+        match Address_space.page_data space idx with
+        | None -> ()
+        | Some data ->
+            let expected = Page.pattern ~tag idx in
+            let marked = Page.copy expected in
+            Bytes.set marked 0 Proc.write_marker;
+            let zero_marked = Page.zero () in
+            Bytes.set zero_marked 0 Proc.write_marker;
+            if
+              not
+                (Bytes.equal data expected || Bytes.equal data marked
+               || Page.is_zero data
+                || Bytes.equal data zero_marked)
+            then ok := false
+      done)
+    (Address_space.real_ranges space);
+  !ok
+
+let prop_migration_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"random migrations complete with exact data"
+    arb
+    (fun (spec, n) ->
+      let strategy = strategy_of_int n in
+      let result =
+        Accent_experiments.Trial.run ~write_fraction:0.2 ~spec ~strategy ()
+      in
+      let r = result.Accent_experiments.Trial.report in
+      let proc = result.Accent_experiments.Trial.proc in
+      r.Report.completed_at <> None
+      && Proc.is_done proc
+      && content_ok spec (Proc.space_exn proc)
+      && Report.bytes_total r
+         = Accent_net.Link.bytes_sent
+             result.Accent_experiments.Trial.world.World.link)
+
+let prop_phase_ordering =
+  QCheck.Test.make ~count:40 ~name:"phase timestamps are ordered" arb
+    (fun (spec, n) ->
+      let strategy = strategy_of_int n in
+      let result =
+        Accent_experiments.Trial.run ~write_fraction:0.1 ~spec ~strategy ()
+      in
+      let r = result.Accent_experiments.Trial.report in
+      let get = Option.get in
+      get r.Report.requested_at <= get r.Report.excised_at
+      && get r.Report.excised_at <= get r.Report.rimas_delivered_at
+      && get r.Report.rimas_delivered_at <= get r.Report.inserted_at
+      && get r.Report.inserted_at <= get r.Report.restarted_at
+      && get r.Report.restarted_at <= get r.Report.completed_at)
+
+(* Not true unconditionally: per-fault overhead is ~65% of a page, so a
+   program touching nearly everything moves MORE bytes lazily (the paper's
+   representatives topped out at 58% touched, hence its blanket claim).
+   The invariant that does hold in general: with at most half the memory
+   touched, laziness wins on bytes. *)
+let prop_iou_ships_fewer_bytes_when_half_touched =
+  QCheck.Test.make ~count:30
+    ~name:"pure-IOU moves fewer bytes when <=50% of memory is touched"
+    (QCheck.make ~print:spec_print spec_gen)
+    (fun (spec : Accent_workloads.Spec.t) ->
+      let spec =
+        {
+          spec with
+          Accent_workloads.Spec.touched_real_pages =
+            max 1
+              (min spec.Accent_workloads.Spec.touched_real_pages
+                 (Accent_workloads.Spec.real_pages spec / 2));
+        }
+      in
+      let spec =
+        {
+          spec with
+          Accent_workloads.Spec.rs_touched_overlap =
+            min spec.Accent_workloads.Spec.rs_touched_overlap
+              spec.Accent_workloads.Spec.touched_real_pages;
+          refs = max spec.Accent_workloads.Spec.refs
+                   spec.Accent_workloads.Spec.touched_real_pages;
+        }
+      in
+      QCheck.assume
+        (Accent_workloads.Spec.rs_pages spec
+         - spec.Accent_workloads.Spec.rs_touched_overlap
+        <= Accent_workloads.Spec.real_pages spec
+           - spec.Accent_workloads.Spec.touched_real_pages);
+      let bytes strategy =
+        Report.bytes_total
+          (Accent_experiments.Trial.run ~spec ~strategy ())
+            .Accent_experiments.Trial.report
+      in
+      bytes (Strategy.pure_iou ()) <= bytes Strategy.pure_copy)
+
+let prop_excise_insert_identity =
+  QCheck.Test.make ~count:40
+    ~name:"excise/insert preserves composition exactly"
+    (QCheck.make ~print:spec_print spec_gen)
+    (fun spec ->
+      let world, proc = Accent_experiments.Trial.build_only ~spec () in
+      let space = Proc.space_exn proc in
+      let before =
+        ( Address_space.real_bytes space,
+          Address_space.zero_bytes space,
+          Address_space.total_bytes space )
+      in
+      let ok = ref false in
+      Accent_kernel.Excise.excise (World.host world 0) proc ~k:(fun e ->
+          Accent_kernel.Insert.insert (World.host world 1)
+            ~core:e.Accent_kernel.Excise.core ~rimas:e.Accent_kernel.Excise.rimas
+            ~k:(fun p ->
+              let space' = Proc.space_exn p in
+              ok :=
+                before
+                = ( Address_space.real_bytes space',
+                    Address_space.zero_bytes space',
+                    Address_space.total_bytes space' )));
+      ignore (World.run world);
+      !ok)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest prop_migration_roundtrip;
+      QCheck_alcotest.to_alcotest prop_phase_ordering;
+      QCheck_alcotest.to_alcotest prop_iou_ships_fewer_bytes_when_half_touched;
+      QCheck_alcotest.to_alcotest prop_excise_insert_identity;
+    ] )

@@ -1,0 +1,115 @@
+(* Calibration regression pins: the seven representatives under the three
+   paper strategies (no prefetch), with every headline metric pinned to a
+   band around the current calibrated values.  These are deliberately
+   tighter than test_calibration's paper-anchored checks: they exist to
+   catch accidental drift when someone touches a cost constant or a
+   mechanism, not to re-derive the paper. *)
+open Accent_core
+open Accent_experiments
+
+type pin = {
+  name : string;
+  (* (lo, hi) bands, seconds *)
+  iou_transfer : float * float;
+  copy_transfer : float * float;
+  iou_exec : float * float;
+  copy_exec : float * float;
+  iou_faults : int;
+}
+
+(* Bands are ±15% around the measured values of the calibrated build
+   (seed 42); see EXPERIMENTS.md for the table. *)
+let band center = (center *. 0.85, center *. 1.15)
+
+let pins =
+  [
+    {
+      name = "Minprog";
+      iou_transfer = band 0.13;
+      copy_transfer = band 9.99;
+      iou_exec = band 2.51;
+      copy_exec = band 0.07;
+      iou_faults = 24;
+    };
+    {
+      name = "Lisp-T";
+      iou_transfer = band 0.19;
+      copy_transfer = band 154.4;
+      iou_exec = band 15.0;
+      copy_exec = (1.7, 2.9);
+      iou_faults = 129;
+    };
+    {
+      name = "Lisp-Del";
+      iou_transfer = band 0.19;
+      copy_transfer = band 154.2;
+      iou_exec = band 138.4;
+      copy_exec = band 67.7;
+      iou_faults = 709;
+    };
+    {
+      name = "PM-Start";
+      iou_transfer = band 0.13;
+      copy_transfer = band 31.5;
+      iou_exec = band 75.0;
+      copy_exec = band 23.3;
+      iou_faults = 509;
+    };
+    {
+      name = "PM-Mid";
+      iou_transfer = band 0.13;
+      copy_transfer = band 31.3;
+      iou_exec = band 67.1;
+      copy_exec = band 21.5;
+      iou_faults = 449;
+    };
+    {
+      name = "PM-End";
+      iou_transfer = band 0.14;
+      copy_transfer = band 34.5;
+      iou_exec = band 37.6;
+      copy_exec = band 11.4;
+      iou_faults = 258;
+    };
+    {
+      name = "Chess";
+      iou_transfer = band 0.13;
+      copy_transfer = band 13.7;
+      iou_exec = band 505.4;
+      copy_exec = band 491.6;
+      iou_faults = 136;
+    };
+  ]
+
+let in_band label (lo, hi) x =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.3f within [%.3f, %.3f]" label x lo hi)
+    true
+    (lo <= x && x <= hi)
+
+let check_pin pin () =
+  let spec =
+    Option.get (Accent_workloads.Representative.by_name pin.name)
+  in
+  let run strategy = Trial.run ~spec ~strategy () in
+  let iou = run (Strategy.pure_iou ()) in
+  let copy = run Strategy.pure_copy in
+  in_band "IOU transfer" pin.iou_transfer
+    (Report.rimas_transfer_seconds iou.Trial.report);
+  in_band "copy transfer" pin.copy_transfer
+    (Report.rimas_transfer_seconds copy.Trial.report);
+  in_band "IOU exec" pin.iou_exec
+    (Report.remote_execution_seconds iou.Trial.report);
+  in_band "copy exec" pin.copy_exec
+    (Report.remote_execution_seconds copy.Trial.report);
+  Alcotest.(check int) "IOU faults = touched pages" pin.iou_faults
+    iou.Trial.report.Report.dest_faults_imag;
+  Alcotest.(check int) "copy has no imaginary faults" 0
+    copy.Trial.report.Report.dest_faults_imag
+
+let suite =
+  ( "regression",
+    List.map
+      (fun pin ->
+        Alcotest.test_case (pin.name ^ " pinned") `Slow (check_pin pin))
+      pins )

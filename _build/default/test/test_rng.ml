@@ -1,0 +1,147 @@
+(* Deterministic PRNG: reproducibility, stream independence, range and
+   distribution sanity. *)
+open Accent_util
+
+let draws n f =
+  let rng = Rng.create 7L in
+  List.init n (fun _ -> f rng)
+
+let test_deterministic () =
+  let a = draws 100 (fun r -> Rng.bits64 r) in
+  let b = draws 100 (fun r -> Rng.bits64 r) in
+  Alcotest.(check (list int64)) "same seed, same stream" a b
+
+let test_seed_changes_stream () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" false
+    (List.init 10 (fun _ -> Rng.bits64 a)
+    = List.init 10 (fun _ -> Rng.bits64 b))
+
+let test_label_derivation_stable () =
+  let parent = Rng.create 99L in
+  let a = Rng.of_label parent "pager" in
+  let b = Rng.of_label parent "pager" in
+  Alcotest.(check int64) "same label, same derived stream" (Rng.bits64 a)
+    (Rng.bits64 b)
+
+let test_label_derivation_distinct () =
+  let parent = Rng.create 99L in
+  let a = Rng.of_label parent "pager" in
+  let b = Rng.of_label parent "disk" in
+  Alcotest.(check bool) "labels independent" false
+    (Rng.bits64 a = Rng.bits64 b)
+
+let test_label_does_not_consume_parent () =
+  let p1 = Rng.create 5L and p2 = Rng.create 5L in
+  let _ = Rng.of_label p1 "x" in
+  Alcotest.(check int64) "parent unaffected by derivation" (Rng.bits64 p1)
+    (Rng.bits64 p2)
+
+let test_split_independent () =
+  let parent = Rng.create 11L in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "child differs from parent" false
+    (Rng.bits64 child = Rng.bits64 parent)
+
+let test_int_range () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "0 <= x < 17" true (x >= 0 && x < 17)
+  done
+
+let test_float_range () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0. && x < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 4L in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 4L in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000. in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_exponential_mean () =
+  let rng = Rng.create 6L in
+  let stats = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add stats (Rng.exponential rng 5.)
+  done;
+  let mean = Stats.mean stats in
+  Alcotest.(check bool) "mean near 5" true (mean > 4.7 && mean < 5.3)
+
+let test_geometric_mean () =
+  let rng = Rng.create 8L in
+  let stats = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add stats (float_of_int (Rng.geometric rng 0.5))
+  done;
+  (* mean of geometric (failures before success) with p=0.5 is 1 *)
+  let mean = Stats.mean stats in
+  Alcotest.(check bool) "mean near 1" true (mean > 0.9 && mean < 1.1)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 10L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_choose_member () =
+  let rng = Rng.create 12L in
+  let arr = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 100 do
+    let choice = Rng.choose rng arr in
+    Alcotest.(check bool) "choice is a member" true
+      (Array.exists (fun x -> x = choice) arr)
+  done
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Rng.int within bounds"
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_shuffle_preserves_elements =
+  QCheck.Test.make ~name:"Rng.shuffle preserves elements"
+    QCheck.(pair int64 (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "seed changes stream" `Quick test_seed_changes_stream;
+      Alcotest.test_case "label stable" `Quick test_label_derivation_stable;
+      Alcotest.test_case "label distinct" `Quick test_label_derivation_distinct;
+      Alcotest.test_case "label preserves parent" `Quick
+        test_label_does_not_consume_parent;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "int range" `Quick test_int_range;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+      Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+      Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+      Alcotest.test_case "choose member" `Quick test_choose_member;
+      QCheck_alcotest.to_alcotest prop_int_bounds;
+      QCheck_alcotest.to_alcotest prop_shuffle_preserves_elements;
+    ] )

@@ -1,0 +1,221 @@
+(* Discrete-event engine: event ordering, cancellation, clock semantics,
+   queue-server FIFO behaviour and accounting. *)
+open Accent_sim
+
+(* --- Event_queue --- *)
+
+let test_queue_time_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:3. "c");
+  ignore (Event_queue.push q ~time:1. "a");
+  ignore (Event_queue.push q ~time:2. "b");
+  let pop () = Option.map snd (Event_queue.pop q) in
+  let popped = List.init 4 (fun _ -> pop ()) in
+  Alcotest.(check (list (option string)))
+    "time order"
+    [ Some "a"; Some "b"; Some "c"; None ]
+    popped
+
+let test_queue_fifo_at_equal_times () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.push q ~time:5. i)
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "insertion order at equal time"
+    (List.init 10 Fun.id) order
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let _a = Event_queue.push q ~time:1. "a" in
+  let b = Event_queue.push q ~time:2. "b" in
+  ignore (Event_queue.push q ~time:3. "c");
+  Event_queue.cancel q b;
+  Alcotest.(check int) "size excludes cancelled" 2 (Event_queue.size q);
+  let popped = List.init 2 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "cancelled skipped" [ "a"; "c" ] popped;
+  (* double-cancel is a no-op *)
+  Event_queue.cancel q b;
+  Alcotest.(check int) "empty" 0 (Event_queue.size q)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.))) "peek empty" None (Event_queue.peek_time q);
+  let a = Event_queue.push q ~time:1. "a" in
+  ignore (Event_queue.push q ~time:2. "b");
+  Event_queue.cancel q a;
+  Alcotest.(check (option (float 0.))) "peek skips cancelled" (Some 2.)
+    (Event_queue.peek_time q)
+
+let prop_queue_pops_sorted =
+  QCheck.Test.make ~name:"event queue pops in non-decreasing time order"
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range 0. 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun time -> ignore (Event_queue.push q ~time time)) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.stable_sort compare times)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Engine.now engine) :: !log in
+  ignore (Engine.schedule engine ~delay:(Time.ms 10.) (note "b"));
+  ignore (Engine.schedule engine ~delay:(Time.ms 5.) (note "a"));
+  ignore (Engine.schedule engine ~delay:(Time.ms 20.) (note "c"));
+  let final = Engine.run engine in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "execution order and times"
+    [ ("a", 5.); ("b", 10.); ("c", 20.) ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 20. final
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.schedule engine ~delay:(Time.ms 1.) (fun () ->
+         ignore
+           (Engine.schedule engine ~delay:(Time.ms 1.) (fun () -> incr hits))));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "nested event ran" 1 !hits;
+  Alcotest.(check int) "two events executed" 2 (Engine.events_executed engine)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let hits = ref 0 in
+  let h = Engine.schedule engine ~delay:(Time.ms 1.) (fun () -> incr hits) in
+  Engine.cancel engine h;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "cancelled did not run" 0 !hits
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let hits = ref 0 in
+  ignore (Engine.schedule engine ~delay:(Time.ms 5.) (fun () -> incr hits));
+  ignore (Engine.schedule engine ~delay:(Time.ms 50.) (fun () -> incr hits));
+  let t = Engine.run_until engine (Time.ms 10.) in
+  Alcotest.(check (float 1e-9)) "clock advanced exactly" 10. t;
+  Alcotest.(check int) "only first fired" 1 !hits;
+  Alcotest.(check int) "second still pending" 1 (Engine.pending engine);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "second fired" 2 !hits
+
+let test_engine_negative_delay_clamped () =
+  let engine = Engine.create () in
+  let at = ref (-1.) in
+  ignore
+    (Engine.schedule engine ~delay:(Time.ms (-5.)) (fun () ->
+         at := Engine.now engine));
+  ignore (Engine.run engine);
+  Alcotest.(check (float 1e-9)) "fired at now" 0. !at
+
+let test_engine_rng_deterministic () =
+  let e1 = Engine.create ~seed:9L () and e2 = Engine.create ~seed:9L () in
+  Alcotest.(check int64) "same component stream"
+    (Accent_util.Rng.bits64 (Engine.rng e1 "x"))
+    (Accent_util.Rng.bits64 (Engine.rng e2 "x"))
+
+(* --- Ids --- *)
+
+let test_ids () =
+  let ids = Ids.create () in
+  Alcotest.(check int) "peek" 1 (Ids.peek ids);
+  let drawn = List.init 3 (fun _ -> Ids.next ids) in
+  Alcotest.(check (list int)) "sequential" [ 1; 2; 3 ] drawn;
+  let ids = Ids.create ~start:100 () in
+  Alcotest.(check int) "custom start" 100 (Ids.next ids)
+
+(* --- Queue_server --- *)
+
+let test_server_fifo_serialization () =
+  let engine = Engine.create () in
+  let server = Queue_server.create engine ~name:"s" in
+  let done_at = ref [] in
+  let submit tag service =
+    Queue_server.submit server ~service_time:(Time.ms service) (fun () ->
+        done_at := (tag, Engine.now engine) :: !done_at)
+  in
+  submit "a" 10.;
+  submit "b" 5.;
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "jobs serialize in arrival order"
+    [ ("a", 10.); ("b", 15.) ]
+    (List.rev !done_at)
+
+let test_server_accounting () =
+  let engine = Engine.create () in
+  let server = Queue_server.create engine ~name:"s" in
+  Queue_server.submit server ~service_time:(Time.ms 10.) ignore;
+  Queue_server.submit server ~service_time:(Time.ms 20.) ignore;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "completed" 2 (Queue_server.jobs_completed server);
+  Alcotest.(check (float 1e-9)) "busy time" 30. (Queue_server.busy_time server);
+  let waits = Queue_server.wait_stats server in
+  Alcotest.(check (float 1e-9)) "second job waited 10ms" 10.
+    (Accent_util.Stats.max_value waits);
+  Queue_server.reset_accounting server;
+  Alcotest.(check int) "reset" 0 (Queue_server.jobs_completed server)
+
+let test_server_idle_then_busy () =
+  let engine = Engine.create () in
+  let server = Queue_server.create engine ~name:"s" in
+  Alcotest.(check bool) "starts idle" false (Queue_server.busy server);
+  ignore
+    (Engine.schedule engine ~delay:(Time.ms 100.) (fun () ->
+         Queue_server.submit server ~service_time:(Time.ms 5.) ignore));
+  ignore (Engine.run engine);
+  Alcotest.(check (float 1e-9)) "ends at 105" 105. (Engine.now engine)
+
+let test_server_queue_length () =
+  let engine = Engine.create () in
+  let server = Queue_server.create engine ~name:"s" in
+  Queue_server.submit server ~service_time:(Time.ms 10.) ignore;
+  Queue_server.submit server ~service_time:(Time.ms 10.) ignore;
+  Queue_server.submit server ~service_time:(Time.ms 10.) ignore;
+  Alcotest.(check int) "two waiting" 2 (Queue_server.queue_length server);
+  Alcotest.(check bool) "busy" true (Queue_server.busy server);
+  ignore (Engine.run engine)
+
+(* --- Time --- *)
+
+let test_time_conversions () =
+  Alcotest.(check (float 1e-9)) "seconds" 1500. (Time.seconds 1.5);
+  Alcotest.(check (float 1e-9)) "to_seconds" 1.5 (Time.to_seconds 1500.);
+  Alcotest.(check (float 1e-9)) "diff" 5. (Time.diff 15. 10.);
+  Alcotest.(check string) "pp" "12.345s"
+    (Format.asprintf "%a" Time.pp (Time.seconds 12.345))
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "queue time order" `Quick test_queue_time_order;
+      Alcotest.test_case "queue fifo at equal times" `Quick
+        test_queue_fifo_at_equal_times;
+      Alcotest.test_case "queue cancel" `Quick test_queue_cancel;
+      Alcotest.test_case "queue peek" `Quick test_queue_peek;
+      QCheck_alcotest.to_alcotest prop_queue_pops_sorted;
+      Alcotest.test_case "engine order" `Quick test_engine_runs_in_order;
+      Alcotest.test_case "engine nested" `Quick test_engine_nested_scheduling;
+      Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+      Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
+      Alcotest.test_case "engine clamps negative delay" `Quick
+        test_engine_negative_delay_clamped;
+      Alcotest.test_case "engine rng deterministic" `Quick
+        test_engine_rng_deterministic;
+      Alcotest.test_case "ids" `Quick test_ids;
+      Alcotest.test_case "server fifo" `Quick test_server_fifo_serialization;
+      Alcotest.test_case "server accounting" `Quick test_server_accounting;
+      Alcotest.test_case "server idle then busy" `Quick
+        test_server_idle_then_busy;
+      Alcotest.test_case "server queue length" `Quick test_server_queue_length;
+      Alcotest.test_case "time conversions" `Quick test_time_conversions;
+    ] )
