@@ -33,19 +33,68 @@ let seed_arg =
   let doc = "Deterministic simulation seed." in
   Arg.(value & opt int64 42L & info [ "seed" ] ~doc)
 
-let migrate workload strategy prefetch seed =
+let loss_arg =
+  let doc =
+    "I.i.d. fragment loss rate in percent (0-100).  Any value, even 0, \
+     switches the NetMsgServers to the reliable sliding-window transport."
+  in
+  Arg.(value & opt (some float) None & info [ "loss" ] ~docv:"PCT" ~doc)
+
+let partition_arg =
+  let doc =
+    "Scheduled network partition $(docv) in milliseconds: every fragment \
+     between the hosts during the window is dropped, after which the \
+     partition heals.  Enables the reliable transport."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "partition" ] ~docv:"START:DUR" ~doc)
+
+(* --loss and --partition compose into one fault plan; either alone (and
+   --loss 0) still turns the ARQ transport on. *)
+let fault_plan_of ~loss ~partition =
+  match (loss, partition) with
+  | None, None -> Ok None
+  | _ -> (
+      let plan =
+        match loss with
+        | Some pct when pct < 0. || pct > 100. ->
+            Printf.eprintf "--loss must be between 0 and 100\n";
+            exit 1
+        | Some pct -> Accent_net.Fault_plan.iid (pct /. 100.)
+        | None -> Accent_net.Fault_plan.none
+      in
+      match partition with
+      | None -> Ok (Some plan)
+      | Some s -> (
+          match String.split_on_char ':' s with
+          | [ a; b ] -> (
+              match (float_of_string_opt a, float_of_string_opt b) with
+              | Some start_ms, Some duration_ms
+                when start_ms >= 0. && duration_ms >= 0. ->
+                  Ok
+                    (Some
+                       (Accent_net.Fault_plan.with_partition ~start_ms
+                          ~duration_ms plan))
+              | _ -> Error "bad --partition: START and DUR must be numbers")
+          | _ -> Error "bad --partition: expected START:DUR in milliseconds"))
+
+let migrate workload strategy prefetch seed loss partition =
   match Accent_workloads.Representative.by_name workload with
   | None ->
       Printf.eprintf "unknown workload %S\n" workload;
       exit 1
   | Some spec -> (
-      match strategy_of_string strategy prefetch with
-      | Error e ->
+      match
+        (strategy_of_string strategy prefetch, fault_plan_of ~loss ~partition)
+      with
+      | Error e, _ | _, Error e ->
           prerr_endline e;
           exit 1
-      | Ok strategy ->
+      | Ok strategy, Ok fault_plan ->
           let result =
-            Accent_experiments.Trial.run ~seed ~spec ~strategy ()
+            Accent_experiments.Trial.run ~seed ?fault_plan ~spec ~strategy ()
           in
           Format.printf "%a@.@." Accent_core.Report.pp_summary
             result.Accent_experiments.Trial.report;
@@ -61,7 +110,9 @@ let migrate_cmd =
   let doc = "migrate one representative process and report the trial" in
   Cmd.v
     (Cmd.info "migrate" ~doc)
-    Term.(const migrate $ workload_arg $ strategy_arg $ prefetch_arg $ seed_arg)
+    Term.(
+      const migrate $ workload_arg $ strategy_arg $ prefetch_arg $ seed_arg
+      $ loss_arg $ partition_arg)
 
 let csv_arg =
   let doc = "Also write machine-readable CSVs of every table and figure \
@@ -77,14 +128,22 @@ let tables_cmd =
           Accent_experiments.Evaluation.run_all ?csv_dir ())
       $ csv_arg)
 
-let inspect workload =
+let inspect workload loss partition =
   match Accent_workloads.Representative.by_name workload with
   | None ->
       Printf.eprintf "unknown workload %S\n" workload;
       exit 1
   | Some spec ->
-      let world, proc = Accent_experiments.Trial.build_only ~spec () in
-      ignore world;
+      let fault_plan =
+        match fault_plan_of ~loss ~partition with
+        | Ok p -> p
+        | Error e ->
+            prerr_endline e;
+            exit 1
+      in
+      let world, proc =
+        Accent_experiments.Trial.build_only ?fault_plan ~spec ()
+      in
       let space = Accent_kernel.Proc.space_exn proc in
       let open Accent_mem in
       Format.printf "%s — %s@.@." spec.Accent_workloads.Spec.name
@@ -109,7 +168,34 @@ let inspect workload =
       let amap = Address_space.build_amap space in
       Format.printf "@.AMap: %d entries, %s on the wire@."
         (Amap.entry_count amap)
-        (Accent_util.Bytesize.to_string (Amap.wire_size amap))
+        (Accent_util.Bytesize.to_string (Amap.wire_size amap));
+      let open Accent_net in
+      let link = world.Accent_core.World.link in
+      let lp = Link.params_of link in
+      Format.printf "@.network link:@.";
+      Format.printf
+        "  %.1f Mbit/s, %.1f ms latency, %d B fragments (+%d B header)@."
+        (lp.Link.bytes_per_ms *. 8. /. 1000.)
+        lp.Link.latency_ms lp.Link.fragment_bytes lp.Link.fragment_overhead_bytes;
+      (match
+         Netmsgserver.reliability
+           (Accent_kernel.Host.nms (Accent_core.World.host world 0))
+       with
+      | None ->
+          Format.printf
+            "  transport: 1987 stop-and-wait pipeline (window %d), reliable \
+             wire assumed@."
+            world.Accent_core.World.costs.Accent_kernel.Cost_model.nms
+              .Netmsgserver.flow_window
+      | Some rel ->
+          let p = Reliable.params_of rel in
+          Format.printf
+            "  transport: sliding-window ARQ — window %d, %d B acks, RTO \
+             %.0f ms ×%.1f up to %.0f ms, %d retries@."
+            p.Reliable.window p.Reliable.ack_bytes p.Reliable.initial_rto_ms
+            p.Reliable.rto_backoff p.Reliable.max_rto_ms p.Reliable.max_retries);
+      Format.printf "  fault plan: @[<v>%a@]@." Fault_plan.pp
+        (Link.fault_plan link)
 
 let workloads () =
   let table =
@@ -146,8 +232,49 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc) Term.(const workloads $ const ())
 
 let inspect_cmd =
-  let doc = "show a representative workload's reconstructed state" in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ workload_arg)
+  let doc =
+    "show a representative workload's reconstructed state and the network \
+     configuration it would migrate over"
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc)
+    Term.(const inspect $ workload_arg $ loss_arg $ partition_arg)
+
+let losssweep workload seed csv =
+  let spec =
+    match Accent_workloads.Representative.by_name workload with
+    | Some spec -> spec
+    | None ->
+        Printf.eprintf "unknown workload %S\n" workload;
+        exit 1
+  in
+  let t = Accent_experiments.Loss_sweep.run ~seed ~spec () in
+  print_string (Accent_experiments.Loss_sweep.render t);
+  match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Accent_experiments.Loss_sweep.to_csv t);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+
+let losssweep_workload_arg =
+  let doc = "Representative process to sweep (default pm-start)." in
+  Arg.(value & opt string "pm-start" & info [ "w"; "workload" ] ~doc)
+
+let losssweep_csv_arg =
+  let doc = "Also write the sweep as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let losssweep_cmd =
+  let doc =
+    "re-run the Figure 4-3 byte comparison across fragment loss rates with \
+     the reliable transport enabled"
+  in
+  Cmd.v
+    (Cmd.info "losssweep" ~doc)
+    Term.(
+      const losssweep $ losssweep_workload_arg $ seed_arg $ losssweep_csv_arg)
 
 let compare_workload workload prefetch seed =
   match Accent_workloads.Representative.by_name workload with
@@ -209,6 +336,15 @@ let ablate_cmd =
 
 let main_cmd =
   let doc = "Accent copy-on-reference process migration testbed" in
-  Cmd.group (Cmd.info "accentctl" ~doc) [ migrate_cmd; tables_cmd; ablate_cmd; inspect_cmd; compare_cmd; workloads_cmd ]
+  Cmd.group (Cmd.info "accentctl" ~doc)
+    [
+      migrate_cmd;
+      tables_cmd;
+      ablate_cmd;
+      inspect_cmd;
+      compare_cmd;
+      workloads_cmd;
+      losssweep_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -514,6 +514,26 @@ let create host =
     }
   in
   Kernel_ipc.bind (Host.kernel host) port (handle t);
+  (* When the reliable transport abandons one of our context or pre-copy
+     messages, the migration it belonged to can never proceed normally:
+     stamp its report so the experiment layer reports Degraded/Aborted
+     instead of waiting on a delivery that will never happen. *)
+  Accent_net.Netmsgserver.on_transport_give_up (Host.nms host) (fun msg ->
+      let stamp (report : Report.t) =
+        report.Report.transport_give_ups <-
+          report.Report.transport_give_ups + 1;
+        if report.Report.outcome = Report.Completed then
+          report.Report.outcome <-
+            (if report.Report.restarted_at = None then Report.Aborted
+             else Report.Degraded)
+      in
+      match msg.Message.payload with
+      | Mig_core { report; _ }
+      | Mig_rimas { report; _ }
+      | Mig_precopy_pages { report; _ }
+      | Mig_precopy_final { report; _ } ->
+          stamp report
+      | _ -> ());
   t
 
 (* --- source side -------------------------------------------------------- *)

@@ -1,3 +1,10 @@
+type outcome = Completed | Degraded | Aborted
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Degraded -> "degraded"
+  | Aborted -> "aborted"
+
 type t = {
   proc_name : string;
   strategy : Strategy.t;
@@ -23,8 +30,13 @@ type t = {
   mutable bytes_control : int;
   mutable bytes_bulk : int;
   mutable bytes_fault : int;
+  mutable bytes_retransmit : int;
+  mutable bytes_ack : int;
+  mutable retransmits : int;
+  mutable transport_give_ups : int;
   mutable network_messages : int;
   mutable message_seconds : float;
+  mutable outcome : outcome;
 }
 
 let create ~proc_name ~strategy =
@@ -53,8 +65,13 @@ let create ~proc_name ~strategy =
     bytes_control = 0;
     bytes_bulk = 0;
     bytes_fault = 0;
+    bytes_retransmit = 0;
+    bytes_ack = 0;
+    retransmits = 0;
+    transport_give_ups = 0;
     network_messages = 0;
     message_seconds = 0.;
+    outcome = Completed;
   }
 
 let span later earlier =
@@ -86,7 +103,9 @@ let downtime_seconds t =
 let transfer_plus_execution_seconds t =
   transfer_seconds t +. remote_execution_seconds t
 
-let bytes_total t = t.bytes_control + t.bytes_bulk + t.bytes_fault
+let goodput_bytes t = t.bytes_control + t.bytes_bulk + t.bytes_fault
+let overhead_bytes t = t.bytes_retransmit + t.bytes_ack
+let bytes_total t = goodput_bytes t + overhead_bytes t
 
 let prefetch_hit_ratio t =
   if t.prefetch_extra = 0 then None
@@ -99,7 +118,7 @@ let pp_summary ppf t =
     \  remote execution %.2fs, end-to-end %.2fs@,\
     \  faults at destination: %d zero, %d disk, %d imaginary@,\
     \  bytes: %s total (%s bulk, %s fault, %s control) in %d messages@,\
-    \  message handling: %.2fs@]" t.proc_name (Strategy.name t.strategy)
+    \  message handling: %.2fs" t.proc_name (Strategy.name t.strategy)
     (excise_seconds t) (transfer_seconds t) (core_transfer_seconds t)
     (rimas_transfer_seconds t) (insert_seconds t)
     (remote_execution_seconds t) (end_to_end_seconds t) t.dest_faults_zero
@@ -108,4 +127,15 @@ let pp_summary ppf t =
     (Accent_util.Bytesize.to_string t.bytes_bulk)
     (Accent_util.Bytesize.to_string t.bytes_fault)
     (Accent_util.Bytesize.to_string t.bytes_control)
-    t.network_messages t.message_seconds
+    t.network_messages t.message_seconds;
+  if overhead_bytes t > 0 || t.outcome <> Completed then
+    Format.fprintf ppf
+      "@,\
+      \  reliability: %s overhead (%s retransmit in %d resends, %s acks), %d \
+       give-ups, outcome %s"
+      (Accent_util.Bytesize.to_string (overhead_bytes t))
+      (Accent_util.Bytesize.to_string t.bytes_retransmit)
+      t.retransmits
+      (Accent_util.Bytesize.to_string t.bytes_ack)
+      t.transport_give_ups (outcome_name t.outcome);
+  Format.fprintf ppf "@]"

@@ -6,6 +6,19 @@
     the paper reports: phase durations, end-to-end time, byte and
     message-cost totals, prefetch hit ratios. *)
 
+type outcome =
+  | Completed  (** the relocated process ran to completion *)
+  | Degraded
+      (** the process restarted at the destination, but the reliable
+          transport abandoned at least one message along the way (or the
+          pager killed the process after an unanswerable fault) — the
+          migration survived the network, impaired *)
+  | Aborted
+      (** the execution context never reached the destination; the process
+          was never restarted there *)
+
+val outcome_name : outcome -> string
+
 type t = {
   proc_name : string;
   strategy : Strategy.t;
@@ -39,9 +52,16 @@ type t = {
   mutable bytes_control : int;
   mutable bytes_bulk : int;
   mutable bytes_fault : int;
+  mutable bytes_retransmit : int;
+      (** wire bytes burned resending fragments the network ate *)
+  mutable bytes_ack : int;  (** wire bytes of acknowledgement packets *)
+  mutable retransmits : int;  (** fragment retransmissions, both hosts *)
+  mutable transport_give_ups : int;
+      (** messages the reliable transport abandoned, both hosts *)
   mutable network_messages : int;
   mutable message_seconds : float;
       (** node time spent manipulating messages, summed over both hosts *)
+  mutable outcome : outcome;
 }
 
 val create : proc_name:string -> strategy:Strategy.t -> t
@@ -73,7 +93,15 @@ val downtime_seconds : t -> float
 val transfer_plus_execution_seconds : t -> float
 (** The sum Figure 4-2 compares across strategies. *)
 
+val goodput_bytes : t -> int
+(** Control + bulk + fault — the traffic the 1987 accounting knew about. *)
+
+val overhead_bytes : t -> int
+(** Retransmit + ack bytes added by the reliable transport. *)
+
 val bytes_total : t -> int
+(** Goodput plus overhead — everything that crossed the wire. *)
+
 val prefetch_hit_ratio : t -> float option
 
 val pp_summary : Format.formatter -> t -> unit

@@ -17,8 +17,19 @@ type t = {
 }
 
 val create :
-  ?seed:int64 -> ?costs:Accent_kernel.Cost_model.t -> n_hosts:int -> unit -> t
-(** Hosts are numbered 0 .. n-1 and named "host0", "host1", ... *)
+  ?seed:int64 ->
+  ?costs:Accent_kernel.Cost_model.t ->
+  ?fault_plan:Accent_net.Fault_plan.t ->
+  n_hosts:int ->
+  unit ->
+  t
+(** Hosts are numbered 0 .. n-1 and named "host0", "host1", ...
+
+    [fault_plan] installs a fault model on the link {e and} switches every
+    NetMsgServer to the {!Accent_net.Reliable} sliding-window transport
+    (with {!Accent_net.Reliable.default_params}, unless [costs] already
+    configures [nms.arq]).  Without it the wire is perfectly reliable and
+    the 1987 stop-and-wait pipeline is used, exactly as before. *)
 
 val host : t -> int -> Accent_kernel.Host.t
 val manager : t -> int -> Migration_manager.t
@@ -44,4 +55,11 @@ val migrate_and_run :
     quiescence (the process executes remotely to completion), then fill the
     report's traffic totals.  [after_ms] delays the migration request, for
     live-migration experiments where the process executes at the source
-    first.  Raises [Failure] if the process never completes. *)
+    first.
+
+    If the process never completes because the reliable transport gave up
+    (partitioned network, retry cap exhausted), the report comes back with
+    outcome [Degraded] (restarted at the destination but impaired) or
+    [Aborted] (context never delivered) instead of raising.  Raises
+    [Failure] only when non-completion has no such network explanation —
+    that is a bug, not a simulated failure. *)

@@ -8,16 +8,18 @@ type result = {
   report : Report.t;
 }
 
-let build_only ?(seed = 42L) ?costs ?write_fraction ~spec () =
-  let world = World.create ~seed ?costs ~n_hosts:2 () in
+let build_only ?(seed = 42L) ?costs ?fault_plan ?write_fraction ~spec () =
+  let world = World.create ~seed ?costs ?fault_plan ~n_hosts:2 () in
   let proc =
     Accent_workloads.Spec.build ?write_fraction (World.host world 0) spec
   in
   (world, proc)
 
-let run ?seed ?costs ?write_fraction ?(migrate_after_ms = 0.) ~spec ~strategy
-    () =
-  let world, proc = build_only ?seed ?costs ?write_fraction ~spec () in
+let run ?seed ?costs ?fault_plan ?write_fraction ?(migrate_after_ms = 0.)
+    ~spec ~strategy () =
+  let world, proc =
+    build_only ?seed ?costs ?fault_plan ?write_fraction ~spec ()
+  in
   (* live-migration strategies need the process executing at the source *)
   (match strategy.Strategy.transfer with
   | Strategy.Pre_copy _ | Strategy.Working_set _ ->

@@ -16,6 +16,7 @@ type result = {
 val run :
   ?seed:int64 ->
   ?costs:Accent_kernel.Cost_model.t ->
+  ?fault_plan:Accent_net.Fault_plan.t ->
   ?write_fraction:float ->
   ?migrate_after_ms:float ->
   spec:Accent_workloads.Spec.t ->
@@ -32,6 +33,7 @@ val run :
 val build_only :
   ?seed:int64 ->
   ?costs:Accent_kernel.Cost_model.t ->
+  ?fault_plan:Accent_net.Fault_plan.t ->
   ?write_fraction:float ->
   spec:Accent_workloads.Spec.t ->
   unit ->

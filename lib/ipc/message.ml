@@ -1,6 +1,13 @@
 type payload = ..
 type payload += Ping of int
-type category = Control | Bulk | Fault
+type category = Control | Bulk | Fault | Retransmit | Ack
+
+let category_name = function
+  | Control -> "control"
+  | Bulk -> "bulk"
+  | Fault -> "fault"
+  | Retransmit -> "retransmit"
+  | Ack -> "ack"
 
 type t = {
   id : int;

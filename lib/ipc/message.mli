@@ -16,8 +16,17 @@ type category =
   | Control  (** commands, context metadata, death notices *)
   | Bulk  (** address-space content shipped at migration time *)
   | Fault  (** imaginary read requests and replies *)
+  | Retransmit
+      (** fragments re-sent by the reliable transport after a timeout —
+          wire overhead, not goodput *)
+  | Ack  (** transport acknowledgements (cumulative + selective) *)
       (** Traffic class, for the byte- and rate-accounting that the paper's
-          Figures 4-3 and 4-5 split into fault vs other transfers. *)
+          Figures 4-3 and 4-5 split into fault vs other transfers.  The
+          [Retransmit] and [Ack] classes exist only on the wire: no message
+          payload travels under them, but recording them separately lets
+          the loss-sweep experiment split goodput from ARQ overhead. *)
+
+val category_name : category -> string
 
 type t = {
   id : int;

@@ -79,7 +79,15 @@ val pending_faults : t -> int
 val fault_timeouts : t -> int
 (** Faults abandoned because no reply arrived within the cost model's
     timeout; the faulting process is killed (its memory is gone — the
-    residual-dependency hazard of lazy migration). *)
+    residual-dependency hazard of lazy migration).
+
+    With the {!Accent_net.Reliable} transport enabled, a read request (or
+    its reply) lost on the wire is retransmitted by the transport well
+    inside [fault_timeout_ms]: the default ARQ gives up only after ~4.8 s
+    of backed-off retries, so this timer fires for transient loss only if
+    the cost model shortens it below the retry span.  It remains the
+    backstop for the cases retransmission cannot cure — a partition
+    outlasting the retry cap, or a backing server that lost its cache. *)
 
 val pending_faults_for : t -> proc_id:int -> int
 (** Faults of one process awaiting a read reply (ExciseProcess refuses to

@@ -4,7 +4,14 @@
     paper).  Transmissions are fragmented into packets; the medium is a
     single FIFO resource, so concurrent transfers queue and bulk traffic
     delays fault traffic — the contention that makes pure-copy's burst
-    behaviour visible in Figure 4-5. *)
+    behaviour visible in Figure 4-5.
+
+    The medium carries an optional {!Fault_plan}: each packet sent through
+    {!transmit_frag} is given a fate (delivered, corrupted, dropped,
+    delayed) as it leaves the wire.  The legacy {!transmit} path predates
+    the fault model and always delivers — it is what the plain
+    stop-and-wait NetMsgServer pipeline uses, and it behaves identically
+    whether or not a plan is installed. *)
 
 type params = {
   bytes_per_ms : float;  (** raw medium bandwidth *)
@@ -19,7 +26,21 @@ val default_params : params
 type t
 
 val create :
-  Accent_sim.Engine.t -> params:params -> monitor:Transfer_monitor.t -> t
+  ?fault_plan:Fault_plan.t ->
+  Accent_sim.Engine.t ->
+  params:params ->
+  monitor:Transfer_monitor.t ->
+  t
+(** [fault_plan] defaults to {!Fault_plan.none} (deliver everything,
+    consult no randomness). *)
+
+val set_fault_plan : t -> Fault_plan.t -> unit
+(** Replace the link's fault plan, resetting the fault model's runtime
+    state (Gilbert–Elliott chain position, counters) and rebinding its
+    RNG stream. *)
+
+val fault_plan : t -> Fault_plan.t
+val fault_state : t -> Fault_plan.state
 
 val transmit :
   t ->
@@ -30,14 +51,35 @@ val transmit :
 (** Ship [bytes] across the medium as a train of fragments, invoking the
     continuation when the last fragment (plus latency) has arrived.  Each
     fragment's bytes are recorded with the monitor as it completes, so the
-    monitor's series reflect actual wire occupancy over time. *)
+    monitor's series reflect actual wire occupancy over time.  This path
+    assumes reliable delivery and never consults the fault plan. *)
+
+val transmit_frag :
+  t ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  category:Accent_ipc.Message.category ->
+  ?on_wire:(unit -> unit) ->
+  (Fault_plan.fate -> unit) ->
+  unit
+(** Ship one packet of [bytes] payload (plus header) from host [src] to
+    host [dst].  The packet occupies the FIFO medium for its serialisation
+    time and its wire bytes are charged to the monitor unconditionally —
+    dropped packets still burned bandwidth.  [on_wire] fires when the
+    packet finishes serialising (before its fate is known); use it for
+    flow-control windows.  The continuation fires [latency_ms] (plus any
+    reorder delay) later with [Delivered] or [Corrupted], and never fires
+    for a dropped packet — detecting the loss is the transport's job. *)
 
 val params_of : t -> params
 (** The link's parameters (NetMsgServers size their fragment pipeline to
     the medium's packet size). *)
 
 val fragments_for : params -> int -> int
-(** How many packets a transmission of the given size needs. *)
+(** How many packets a transmission of the given size needs.  Always at
+    least 1: a 0-byte transmission (a control-only message or a bare ack)
+    still sends one header-only packet. *)
 
 val wire_bytes_for : params -> int -> int
 (** Bytes on the wire including per-fragment headers. *)

@@ -20,6 +20,28 @@ type fragment = {
     reassembles (fragments of one message arrive in order — the medium is
     FIFO). *)
 
+(** Packets of the sliding-window transport ({!Reliable}).  Unlike
+    {!fragment}, these carry sequencing and integrity metadata, and no
+    in-band flow-control callback: acknowledgements are real wire
+    traffic. *)
+type arq_packet =
+  | Arq_data of {
+      src : int;  (** sending host *)
+      msg : Accent_ipc.Message.t;
+      uid : int;  (** per-sender message id, for reassembly *)
+      seq : int;  (** 0-based fragment number within the message *)
+      count : int;  (** total fragments of this message *)
+      wire_bytes : int;  (** this fragment's share of the wire size *)
+      checksum : int;  (** over the fragment's payload; corruption on the
+                           wire damages it *)
+    }
+  | Arq_ack of {
+      src : int;  (** the acking (receiving) host *)
+      uid : int;
+      cum : int;  (** all fragments [< cum] received (cumulative ack) *)
+      sacks : int list;  (** selectively-received fragments beyond [cum] *)
+    }
+
 type t
 
 val create : unit -> t
@@ -27,6 +49,14 @@ val create : unit -> t
 val register_host :
   t -> host_id:int -> deliver:(fragment -> unit) -> unit
 (** Attach a host's NetMsgServer inbound-delivery entry point. *)
+
+val register_arq :
+  t -> host_id:int -> deliver:(arq_packet -> unit) -> unit
+(** Attach a host's reliable-transport inbound entry point. *)
+
+val deliver_arq : t -> host_id:int -> arq_packet -> unit
+(** Hand an ARQ packet that survived the wire to a host's transport.
+    Raises [Invalid_argument] for unknown hosts. *)
 
 val set_port_home : t -> Accent_ipc.Port.id -> host_id:int -> unit
 val port_home : t -> Accent_ipc.Port.id -> int option

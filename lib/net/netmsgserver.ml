@@ -11,6 +11,7 @@ type params = {
   backing_lookup_ms : float;
   iou_caching : bool;
   flow_window : int;
+  arq : Reliable.params option;
 }
 
 (* Calibrated (see Accent_kernel.Cost_model and test/test_calibration.ml)
@@ -29,6 +30,7 @@ let default_params =
     backing_lookup_ms = 38.;
     iou_caching = true;
     flow_window = 1;
+    arq = None;
   }
 
 type t = {
@@ -47,6 +49,9 @@ type t = {
   mutable cached_bytes : int;
   mutable faults_served : int;
   mutable pages_served : int;
+  mutable rel : Reliable.t option;
+  mutable give_up_handlers : (Message.t -> unit) list;
+  mutable transport_give_ups : int;
 }
 
 let host_id t = t.host_id
@@ -195,44 +200,53 @@ let forward t msg =
       in
       Transfer_monitor.note_message t.monitor ~category:msg.Message.category;
       let wire = Message.wire_size msg in
-      let link_params = Link.params_of t.link in
-      let payload = link_params.Link.fragment_bytes in
-      let count = max 1 ((wire + payload - 1) / payload) in
-      let window = max 1 t.params.flow_window in
-      (* sliding window: up to [window] fragments may be unacknowledged.
-         window = 1 is classic stop-and-wait. *)
-      let next = ref 0 in
-      let rec send_fragment () =
-        if !next < count then begin
-          let index = !next in
-          next := index + 1;
-          let wire_bytes = min payload (wire - (index * payload)) in
-          let cost =
-            t.params.base_ms
-            +. (t.params.per_byte_ms *. float_of_int wire_bytes)
-            +.
-            if index = 0 then
-              setup +. (t.params.per_chunk_ms *. float_of_int (chunk_count msg))
-            else 0.
+      match t.rel with
+      | Some rel ->
+          (* reliable transport: sequencing, retransmission and real acks
+             live in [Reliable]; we only contribute the cost model *)
+          Reliable.send rel ~dst:dest_host ~msg ~wire_bytes:wire
+            ~first_fragment_extra_ms:
+              (setup +. (t.params.per_chunk_ms *. float_of_int (chunk_count msg)))
+      | None ->
+          let link_params = Link.params_of t.link in
+          let payload = link_params.Link.fragment_bytes in
+          let count = max 1 ((wire + payload - 1) / payload) in
+          let window = max 1 t.params.flow_window in
+          (* sliding window: up to [window] fragments may be unacknowledged.
+             window = 1 is classic stop-and-wait. *)
+          let next = ref 0 in
+          let rec send_fragment () =
+            if !next < count then begin
+              let index = !next in
+              next := index + 1;
+              let wire_bytes = min payload (wire - (index * payload)) in
+              let cost =
+                t.params.base_ms
+                +. (t.params.per_byte_ms *. float_of_int wire_bytes)
+                +.
+                if index = 0 then
+                  setup
+                  +. (t.params.per_chunk_ms *. float_of_int (chunk_count msg))
+                else 0.
+              in
+              Queue_server.submit t.cpu ~service_time:(Time.ms cost) (fun () ->
+                  Link.transmit t.link ~bytes:wire_bytes
+                    ~category:msg.Message.category (fun () ->
+                      let ack () =
+                        (* the acknowledgement rides back after one link
+                           latency, releasing the next window slot *)
+                        ignore
+                          (Engine.schedule t.engine
+                             ~delay:(Time.ms link_params.Link.latency_ms)
+                             send_fragment)
+                      in
+                      Net_registry.deliver_to t.registry ~host_id:dest_host
+                        { Net_registry.msg; index; count; wire_bytes; ack }))
+            end
           in
-          Queue_server.submit t.cpu ~service_time:(Time.ms cost) (fun () ->
-              Link.transmit t.link ~bytes:wire_bytes
-                ~category:msg.Message.category (fun () ->
-                  let ack () =
-                    (* the acknowledgement rides back after one link latency,
-                       releasing the next window slot *)
-                    ignore
-                      (Engine.schedule t.engine
-                         ~delay:(Time.ms link_params.Link.latency_ms)
-                         send_fragment)
-                  in
-                  Net_registry.deliver_to t.registry ~host_id:dest_host
-                    { Net_registry.msg; index; count; wire_bytes; ack }))
-        end
-      in
-      for _ = 1 to window do
-        send_fragment ()
-      done
+          for _ = 1 to window do
+            send_fragment ()
+          done
 
 let create engine ~ids ~host_id ~kernel ~link ~registry ~monitor ~params =
   let t =
@@ -252,14 +266,54 @@ let create engine ~ids ~host_id ~kernel ~link ~registry ~monitor ~params =
       cached_bytes = 0;
       faults_served = 0;
       pages_served = 0;
+      rel = None;
+      give_up_handlers = [];
+      transport_give_ups = 0;
     }
   in
   Kernel_ipc.set_forwarder kernel (forward t);
   Net_registry.register_host registry ~host_id ~deliver:(receive t);
+  (match params.arq with
+  | None -> ()
+  | Some arq_params ->
+      t.rel <-
+        Some
+          (Reliable.create engine ~host_id ~link ~registry ~params:arq_params
+             ~cpu:(fun ~service_ms k ->
+               Queue_server.submit t.cpu ~service_time:(Time.ms service_ms) k)
+             ~fragment_cost_ms:(fun ~bytes ->
+               params.base_ms +. (params.per_byte_ms *. float_of_int bytes))
+             ~on_deliver:(fun ~msg ~wire_bytes ~completes ->
+               if completes then t.handled <- t.handled + 1;
+               let cost =
+                 params.base_ms
+                 +. (params.per_byte_ms *. float_of_int wire_bytes)
+                 +.
+                 if completes then
+                   (params.per_chunk_ms *. float_of_int (chunk_count msg))
+                   +. (params.stand_in_per_chunk_ms
+                      *. float_of_int (iou_chunks msg))
+                 else 0.
+               in
+               Queue_server.submit t.cpu ~service_time:(Time.ms cost)
+                 (fun () -> if completes then Kernel_ipc.send t.kernel msg))
+             ~on_give_up:(fun ~msg ~dst:_ ->
+               t.transport_give_ups <- t.transport_give_ups + 1;
+               Logs.warn (fun m ->
+                   m "NMS%d: transport gave up on %s message to %a" t.host_id
+                     (Message.category_name msg.Message.category)
+                     Port.pp msg.Message.dest);
+               List.iter (fun h -> h msg) (List.rev t.give_up_handlers))));
   t
 
 let busy_time t = Queue_server.busy_time t.cpu
 let messages_handled t = t.handled
+let reliability t = t.rel
+
+let on_transport_give_up t handler =
+  t.give_up_handlers <- handler :: t.give_up_handlers
+
+let transport_give_ups t = t.transport_give_ups
 let bytes_cached t = t.cached_bytes
 let segments_backed t = Hashtbl.length t.backing_ports
 let faults_served t = t.faults_served
@@ -270,7 +324,9 @@ let reset_accounting t =
   t.handled <- 0;
   t.cached_bytes <- 0;
   t.faults_served <- 0;
-  t.pages_served <- 0
+  t.pages_served <- 0;
+  t.transport_give_ups <- 0;
+  Option.iter Reliable.reset_accounting t.rel
 
 let fail_backing t =
   let segments = Hashtbl.fold (fun s _ acc -> s :: acc) t.backing_ports [] in

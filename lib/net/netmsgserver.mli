@@ -35,6 +35,13 @@ type params = {
           stop-and-wait, the 1987 behaviour; larger windows pipeline the
           two NMS CPUs and the wire (a what-if ablation — Theimer reported
           exactly the buffering overruns this risks) *)
+  arq : Reliable.params option;
+      (** [None] (the default) keeps the 1987 pipeline above: implicit
+          zero-cost acks, reliable wire assumed.  [Some p] replaces it with
+          the {!Reliable} sliding-window transport — sequence numbers, real
+          acknowledgement packets, retransmission with backoff, checksums —
+          which is required for the link's {!Fault_plan} to be survivable.
+          [flow_window] is ignored in that case; [p.window] governs. *)
 }
 
 val default_params : params
@@ -55,6 +62,18 @@ val create :
     inbound entry point with the registry. *)
 
 val host_id : t -> int
+
+val reliability : t -> Reliable.t option
+(** The host's reliable transport, when [params.arq] asked for one. *)
+
+val on_transport_give_up : t -> (Accent_ipc.Message.t -> unit) -> unit
+(** Register a handler run when the reliable transport abandons an
+    outbound message after exhausting its retries.  The MigrationManager
+    uses this to mark a migration [Degraded] or [Aborted] rather than
+    waiting forever on a message the network will never deliver. *)
+
+val transport_give_ups : t -> int
+(** Messages this host's transport has abandoned (0 without ARQ). *)
 
 (** {2 Accounting (drives Figure 4-4)} *)
 

@@ -1,0 +1,102 @@
+(** Sliding-window ARQ over the shared link.
+
+    The 1987 NetMsgServer pipeline ({!Netmsgserver.params.flow_window})
+    assumes the Ethernet delivers every fragment: its "acknowledgements"
+    are zero-cost callbacks that merely pace the sender.  This module is
+    the transport that drops that assumption.  Layered between the
+    NetMsgServer and the {!Link}, it gives each outbound message a train of
+    sequence-numbered fragments, keeps up to a window of them
+    unacknowledged, and pays for reliability with real wire traffic:
+    acknowledgement packets (cumulative + selective), retransmissions
+    after a per-fragment timeout with exponential backoff, duplicate
+    suppression at the receiver, and checksum verification of each
+    fragment against the message's physically-present page contents.
+
+    Retries are bounded.  A fragment that exhausts [max_retries] abandons
+    its whole message and reports the give-up to the sending NetMsgServer
+    — which is how a partitioned network surfaces as a [Degraded] or
+    [Aborted] migration instead of a simulation that never terminates.
+
+    Everything is deterministic: the transport draws no randomness of its
+    own (all stochastic behaviour lives in the link's {!Fault_plan}), so
+    one seed reproduces every timeout, retransmission and give-up. *)
+
+type params = {
+  window : int;  (** fragments a sender may have unacknowledged per message *)
+  ack_bytes : int;  (** payload size of an acknowledgement packet *)
+  initial_rto_ms : float;  (** first retransmit timeout for a fragment *)
+  rto_backoff : float;  (** timeout multiplier per retry (exponential) *)
+  max_rto_ms : float;  (** ceiling on the backed-off timeout *)
+  max_retries : int;
+      (** retransmissions per fragment before the message is abandoned *)
+}
+
+val default_params : params
+(** window 8, 32-byte acks, RTO 25 ms doubling up to 1600 ms, 8 retries —
+    a retry span of roughly 4.8 s before giving up, comfortably past any
+    single scheduled partition we model as "transient". *)
+
+type t
+
+val create :
+  Accent_sim.Engine.t ->
+  host_id:int ->
+  link:Link.t ->
+  registry:Net_registry.t ->
+  params:params ->
+  cpu:(service_ms:float -> (unit -> unit) -> unit) ->
+  fragment_cost_ms:(bytes:int -> float) ->
+  on_deliver:
+    (msg:Accent_ipc.Message.t -> wire_bytes:int -> completes:bool -> unit) ->
+  on_give_up:(msg:Accent_ipc.Message.t -> dst:int -> unit) ->
+  t
+(** Registers the host's ARQ inbound entry point with the registry.
+
+    The transport owns sequencing and the wire; the NetMsgServer keeps
+    the cost model.  [cpu] submits work to the host's NMS CPU;
+    [fragment_cost_ms] prices one (re)transmitted fragment of the given
+    payload size; [on_deliver] fires for every accepted (new,
+    checksum-verified) data fragment so the receiving NMS can charge
+    reassembly cost, with [completes = true] on the fragment that finishes
+    the message; [on_give_up] fires at most once per abandoned message.
+    Acknowledgements are handled at interrupt level: they cost wire bytes
+    and latency but no NMS CPU. *)
+
+val send :
+  t ->
+  dst:int ->
+  msg:Accent_ipc.Message.t ->
+  wire_bytes:int ->
+  first_fragment_extra_ms:float ->
+  unit
+(** Ship a message reliably.  [wire_bytes] is the message's full wire
+    size (the transport cuts it into link-sized fragments itself);
+    [first_fragment_extra_ms] is the sender-side per-message CPU charged
+    with fragment 0 (IOU cache setup, chunk processing) — retransmissions
+    of fragment 0 do not pay it again.  First transmissions are charged to
+    the message's own traffic category; retransmissions to [Retransmit];
+    acks to [Ack]. *)
+
+val params_of : t -> params
+
+(** {2 Accounting} *)
+
+val retransmissions : t -> int
+val acks_sent : t -> int
+
+val duplicates : t -> int
+(** Data fragments discarded by the receiver as already seen (the
+    sender's timeout fired although the fragment had arrived). *)
+
+val checksum_failures : t -> int
+(** Fragments discarded because payload corruption broke the checksum.
+    Recovered by the sender's retransmit timer, not by a NAK. *)
+
+val give_ups : t -> int
+(** Messages abandoned after a fragment exhausted its retries. *)
+
+val completed_sends : t -> int
+(** Outbound messages fully acknowledged. *)
+
+val reset_accounting : t -> unit
+(** Zero the counters above.  Live transfer state is untouched. *)

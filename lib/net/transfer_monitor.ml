@@ -6,19 +6,35 @@ type slot = {
   mutable series : Accent_util.Series.t;
 }
 
-type t = { control : slot; bulk : slot; fault : slot }
+type t = {
+  control : slot;
+  bulk : slot;
+  fault : slot;
+  retransmit : slot;
+  ack : slot;
+}
 
 let fresh_slot () =
   { bytes = 0; messages = 0; series = Accent_util.Series.create () }
 
 let create () =
-  { control = fresh_slot (); bulk = fresh_slot (); fault = fresh_slot () }
+  {
+    control = fresh_slot ();
+    bulk = fresh_slot ();
+    fault = fresh_slot ();
+    retransmit = fresh_slot ();
+    ack = fresh_slot ();
+  }
 
 let slot t (category : Message.category) =
   match category with
   | Control -> t.control
   | Bulk -> t.bulk
   | Fault -> t.fault
+  | Retransmit -> t.retransmit
+  | Ack -> t.ack
+
+let all_slots t = [ t.control; t.bulk; t.fault; t.retransmit; t.ack ]
 
 let record t ~time ~category ~bytes =
   let s = slot t category in
@@ -30,9 +46,16 @@ let note_message t ~category =
   s.messages <- s.messages + 1
 
 let bytes_of t category = (slot t category).bytes
-let bytes_total t = t.control.bytes + t.bulk.bytes + t.fault.bytes
+let bytes_total t = List.fold_left (fun acc s -> acc + s.bytes) 0 (all_slots t)
+
+let goodput_bytes t = t.control.bytes + t.bulk.bytes + t.fault.bytes
+let overhead_bytes t = t.retransmit.bytes + t.ack.bytes
+
 let messages_of t category = (slot t category).messages
-let messages_total t = t.control.messages + t.bulk.messages + t.fault.messages
+
+let messages_total t =
+  List.fold_left (fun acc s -> acc + s.messages) 0 (all_slots t)
+
 let series_of t category = (slot t category).series
 
 let reset t =
@@ -41,4 +64,4 @@ let reset t =
       s.bytes <- 0;
       s.messages <- 0;
       s.series <- Accent_util.Series.create ())
-    [ t.control; t.bulk; t.fault ]
+    (all_slots t)

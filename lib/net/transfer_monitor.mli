@@ -23,6 +23,15 @@ val note_message : t -> category:Accent_ipc.Message.category -> unit
 
 val bytes_of : t -> Accent_ipc.Message.category -> int
 val bytes_total : t -> int
+
+val goodput_bytes : t -> int
+(** Control + bulk + fault bytes — the traffic the 1987 accounting knew
+    about. *)
+
+val overhead_bytes : t -> int
+(** Retransmit + ack bytes — what the reliable transport adds on top of
+    goodput.  Zero whenever the ARQ layer is off or the link is clean. *)
+
 val messages_of : t -> Accent_ipc.Message.category -> int
 val messages_total : t -> int
 

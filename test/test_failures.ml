@@ -109,6 +109,82 @@ let test_rs_dies_with_its_manager_backer () =
   Alcotest.(check bool) "made progress on shipped pages first" true
     (relocated.Proc.pcb.Pcb.pc > 0)
 
+(* --- network partitions against the reliable transport ---------------- *)
+
+let partition_world ~start_ms ~duration_ms =
+  let fault_plan =
+    Accent_net.Fault_plan.with_partition ~between:(0, 1) ~start_ms ~duration_ms
+      Accent_net.Fault_plan.none
+  in
+  let world = World.create ~costs ~fault_plan ~n_hosts:2 () in
+  let proc = Accent_workloads.Spec.build (World.host world 0) spec in
+  (world, proc)
+
+let test_partition_healed_before_timeout () =
+  (* the partition opens while migration traffic is in flight and heals
+     well inside both the retry span and the 2 s pager timeout: bounded
+     retransmission must bridge it and the process must finish *)
+  let world, proc = partition_world ~start_ms:300. ~duration_ms:800. in
+  let report =
+    World.migrate_and_run world ~proc ~src:0 ~dst:1
+      ~strategy:(Strategy.pure_iou ())
+  in
+  Alcotest.(check bool) "completed" true (report.Report.completed_at <> None);
+  Alcotest.(check bool) "outcome completed" true
+    (report.Report.outcome = Report.Completed);
+  Alcotest.(check bool) "the partition cost retransmissions" true
+    (report.Report.retransmits > 0);
+  Alcotest.(check int) "no fault timed out" 0
+    (Pager.fault_timeouts (Host.pager (World.host world 1)));
+  let relocated =
+    Option.get (Host.find_proc (World.host world 1) proc.Proc.id)
+  in
+  Alcotest.(check bool) "process unharmed" false relocated.Proc.failed
+
+let test_partition_outlasting_retries_degrades () =
+  (* the partition opens after the process has restarted remotely and
+     never heals in time: the transport gives up, the pager kills the
+     faulting process, and the trial reports Degraded instead of hanging *)
+  let world, proc = partition_world ~start_ms:1_500. ~duration_ms:100_000. in
+  let report =
+    World.migrate_and_run world ~proc ~src:0 ~dst:1
+      ~strategy:(Strategy.pure_iou ())
+  in
+  Alcotest.(check bool) "did not complete" true
+    (report.Report.completed_at = None);
+  Alcotest.(check bool) "restarted before the cut" true
+    (report.Report.restarted_at <> None);
+  Alcotest.(check bool) "outcome degraded" true
+    (report.Report.outcome = Report.Degraded);
+  Alcotest.(check bool) "transport gave up" true
+    (report.Report.transport_give_ups > 0);
+  let relocated =
+    Option.get (Host.find_proc (World.host world 1) proc.Proc.id)
+  in
+  Alcotest.(check bool) "process killed by the pager" true
+    relocated.Proc.failed;
+  (* the world must drain: give-up after ~5 s of retries, pager timeout at
+     2 s — nothing should still be scheduled minutes later *)
+  Alcotest.(check bool) "no hang" true
+    (Accent_sim.Time.to_seconds (World.now world) < 120.)
+
+let test_partition_during_transfer_aborts () =
+  (* the partition covers the context transfer itself: Core and RIMAS are
+     abandoned, the process never restarts anywhere remote *)
+  let world, proc = partition_world ~start_ms:0. ~duration_ms:100_000. in
+  let report =
+    World.migrate_and_run world ~proc ~src:0 ~dst:1
+      ~strategy:(Strategy.pure_iou ())
+  in
+  Alcotest.(check bool) "never restarted" true
+    (report.Report.restarted_at = None);
+  Alcotest.(check bool) "outcome aborted" true
+    (report.Report.outcome = Report.Aborted);
+  Alcotest.(check bool) "transport gave up" true
+    (report.Report.transport_give_ups > 0);
+  Alcotest.(check bool) "gave up promptly" true
+    (Accent_sim.Time.to_seconds (World.now world) < 60.)
+
 let suite =
   ( "failures",
     [
@@ -124,4 +200,10 @@ let suite =
         test_rs_survives_nms_crash;
       Alcotest.test_case "RS dies with its manager backer" `Quick
         test_rs_dies_with_its_manager_backer;
+      Alcotest.test_case "partition healed before timeout" `Quick
+        test_partition_healed_before_timeout;
+      Alcotest.test_case "partition outlasting retries degrades" `Quick
+        test_partition_outlasting_retries_degrades;
+      Alcotest.test_case "partition during transfer aborts" `Quick
+        test_partition_during_transfer_aborts;
     ] )

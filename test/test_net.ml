@@ -19,6 +19,21 @@ let test_link_fragment_math () =
     (3000 + (2 * p.Link.fragment_overhead_bytes))
     (Link.wire_bytes_for p 3000)
 
+(* The edge cases of fragments_for: a 0-byte transmission (control-only
+   message, bare ack) still needs one header-only packet; exact multiples
+   don't spill; one byte over does. *)
+let test_link_fragment_edges () =
+  let p = Link.default_params in
+  let fb = p.Link.fragment_bytes in
+  Alcotest.(check int) "zero bytes -> one packet" 1 (Link.fragments_for p 0);
+  Alcotest.(check int) "one byte" 1 (Link.fragments_for p 1);
+  Alcotest.(check int) "one under" 1 (Link.fragments_for p (fb - 1));
+  Alcotest.(check int) "exact multiple" 3 (Link.fragments_for p (3 * fb));
+  Alcotest.(check int) "off by one" 4 (Link.fragments_for p ((3 * fb) + 1));
+  Alcotest.(check int) "zero-byte wire size is pure header"
+    p.Link.fragment_overhead_bytes
+    (Link.wire_bytes_for p 0)
+
 let test_link_transmit_timing () =
   let engine = Engine.create () in
   let mon = monitor () in
@@ -44,6 +59,67 @@ let test_link_serializes_transfers () =
   ignore (Engine.run engine);
   Alcotest.(check (list string)) "FIFO medium" [ "big"; "small" ]
     (List.rev !order)
+
+(* --- Fault_plan --- *)
+
+let fp_state plan =
+  let engine = Engine.create () in
+  Fault_plan.make plan ~rng:(Engine.rng engine "test.fault_plan")
+
+let test_fault_plan_clean () =
+  let s = fp_state Fault_plan.none in
+  for i = 0 to 99 do
+    let d = Fault_plan.decide s ~now_ms:(float_of_int i) ~src:0 ~dst:1 in
+    Alcotest.(check bool) "delivered" true (d.Fault_plan.fate = Fault_plan.Delivered);
+    Alcotest.(check (float 0.)) "no delay" 0. d.Fault_plan.extra_delay_ms
+  done;
+  Alcotest.(check int) "counted" 100 (Fault_plan.decided s);
+  Alcotest.(check int) "nothing dropped" 0 (Fault_plan.dropped s);
+  Alcotest.(check bool) "clean" true (Fault_plan.is_clean Fault_plan.none)
+
+let test_fault_plan_certain_loss () =
+  let s = fp_state (Fault_plan.iid 1.) in
+  for _ = 1 to 50 do
+    let d = Fault_plan.decide s ~now_ms:0. ~src:0 ~dst:1 in
+    Alcotest.(check bool) "dropped" true (d.Fault_plan.fate = Fault_plan.Dropped)
+  done;
+  Alcotest.(check int) "all counted" 50 (Fault_plan.dropped s)
+
+let test_fault_plan_corruption () =
+  let s = fp_state (Fault_plan.with_corruption 1. Fault_plan.none) in
+  let d = Fault_plan.decide s ~now_ms:0. ~src:0 ~dst:1 in
+  Alcotest.(check bool) "corrupted" true (d.Fault_plan.fate = Fault_plan.Corrupted);
+  Alcotest.(check int) "counted" 1 (Fault_plan.corrupted s)
+
+let test_fault_plan_burst_rate () =
+  (* the Gilbert–Elliott chain's long-run loss should sit near the target *)
+  let s = fp_state (Fault_plan.burst 0.05) in
+  let n = 50_000 in
+  for _ = 1 to n do
+    ignore (Fault_plan.decide s ~now_ms:0. ~src:0 ~dst:1)
+  done;
+  let rate = float_of_int (Fault_plan.dropped s) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst loss rate %.3f near 0.05" rate)
+    true
+    (rate > 0.02 && rate < 0.10)
+
+let test_fault_plan_partition_schedule () =
+  let plan =
+    Fault_plan.with_partition ~between:(0, 1) ~start_ms:100. ~duration_ms:50.
+      Fault_plan.none
+  in
+  let active = Fault_plan.partitioned plan in
+  Alcotest.(check bool) "before" false (active ~now_ms:99. ~src:0 ~dst:1);
+  Alcotest.(check bool) "during" true (active ~now_ms:100. ~src:0 ~dst:1);
+  Alcotest.(check bool) "symmetric" true (active ~now_ms:120. ~src:1 ~dst:0);
+  Alcotest.(check bool) "other pair unaffected" false
+    (active ~now_ms:120. ~src:0 ~dst:2);
+  Alcotest.(check bool) "healed" false (active ~now_ms:150. ~src:0 ~dst:1);
+  let s = fp_state plan in
+  let d = Fault_plan.decide s ~now_ms:110. ~src:0 ~dst:1 in
+  Alcotest.(check bool) "partition drops" true
+    (d.Fault_plan.fate = Fault_plan.Dropped)
 
 (* --- Transfer_monitor --- *)
 
@@ -87,12 +163,14 @@ type nms_world = {
   servers : Netmsgserver.t array;
 }
 
-let nms_world ?(params = Netmsgserver.default_params) () =
+let nms_world ?(params = Netmsgserver.default_params) ?fault_plan () =
   let engine = Engine.create () in
   let ids = Ids.create () in
   let registry = Net_registry.create () in
   let monitor = Transfer_monitor.create () in
-  let link = Link.create engine ~params:Link.default_params ~monitor in
+  let link =
+    Link.create ?fault_plan engine ~params:Link.default_params ~monitor
+  in
   let make host_id =
     let cpu = Queue_server.create engine ~name:(Printf.sprintf "cpu%d" host_id) in
     let kernel = Kernel_ipc.create engine ~cpu Kernel_ipc.default_params in
@@ -292,10 +370,130 @@ let test_nms_serves_cached_faults_and_death () =
   Alcotest.(check int) "segment retired" 0
     (Netmsgserver.segments_backed w.servers.(0))
 
+(* --- Reliable transport --- *)
+
+let arq_params =
+  { Netmsgserver.default_params with Netmsgserver.arq = Some Reliable.default_params }
+
+let arq_world ?fault_plan () = nms_world ~params:arq_params ?fault_plan ()
+
+let sender_rel w =
+  match Netmsgserver.reliability w.servers.(0) with
+  | Some rel -> rel
+  | None -> Alcotest.fail "ARQ not enabled"
+
+let receiver_rel w =
+  match Netmsgserver.reliability w.servers.(1) with
+  | Some rel -> rel
+  | None -> Alcotest.fail "ARQ not enabled"
+
+let bulk_message w ~dest ~pages =
+  let len = 512 * pages in
+  Message.make ~ids:w.ids ~dest
+    ~memory:
+      [
+        {
+          Memory_object.range = Accent_mem.Vaddr.of_len 0 len;
+          content =
+            Memory_object.Data (Bytes.init len (fun i -> Char.chr (i mod 251)));
+        };
+      ]
+    ~no_ious:true ~category:Message.Bulk (Message.Ping 0)
+
+let test_arq_clean_delivery () =
+  let w = arq_world () in
+  let delivered = ref 0 in
+  let port = remote_port w ~on:1 (fun _ -> incr delivered) in
+  Kernel_ipc.send w.kernels.(0) (bulk_message w ~dest:port ~pages:20);
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "delivered once" 1 !delivered;
+  Alcotest.(check int) "no retransmissions on a clean wire" 0
+    (Reliable.retransmissions (sender_rel w));
+  Alcotest.(check bool) "acks are real wire traffic" true
+    (Reliable.acks_sent (receiver_rel w) > 0
+    && Transfer_monitor.bytes_of w.monitor Message.Ack > 0);
+  Alcotest.(check int) "no retransmit bytes" 0
+    (Transfer_monitor.bytes_of w.monitor Message.Retransmit)
+
+let test_arq_loss_recovery () =
+  let w = arq_world ~fault_plan:(Fault_plan.iid 0.2) () in
+  let delivered = ref 0 in
+  let port = remote_port w ~on:1 (fun _ -> incr delivered) in
+  Kernel_ipc.send w.kernels.(0) (bulk_message w ~dest:port ~pages:40);
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "delivered exactly once despite 20% loss" 1 !delivered;
+  Alcotest.(check bool) "losses were retransmitted" true
+    (Reliable.retransmissions (sender_rel w) > 0);
+  Alcotest.(check bool) "retransmit traffic is accounted separately" true
+    (Transfer_monitor.bytes_of w.monitor Message.Retransmit > 0);
+  Alcotest.(check bool) "goodput excludes the overhead" true
+    (Transfer_monitor.goodput_bytes w.monitor
+     + Transfer_monitor.overhead_bytes w.monitor
+    = Transfer_monitor.bytes_total w.monitor)
+
+let test_arq_corruption_recovery () =
+  let w =
+    arq_world ~fault_plan:(Fault_plan.with_corruption 0.3 Fault_plan.none) ()
+  in
+  let delivered = ref 0 in
+  let port = remote_port w ~on:1 (fun _ -> incr delivered) in
+  Kernel_ipc.send w.kernels.(0) (bulk_message w ~dest:port ~pages:40);
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "delivered exactly once despite corruption" 1 !delivered;
+  Alcotest.(check bool) "checksums caught damaged fragments" true
+    (Reliable.checksum_failures (receiver_rel w) > 0);
+  Alcotest.(check bool) "damaged fragments were resent" true
+    (Reliable.retransmissions (sender_rel w) > 0)
+
+let test_arq_reordering_tolerated () =
+  let w =
+    arq_world
+      ~fault_plan:(Fault_plan.with_reordering ~max_ms:15. 0.5 Fault_plan.none)
+      ()
+  in
+  let delivered = ref 0 in
+  let port = remote_port w ~on:1 (fun _ -> incr delivered) in
+  Kernel_ipc.send w.kernels.(0) (bulk_message w ~dest:port ~pages:40);
+  ignore (Engine.run w.engine);
+  Alcotest.(check int) "delivered exactly once despite reordering" 1 !delivered
+
+let test_arq_give_up_on_partition () =
+  (* a partition covering the whole transfer and outlasting the retry
+     span: the transport must abandon the message, not retry forever *)
+  let w =
+    arq_world
+      ~fault_plan:
+        (Fault_plan.with_partition ~start_ms:0. ~duration_ms:3_600_000.
+           Fault_plan.none)
+      ()
+  in
+  let delivered = ref 0 and gave_up = ref 0 in
+  Netmsgserver.on_transport_give_up w.servers.(0) (fun _ -> incr gave_up);
+  let port = remote_port w ~on:1 (fun _ -> incr delivered) in
+  Kernel_ipc.send w.kernels.(0) (bulk_message w ~dest:port ~pages:4);
+  let final = Engine.run w.engine in
+  Alcotest.(check int) "never delivered" 0 !delivered;
+  Alcotest.(check int) "give-up reported to the NMS" 1 !gave_up;
+  Alcotest.(check int) "give-up counted" 1
+    (Netmsgserver.transport_give_ups w.servers.(0));
+  (* the retry schedule is bounded: 25+50+...+1600 capped, ~4.8 s *)
+  Alcotest.(check bool) "gave up promptly instead of hanging" true
+    (final < 10_000.)
+
 let suite =
   ( "net",
     [
       Alcotest.test_case "link fragment math" `Quick test_link_fragment_math;
+      Alcotest.test_case "link fragment edges" `Quick test_link_fragment_edges;
+      Alcotest.test_case "fault plan: clean" `Quick test_fault_plan_clean;
+      Alcotest.test_case "fault plan: certain loss" `Quick
+        test_fault_plan_certain_loss;
+      Alcotest.test_case "fault plan: corruption" `Quick
+        test_fault_plan_corruption;
+      Alcotest.test_case "fault plan: burst rate" `Quick
+        test_fault_plan_burst_rate;
+      Alcotest.test_case "fault plan: partition schedule" `Quick
+        test_fault_plan_partition_schedule;
       Alcotest.test_case "link transmit timing" `Quick test_link_transmit_timing;
       Alcotest.test_case "link serializes" `Quick test_link_serializes_transfers;
       Alcotest.test_case "monitor accounting" `Quick test_monitor_accounting;
@@ -310,4 +508,12 @@ let suite =
         test_nms_caching_disabled_by_params;
       Alcotest.test_case "serves faults and death" `Quick
         test_nms_serves_cached_faults_and_death;
+      Alcotest.test_case "ARQ: clean delivery" `Quick test_arq_clean_delivery;
+      Alcotest.test_case "ARQ: loss recovery" `Quick test_arq_loss_recovery;
+      Alcotest.test_case "ARQ: corruption recovery" `Quick
+        test_arq_corruption_recovery;
+      Alcotest.test_case "ARQ: reordering tolerated" `Quick
+        test_arq_reordering_tolerated;
+      Alcotest.test_case "ARQ: bounded retries give up" `Quick
+        test_arq_give_up_on_partition;
     ] )

@@ -175,6 +175,35 @@ let prop_iou_ships_fewer_bytes_when_half_touched =
       in
       bytes (Strategy.pure_iou ()) <= bytes Strategy.pure_copy)
 
+(* The fault-injecting transport must not cost reproducibility: the same
+   seed and the same fault plan replay the same losses, the same
+   retransmissions and the same clock, bit for bit. *)
+let prop_lossy_runs_are_deterministic =
+  QCheck.Test.make ~count:15
+    ~name:"same seed and fault plan reproduce the run exactly" arb
+    (fun (spec, n) ->
+      let strategy = strategy_of_int n in
+      let fault_plan = Accent_net.Fault_plan.iid 0.05 in
+      let fingerprint () =
+        let result =
+          Accent_experiments.Trial.run ~seed:7L ~fault_plan ~spec ~strategy ()
+        in
+        let r = result.Accent_experiments.Trial.report in
+        let monitor =
+          result.Accent_experiments.Trial.world.World.monitor
+        in
+        ( ( Report.end_to_end_seconds r,
+            Report.bytes_total r,
+            r.Report.retransmits,
+            r.Report.bytes_retransmit ),
+          ( r.Report.bytes_ack,
+            r.Report.transport_give_ups,
+            r.Report.outcome,
+            Accent_net.Transfer_monitor.bytes_total monitor,
+            Accent_net.Transfer_monitor.messages_total monitor ) )
+      in
+      fingerprint () = fingerprint ())
+
 let prop_excise_insert_identity =
   QCheck.Test.make ~count:40
     ~name:"excise/insert preserves composition exactly"
@@ -207,5 +236,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_migration_roundtrip;
       QCheck_alcotest.to_alcotest prop_phase_ordering;
       QCheck_alcotest.to_alcotest prop_iou_ships_fewer_bytes_when_half_touched;
+      QCheck_alcotest.to_alcotest prop_lossy_runs_are_deterministic;
       QCheck_alcotest.to_alcotest prop_excise_insert_identity;
     ] )
