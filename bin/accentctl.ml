@@ -276,6 +276,60 @@ let losssweep_cmd =
     Term.(
       const losssweep $ losssweep_workload_arg $ seed_arg $ losssweep_csv_arg)
 
+let trace workload strategy prefetch seed loss partition out pretty =
+  match Accent_workloads.Representative.by_name workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | Some spec -> (
+      match
+        (strategy_of_string strategy prefetch, fault_plan_of ~loss ~partition)
+      with
+      | Error e, _ | _, Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok strategy, Ok fault_plan ->
+          let oc, close =
+            match out with
+            | None -> (stdout, fun () -> flush stdout)
+            | Some path ->
+                let oc = open_out path in
+                (oc, fun () -> close_out oc)
+          in
+          let on_event =
+            if pretty then (
+              let ppf = Format.formatter_of_out_channel oc in
+              fun ev -> Format.fprintf ppf "%a@." Accent_core.Mig_event.pp ev)
+            else Accent_core.Mig_event.jsonl_writer oc
+          in
+          let result =
+            Accent_experiments.Trial.run ~seed ?fault_plan ~on_event ~spec
+              ~strategy ()
+          in
+          close ();
+          (match out with
+          | Some path -> Printf.eprintf "wrote %s\n" path
+          | None -> ());
+          ignore result.Accent_experiments.Trial.report)
+
+let trace_out_arg =
+  let doc = "Write the trace to $(docv) instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let trace_pretty_arg =
+  let doc = "Human-readable lines instead of JSONL." in
+  Arg.(value & flag & info [ "pretty" ] ~doc)
+
+let trace_cmd =
+  let doc =
+    "run one migration trial and stream every migration event as JSON lines"
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const trace $ workload_arg $ strategy_arg $ prefetch_arg $ seed_arg
+      $ loss_arg $ partition_arg $ trace_out_arg $ trace_pretty_arg)
+
 let compare_workload workload prefetch seed =
   match Accent_workloads.Representative.by_name workload with
   | None ->
@@ -339,6 +393,7 @@ let main_cmd =
   Cmd.group (Cmd.info "accentctl" ~doc)
     [
       migrate_cmd;
+      trace_cmd;
       tables_cmd;
       ablate_cmd;
       inspect_cmd;

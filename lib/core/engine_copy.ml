@@ -1,0 +1,101 @@
+open Accent_ipc
+open Accent_kernel
+open Transfer_engine
+
+type Message.payload +=
+  | Mig_core of {
+      core : Context.core;
+      prefetch : int;
+      report : Report.t;
+      on_complete : (Proc.t -> Report.t -> unit) option;
+      on_restart : (Proc.t -> unit) option;
+    }
+  | Mig_rimas of { proc_id : int; report : Report.t }
+
+(* The two context messages may arrive in either order. *)
+type partial = {
+  mutable arrived_core : arrival option;
+  mutable arrived_rimas : Memory_object.t option;
+}
+
+let send_context ctx ~dest ~(excised : Excise.excised) ~rimas ~no_ious
+    ~prefetch ~report ~on_complete ~on_restart =
+  let ids = Host.ids ctx.host in
+  let core_msg =
+    Message.make ~ids ~dest
+      ~inline_bytes:
+        (Context.core_wire_bytes (Host.costs ctx.host) excised.Excise.core)
+      ~rights:excised.Excise.core.Context.port_rights
+      (Mig_core
+         { core = excised.Excise.core; prefetch; report; on_complete; on_restart })
+  in
+  let rimas_msg =
+    Message.make ~ids ~dest ~inline_bytes:64 ~memory:rimas ~no_ious
+      ~category:Message.Bulk
+      (Mig_rimas { proc_id = excised.Excise.core.Context.proc_id; report })
+  in
+  Kernel_ipc.send (Host.kernel ctx.host) rimas_msg;
+  Kernel_ipc.send (Host.kernel ctx.host) core_msg
+
+let start ctx ~proc ~dest ~strategy ~report ~on_complete ~on_restart =
+  freeze_until_quiescent ctx proc ~k:(fun () ->
+      Excise.excise ctx.host proc ~k:(fun excised ->
+          emit ctx ~proc_id:excised.Excise.core.Context.proc_id
+            (Mig_event.Excised excised.Excise.timings);
+          send_context ctx ~dest ~excised ~rimas:excised.Excise.rimas
+            ~no_ious:true ~prefetch:strategy.Strategy.prefetch ~report
+            ~on_complete ~on_restart))
+
+let create ctx =
+  let pending : (int, partial) Hashtbl.t = Hashtbl.create 4 in
+  let partial_for proc_id =
+    match Hashtbl.find_opt pending proc_id with
+    | Some p -> p
+    | None ->
+        let p = { arrived_core = None; arrived_rimas = None } in
+        Hashtbl.replace pending proc_id p;
+        p
+  in
+  (* Once both context messages are in hand, hand the assembled context to
+     the manager for insertion. *)
+  let maybe_insert proc_id partial =
+    match (partial.arrived_core, partial.arrived_rimas) with
+    | Some arrival, Some rimas ->
+        Hashtbl.remove pending proc_id;
+        ctx.insert { arrival with rimas }
+    | _ -> ()
+  in
+  let handle msg =
+    match msg.Message.payload with
+    | Mig_core { core; prefetch; report; on_complete; on_restart } ->
+        ctx.note_received ();
+        let proc_id = core.Context.proc_id in
+        emit ctx ~proc_id Mig_event.Core_delivered;
+        let partial = partial_for proc_id in
+        partial.arrived_core <-
+          Some { core; rimas = []; prefetch; report; on_complete; on_restart };
+        maybe_insert proc_id partial;
+        true
+    | Mig_rimas { proc_id; report = _ } ->
+        let rimas = Option.value msg.Message.memory ~default:[] in
+        emit ctx ~proc_id
+          (Mig_event.Rimas_delivered
+             { data_bytes = Memory_object.data_bytes rimas });
+        let partial = partial_for proc_id in
+        partial.arrived_rimas <- Some rimas;
+        maybe_insert proc_id partial;
+        true
+    | _ -> false
+  in
+  let give_up_proc = function
+    | Mig_core { core; _ } -> Some core.Context.proc_id
+    | Mig_rimas { proc_id; _ } -> Some proc_id
+    | _ -> None
+  in
+  {
+    name = "copy";
+    claims = (function Strategy.Pure_copy -> true | _ -> false);
+    start = start ctx;
+    handle;
+    give_up_proc;
+  }

@@ -1,0 +1,44 @@
+(** The pure-copy transfer engine, and the classic two-message context
+    protocol it owns.
+
+    "Classic" migrations (pure-copy and every lazy variant built on it)
+    ship the context as two concurrent messages: the Core — microstate,
+    PCB, port rights, AMap — and the RIMAS.  This module defines those
+    payloads, the sender both classic engines use, and the
+    destination-side race resolution (the messages arrive in either
+    order: under pure-IOU the tiny RIMAS regularly beats the Core).
+
+    {!Engine_iou} reuses {!send_context} with its own RIMAS preparation;
+    destination handling for {e all} classic strategies lives here, since
+    the wire format does not reveal which strategy sent it. *)
+
+type Accent_ipc.Message.payload +=
+  | Mig_core of {
+      core : Accent_kernel.Context.core;
+      prefetch : int;
+      report : Report.t;
+      on_complete : (Accent_kernel.Proc.t -> Report.t -> unit) option;
+      on_restart : (Accent_kernel.Proc.t -> unit) option;
+    }
+  | Mig_rimas of { proc_id : int; report : Report.t }
+        (** memory object: the RIMAS, collapsed coordinates *)
+
+val send_context :
+  Transfer_engine.ctx ->
+  dest:Accent_ipc.Port.id ->
+  excised:Accent_kernel.Excise.excised ->
+  rimas:Accent_ipc.Memory_object.t ->
+  no_ious:bool ->
+  prefetch:int ->
+  report:Report.t ->
+  on_complete:(Accent_kernel.Proc.t -> Report.t -> unit) option ->
+  on_restart:(Accent_kernel.Proc.t -> unit) option ->
+  unit
+(** Send the RIMAS then the Core to [dest].  RIMAS first: under the lazy
+    strategies it is one small fragment and the relocated process cannot
+    restart until it lands, so it should not queue behind the Core's AMap
+    fragments. *)
+
+val create : Transfer_engine.ctx -> Transfer_engine.t
+(** Claims [Pure_copy]; its [handle] consumes the Core/RIMAS payloads of
+    every classic strategy. *)

@@ -1,0 +1,121 @@
+open Accent_sim
+open Accent_mem
+open Accent_ipc
+open Accent_kernel
+open Transfer_engine
+
+(* --- resident-set RIMAS preparation ------------------------------------ *)
+
+let partial_rimas ctx (excised : Excise.excised) ~keep_pages =
+  let resident_offsets = Hashtbl.create 256 in
+  List.iter
+    (fun page ->
+      let vaddr = Page.addr_of_index page in
+      match Context.collapsed_of_vaddr excised.Excise.layout vaddr with
+      | Some c -> Hashtbl.replace resident_offsets c ()
+      | None -> ())
+    keep_pages;
+  let segment_id = Backing_server.new_segment ctx.backing in
+  let backing_port = Backing_server.port ctx.backing in
+  let rev_chunks = ref [] in
+  let emit range content =
+    rev_chunks := { Memory_object.range; content } :: !rev_chunks
+  in
+  (* Flush a run of [n] pages ending before collapsed offset [upto]. *)
+  let flush_run ~data ~run_lo ~upto ~resident =
+    if upto > run_lo then
+      let range = Vaddr.range run_lo upto in
+      if resident then emit range (Memory_object.Data data)
+      else
+        emit range
+          (Memory_object.Iou { segment_id; backing_port; offset = run_lo })
+  in
+  List.iter
+    (fun chunk ->
+      match chunk.Memory_object.content with
+      | Memory_object.Iou _ -> rev_chunks := chunk :: !rev_chunks
+      | Memory_object.Data bytes ->
+          let lo = chunk.Memory_object.range.Vaddr.lo in
+          let hi = chunk.Memory_object.range.Vaddr.hi in
+          let pages = (hi - lo) / Page.size in
+          let run_lo = ref lo and run_resident = ref true in
+          let run_buf = Buffer.create 4096 in
+          for i = 0 to pages - 1 do
+            let c = lo + (i * Page.size) in
+            let resident = Hashtbl.mem resident_offsets c in
+            if c = lo then run_resident := resident
+            else if resident <> !run_resident then begin
+              flush_run
+                ~data:(Buffer.to_bytes run_buf)
+                ~run_lo:!run_lo ~upto:c ~resident:!run_resident;
+              Buffer.clear run_buf;
+              run_lo := c;
+              run_resident := resident
+            end;
+            if resident then
+              Buffer.add_subbytes run_buf bytes (c - lo) Page.size
+            else
+              Backing_server.put_bytes ctx.backing ~segment_id ~offset:c
+                (Bytes.sub bytes (c - lo) Page.size)
+          done;
+          flush_run
+            ~data:(Buffer.to_bytes run_buf)
+            ~run_lo:!run_lo ~upto:hi ~resident:!run_resident)
+    excised.Excise.rimas;
+  List.rev !rev_chunks
+
+(* --- source side -------------------------------------------------------- *)
+
+(* Only pages that actually carry data can be shipped physically. *)
+let shippable_ws_pages ctx proc ~window_ms =
+  Working_set.pages_within proc.Proc.working_set
+    ~time:(Engine.now (Host.engine ctx.host))
+    ~window:(Time.ms window_ms)
+  |> List.filter (fun page ->
+         match Address_space.presence_of_page (Proc.space_exn proc) page with
+         | Address_space.Resident _ | Address_space.Paged_out _ -> true
+         | Address_space.Zero_pending | Address_space.Imaginary_pending _
+         | Address_space.Invalid ->
+             false)
+
+let start ctx ~proc ~dest ~strategy ~report ~on_complete ~on_restart =
+  freeze_until_quiescent ctx proc ~k:(fun () ->
+      (* the working set must be read before excision dismantles the space *)
+      let ws_pages =
+        match strategy.Strategy.transfer with
+        | Strategy.Working_set { window_ms } ->
+            shippable_ws_pages ctx proc ~window_ms
+        | _ -> []
+      in
+      Excise.excise ctx.host proc ~k:(fun excised ->
+          emit ctx ~proc_id:excised.Excise.core.Context.proc_id
+            (Mig_event.Excised excised.Excise.timings);
+          let rimas, no_ious =
+            match strategy.Strategy.transfer with
+            | Strategy.Pure_iou -> (excised.Excise.rimas, false)
+            | Strategy.Resident_set ->
+                ( partial_rimas ctx excised ~keep_pages:excised.Excise.resident,
+                  true )
+            | Strategy.Working_set _ ->
+                (partial_rimas ctx excised ~keep_pages:ws_pages, true)
+            | Strategy.Pure_copy | Strategy.Pre_copy _ ->
+                assert false (* other engines claim these *)
+          in
+          Engine_copy.send_context ctx ~dest ~excised ~rimas ~no_ious
+            ~prefetch:strategy.Strategy.prefetch ~report ~on_complete
+            ~on_restart))
+
+let create ctx =
+  {
+    name = "iou";
+    claims =
+      (function
+      | Strategy.Pure_iou | Strategy.Resident_set | Strategy.Working_set _ ->
+          true
+      | Strategy.Pure_copy | Strategy.Pre_copy _ -> false);
+    start = start ctx;
+    (* the classic wire protocol is Engine_copy's; nothing arrives that is
+       specifically ours *)
+    handle = (fun _ -> false);
+    give_up_proc = (fun _ -> None);
+  }

@@ -1,0 +1,28 @@
+(** The pre-copy transfer engine (paper §5, Theimer's V system baseline).
+
+    The process keeps executing at the source while rounds of dirty pages
+    are pushed ahead of it; when a round leaves little enough dirt (or the
+    round budget is spent) the process is frozen, excised, and the
+    residual shipped with the Core in one final message.  The destination
+    stages round pages in a segment store and assembles the full RIMAS at
+    insertion time.
+
+    Owns the round/ack wire protocol, the source-side round state and the
+    destination-side staging store — the manager sees only the standard
+    {!Transfer_engine.t} surface. *)
+
+type Accent_ipc.Message.payload +=
+  | Mig_precopy_pages of {
+      proc_id : int;
+      round : int;
+      src_port : Accent_ipc.Port.id;  (** where the acknowledgement goes *)
+    }  (** memory object: Data chunks in virtual-address coordinates *)
+  | Mig_precopy_ack of { proc_id : int; round : int }
+  | Mig_precopy_final of {
+      core : Accent_kernel.Context.core;
+      report : Report.t;
+      on_complete : (Accent_kernel.Proc.t -> Report.t -> unit) option;
+    }  (** memory object: the residual dirty pages, vaddr coordinates *)
+
+val create : Transfer_engine.ctx -> Transfer_engine.t
+(** Claims [Pre_copy]. *)

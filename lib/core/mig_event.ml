@@ -1,0 +1,211 @@
+type fault_kind = Fault_zero | Fault_disk | Fault_imaginary
+type prefetch_kind = Prefetch_issued | Prefetch_hit
+
+type kind =
+  | Requested of { proc_name : string; strategy : Strategy.t }
+  | Excised of Accent_kernel.Excise.timings
+  | Core_delivered
+  | Rimas_delivered of { data_bytes : int }
+  | Inserted of { insert_ms : float }
+  | Restarted
+  | Frozen of { residual_bytes : int }
+  | Precopy_round of { round : int; bytes : int }
+  | Fault of fault_kind
+  | Prefetch of prefetch_kind
+  | Transport_give_up
+  | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
+
+type t = { at : Accent_sim.Time.t; proc_id : int; kind : kind }
+
+(* --- the fold step ------------------------------------------------------ *)
+
+(* Destination faults and prefetch traffic only belong to the migration
+   while the relocated process is executing there: pre-copy keeps the
+   process running (and faulting) at the source between Requested and
+   Frozen, and those must not count. *)
+let counting_remote_execution (r : Report.t) =
+  r.Report.restarted_at <> None && r.Report.completed_at = None
+
+let apply (r : Report.t) ev =
+  let at = Some ev.at in
+  match ev.kind with
+  | Requested _ -> r.Report.requested_at <- at
+  | Excised timings ->
+      r.Report.excised_at <- at;
+      r.Report.excise <- Some timings
+  | Core_delivered -> r.Report.core_delivered_at <- at
+  | Rimas_delivered { data_bytes } ->
+      r.Report.rimas_delivered_at <- at;
+      r.Report.remote_real_bytes_fetched <- data_bytes
+  | Inserted { insert_ms } ->
+      r.Report.inserted_at <- at;
+      r.Report.insert_ms <- Some insert_ms
+  | Restarted -> r.Report.restarted_at <- at
+  | Frozen { residual_bytes } ->
+      r.Report.frozen_at <- at;
+      r.Report.precopy_bytes <- r.Report.precopy_bytes + residual_bytes
+  | Precopy_round { round; bytes } ->
+      r.Report.precopy_rounds <- round;
+      r.Report.precopy_bytes <- r.Report.precopy_bytes + bytes
+  | Fault kind ->
+      if counting_remote_execution r then begin
+        match kind with
+        | Fault_zero ->
+            r.Report.dest_faults_zero <- r.Report.dest_faults_zero + 1
+        | Fault_disk ->
+            r.Report.dest_faults_disk <- r.Report.dest_faults_disk + 1
+        | Fault_imaginary ->
+            r.Report.dest_faults_imag <- r.Report.dest_faults_imag + 1
+      end
+  | Prefetch kind ->
+      if counting_remote_execution r then begin
+        match kind with
+        | Prefetch_issued ->
+            r.Report.prefetch_extra <- r.Report.prefetch_extra + 1
+        | Prefetch_hit -> r.Report.prefetch_hits <- r.Report.prefetch_hits + 1
+      end
+  | Transport_give_up ->
+      r.Report.transport_give_ups <- r.Report.transport_give_ups + 1;
+      if r.Report.outcome = Report.Completed then
+        r.Report.outcome <-
+          (if r.Report.restarted_at = None then Report.Aborted
+           else Report.Degraded)
+  | Outcome { outcome = _; remote_touched_pages } ->
+      r.Report.completed_at <- at;
+      r.Report.remote_touched_pages <- remote_touched_pages;
+      r.Report.remote_real_bytes_fetched <-
+        r.Report.remote_real_bytes_fetched
+        + Accent_mem.Page.size
+          * (r.Report.dest_faults_imag + r.Report.prefetch_extra)
+
+(* --- the bus ------------------------------------------------------------ *)
+
+type bus = {
+  mutable subscribers : (t -> unit) list;  (** in subscription order *)
+  routes : (int, Report.t) Hashtbl.t;
+}
+
+let create_bus () = { subscribers = []; routes = Hashtbl.create 8 }
+let subscribe bus f = bus.subscribers <- bus.subscribers @ [ f ]
+let register bus ~proc_id report = Hashtbl.replace bus.routes proc_id report
+
+let publish bus ev =
+  (match Hashtbl.find_opt bus.routes ev.proc_id with
+  | Some report -> apply report ev
+  | None -> ());
+  List.iter (fun f -> f ev) bus.subscribers
+
+let fold_report ~proc_id events =
+  let mine = List.filter (fun ev -> ev.proc_id = proc_id) events in
+  let requested =
+    List.find_map
+      (fun ev ->
+        match ev.kind with
+        | Requested { proc_name; strategy } -> Some (proc_name, strategy)
+        | _ -> None)
+      mine
+  in
+  Option.map
+    (fun (proc_name, strategy) ->
+      let report = Report.create ~proc_name ~strategy in
+      List.iter (apply report) mine;
+      report)
+    requested
+
+(* --- trace output ------------------------------------------------------- *)
+
+let fault_kind_name = function
+  | Fault_zero -> "zero"
+  | Fault_disk -> "disk"
+  | Fault_imaginary -> "imaginary"
+
+let prefetch_kind_name = function
+  | Prefetch_issued -> "issued"
+  | Prefetch_hit -> "hit"
+
+let kind_name = function
+  | Requested _ -> "requested"
+  | Excised _ -> "excised"
+  | Core_delivered -> "core-delivered"
+  | Rimas_delivered _ -> "rimas-delivered"
+  | Inserted _ -> "inserted"
+  | Restarted -> "restarted"
+  | Frozen _ -> "frozen"
+  | Precopy_round _ -> "precopy-round"
+  | Fault _ -> "fault"
+  | Prefetch _ -> "prefetch"
+  | Transport_give_up -> "transport-give-up"
+  | Outcome _ -> "outcome"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ev =
+  let detail =
+    match ev.kind with
+    | Requested { proc_name; strategy } ->
+        Printf.sprintf {|,"proc_name":"%s","strategy":"%s"|}
+          (json_escape proc_name)
+          (json_escape (Strategy.name strategy))
+    | Excised { Accent_kernel.Excise.amap_ms; rimas_ms; overall_ms } ->
+        Printf.sprintf {|,"amap_ms":%.3f,"rimas_ms":%.3f,"overall_ms":%.3f|}
+          amap_ms rimas_ms overall_ms
+    | Rimas_delivered { data_bytes } ->
+        Printf.sprintf {|,"data_bytes":%d|} data_bytes
+    | Inserted { insert_ms } -> Printf.sprintf {|,"insert_ms":%.3f|} insert_ms
+    | Frozen { residual_bytes } ->
+        Printf.sprintf {|,"residual_bytes":%d|} residual_bytes
+    | Precopy_round { round; bytes } ->
+        Printf.sprintf {|,"round":%d,"bytes":%d|} round bytes
+    | Fault kind -> Printf.sprintf {|,"kind":"%s"|} (fault_kind_name kind)
+    | Prefetch kind ->
+        Printf.sprintf {|,"kind":"%s"|} (prefetch_kind_name kind)
+    | Outcome { outcome; remote_touched_pages } ->
+        Printf.sprintf {|,"outcome":"%s","remote_touched_pages":%d|}
+          (Report.outcome_name outcome)
+          remote_touched_pages
+    | Core_delivered | Restarted | Transport_give_up -> ""
+  in
+  Printf.sprintf {|{"t_ms":%.3f,"proc":%d,"event":"%s"%s}|}
+    (Accent_sim.Time.to_ms ev.at)
+    ev.proc_id (kind_name ev.kind) detail
+
+let jsonl_writer oc ev =
+  output_string oc (to_json ev);
+  output_char oc '\n'
+
+let pp ppf ev =
+  let detail =
+    match ev.kind with
+    | Requested { proc_name; strategy } ->
+        Printf.sprintf " %s under %s" proc_name (Strategy.name strategy)
+    | Excised { Accent_kernel.Excise.overall_ms; _ } ->
+        Printf.sprintf " (%.1f ms)" overall_ms
+    | Rimas_delivered { data_bytes } -> Printf.sprintf " (%d B data)" data_bytes
+    | Inserted { insert_ms } -> Printf.sprintf " (%.1f ms)" insert_ms
+    | Frozen { residual_bytes } ->
+        Printf.sprintf " (%d B residual)" residual_bytes
+    | Precopy_round { round; bytes } ->
+        Printf.sprintf " %d (%d B)" round bytes
+    | Fault kind -> " " ^ fault_kind_name kind
+    | Prefetch kind -> " " ^ prefetch_kind_name kind
+    | Outcome { outcome; remote_touched_pages } ->
+        Printf.sprintf " %s (%d pages touched)"
+          (Report.outcome_name outcome)
+          remote_touched_pages
+    | Core_delivered | Restarted | Transport_give_up -> ""
+  in
+  Format.fprintf ppf "%10.3f ms  proc %d  %s%s"
+    (Accent_sim.Time.to_ms ev.at)
+    ev.proc_id (kind_name ev.kind) detail

@@ -1,0 +1,95 @@
+(** The migration event bus.
+
+    Every observable moment of a migration — phase boundaries, pre-copy
+    rounds, faults and prefetches at the destination, transport give-ups,
+    the final outcome — is published as one typed event stamped with the
+    virtual clock.  The transfer engines, the pager (via the
+    MigrationManager's observer) and the reliable transport emit events
+    here instead of poking {!Report} fields; the live report is maintained
+    by folding each event into it as it is published, and
+    {!fold_report} replays a recorded stream into a fresh report, so the
+    two are equivalent by construction (a property the test suite checks).
+
+    Subscribers see every event on the bus, including events for processes
+    no migration is tracking (e.g. faults taken by a process that never
+    moved are {e not} published — only hosts' pagers observed by a
+    MigrationManager feed the bus). *)
+
+type fault_kind = Fault_zero | Fault_disk | Fault_imaginary
+type prefetch_kind = Prefetch_issued | Prefetch_hit
+
+type kind =
+  | Requested of { proc_name : string; strategy : Strategy.t }
+      (** the source MigrationManager accepted the migration *)
+  | Excised of Accent_kernel.Excise.timings
+      (** ExciseProcess finished dismantling the source context *)
+  | Core_delivered  (** the Core context message reached the destination *)
+  | Rimas_delivered of { data_bytes : int }
+      (** the RIMAS landed; [data_bytes] is its physically-shipped part *)
+  | Inserted of { insert_ms : float }
+      (** InsertProcess rebuilt the process ([insert_ms] is the modelled
+          trap cost) *)
+  | Restarted  (** the reincarnated process is about to resume *)
+  | Frozen of { residual_bytes : int }
+      (** pre-copy only: execution stopped at the source; [residual_bytes]
+          is the dirty remainder the final message must carry *)
+  | Precopy_round of { round : int; bytes : int }
+      (** a pre-copy round was sent with [bytes] of page data *)
+  | Fault of fault_kind  (** the observed host's pager took a fault *)
+  | Prefetch of prefetch_kind
+      (** an extra page was installed by prefetch, or a previously
+          prefetched page was referenced *)
+  | Transport_give_up
+      (** the reliable transport abandoned a migration message *)
+  | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
+      (** the relocated process finished its remote execution *)
+
+type t = {
+  at : Accent_sim.Time.t;
+  proc_id : int;  (** the migrating (or faulting) process *)
+  kind : kind;
+}
+
+(** {2 The bus} *)
+
+type bus
+
+val create_bus : unit -> bus
+
+val subscribe : bus -> (t -> unit) -> unit
+(** Add an observer; it sees every published event, in publish order. *)
+
+val register : bus -> proc_id:int -> Report.t -> unit
+(** Route events for [proc_id] into [report]: each published event with
+    that id is folded into the report via {!apply}.  A later registration
+    for the same process replaces the earlier one (re-migration). *)
+
+val publish : bus -> t -> unit
+(** Fold the event into the registered report (if any), then notify
+    subscribers. *)
+
+(** {2 Report reconstruction} *)
+
+val apply : Report.t -> t -> unit
+(** The fold step: stamp/accumulate one event into a report.  Destination
+    fault and prefetch events only count between [Restarted] and
+    [Outcome], mirroring the destination-execution accounting window. *)
+
+val fold_report : proc_id:int -> t list -> Report.t option
+(** Rebuild a report purely from an in-order event stream: find the
+    [Requested] event for [proc_id], create a fresh report from it, and
+    apply every subsequent event with that id.  [None] when the stream
+    holds no such request. *)
+
+(** {2 Trace output} *)
+
+val kind_name : kind -> string
+val to_json : t -> string
+(** One self-contained JSON object (a JSONL line, without the newline). *)
+
+val jsonl_writer : out_channel -> t -> unit
+(** A subscriber that appends [to_json] lines to the channel. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering, e.g.
+    ["  1234.500 ms  proc 7  precopy-round 2 (65536 B)"]. *)

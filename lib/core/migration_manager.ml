@@ -3,66 +3,12 @@ open Accent_mem
 open Accent_ipc
 open Accent_kernel
 
-type arrival = {
-  core : Context.core;
-  prefetch : int;
-  report : Report.t;
-  on_complete : (Proc.t -> Report.t -> unit) option;
-  on_restart : (Proc.t -> unit) option;
-  fault_baseline : int * int * int; (* zero, disk, imag at insertion *)
-}
-
-(* The two context messages may arrive in either order: the RIMAS is a
-   single small fragment under pure-IOU while the Core carries a large
-   AMap, so the RIMAS regularly wins the race. *)
-type partial = {
-  mutable arrived_core : arrival option;
-  mutable arrived_rimas : (Accent_ipc.Memory_object.t * Report.t) option;
-}
-
-type Message.payload +=
-  | Mig_core of {
-      core : Context.core;
-      prefetch : int;
-      report : Report.t;
-      on_complete : (Proc.t -> Report.t -> unit) option;
-      on_restart : (Proc.t -> unit) option;
-    }
-  | Mig_rimas of { proc_id : int; report : Report.t }
-  (* --- the pre-copy baseline (§5, Theimer's V system) --- *)
-  | Mig_precopy_pages of {
-      proc_id : int;
-      round : int;
-      src_port : Port.id;  (** where the acknowledgement goes *)
-      report : Report.t;
-    }  (** memory object: Data chunks in virtual-address coordinates *)
-  | Mig_precopy_ack of { proc_id : int; round : int }
-  | Mig_precopy_final of {
-      core : Context.core;
-      report : Report.t;
-      on_complete : (Proc.t -> Report.t -> unit) option;
-    }  (** memory object: the residual dirty pages, vaddr coordinates *)
-
-type precopy_outbound = {
-  proc : Proc.t;
-  dest : Port.id;
-  max_rounds : int;
-  threshold_pages : int;
-  out_report : Report.t;
-  out_on_complete : (Proc.t -> Report.t -> unit) option;
-  sent : (Accent_mem.Page.index, unit) Hashtbl.t;  (** pages ever shipped *)
-}
-
 type t = {
   host : Host.t;
   port : Port.id;
   backing : Backing_server.t;
-  pending : (int, partial) Hashtbl.t;
-  (* source side of in-progress pre-copy migrations, by proc id *)
-  precopy_out : (int, precopy_outbound) Hashtbl.t;
-  (* destination side: pages staged by pre-copy rounds, keyed by proc id;
-     the inner store indexes pages by virtual address *)
-  staged : (int, Segment_store.t) Hashtbl.t;
+  bus : Mig_event.bus;
+  mutable engines : Transfer_engine.t list;
   mutable started : int;
   mutable received : int;
 }
@@ -70,434 +16,53 @@ type t = {
 let port t = t.port
 let host t = t.host
 let backing t = t.backing
+let bus t = t.bus
 
-(* --- resident-set RIMAS preparation ------------------------------------ *)
+let emit t ~proc_id kind =
+  Mig_event.publish t.bus
+    { Mig_event.at = Engine.now (Host.engine t.host); proc_id; kind }
 
-(* Replace every Data page NOT in [keep_pages] with IOUs backed by the
-   manager's own server, leaving the kept pages physical.  This implements
-   both the resident-set strategy (keep = resident set) and the
-   working-set strategy (keep = recently-referenced pages).  Chunk
-   coordinates are collapsed offsets throughout. *)
-let partial_rimas t (excised : Excise.excised) ~keep_pages =
-  let resident_offsets = Hashtbl.create 256 in
-  List.iter
-    (fun page ->
-      let vaddr = Page.addr_of_index page in
-      match Context.collapsed_of_vaddr excised.Excise.layout vaddr with
-      | Some c -> Hashtbl.replace resident_offsets c ()
-      | None -> ())
-    keep_pages;
-  let segment_id = Backing_server.new_segment t.backing in
-  let backing_port = Backing_server.port t.backing in
-  let rev_chunks = ref [] in
-  let emit range content =
-    rev_chunks := { Memory_object.range; content } :: !rev_chunks
-  in
-  (* Flush a run of [n] pages ending before collapsed offset [upto]. *)
-  let flush_run ~data ~run_lo ~upto ~resident =
-    if upto > run_lo then
-      let range = Vaddr.range run_lo upto in
-      if resident then emit range (Memory_object.Data data)
-      else
-        emit range
-          (Memory_object.Iou { segment_id; backing_port; offset = run_lo })
-  in
-  List.iter
-    (fun chunk ->
-      match chunk.Memory_object.content with
-      | Memory_object.Iou _ -> rev_chunks := chunk :: !rev_chunks
-      | Memory_object.Data bytes ->
-          let lo = chunk.Memory_object.range.Vaddr.lo in
-          let hi = chunk.Memory_object.range.Vaddr.hi in
-          let pages = (hi - lo) / Page.size in
-          let run_lo = ref lo and run_resident = ref true in
-          let run_buf = Buffer.create 4096 in
-          for i = 0 to pages - 1 do
-            let c = lo + (i * Page.size) in
-            let resident = Hashtbl.mem resident_offsets c in
-            if c = lo then run_resident := resident
-            else if resident <> !run_resident then begin
-              flush_run
-                ~data:(Buffer.to_bytes run_buf)
-                ~run_lo:!run_lo ~upto:c ~resident:!run_resident;
-              Buffer.clear run_buf;
-              run_lo := c;
-              run_resident := resident
-            end;
-            if resident then
-              Buffer.add_subbytes run_buf bytes (c - lo) Page.size
-            else
-              Backing_server.put_bytes t.backing ~segment_id ~offset:c
-                (Bytes.sub bytes (c - lo) Page.size)
-          done;
-          flush_run
-            ~data:(Buffer.to_bytes run_buf)
-            ~run_lo:!run_lo ~upto:hi ~resident:!run_resident)
-    excised.Excise.rimas;
-  List.rev !rev_chunks
+(* --- destination lifecycle ----------------------------------------------- *)
 
-(* --- pre-copy: source side ---------------------------------------------- *)
-
-(* Read the named pages out of the (live) space and coalesce consecutive
-   ones into Data chunks addressed by virtual address. *)
-let vaddr_data_chunks space pages =
-  let pages = List.sort_uniq compare pages in
-  let runs =
-    List.fold_left
-      (fun acc page ->
-        match acc with
-        | (lo, hi) :: rest when page = hi -> (lo, page + 1) :: rest
-        | _ -> (page, page + 1) :: acc)
-      [] pages
-    |> List.rev
-  in
-  List.map
-    (fun (lo_page, hi_page) ->
-      let lo = Page.addr_of_index lo_page and hi = Page.addr_of_index hi_page in
-      let buf = Bytes.create (hi - lo) in
-      for idx = lo_page to hi_page - 1 do
-        match Address_space.page_data space idx with
-        | Some data ->
-            Bytes.blit data 0 buf (Page.addr_of_index idx - lo) Page.size
-        | None -> failwith "pre-copy: page vanished mid-round"
-      done;
-      {
-        Memory_object.range = Vaddr.range lo hi;
-        content = Memory_object.Data buf;
-      })
-    runs
-
-let all_real_pages space =
-  List.concat_map
-    (fun (lo, hi) ->
-      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-      List.init (last - first + 1) (fun i -> first + i))
-    (Address_space.real_ranges space)
-
-let precopy_send_round t (state : precopy_outbound) ~round ~pages =
-  let space = Proc.space_exn state.proc in
-  let chunks = vaddr_data_chunks space pages in
-  List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
-  state.out_report.Report.precopy_rounds <- round;
-  state.out_report.Report.precopy_bytes <-
-    state.out_report.Report.precopy_bytes + Memory_object.data_bytes chunks;
-  Kernel_ipc.send (Host.kernel t.host)
-    (Message.make ~ids:(Host.ids t.host) ~dest:state.dest ~inline_bytes:64
-       ~memory:chunks ~no_ious:true ~category:Message.Bulk
-       (Mig_precopy_pages
-          {
-            proc_id = state.proc.Proc.id;
-            round;
-            src_port = t.port;
-            report = state.out_report;
-          }))
-
-(* Convert any surviving IOU chunks of an excised RIMAS back to
-   virtual-address coordinates using the excision layout, so the final
-   pre-copy message can carry them alongside the residual data. *)
-let iou_chunks_in_vaddr (excised : Excise.excised) =
-  List.concat_map
-    (fun chunk ->
-      match chunk.Memory_object.content with
-      | Memory_object.Data _ -> []
-      | Memory_object.Iou { segment_id; backing_port; offset } ->
-          let clo = chunk.Memory_object.range.Vaddr.lo in
-          let chi = chunk.Memory_object.range.Vaddr.hi in
-          List.filter_map
-            (fun (run : Context.layout_run) ->
-              let run_chi =
-                run.Context.collapsed_lo + run.Context.vaddr_hi
-                - run.Context.vaddr_lo
-              in
-              let lo = max clo run.Context.collapsed_lo in
-              let hi = min chi run_chi in
-              if lo >= hi then None
-              else
-                Some
-                  {
-                    Memory_object.range =
-                      Vaddr.range
-                        (run.Context.vaddr_lo + lo - run.Context.collapsed_lo)
-                        (run.Context.vaddr_lo + hi - run.Context.collapsed_lo);
-                    content =
-                      Memory_object.Iou
-                        { segment_id; backing_port; offset = offset + lo - clo };
-                  })
-            excised.Excise.layout)
-    excised.Excise.rimas
-
-let precopy_freeze t (state : precopy_outbound) =
-  let engine = Host.engine t.host in
-  Proc_runner.interrupt state.proc;
-  let rec once_quiescent k =
-    if state.proc.Proc.in_flight then
-      ignore (Engine.schedule engine ~delay:(Time.ms 2.) (fun () -> once_quiescent k))
-    else k ()
-  in
-  once_quiescent (fun () ->
-      state.out_report.Report.frozen_at <- Some (Engine.now engine);
-      let space = Proc.space_exn state.proc in
-      (* residual = everything dirtied since the last round, plus any page
-         materialised after round 1 that no round ever shipped *)
-      let written = Proc.drain_written_log state.proc in
-      let unsent =
-        List.filter
-          (fun p -> not (Hashtbl.mem state.sent p))
-          (all_real_pages space)
-      in
-      let residual_chunks =
-        vaddr_data_chunks space (List.sort_uniq compare (written @ unsent))
-      in
-      state.out_report.Report.precopy_bytes <-
-        state.out_report.Report.precopy_bytes
-        + Memory_object.data_bytes residual_chunks;
-      Hashtbl.remove t.precopy_out state.proc.Proc.id;
-      Excise.excise t.host state.proc ~k:(fun excised ->
-          state.out_report.Report.excised_at <- Some (Engine.now engine);
-          state.out_report.Report.excise <- Some excised.Excise.timings;
-          let memory =
-            List.sort
-              (fun a b ->
-                compare a.Memory_object.range.Vaddr.lo
-                  b.Memory_object.range.Vaddr.lo)
-              (residual_chunks @ iou_chunks_in_vaddr excised)
-          in
-          Memory_object.validate memory;
-          Kernel_ipc.send (Host.kernel t.host)
-            (Message.make ~ids:(Host.ids t.host) ~dest:state.dest
-               ~inline_bytes:
-                 (Context.core_wire_bytes (Host.costs t.host)
-                    excised.Excise.core)
-               ~rights:excised.Excise.core.Context.port_rights ~memory
-               ~no_ious:true ~category:Message.Bulk
-               (Mig_precopy_final
-                  {
-                    core = excised.Excise.core;
-                    report = state.out_report;
-                    on_complete = state.out_on_complete;
-                  }))))
-
-let precopy_handle_ack t ~proc_id ~round =
-  match Hashtbl.find_opt t.precopy_out proc_id with
-  | None -> Logs.warn (fun m -> m "MigrationManager: stray pre-copy ack")
-  | Some state ->
-      let dirty = Hashtbl.length state.proc.Proc.written_log in
-      if round >= state.max_rounds || dirty <= state.threshold_pages then
-        precopy_freeze t state
-      else
-        precopy_send_round t state ~round:(round + 1)
-          ~pages:(Proc.drain_written_log state.proc)
-
-(* --- pre-copy: destination side ------------------------------------------ *)
-
-let staged_store t proc_id =
-  match Hashtbl.find_opt t.staged proc_id with
-  | Some store -> store
-  | None ->
-      let store = Segment_store.create () in
-      Hashtbl.replace t.staged proc_id store;
-      store
-
-let stage_chunks store ~proc_id memory =
-  List.iter
-    (fun chunk ->
-      match chunk.Memory_object.content with
-      | Memory_object.Data bytes ->
-          Segment_store.put_bytes store ~segment_id:proc_id
-            ~offset:chunk.Memory_object.range.Vaddr.lo bytes
-      | Memory_object.Iou _ -> ())
-    memory
-
-(* Assemble a collapsed-coordinate RIMAS for InsertProcess from the staged
-   pages plus the final message's IOU chunks. *)
-let precopy_assemble_rimas store ~proc_id ~amap ~iou_chunks =
-  let cursor = ref 0 and rev_chunks = ref [] in
-  List.iter
-    (fun (lo, hi, cls) ->
-      match (cls : Accent_mem.Accessibility.t) with
-      | Real_zero_mem | Bad_mem -> ()
-      | Real_mem ->
-          let len = hi - lo in
-          let buf = Bytes.create len in
-          let first = Page.index_of_addr lo
-          and last = Page.index_of_addr (hi - 1) in
-          for idx = first to last do
-            match
-              Segment_store.get_page store ~segment_id:proc_id
-                ~offset:(Page.addr_of_index idx)
-            with
-            | Some data ->
-                Bytes.blit data 0 buf (Page.addr_of_index idx - lo) Page.size
-            | None -> failwith "pre-copy: staged page missing at insertion"
-          done;
-          rev_chunks :=
-            {
-              Memory_object.range = Vaddr.range !cursor (!cursor + len);
-              content = Memory_object.Data buf;
-            }
-            :: !rev_chunks;
-          cursor := !cursor + len
-      | Imag_mem ->
-          let len = hi - lo in
-          let iou =
-            match
-              List.find_opt
-                (fun c ->
-                  c.Memory_object.range.Vaddr.lo <= lo
-                  && hi <= c.Memory_object.range.Vaddr.hi)
-                iou_chunks
-            with
-            | Some c -> c
-            | None -> failwith "pre-copy: imaginary range without an IOU"
-          in
-          (match iou.Memory_object.content with
-          | Memory_object.Iou { segment_id; backing_port; offset } ->
-              rev_chunks :=
-                {
-                  Memory_object.range = Vaddr.range !cursor (!cursor + len);
-                  content =
-                    Memory_object.Iou
-                      {
-                        segment_id;
-                        backing_port;
-                        offset = offset + lo - iou.Memory_object.range.Vaddr.lo;
-                      };
-                }
-                :: !rev_chunks
-          | Memory_object.Data _ -> assert false);
-          cursor := !cursor + len)
-    (Accent_mem.Amap.ranges amap);
-  (* merge adjacent data chunks so the result mirrors a normal collapse *)
-  List.rev !rev_chunks
-
-(* --- destination side --------------------------------------------------- *)
-
-let finish_insert t arrival proc =
-  let report = arrival.report in
-  report.Report.inserted_at <- Some (Engine.now (Host.engine t.host));
-  proc.Proc.prefetch <- arrival.prefetch;
-  let z0, d0, i0 = arrival.fault_baseline in
+let finish_insert t (a : Transfer_engine.arrival) ~insert_ms proc =
+  emit t ~proc_id:proc.Proc.id (Mig_event.Inserted { insert_ms });
+  proc.Proc.prefetch <- a.prefetch;
   proc.Proc.on_complete <-
     Some
       (fun p ->
-        report.Report.completed_at <- Some (Engine.now (Host.engine t.host));
-        report.Report.dest_faults_zero <- p.Proc.pcb.Pcb.faults_zero - z0;
-        report.Report.dest_faults_disk <- p.Proc.pcb.Pcb.faults_disk - d0;
-        report.Report.dest_faults_imag <- p.Proc.pcb.Pcb.faults_imag - i0;
-        report.Report.prefetch_extra <- p.Proc.prefetch_extra;
-        report.Report.prefetch_hits <- p.Proc.prefetch_hits;
-        report.Report.remote_real_bytes_fetched <-
-          report.Report.remote_real_bytes_fetched
-          + (Page.size
-            * (report.Report.dest_faults_imag + p.Proc.prefetch_extra));
-        (match p.Proc.space with
-        | Some space ->
-            report.Report.remote_touched_pages <-
-              Address_space.touched_pages space
-        | None -> ());
-        match arrival.on_complete with
-        | Some f -> f p report
-        | None -> ());
-  report.Report.restarted_at <- Some (Engine.now (Host.engine t.host));
-  (match arrival.on_restart with Some f -> f proc | None -> ());
+        let remote_touched_pages =
+          match p.Proc.space with
+          | Some space -> Address_space.touched_pages space
+          | None -> a.report.Report.remote_touched_pages
+        in
+        emit t ~proc_id:p.Proc.id
+          (Mig_event.Outcome
+             { outcome = a.report.Report.outcome; remote_touched_pages });
+        match a.on_complete with Some f -> f p a.report | None -> ());
+  emit t ~proc_id:proc.Proc.id Mig_event.Restarted;
+  (match a.on_restart with Some f -> f proc | None -> ());
   Proc_runner.start t.host proc
 
-let partial_for t proc_id =
-  match Hashtbl.find_opt t.pending proc_id with
-  | Some p -> p
-  | None ->
-      let p = { arrived_core = None; arrived_rimas = None } in
-      Hashtbl.replace t.pending proc_id p;
-      p
+let insert_arrival t (a : Transfer_engine.arrival) =
+  let insert_ms = Insert.estimate_ms (Host.costs t.host) a.core a.rimas in
+  Insert.insert t.host ~core:a.core ~rimas:a.rimas
+    ~k:(finish_insert t a ~insert_ms)
 
-(* Once both context messages are in hand, rebuild and restart. *)
-let maybe_insert t proc_id partial =
-  match (partial.arrived_core, partial.arrived_rimas) with
-  | Some arrival, Some (rimas, report) ->
-      Hashtbl.remove t.pending proc_id;
-      report.Report.remote_real_bytes_fetched <-
-        Memory_object.data_bytes rimas;
-      report.Report.insert_ms <-
-        Some (Insert.estimate_ms (Host.costs t.host) arrival.core rimas);
-      Insert.insert t.host ~core:arrival.core ~rimas
-        ~k:(finish_insert t arrival)
-  | _ -> ()
+(* --- port dispatch -------------------------------------------------------- *)
 
 let handle t msg =
-  match msg.Message.payload with
-  | Mig_core { core; prefetch; report; on_complete; on_restart } ->
-      t.received <- t.received + 1;
-      report.Report.core_delivered_at <- Some (Engine.now (Host.engine t.host));
-      let proc_id = core.Context.proc_id in
-      let partial = partial_for t proc_id in
-      partial.arrived_core <-
-        Some
-          {
-            core;
-            prefetch;
-            report;
-            on_complete;
-            on_restart;
-            fault_baseline =
-              ( core.Context.pcb.Pcb.faults_zero,
-                core.Context.pcb.Pcb.faults_disk,
-                core.Context.pcb.Pcb.faults_imag );
-          };
-      maybe_insert t proc_id partial
-  | Mig_rimas { proc_id; report } ->
-      report.Report.rimas_delivered_at <- Some (Engine.now (Host.engine t.host));
-      let partial = partial_for t proc_id in
-      partial.arrived_rimas <-
-        Some (Option.value msg.Message.memory ~default:[], report);
-      maybe_insert t proc_id partial
-  | Mig_precopy_pages { proc_id; round; src_port; report = _ } ->
-      let store = staged_store t proc_id in
-      stage_chunks store ~proc_id (Option.value msg.Message.memory ~default:[]);
-      Kernel_ipc.send (Host.kernel t.host)
-        (Message.make ~ids:(Host.ids t.host) ~dest:src_port ~inline_bytes:32
-           (Mig_precopy_ack { proc_id; round }))
-  | Mig_precopy_ack { proc_id; round } -> precopy_handle_ack t ~proc_id ~round
-  | Mig_precopy_final { core; report; on_complete } ->
-      t.received <- t.received + 1;
-      let now = Engine.now (Host.engine t.host) in
-      report.Report.core_delivered_at <- Some now;
-      report.Report.rimas_delivered_at <- Some now;
-      let proc_id = core.Context.proc_id in
-      let store = staged_store t proc_id in
-      let memory = Option.value msg.Message.memory ~default:[] in
-      stage_chunks store ~proc_id memory;
-      let iou_chunks =
-        List.filter
-          (fun c ->
-            match c.Memory_object.content with
-            | Memory_object.Iou _ -> true
-            | Memory_object.Data _ -> false)
-          memory
-      in
-      let rimas =
-        precopy_assemble_rimas store ~proc_id ~amap:core.Context.amap
-          ~iou_chunks
-      in
-      Hashtbl.remove t.staged proc_id;
-      report.Report.insert_ms <-
-        Some (Insert.estimate_ms (Host.costs t.host) core rimas);
-      Insert.insert t.host ~core ~rimas
-        ~k:
-          (finish_insert t
-             {
-               core;
-               prefetch = 0;
-               report;
-               on_complete;
-               on_restart = None;
-               fault_baseline =
-                 ( core.Context.pcb.Pcb.faults_zero,
-                   core.Context.pcb.Pcb.faults_disk,
-                   core.Context.pcb.Pcb.faults_imag );
-             })
-  | _ -> Logs.warn (fun m -> m "MigrationManager: unexpected message")
+  let claimed =
+    List.exists
+      (fun (e : Transfer_engine.t) -> e.Transfer_engine.handle msg)
+      t.engines
+  in
+  if not claimed then
+    Logs.warn (fun m -> m "MigrationManager: unexpected message")
 
-let create host =
+let create ?bus host =
+  let bus =
+    match bus with Some bus -> bus | None -> Mig_event.create_bus ()
+  in
   let port = Host.new_port host in
   let t =
     {
@@ -506,132 +71,78 @@ let create host =
       backing =
         Backing_server.create host
           ~name:(Printf.sprintf "mm-backing@%s" (Host.name host));
-      pending = Hashtbl.create 4;
-      precopy_out = Hashtbl.create 4;
-      staged = Hashtbl.create 4;
+      bus;
+      engines = [];
       started = 0;
       received = 0;
     }
   in
+  let ctx =
+    {
+      Transfer_engine.host;
+      port;
+      backing = t.backing;
+      bus;
+      insert = insert_arrival t;
+      note_received = (fun () -> t.received <- t.received + 1);
+    }
+  in
+  t.engines <-
+    [ Engine_copy.create ctx; Engine_iou.create ctx; Engine_precopy.create ctx ];
   Kernel_ipc.bind (Host.kernel host) port (handle t);
   (* When the reliable transport abandons one of our context or pre-copy
      messages, the migration it belonged to can never proceed normally:
-     stamp its report so the experiment layer reports Degraded/Aborted
-     instead of waiting on a delivery that will never happen. *)
+     publish the give-up so the event fold marks the report
+     Degraded/Aborted instead of waiting on a delivery that will never
+     happen. *)
   Accent_net.Netmsgserver.on_transport_give_up (Host.nms host) (fun msg ->
-      let stamp (report : Report.t) =
-        report.Report.transport_give_ups <-
-          report.Report.transport_give_ups + 1;
-        if report.Report.outcome = Report.Completed then
-          report.Report.outcome <-
-            (if report.Report.restarted_at = None then Report.Aborted
-             else Report.Degraded)
-      in
-      match msg.Message.payload with
-      | Mig_core { report; _ }
-      | Mig_rimas { report; _ }
-      | Mig_precopy_pages { report; _ }
-      | Mig_precopy_final { report; _ } ->
-          stamp report
-      | _ -> ());
+      match
+        List.find_map
+          (fun (e : Transfer_engine.t) ->
+            e.Transfer_engine.give_up_proc msg.Message.payload)
+          t.engines
+      with
+      | Some proc_id -> emit t ~proc_id Mig_event.Transport_give_up
+      | None -> ());
+  (* The pager cannot depend on this layer, so it exposes observation
+     hooks; turn them into bus events (routing drops events for processes
+     no migration is tracking). *)
+  Pager.set_observer (Host.pager host)
+    ~on_fault:(fun proc kind ->
+      emit t ~proc_id:proc.Proc.id
+        (Mig_event.Fault
+           (match kind with
+           | `Zero -> Mig_event.Fault_zero
+           | `Disk -> Mig_event.Fault_disk
+           | `Imaginary -> Mig_event.Fault_imaginary)))
+    ~on_prefetch:(fun proc kind ->
+      emit t ~proc_id:proc.Proc.id
+        (Mig_event.Prefetch
+           (match kind with
+           | `Issued -> Mig_event.Prefetch_issued
+           | `Hit -> Mig_event.Prefetch_hit)));
   t
 
-(* --- source side -------------------------------------------------------- *)
+(* --- source side ---------------------------------------------------------- *)
 
 let migrate t ~proc ~dest ~strategy ?on_complete ?on_restart () =
   t.started <- t.started + 1;
-  let report =
-    Report.create ~proc_name:proc.Proc.name ~strategy
-  in
-  report.Report.requested_at <- Some (Engine.now (Host.engine t.host));
-  match strategy.Strategy.transfer with
-  | Strategy.Pre_copy { max_rounds; threshold_pages } ->
-      (* the process keeps executing at the source while rounds proceed *)
-      let state =
-        {
-          proc;
-          dest;
-          max_rounds;
-          threshold_pages;
-          out_report = report;
-          out_on_complete = on_complete;
-          sent = Hashtbl.create 256;
-        }
-      in
-      Hashtbl.replace t.precopy_out proc.Proc.id state;
-      precopy_send_round t state ~round:1
-        ~pages:(all_real_pages (Proc.space_exn proc));
-      report
-  | Strategy.Pure_copy | Strategy.Pure_iou | Strategy.Resident_set
-  | Strategy.Working_set _ ->
-  (* freeze first: a live process may have a fault in flight, which must
-     retire before ExciseProcess can dismantle the space *)
-  Proc_runner.interrupt proc;
-  let rec once_quiescent k =
-    if proc.Proc.in_flight then
-      ignore
-        (Engine.schedule (Host.engine t.host) ~delay:(Time.ms 2.) (fun () ->
-             once_quiescent k))
-    else k ()
-  in
-  once_quiescent (fun () ->
-  (* the working set must be read before excision dismantles the space *)
-  let ws_pages =
-    match strategy.Strategy.transfer with
-    | Strategy.Working_set { window_ms } ->
-        Accent_mem.Working_set.pages_within proc.Proc.working_set
-          ~time:(Engine.now (Host.engine t.host))
-          ~window:(Time.ms window_ms)
-        (* only pages that actually carry data can be shipped physically *)
-        |> List.filter (fun page ->
-               match
-                 Address_space.presence_of_page (Proc.space_exn proc) page
-               with
-               | Address_space.Resident _ | Address_space.Paged_out _ -> true
-               | Address_space.Zero_pending | Address_space.Imaginary_pending _
-               | Address_space.Invalid ->
-                   false)
-    | _ -> []
-  in
-  Excise.excise t.host proc ~k:(fun excised ->
-      let engine = Host.engine t.host in
-      report.Report.excised_at <- Some (Engine.now engine);
-      report.Report.excise <- Some excised.Excise.timings;
-      let rimas, no_ious =
-        match strategy.Strategy.transfer with
-        | Strategy.Pure_copy -> (excised.Excise.rimas, true)
-        | Strategy.Pure_iou -> (excised.Excise.rimas, false)
-        | Strategy.Resident_set ->
-            (partial_rimas t excised ~keep_pages:excised.Excise.resident, true)
-        | Strategy.Working_set _ ->
-            (partial_rimas t excised ~keep_pages:ws_pages, true)
-        | Strategy.Pre_copy _ -> assert false (* handled above *)
-      in
-      let ids = Host.ids t.host in
-      let core_msg =
-        Message.make ~ids ~dest
-          ~inline_bytes:
-            (Context.core_wire_bytes (Host.costs t.host) excised.Excise.core)
-          ~rights:excised.Excise.core.Context.port_rights
-          (Mig_core
-             {
-               core = excised.Excise.core;
-               prefetch = strategy.Strategy.prefetch;
-               report;
-               on_complete;
-               on_restart;
-             })
-      in
-      let rimas_msg =
-        Message.make ~ids ~dest ~inline_bytes:64 ~memory:rimas ~no_ious
-          ~category:Message.Bulk
-          (Mig_rimas { proc_id = excised.Excise.core.Context.proc_id; report })
-      in
-      (* RIMAS first: under the lazy strategies it is one small fragment
-         and the relocated process cannot restart until it lands, so it
-         should not queue behind the Core's AMap fragments. *)
-      Kernel_ipc.send (Host.kernel t.host) rimas_msg;
-      Kernel_ipc.send (Host.kernel t.host) core_msg));
+  let report = Report.create ~proc_name:proc.Proc.name ~strategy in
+  Mig_event.register t.bus ~proc_id:proc.Proc.id report;
+  emit t ~proc_id:proc.Proc.id
+    (Mig_event.Requested { proc_name = proc.Proc.name; strategy });
+  (match
+     List.find_opt
+       (fun (e : Transfer_engine.t) ->
+         e.Transfer_engine.claims strategy.Strategy.transfer)
+       t.engines
+   with
+  | Some engine ->
+      engine.Transfer_engine.start ~proc ~dest ~strategy ~report ~on_complete
+        ~on_restart
+  | None ->
+      (* unreachable while the three stock engines cover Strategy.transfer *)
+      invalid_arg "Migration_manager.migrate: no engine claims this strategy");
   report
 
 let migrations_started t = t.started

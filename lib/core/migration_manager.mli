@@ -1,28 +1,38 @@
 (** The MigrationManager (paper §3.2).
 
-    One runs on every participating host.  Given a process and a
-    destination, the source manager excises the context, prepares the
-    RIMAS message according to the chosen transfer strategy, and sends
-    both context messages to the destination manager, which reinserts the
-    process and restarts it:
+    One runs on every participating host.  The manager itself is a thin
+    coordinator: it binds the command port, dispatches inbound messages to
+    the {!Transfer_engine.t} that claims them, and owns the
+    insert/restart lifecycle at the destination.  The transfer mechanics
+    live in the engines:
 
-    - {b pure-copy}: RIMAS data shipped as-is with NoIOUs set;
-    - {b pure-IOU}: NoIOUs cleared — "the MigrationManager allows the
-      intermediary NetMsgServers to cache the data and become its backer";
-    - {b resident-set}: the manager plays backer itself: resident pages
-      stay physical in the RIMAS, everything else is replaced by IOUs on
-      the manager's own backing server. *)
+    - {!Engine_copy} — pure-copy, and the shared two-message context
+      protocol (Core + RIMAS);
+    - {!Engine_iou} — pure-IOU, resident-set, working-set RIMAS
+      preparation;
+    - {!Engine_precopy} — Theimer-style pre-copy rounds.
+
+    Every phase of every migration is published as a {!Mig_event.t} on the
+    manager's bus; the per-migration {!Report.t} is maintained as a fold
+    over that stream ({!Mig_event.apply}), so subscribers observe exactly
+    the information the report is built from. *)
 
 type t
 
-val create : Accent_kernel.Host.t -> t
-(** Bind the manager's command port on the host. *)
+val create : ?bus:Mig_event.bus -> Accent_kernel.Host.t -> t
+(** Bind the manager's command port on the host.  [bus] lets several
+    managers share one event stream (as {!World} does); a private bus is
+    created when omitted. *)
 
 val port : t -> Accent_ipc.Port.id
 val host : t -> Accent_kernel.Host.t
 
 val backing : t -> Backing_server.t
-(** The manager's own backing server (used by the resident-set strategy). *)
+(** The manager's own backing server (used by the resident-set and
+    working-set strategies). *)
+
+val bus : t -> Mig_event.bus
+(** The event bus this manager publishes on. *)
 
 val migrate :
   t ->

@@ -1,0 +1,51 @@
+open Accent_sim
+open Accent_kernel
+
+type arrival = {
+  core : Context.core;
+  rimas : Accent_ipc.Memory_object.t;
+  prefetch : int;
+  report : Report.t;
+  on_complete : (Proc.t -> Report.t -> unit) option;
+  on_restart : (Proc.t -> unit) option;
+}
+
+type ctx = {
+  host : Host.t;
+  port : Accent_ipc.Port.id;
+  backing : Backing_server.t;
+  bus : Mig_event.bus;
+  insert : arrival -> unit;
+  note_received : unit -> unit;
+}
+
+type t = {
+  name : string;
+  claims : Strategy.transfer -> bool;
+  start :
+    proc:Proc.t ->
+    dest:Accent_ipc.Port.id ->
+    strategy:Strategy.t ->
+    report:Report.t ->
+    on_complete:(Proc.t -> Report.t -> unit) option ->
+    on_restart:(Proc.t -> unit) option ->
+    unit;
+  handle : Accent_ipc.Message.t -> bool;
+  give_up_proc : Accent_ipc.Message.payload -> int option;
+}
+
+let emit ctx ~proc_id kind =
+  Mig_event.publish ctx.bus
+    { Mig_event.at = Engine.now (Host.engine ctx.host); proc_id; kind }
+
+(* Freeze first: a live process may have a fault in flight, which must
+   retire before ExciseProcess can dismantle the space. *)
+let freeze_until_quiescent ctx proc ~k =
+  Proc_runner.interrupt proc;
+  let engine = Host.engine ctx.host in
+  let rec once_quiescent () =
+    if proc.Proc.in_flight then
+      ignore (Engine.schedule engine ~delay:(Time.ms 2.) once_quiescent)
+    else k ()
+  in
+  once_quiescent ()

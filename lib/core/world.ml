@@ -11,6 +11,7 @@ type t = {
   registry : Net_registry.t;
   hosts : Host.t array;
   managers : Migration_manager.t array;
+  bus : Mig_event.bus;
 }
 
 let create ?(seed = 42L) ?(costs = Cost_model.default) ?fault_plan ~n_hosts ()
@@ -46,11 +47,13 @@ let create ?(seed = 42L) ?(costs = Cost_model.default) ?fault_plan ~n_hosts ()
           ~name:(Printf.sprintf "host%d" i)
           ~costs ~link ~registry ~monitor)
   in
-  let managers = Array.map Migration_manager.create hosts in
-  { engine; ids; costs; monitor; link; registry; hosts; managers }
+  let bus = Mig_event.create_bus () in
+  let managers = Array.map (Migration_manager.create ~bus) hosts in
+  { engine; ids; costs; monitor; link; registry; hosts; managers; bus }
 
 let host t i = t.hosts.(i)
 let manager t i = t.managers.(i)
+let on_migration_event t f = Mig_event.subscribe t.bus f
 let now t = Engine.now t.engine
 let run ?limit t = Engine.run ?limit t.engine
 

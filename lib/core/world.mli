@@ -14,6 +14,7 @@ type t = {
   registry : Accent_net.Net_registry.t;
   hosts : Accent_kernel.Host.t array;
   managers : Migration_manager.t array;
+  bus : Mig_event.bus;  (** one stream shared by every host's manager *)
 }
 
 val create :
@@ -33,6 +34,11 @@ val create :
 
 val host : t -> int -> Accent_kernel.Host.t
 val manager : t -> int -> Migration_manager.t
+
+val on_migration_event : t -> (Mig_event.t -> unit) -> unit
+(** Subscribe to every migration event published by any host's manager —
+    the hook behind [accentctl trace] and per-event instrumentation. *)
+
 val now : t -> Accent_sim.Time.t
 
 val run : ?limit:Accent_sim.Time.t -> t -> Accent_sim.Time.t

@@ -52,34 +52,43 @@ let headline_summary sweep =
     (Figure_4_4.pf1_reduces_cost sweep);
   Buffer.contents buf
 
-let run_all ?seed ?(progress = true) ?csv_dir () =
-  print_string (Table_4_1.render (Table_4_1.rows ?seed ()));
-  print_newline ();
-  print_string (Table_4_2.render (Table_4_2.rows ?seed ()));
-  print_newline ();
+let run_all ?seed ?(progress = true) ?(out = Format.std_formatter) ?csv_dir ()
+    =
+  (* flush after every chunk so output interleaves correctly with the
+     sweep's direct-to-channel progress ticker *)
+  let out_string s =
+    Format.pp_print_string out s;
+    Format.pp_print_flush out ()
+  in
+  let out_newline () = out_string "\n" in
+  let outf fmt = Printf.ksprintf out_string fmt in
+  out_string (Table_4_1.render (Table_4_1.rows ?seed ()));
+  out_newline ();
+  out_string (Table_4_2.render (Table_4_2.rows ?seed ()));
+  out_newline ();
   let sweep = Sweep.run ?seed ~progress () in
-  print_string (Table_4_3.render (Table_4_3.rows sweep));
-  print_newline ();
-  print_string (Table_4_4.render (Table_4_4.rows sweep));
-  print_newline ();
-  print_string (Table_4_5.render (Table_4_5.rows sweep));
-  print_newline ();
-  print_string (Figure_4_1.render sweep);
-  print_newline ();
-  print_string (Figure_4_2.render sweep);
-  print_newline ();
-  print_string (Figure_4_3.render sweep);
-  print_newline ();
-  print_string (Figure_4_4.render sweep);
-  print_newline ();
+  out_string (Table_4_3.render (Table_4_3.rows sweep));
+  out_newline ();
+  out_string (Table_4_4.render (Table_4_4.rows sweep));
+  out_newline ();
+  out_string (Table_4_5.render (Table_4_5.rows sweep));
+  out_newline ();
+  out_string (Figure_4_1.render sweep);
+  out_newline ();
+  out_string (Figure_4_2.render sweep);
+  out_newline ();
+  out_string (Figure_4_3.render sweep);
+  out_newline ();
+  out_string (Figure_4_4.render sweep);
+  out_newline ();
   let panels = Figure_4_5.panels ?seed () in
-  print_string (Figure_4_5.render panels);
-  print_newline ();
-  print_string (headline_summary sweep);
+  out_string (Figure_4_5.render panels);
+  out_newline ();
+  out_string (headline_summary sweep);
   (* §4.4.3: "sustained network transmission speeds are reduced up to 66%" *)
   (match panels with
   | iou :: _ :: copy :: _ ->
-      Printf.printf
+      outf
         "  peak wire rate, IOU vs copy:     -%.0f%% (paper: reduced up to \
          66%%)\n"
         (100.
@@ -90,4 +99,4 @@ let run_all ?seed ?(progress = true) ?csv_dir () =
   | None -> ()
   | Some dir ->
       Csv_export.write_all ~dir sweep panels;
-      Printf.printf "\nCSV artifacts written to %s/\n" dir
+      outf "\nCSV artifacts written to %s/\n" dir

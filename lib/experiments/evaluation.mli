@@ -3,10 +3,17 @@
     numbers.  `dune exec bench/main.exe` and `accentctl evaluate` both land
     here. *)
 
-val run_all : ?seed:int64 -> ?progress:bool -> ?csv_dir:string -> unit -> unit
+val run_all :
+  ?seed:int64 ->
+  ?progress:bool ->
+  ?out:Format.formatter ->
+  ?csv_dir:string ->
+  unit ->
+  unit
 (** Print Tables 4-1..4-5 and Figures 4-1..4-5 plus the headline summary to
-    stdout.  Runs the full 77-trial sweep.  With [csv_dir], also write
-    machine-readable CSVs there (see {!Csv_export}). *)
+    [out] (default [Format.std_formatter]).  Runs the full 77-trial sweep.
+    With [csv_dir], also write machine-readable CSVs there (see
+    {!Csv_export}). *)
 
 val headline_summary : Sweep.t -> string
 (** The §4.5 claims, measured: max copy/IOU transfer ratio, mean byte and

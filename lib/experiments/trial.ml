@@ -16,10 +16,13 @@ let build_only ?(seed = 42L) ?costs ?fault_plan ?write_fraction ~spec () =
   (world, proc)
 
 let run ?seed ?costs ?fault_plan ?write_fraction ?(migrate_after_ms = 0.)
-    ~spec ~strategy () =
+    ?on_event ~spec ~strategy () =
   let world, proc =
     build_only ?seed ?costs ?fault_plan ?write_fraction ~spec ()
   in
+  (match on_event with
+  | Some f -> World.on_migration_event world f
+  | None -> ());
   (* live-migration strategies need the process executing at the source *)
   (match strategy.Strategy.transfer with
   | Strategy.Pre_copy _ | Strategy.Working_set _ ->

@@ -19,6 +19,7 @@ val run :
   ?fault_plan:Accent_net.Fault_plan.t ->
   ?write_fraction:float ->
   ?migrate_after_ms:float ->
+  ?on_event:(Accent_core.Mig_event.t -> unit) ->
   spec:Accent_workloads.Spec.t ->
   strategy:Accent_core.Strategy.t ->
   unit ->
@@ -28,7 +29,10 @@ val run :
     strategies freeze it at the request, as the paper's trials did —
     unless [migrate_after_ms] is positive, in which case the process runs
     at the source and the migration request fires at that time under any
-    strategy. *)
+    strategy.
+
+    [on_event] subscribes to the world's migration event bus before the
+    trial starts — the hook behind [accentctl trace]. *)
 
 val build_only :
   ?seed:int64 ->

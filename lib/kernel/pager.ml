@@ -28,6 +28,11 @@ type t = {
   mutable faults_disk : int;
   mutable faults_imag : int;
   mutable fault_timeouts : int;
+  (* observation hooks: the pager sits below the migration layer, so
+     whoever wants per-fault events (the MigrationManager's bus) installs
+     itself here rather than the pager depending upward *)
+  mutable on_fault : Proc.t -> [ `Zero | `Disk | `Imaginary ] -> unit;
+  mutable on_prefetch : Proc.t -> [ `Issued | `Hit ] -> unit;
 }
 
 let port t = t.port
@@ -126,7 +131,8 @@ let handle_reply t ~segment_id ~offset ~page_data =
                          if i > 0 then begin
                            Hashtbl.replace proc.Proc.prefetched_pending idx ();
                            proc.Proc.prefetch_extra <-
-                             proc.Proc.prefetch_extra + 1
+                             proc.Proc.prefetch_extra + 1;
+                           t.on_prefetch proc `Issued
                          end
                      | Resident _ | Paged_out _ | Zero_pending | Invalid ->
                          (* already materialised some other way; drop *)
@@ -159,6 +165,8 @@ let create engine ~ids ~kernel ~disk ~costs ~host_id =
       faults_disk = 0;
       faults_imag = 0;
       fault_timeouts = 0;
+      on_fault = (fun _ _ -> ());
+      on_prefetch = (fun _ _ -> ());
     }
   in
   Kernel_ipc.bind kernel t.port (reply_handler t);
@@ -167,6 +175,7 @@ let create engine ~ids ~kernel ~disk ~costs ~host_id =
 let imaginary_fault t proc ~segment_id ~offset ~k =
   t.faults_imag <- t.faults_imag + 1;
   proc.Proc.pcb.Pcb.faults_imag <- proc.Proc.pcb.Pcb.faults_imag + 1;
+  t.on_fault proc `Imaginary;
   (match Hashtbl.find_opt t.segment_ports segment_id with
   | None ->
       failwith
@@ -207,7 +216,8 @@ let reference t proc page ~k =
     ~time:(Engine.now t.engine) page;
   if Hashtbl.mem proc.Proc.prefetched_pending page then begin
     Hashtbl.remove proc.Proc.prefetched_pending page;
-    proc.Proc.prefetch_hits <- proc.Proc.prefetch_hits + 1
+    proc.Proc.prefetch_hits <- proc.Proc.prefetch_hits + 1;
+    t.on_prefetch proc `Hit
   end;
   match Address_space.presence_of_page space page with
   | Resident _ ->
@@ -216,6 +226,7 @@ let reference t proc page ~k =
   | Zero_pending ->
       t.faults_zero <- t.faults_zero + 1;
       proc.Proc.pcb.Pcb.faults_zero <- proc.Proc.pcb.Pcb.faults_zero + 1;
+      t.on_fault proc `Zero;
       ignore
         (Engine.schedule t.engine
            ~delay:(Time.ms t.costs.Cost_model.fill_zero_ms) (fun () ->
@@ -224,6 +235,7 @@ let reference t proc page ~k =
   | Paged_out _ ->
       t.faults_disk <- t.faults_disk + 1;
       proc.Proc.pcb.Pcb.faults_disk <- proc.Proc.pcb.Pcb.faults_disk + 1;
+      t.on_fault proc `Disk;
       ignore
         (Engine.schedule t.engine ~delay:(Time.ms t.costs.Cost_model.pager_ms)
            (fun () ->
@@ -235,6 +247,10 @@ let reference t proc page ~k =
   | Imaginary_pending { segment_id; offset } ->
       imaginary_fault t proc ~segment_id ~offset ~k
   | Invalid -> raise (Bad_memory_reference { proc = proc.Proc.name; page })
+
+let set_observer t ~on_fault ~on_prefetch =
+  t.on_fault <- on_fault;
+  t.on_prefetch <- on_prefetch
 
 let fault_timeouts t = t.fault_timeouts
 let faults_zero t = t.faults_zero

@@ -68,6 +68,20 @@ val reference :
 (** Service one reference by the process, calling [k] when the page is
     mapped and the process may continue. *)
 
+(** {2 Observation} *)
+
+val set_observer :
+  t ->
+  on_fault:(Proc.t -> [ `Zero | `Disk | `Imaginary ] -> unit) ->
+  on_prefetch:(Proc.t -> [ `Issued | `Hit ] -> unit) ->
+  unit
+(** Install per-event hooks, replacing any previous observer.  [on_fault]
+    fires once per serviced fault as it is classified; [on_prefetch] fires
+    when a prefetched page is installed ([`Issued]) and when a later
+    reference lands on one ([`Hit]).  The pager sits below the migration
+    layer, so the MigrationManager's event bus attaches here rather than
+    the pager depending upward.  Hooks must not re-enter the pager. *)
+
 (** {2 Accounting} *)
 
 val faults_zero : t -> int

@@ -11,6 +11,7 @@ let () =
       Test_net.suite;
       Test_kernel.suite;
       Test_migration.suite;
+      Test_events.suite;
       Test_workloads.suite;
       Test_calibration.suite;
       Test_experiments.suite;
