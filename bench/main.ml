@@ -12,13 +12,119 @@
    Run with: dune exec bench/main.exe
    (use --tables-only or --micro-only to run half) *)
 
+(* --- Per-event tracing statistics ---------------------------------------
+
+   Subscribed to every trial world's Mig_event bus while the sweep runs:
+   each trial is a fresh world whose clock restarts near zero, so per-trial
+   state resets on [Requested]. *)
+
+module Event_stats = struct
+  open Accent_core
+
+  type t = {
+    mutable events : int;
+    mutable faults : int;
+    mutable last_fault_ms : float option;
+    mutable interarrivals_ms : float list;
+        (* gaps between consecutive remote faults within one trial *)
+    mutable rounds : int;
+    mutable last_round : (int * float) option;
+    mutable round_gaps_ms : float list;
+        (* pacing between consecutive pre-copy rounds of one migration *)
+    mutable round_bytes : int list;
+  }
+
+  let create () =
+    {
+      events = 0;
+      faults = 0;
+      last_fault_ms = None;
+      interarrivals_ms = [];
+      rounds = 0;
+      last_round = None;
+      round_gaps_ms = [];
+      round_bytes = [];
+    }
+
+  let observe t (ev : Mig_event.t) =
+    t.events <- t.events + 1;
+    let t_ms = Accent_sim.Time.to_ms ev.Mig_event.at in
+    match ev.Mig_event.kind with
+    | Mig_event.Requested _ ->
+        t.last_fault_ms <- None;
+        t.last_round <- None
+    | Mig_event.Fault _ ->
+        t.faults <- t.faults + 1;
+        (match t.last_fault_ms with
+        | Some prev when t_ms >= prev ->
+            t.interarrivals_ms <- (t_ms -. prev) :: t.interarrivals_ms
+        | _ -> ());
+        t.last_fault_ms <- Some t_ms
+    | Mig_event.Precopy_round { round; bytes } ->
+        t.rounds <- t.rounds + 1;
+        t.round_bytes <- bytes :: t.round_bytes;
+        (match t.last_round with
+        | Some (r, prev) when round = r + 1 && t_ms >= prev ->
+            t.round_gaps_ms <- (t_ms -. prev) :: t.round_gaps_ms
+        | _ -> ());
+        t.last_round <- Some (round, t_ms)
+    | _ -> ()
+
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+  let describe label samples =
+    match samples with
+    | [] -> Printf.printf "  %-28s (no samples)\n" label
+    | _ ->
+        let a = Array.of_list samples in
+        Array.sort compare a;
+        let n = Array.length a in
+        let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+        Printf.printf
+          "  %-28s n=%-6d mean %8.3f  p50 %8.3f  p95 %8.3f  max %8.3f\n"
+          label n mean (percentile a 0.5) (percentile a 0.95) a.(n - 1)
+
+  let render t =
+    print_endline "Per-event tracing statistics (from the sweep's bus):";
+    Printf.printf "  migration events observed     %d\n" t.events;
+    Printf.printf "  faults observed               %d\n" t.faults;
+    describe "fault interarrival (ms)" t.interarrivals_ms;
+    Printf.printf "  pre-copy rounds observed      %d\n" t.rounds;
+    describe "pre-copy round gap (ms)" t.round_gaps_ms;
+    describe "pre-copy round bytes"
+      (List.map float_of_int t.round_bytes)
+end
+
+(* The table sweep never runs pre-copy (the paper's strategies only), so
+   round-pacing samples come from dedicated live-migration trials. *)
+let precopy_trials stats =
+  List.iter
+    (fun name ->
+      match Accent_workloads.Representative.by_name name with
+      | None -> ()
+      | Some spec ->
+          ignore
+            (Accent_experiments.Trial.run
+               ~on_event:(Event_stats.observe stats)
+               ~write_fraction:0.3 ~spec
+               ~strategy:(Accent_core.Strategy.pre_copy ()) ()))
+    [ "pm-mid"; "chess"; "lisp-del" ]
+
 let run_tables ?csv_dir () =
   print_endline "=====================================================";
   print_endline " Reproduction of Zayas, \"Attacking the Process";
   print_endline " Migration Bottleneck\" (SOSP 1987) - evaluation";
   print_endline "=====================================================";
   print_newline ();
-  Accent_experiments.Evaluation.run_all ~progress:true ?csv_dir ()
+  let stats = Event_stats.create () in
+  Accent_experiments.Evaluation.run_all ~progress:true
+    ~on_event:(Event_stats.observe stats)
+    ?csv_dir ();
+  precopy_trials stats;
+  print_newline ();
+  Event_stats.render stats
 
 (* --- Bechamel microbenchmarks --- *)
 

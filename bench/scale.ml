@@ -1,0 +1,208 @@
+(* The scale benchmark: how much the simulator itself costs as the
+   simulated system grows.
+
+   Two axes are swept together: address-space size (four orders of
+   magnitude of real memory) and cluster size (every host carries one
+   process and migrates it to its neighbour, so n hosts means n
+   concurrent migrations over the shared wire).  Each trial reports
+
+     - wall-clock seconds for the whole trial (world construction,
+       workload build, migration, remote execution to completion),
+     - words allocated on the OCaml heap over the same window
+       (Gc.allocated_bytes), and
+     - simulation events executed, and events per wall second.
+
+   Results land in BENCH_scale.json so the perf trajectory across PRs
+   has a machine-readable baseline.
+
+   Run with:  dune exec bench/scale.exe            (full sweep)
+              dune exec bench/scale.exe -- --smoke (tiny sweep, for CI)
+              dune exec bench/scale.exe -- --fig41-only
+                (only the largest Figure 4-1 trial's allocation probe)
+
+   The --fig41 probe exists because the paper's headline is that
+   transfer cost tracks *referenced* bytes, not address-space size; the
+   probe measures whether the simulator's own memory behaviour finally
+   agrees (symbolic pages are never materialized until written). *)
+
+open Accent_core
+
+(* --- synthetic workload, scaled by real size --------------------------- *)
+
+let scale_spec ~name ~real_pages =
+  let page = Accent_mem.Page.size in
+  let touched = max 4 (min 256 (real_pages / 8)) in
+  let rs_pages = max touched (min (real_pages / 4) 1024) in
+  {
+    Accent_workloads.Spec.name;
+    description = "synthetic scale-sweep workload";
+    real_bytes = real_pages * page;
+    total_bytes = 4 * real_pages * page;
+    rs_bytes = rs_pages * page;
+    touched_real_pages = touched;
+    rs_touched_overlap = touched;
+    real_runs = min 8 real_pages;
+    vm_segments = 4;
+    pattern =
+      Accent_workloads.Access_pattern.Sequential
+        { streams = 1; revisit = 0.1; run = 16 };
+    refs = 2 * touched;
+    total_think_ms = 100.;
+    zero_touch_pages = 2;
+    base_addr = 0x40000;
+  }
+
+type trial = {
+  real_pages : int;
+  n_hosts : int;
+  wall_s : float;
+  allocated_words : float;
+  events : int;
+  events_per_sec : float;
+  sim_ms : float;
+  completed : int;
+}
+
+let run_trial ~real_pages ~n_hosts =
+  let wall0 = Unix.gettimeofday () in
+  let alloc0 = Gc.allocated_bytes () in
+  let world = World.create ~n_hosts () in
+  let procs =
+    List.init n_hosts (fun i ->
+        Accent_workloads.Spec.build (World.host world i)
+          (scale_spec ~name:(Printf.sprintf "scale-h%d" i) ~real_pages))
+  in
+  let completed = ref 0 in
+  List.iteri
+    (fun i proc ->
+      ignore
+        (Migration_manager.migrate (World.manager world i) ~proc
+           ~dest:(Migration_manager.port (World.manager world ((i + 1) mod n_hosts)))
+           ~strategy:(Strategy.pure_iou ())
+           ~on_complete:(fun _ _ -> incr completed)
+           ()))
+    procs;
+  let sim_end = World.run world in
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let allocated_words = (Gc.allocated_bytes () -. alloc0) /. 8. in
+  let events = Accent_sim.Engine.events_executed world.World.engine in
+  if !completed <> n_hosts then
+    failwith
+      (Printf.sprintf "scale: only %d/%d migrations completed" !completed
+         n_hosts);
+  {
+    real_pages;
+    n_hosts;
+    wall_s;
+    allocated_words;
+    events;
+    events_per_sec = float_of_int events /. Float.max 1e-9 wall_s;
+    sim_ms = Accent_sim.Time.to_ms sim_end;
+    completed = !completed;
+  }
+
+(* --- the largest Figure 4-1 trial, as an allocation probe -------------- *)
+
+type probe = {
+  workload : string;
+  strategy : string;
+  probe_wall_s : float;
+  allocated_bytes : float;
+}
+
+let fig41_probe () =
+  let spec =
+    match Accent_workloads.Representative.by_name "Lisp-Del" with
+    | Some s -> s
+    | None -> failwith "scale: Lisp-Del spec missing"
+  in
+  List.map
+    (fun strategy ->
+      let wall0 = Unix.gettimeofday () in
+      let alloc0 = Gc.allocated_bytes () in
+      let result = Accent_experiments.Trial.run ~spec ~strategy () in
+      let allocated_bytes = Gc.allocated_bytes () -. alloc0 in
+      let wall_s = Unix.gettimeofday () -. wall0 in
+      ignore result.Accent_experiments.Trial.report;
+      {
+        workload = spec.Accent_workloads.Spec.name;
+        strategy = Strategy.name strategy;
+        probe_wall_s = wall_s;
+        allocated_bytes;
+      })
+    [ Strategy.pure_copy; Strategy.pure_iou () ]
+
+(* --- JSON output ------------------------------------------------------- *)
+
+let trial_json t =
+  Printf.sprintf
+    {|    {"real_pages": %d, "hosts": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d}|}
+    t.real_pages t.n_hosts t.wall_s t.allocated_words t.events
+    t.events_per_sec t.sim_ms t.completed
+
+let probe_json p =
+  Printf.sprintf
+    {|    {"workload": "%s", "strategy": "%s", "wall_s": %.4f, "allocated_bytes": %.0f}|}
+    p.workload p.strategy p.probe_wall_s p.allocated_bytes
+
+let write_json ~path ~mode ~trials ~probes =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc {|  "benchmark": "scale",%s|} "\n";
+  Printf.fprintf oc {|  "mode": "%s",%s|} mode "\n";
+  Printf.fprintf oc {|  "page_bytes": %d,%s|} Accent_mem.Page.size "\n";
+  Printf.fprintf oc "  \"trials\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map trial_json trials));
+  Printf.fprintf oc "  \"fig41_probe\": [\n%s\n  ]\n"
+    (String.concat ",\n" (List.map probe_json probes));
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let fig41_only = List.mem "--fig41-only" args in
+  let rec out_path = function
+    | "--out" :: path :: _ -> path
+    | _ :: rest -> out_path rest
+    | [] -> "BENCH_scale.json"
+  in
+  let out = out_path args in
+  let sizes, hosts =
+    if smoke then ([ 64; 256 ], [ 2; 3 ])
+    else ([ 128; 1_024; 8_192; 65_536 ], [ 2; 4; 8 ])
+  in
+  let trials =
+    if fig41_only then []
+    else
+      List.concat_map
+        (fun real_pages ->
+          List.map
+            (fun n_hosts ->
+              let t = run_trial ~real_pages ~n_hosts in
+              Printf.printf
+                "scale: %6d pages x %d hosts  %7.3f s  %12.0f words  %8d \
+                 events (%8.0f ev/s)\n%!"
+                t.real_pages t.n_hosts t.wall_s t.allocated_words t.events
+                t.events_per_sec;
+              t)
+            hosts)
+        sizes
+  in
+  let probes =
+    if smoke then []
+    else begin
+      let probes = fig41_probe () in
+      List.iter
+        (fun p ->
+          Printf.printf "fig41: %-9s %-10s %7.3f s  %14.0f bytes allocated\n%!"
+            p.workload p.strategy p.probe_wall_s p.allocated_bytes)
+        probes;
+      probes
+    end
+  in
+  write_json ~path:out ~mode:(if smoke then "smoke" else "full") ~trials
+    ~probes;
+  Printf.printf "scale: wrote %s\n%!" out

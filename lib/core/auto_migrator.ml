@@ -73,6 +73,13 @@ let rec tick t =
       loads;
     (if loads.(!max_i) -. !min_load > t.policy.imbalance_threshold then
        let src = !max_i in
+       let spread = loads.(!max_i) -. !min_load in
+       Mig_event.publish t.world.World.bus
+         {
+           Mig_event.at = World.now t.world;
+           proc_id = -1;
+           kind = Mig_event.Auto_threshold { src; spread };
+         };
        match pick_victim (World.host t.world src) with
        | None -> ()
        | Some proc -> (
@@ -80,6 +87,14 @@ let rec tick t =
            | None -> ()
            | Some dst ->
                t.triggered <- t.triggered + 1;
+               Mig_event.publish t.world.World.bus
+                 {
+                   Mig_event.at = World.now t.world;
+                   proc_id = proc.Proc.id;
+                   kind =
+                     Mig_event.Auto_candidate
+                       { proc_name = proc.Proc.name; src; dst };
+                 };
                t.decisions <-
                  ( int_of_float (Time.to_ms (World.now t.world)),
                    proc.Proc.name,

@@ -60,6 +60,9 @@ let new_segment t = Accent_sim.Ids.next (Host.ids t.host)
 let put_bytes t ~segment_id ~offset data =
   Segment_store.put_bytes t.store ~segment_id ~offset data
 
+let put_page t ~segment_id ~offset value =
+  Segment_store.put_page t.store ~segment_id ~offset value
+
 let segment_bytes t ~segment_id = Segment_store.segment_bytes t.store ~segment_id
 
 let map_into t dest_host space ~at ~segment_id ~offset ~len =

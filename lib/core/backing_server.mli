@@ -28,6 +28,10 @@ val new_segment : t -> int
 val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
 (** Provide segment contents (page-aligned [offset]). *)
 
+val put_page :
+  t -> segment_id:int -> offset:int -> Accent_mem.Page.value -> unit
+(** Provide one page value at the page-aligned [offset] — no copy. *)
+
 val segment_bytes : t -> segment_id:int -> int
 
 val map_into :

@@ -21,11 +21,13 @@ let partial_rimas ctx (excised : Excise.excised) ~keep_pages =
   let emit range content =
     rev_chunks := { Memory_object.range; content } :: !rev_chunks
   in
-  (* Flush a run of [n] pages ending before collapsed offset [upto]. *)
-  let flush_run ~data ~run_lo ~upto ~resident =
+  (* Flush the run of resident values accumulated in [run] (reversed)
+     ending before collapsed offset [upto]. *)
+  let flush_run ~run ~run_lo ~upto ~resident =
     if upto > run_lo then
       let range = Vaddr.range run_lo upto in
-      if resident then emit range (Memory_object.Data data)
+      if resident then
+        emit range (Memory_object.Data (Array.of_list (List.rev run)))
       else
         emit range
           (Memory_object.Iou { segment_id; backing_port; offset = run_lo })
@@ -34,33 +36,29 @@ let partial_rimas ctx (excised : Excise.excised) ~keep_pages =
     (fun chunk ->
       match chunk.Memory_object.content with
       | Memory_object.Iou _ -> rev_chunks := chunk :: !rev_chunks
-      | Memory_object.Data bytes ->
+      | Memory_object.Data values ->
           let lo = chunk.Memory_object.range.Vaddr.lo in
           let hi = chunk.Memory_object.range.Vaddr.hi in
-          let pages = (hi - lo) / Page.size in
+          let pages = Array.length values in
           let run_lo = ref lo and run_resident = ref true in
-          let run_buf = Buffer.create 4096 in
+          let run = ref [] in
           for i = 0 to pages - 1 do
             let c = lo + (i * Page.size) in
             let resident = Hashtbl.mem resident_offsets c in
             if c = lo then run_resident := resident
             else if resident <> !run_resident then begin
-              flush_run
-                ~data:(Buffer.to_bytes run_buf)
-                ~run_lo:!run_lo ~upto:c ~resident:!run_resident;
-              Buffer.clear run_buf;
+              flush_run ~run:!run ~run_lo:!run_lo ~upto:c
+                ~resident:!run_resident;
+              run := [];
               run_lo := c;
               run_resident := resident
             end;
-            if resident then
-              Buffer.add_subbytes run_buf bytes (c - lo) Page.size
+            if resident then run := values.(i) :: !run
             else
-              Backing_server.put_bytes ctx.backing ~segment_id ~offset:c
-                (Bytes.sub bytes (c - lo) Page.size)
+              Backing_server.put_page ctx.backing ~segment_id ~offset:c
+                values.(i)
           done;
-          flush_run
-            ~data:(Buffer.to_bytes run_buf)
-            ~run_lo:!run_lo ~upto:hi ~resident:!run_resident)
+          flush_run ~run:!run ~run_lo:!run_lo ~upto:hi ~resident:!run_resident)
     excised.Excise.rimas;
   List.rev !rev_chunks
 

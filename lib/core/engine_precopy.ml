@@ -44,16 +44,15 @@ let vaddr_data_chunks space pages =
   List.map
     (fun (lo_page, hi_page) ->
       let lo = Page.addr_of_index lo_page and hi = Page.addr_of_index hi_page in
-      let buf = Bytes.create (hi - lo) in
-      for idx = lo_page to hi_page - 1 do
-        match Address_space.page_data space idx with
-        | Some data ->
-            Bytes.blit data 0 buf (Page.addr_of_index idx - lo) Page.size
-        | None -> failwith "pre-copy: page vanished mid-round"
-      done;
+      let values =
+        Array.init (hi_page - lo_page) (fun i ->
+            match Address_space.page_value space (lo_page + i) with
+            | Some value -> value
+            | None -> failwith "pre-copy: page vanished mid-round")
+      in
       {
         Memory_object.range = Vaddr.range lo hi;
-        content = Memory_object.Data buf;
+        content = Memory_object.Data values;
       })
     runs
 
@@ -178,9 +177,14 @@ let stage_chunks store ~proc_id memory =
   List.iter
     (fun chunk ->
       match chunk.Memory_object.content with
-      | Memory_object.Data bytes ->
-          Segment_store.put_bytes store ~segment_id:proc_id
-            ~offset:chunk.Memory_object.range.Vaddr.lo bytes
+      | Memory_object.Data values ->
+          let lo = chunk.Memory_object.range.Vaddr.lo in
+          Array.iteri
+            (fun i value ->
+              Segment_store.put_page store ~segment_id:proc_id
+                ~offset:(lo + (i * Page.size))
+                value)
+            values
       | Memory_object.Iou _ -> ())
     memory
 
@@ -194,22 +198,21 @@ let assemble_rimas store ~proc_id ~amap ~iou_chunks =
       | Real_zero_mem | Bad_mem -> ()
       | Real_mem ->
           let len = hi - lo in
-          let buf = Bytes.create len in
           let first = Page.index_of_addr lo
           and last = Page.index_of_addr (hi - 1) in
-          for idx = first to last do
-            match
-              Segment_store.get_page store ~segment_id:proc_id
-                ~offset:(Page.addr_of_index idx)
-            with
-            | Some data ->
-                Bytes.blit data 0 buf (Page.addr_of_index idx - lo) Page.size
-            | None -> failwith "pre-copy: staged page missing at insertion"
-          done;
+          let values =
+            Array.init (last - first + 1) (fun i ->
+                match
+                  Segment_store.get_page store ~segment_id:proc_id
+                    ~offset:(Page.addr_of_index (first + i))
+                with
+                | Some value -> value
+                | None -> failwith "pre-copy: staged page missing at insertion")
+          in
           rev_chunks :=
             {
               Memory_object.range = Vaddr.range !cursor (!cursor + len);
-              content = Memory_object.Data buf;
+              content = Memory_object.Data values;
             }
             :: !rev_chunks;
           cursor := !cursor + len

@@ -14,6 +14,8 @@ type kind =
   | Prefetch of prefetch_kind
   | Transport_give_up
   | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
+  | Auto_threshold of { src : int; spread : float }
+  | Auto_candidate of { proc_name : string; src : int; dst : int }
 
 type t = { at : Accent_sim.Time.t; proc_id : int; kind : kind }
 
@@ -77,6 +79,9 @@ let apply (r : Report.t) ev =
         r.Report.remote_real_bytes_fetched
         + Accent_mem.Page.size
           * (r.Report.dest_faults_imag + r.Report.prefetch_extra)
+  (* balancer decisions are trace-only: they explain why a migration
+     started but stamp nothing on its report *)
+  | Auto_threshold _ | Auto_candidate _ -> ()
 
 (* --- the bus ------------------------------------------------------------ *)
 
@@ -136,6 +141,8 @@ let kind_name = function
   | Prefetch _ -> "prefetch"
   | Transport_give_up -> "transport-give-up"
   | Outcome _ -> "outcome"
+  | Auto_threshold _ -> "auto-threshold"
+  | Auto_candidate _ -> "auto-candidate"
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -175,6 +182,11 @@ let to_json ev =
         Printf.sprintf {|,"outcome":"%s","remote_touched_pages":%d|}
           (Report.outcome_name outcome)
           remote_touched_pages
+    | Auto_threshold { src; spread } ->
+        Printf.sprintf {|,"src":%d,"spread":%.3f|} src spread
+    | Auto_candidate { proc_name; src; dst } ->
+        Printf.sprintf {|,"proc_name":"%s","src":%d,"dst":%d|}
+          (json_escape proc_name) src dst
     | Core_delivered | Restarted | Transport_give_up -> ""
   in
   Printf.sprintf {|{"t_ms":%.3f,"proc":%d,"event":"%s"%s}|}
@@ -204,6 +216,10 @@ let pp ppf ev =
         Printf.sprintf " %s (%d pages touched)"
           (Report.outcome_name outcome)
           remote_touched_pages
+    | Auto_threshold { src; spread } ->
+        Printf.sprintf " host %d overloaded (spread %.2f)" src spread
+    | Auto_candidate { proc_name; src; dst } ->
+        Printf.sprintf " %s: host %d -> host %d" proc_name src dst
     | Core_delivered | Restarted | Transport_give_up -> ""
   in
   Format.fprintf ppf "%10.3f ms  proc %d  %s%s"

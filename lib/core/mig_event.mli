@@ -43,6 +43,14 @@ type kind =
       (** the reliable transport abandoned a migration message *)
   | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
       (** the relocated process finished its remote execution *)
+  | Auto_threshold of { src : int; spread : float }
+      (** the {!Auto_migrator} saw the load spread between the most and
+          least loaded host cross its imbalance threshold; [src] is the
+          overloaded host.  [proc_id] is [-1]: no process is chosen yet. *)
+  | Auto_candidate of { proc_name : string; src : int; dst : int }
+      (** the {!Auto_migrator} chose [proc_name] (the event's [proc_id])
+          to move from host [src] to host [dst] — the decision that
+          explains the [Requested] event that follows *)
 
 type t = {
   at : Accent_sim.Time.t;

@@ -52,8 +52,8 @@ let headline_summary sweep =
     (Figure_4_4.pf1_reduces_cost sweep);
   Buffer.contents buf
 
-let run_all ?seed ?(progress = true) ?(out = Format.std_formatter) ?csv_dir ()
-    =
+let run_all ?seed ?on_event ?(progress = true) ?(out = Format.std_formatter)
+    ?csv_dir () =
   (* flush after every chunk so output interleaves correctly with the
      sweep's direct-to-channel progress ticker *)
   let out_string s =
@@ -66,7 +66,7 @@ let run_all ?seed ?(progress = true) ?(out = Format.std_formatter) ?csv_dir ()
   out_newline ();
   out_string (Table_4_2.render (Table_4_2.rows ?seed ()));
   out_newline ();
-  let sweep = Sweep.run ?seed ~progress () in
+  let sweep = Sweep.run ?seed ?on_event ~progress () in
   out_string (Table_4_3.render (Table_4_3.rows sweep));
   out_newline ();
   out_string (Table_4_4.render (Table_4_4.rows sweep));

@@ -5,6 +5,7 @@
 
 val run_all :
   ?seed:int64 ->
+  ?on_event:(Accent_core.Mig_event.t -> unit) ->
   ?progress:bool ->
   ?out:Format.formatter ->
   ?csv_dir:string ->
@@ -13,7 +14,9 @@ val run_all :
 (** Print Tables 4-1..4-5 and Figures 4-1..4-5 plus the headline summary to
     [out] (default [Format.std_formatter]).  Runs the full 77-trial sweep.
     With [csv_dir], also write machine-readable CSVs there (see
-    {!Csv_export}). *)
+    {!Csv_export}).  [on_event] observes every migration event of the
+    sweep's trial worlds (see {!Sweep.run}); the printed tables are
+    unaffected. *)
 
 val headline_summary : Sweep.t -> string
 (** The §4.5 claims, measured: max copy/IOU transfer ratio, mean byte and

@@ -9,7 +9,7 @@ type rep_results = {
 
 type t = rep_results list
 
-let run ?seed ?costs ?(specs = Accent_workloads.Representative.all)
+let run ?seed ?costs ?on_event ?(specs = Accent_workloads.Representative.all)
     ?(prefetches = Strategy.paper_prefetch_values) ?(progress = true) () =
   let note fmt = Printf.ksprintf (fun s -> if progress then prerr_endline s) fmt in
   List.map
@@ -17,7 +17,7 @@ let run ?seed ?costs ?(specs = Accent_workloads.Representative.all)
       let name = spec.Accent_workloads.Spec.name in
       let one strategy =
         note "  trial: %-9s %s" name (Strategy.name strategy);
-        Trial.run ?seed ?costs ~spec ~strategy ()
+        Trial.run ?seed ?costs ?on_event ~spec ~strategy ()
       in
       {
         spec;

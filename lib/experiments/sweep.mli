@@ -14,13 +14,16 @@ type t = rep_results list
 val run :
   ?seed:int64 ->
   ?costs:Accent_kernel.Cost_model.t ->
+  ?on_event:(Accent_core.Mig_event.t -> unit) ->
   ?specs:Accent_workloads.Spec.t list ->
   ?prefetches:int list ->
   ?progress:bool ->
   unit ->
   t
 (** Defaults: the seven representatives, prefetch {0,1,3,7,15}, progress
-    lines on stderr. *)
+    lines on stderr.  [on_event] subscribes to every trial world's
+    migration event bus — each trial is a fresh world whose clock restarts
+    near zero, so per-trial statistics should reset on [Requested]. *)
 
 val find : t -> string -> rep_results
 (** By representative name; raises [Not_found]. *)

@@ -1,7 +1,7 @@
 open Accent_mem
 
 type content =
-  | Data of bytes
+  | Data of Page.value array
   | Iou of { segment_id : int; backing_port : Port.id; offset : int }
 
 type chunk = { range : Vaddr.range; content : content }
@@ -12,8 +12,8 @@ let validate t =
     if not (Vaddr.page_aligned range) then
       invalid_arg "Memory_object: chunk range not page-aligned";
     match content with
-    | Data bytes ->
-        if Bytes.length bytes <> Vaddr.len range then
+    | Data values ->
+        if Array.length values * Page.size <> Vaddr.len range then
           invalid_arg "Memory_object: data length disagrees with range"
     | Iou _ -> ()
   in
@@ -30,7 +30,9 @@ let validate t =
 let data_bytes t =
   List.fold_left
     (fun acc c ->
-      match c.content with Data b -> acc + Bytes.length b | Iou _ -> acc)
+      match c.content with
+      | Data values -> acc + (Array.length values * Page.size)
+      | Iou _ -> acc)
     0 t
 
 let iou_bytes t =

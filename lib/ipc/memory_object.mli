@@ -8,7 +8,11 @@
     IOU-caching logic (§2.4) operates on this structure. *)
 
 type content =
-  | Data of bytes  (** physically present; page-multiple length *)
+  | Data of Accent_mem.Page.value array
+      (** physically present, one immutable value per page — "present"
+          means the receiver need not demand them, not that heap bytes
+          exist; symbolic values stay symbolic across any number of
+          hops *)
   | Iou of { segment_id : int; backing_port : Port.id; offset : int }
       (** fetch on demand from the segment via its backing port; [offset]
           is the segment offset corresponding to the chunk's [range.lo]

@@ -3,7 +3,7 @@ type Message.payload +=
   | Imaginary_read_reply of {
       segment_id : int;
       offset : int;
-      page_data : Accent_mem.Page.data list;
+      page_data : Accent_mem.Page.value list;
     }
   | Imaginary_segment_death of { segment_id : int }
 

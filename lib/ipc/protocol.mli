@@ -21,7 +21,7 @@ type Message.payload +=
   | Imaginary_read_reply of {
       segment_id : int;
       offset : int;
-      page_data : Accent_mem.Page.data list;
+      page_data : Accent_mem.Page.value list;
           (** pages from [offset] upward; may be shorter than requested if
               the segment ends or has holes *)
     }
@@ -43,7 +43,7 @@ val read_reply :
   dest:Port.id ->
   segment_id:int ->
   offset:int ->
-  page_data:Accent_mem.Page.data list ->
+  page_data:Accent_mem.Page.value list ->
   Message.t
 (** Build the reply; its inline size reflects the pages carried. *)
 

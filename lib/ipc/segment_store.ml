@@ -1,6 +1,6 @@
 open Accent_mem
 
-type t = (int, (int, Page.data) Hashtbl.t) Hashtbl.t
+type t = (int, (int, Page.value) Hashtbl.t) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
@@ -14,12 +14,10 @@ let segment_table t segment_id =
 
 let add_segment t ~segment_id = ignore (segment_table t segment_id)
 
-let put_page t ~segment_id ~offset data =
+let put_page t ~segment_id ~offset value =
   if offset mod Page.size <> 0 then
     invalid_arg "Segment_store.put_page: unaligned offset";
-  if Bytes.length data <> Page.size then
-    invalid_arg "Segment_store.put_page: not one page";
-  Hashtbl.replace (segment_table t segment_id) offset (Page.copy data)
+  Hashtbl.replace (segment_table t segment_id) offset value
 
 let put_bytes t ~segment_id ~offset data =
   if offset mod Page.size <> 0 then
@@ -33,13 +31,13 @@ let put_bytes t ~segment_id ~offset data =
     Hashtbl.replace
       (segment_table t segment_id)
       (offset + (i * Page.size))
-      page
+      (Page.of_bytes page)
   done
 
 let get_page t ~segment_id ~offset =
   match Hashtbl.find_opt t segment_id with
   | None -> None
-  | Some tbl -> Option.map Page.copy (Hashtbl.find_opt tbl offset)
+  | Some tbl -> Hashtbl.find_opt tbl offset
 
 let read_run t ~segment_id ~offset ~pages =
   assert (pages >= 1);
@@ -48,7 +46,7 @@ let read_run t ~segment_id ~offset ~pages =
     else
       match get_page t ~segment_id ~offset:(offset + (i * Page.size)) with
       | None -> List.rev acc
-      | Some data -> loop (i + 1) (data :: acc)
+      | Some value -> loop (i + 1) (value :: acc)
   in
   loop 0 []
 

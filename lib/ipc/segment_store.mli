@@ -14,19 +14,20 @@ val create : unit -> t
 val add_segment : t -> segment_id:int -> unit
 (** Declare a segment (idempotent). *)
 
-val put_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.data ->
+val put_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.value ->
   unit
-(** Store one page at the page-aligned [offset].  Implicitly declares the
-    segment. *)
+(** Store one page value at the page-aligned [offset].  Implicitly declares
+    the segment.  Nothing is copied — values are immutable. *)
 
 val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
-(** Store a run of pages; trailing partial page zero-padded. *)
+(** Bytes-edge convenience: store a run of pages; trailing partial page
+    zero-padded. *)
 
 val get_page : t -> segment_id:int -> offset:int ->
-  Accent_mem.Page.data option
+  Accent_mem.Page.value option
 
 val read_run : t -> segment_id:int -> offset:int -> pages:int ->
-  Accent_mem.Page.data list
+  Accent_mem.Page.value list
 (** Pages at [offset], [offset+512], ... while present, at most [pages] of
     them — the service routine for {!Protocol.Imaginary_read_request}.
     Empty if the first page is absent. *)

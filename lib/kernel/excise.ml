@@ -35,17 +35,15 @@ let estimate_timings (costs : Cost_model.t) space =
     overall_ms = costs.excise_base_ms +. amap_ms +. rimas_ms;
   }
 
-(* Concatenate the materialised pages of [lo, hi) into one buffer. *)
-let range_data space ~lo ~hi =
-  let out = Bytes.create (hi - lo) in
+(* Collect the materialised page values of [lo, hi) — no bytes move. *)
+let range_values space ~lo ~hi =
   let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-  for idx = first to last do
-    match Address_space.page_data space idx with
-    | Some data ->
-        Bytes.blit data 0 out (Page.addr_of_index idx - lo) Page.size
-    | None -> failwith "Excise: Real range with missing page"
-  done;
-  out
+  Array.init
+    (last - first + 1)
+    (fun i ->
+      match Address_space.page_value space (first + i) with
+      | Some value -> value
+      | None -> failwith "Excise: Real range with missing page")
 
 (* Walk the region list, assigning collapsed offsets to content-bearing
    ranges and building the chunk list; adjacent Data chunks merge into the
@@ -62,7 +60,7 @@ let collapse pager space =
       | Real ->
           let len = hi - lo in
           let range = Vaddr.range !cursor (!cursor + len) in
-          emit_chunk range (Memory_object.Data (range_data space ~lo ~hi));
+          emit_chunk range (Memory_object.Data (range_values space ~lo ~hi));
           layout :=
             { Context.vaddr_lo = lo; vaddr_hi = hi; collapsed_lo = !cursor }
             :: !layout;
@@ -96,7 +94,7 @@ let collapse pager space =
             {
               Memory_object.range =
                 Vaddr.range prev_range.Vaddr.lo chunk.Memory_object.range.Vaddr.hi;
-              content = Data (Bytes.cat prev_data data);
+              content = Data (Array.append prev_data data);
             }
             :: rest
         | _ -> chunk :: acc)

@@ -90,7 +90,10 @@ let apply_write t page =
   let space = space_exn t in
   (match Accent_mem.Address_space.page_data space page with
   | Some data ->
+      (* promotion on write: the page materialises here, however symbolic
+         its value was before *)
       Bytes.set data 0 write_marker;
-      Accent_mem.Address_space.write_page space page data
+      Accent_mem.Address_space.write_page space page
+        (Accent_mem.Page.of_bytes data)
   | None -> invalid_arg "Proc.apply_write: page not materialised");
   Hashtbl.replace t.written_log page ()

@@ -85,37 +85,47 @@ let drop_materialized t idx =
       Paging_disk.free t.disk block;
       Hashtbl.remove t.pages idx
 
-let materialize t idx data ~resident =
+let materialize t idx value ~resident =
   drop_materialized t idx;
   let location =
     if resident then
       In_mem
-        (Phys_mem.allocate t.mem ~owner:{ space_id = t.id; page = idx } data)
-    else On_disk (Paging_disk.alloc t.disk data)
+        (Phys_mem.allocate t.mem ~owner:{ space_id = t.id; page = idx } value)
+    else On_disk (Paging_disk.alloc t.disk value)
   in
   Hashtbl.replace t.pages idx location;
   let lo, hi = page_range idx in
   t.regions <- Interval_map.set t.regions ~lo ~hi Real
 
-let install_page t ~addr data ~resident =
+let install_page t ~addr value ~resident =
   if addr mod Page.size <> 0 then
     invalid_arg "Address_space.install_page: unaligned address";
-  if Bytes.length data <> Page.size then
-    invalid_arg "Address_space.install_page: data is not one page";
-  materialize t (Page.index_of_addr addr) data ~resident
+  materialize t (Page.index_of_addr addr) value ~resident
 
-let install_bytes ?(segment = "<anon>") t ~addr data ~resident =
+let install_values ?(segment = "<anon>") t ~addr values ~resident =
   if addr mod Page.size <> 0 then
-    invalid_arg "Address_space.install_bytes: unaligned address";
+    invalid_arg "Address_space.install_values: unaligned address";
   Hashtbl.replace t.segments segment ();
+  Array.iteri
+    (fun i value -> materialize t (Page.index_of_addr addr + i) value ~resident)
+    values
+
+let install_bytes ?segment t ~addr data ~resident =
   let len = Bytes.length data in
   let n_pages = (len + Page.size - 1) / Page.size in
-  for i = 0 to n_pages - 1 do
-    let page = Page.zero () in
-    let off = i * Page.size in
-    Bytes.blit data off page 0 (min Page.size (len - off));
-    materialize t (Page.index_of_addr addr + i) page ~resident
-  done
+  let values =
+    Array.init n_pages (fun i ->
+        let off = i * Page.size in
+        if off + Page.size <= len && len mod Page.size = 0 then
+          Page.of_bytes (Bytes.sub data off Page.size)
+        else begin
+          (* trailing partial page: zero-pad *)
+          let page = Page.zero () in
+          Bytes.blit data off page 0 (min Page.size (len - off));
+          Page.of_bytes page
+        end)
+  in
+  install_values ?segment t ~addr values ~resident
 
 let presence_of_page t idx =
   match Hashtbl.find_opt t.pages idx with
@@ -156,21 +166,21 @@ let build_amap t =
 
 let resolve_zero_fault t idx =
   match presence_of_page t idx with
-  | Zero_pending -> materialize t idx (Page.zero ()) ~resident:true
+  | Zero_pending -> materialize t idx Page.zero_value ~resident:true
   | _ -> invalid_arg "Address_space.resolve_zero_fault: page not zero-pending"
 
 let resolve_disk_fault t idx =
   match presence_of_page t idx with
   | Paged_out block ->
-      let data = Paging_disk.read t.disk block in
+      let value = Paging_disk.read t.disk block in
       Paging_disk.free t.disk block;
       Hashtbl.remove t.pages idx;
-      materialize t idx data ~resident:true
+      materialize t idx value ~resident:true
   | _ -> invalid_arg "Address_space.resolve_disk_fault: page not on disk"
 
-let resolve_imaginary_fault t idx data =
+let resolve_imaginary_fault t idx value =
   match presence_of_page t idx with
-  | Imaginary_pending _ -> materialize t idx data ~resident:true
+  | Imaginary_pending _ -> materialize t idx value ~resident:true
   | _ ->
       invalid_arg "Address_space.resolve_imaginary_fault: page not imaginary"
 
@@ -181,25 +191,27 @@ let touch t idx =
   | Some (In_mem frame) -> Phys_mem.touch t.mem frame
   | Some (On_disk _) | None -> ()
 
-let page_data t idx =
+let page_value t idx =
   match Hashtbl.find_opt t.pages idx with
-  | Some (In_mem frame) -> Some (Page.copy (Phys_mem.read t.mem frame))
+  | Some (In_mem frame) -> Some (Phys_mem.read t.mem frame)
   | Some (On_disk block) -> Some (Paging_disk.read t.disk block)
   | None -> None
 
-let write_page t idx data =
+let page_data t idx = Option.map Page.to_bytes (page_value t idx)
+
+let write_page t idx value =
   match Hashtbl.find_opt t.pages idx with
-  | Some (In_mem frame) -> Phys_mem.write t.mem frame data
+  | Some (In_mem frame) -> Phys_mem.write t.mem frame value
   | Some (On_disk _) | None ->
       invalid_arg "Address_space.write_page: page not resident"
 
-let evict_page t idx data ~dirty =
+let evict_page t idx value ~dirty =
   ignore dirty;
   match Hashtbl.find_opt t.pages idx with
   | Some (In_mem _) ->
       (* The frame itself is reclaimed by Phys_mem; we just record where the
          contents now live. *)
-      let block = Paging_disk.alloc t.disk data in
+      let block = Paging_disk.alloc t.disk value in
       Hashtbl.replace t.pages idx (On_disk block)
   | Some (On_disk _) | None ->
       invalid_arg "Address_space.evict_page: page not resident"

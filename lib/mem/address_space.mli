@@ -49,18 +49,23 @@ val map_imaginary : t -> Vaddr.range -> segment_id:int -> offset:int -> unit
     contiguous segment (paper §3.1), so segment offsets generally differ
     from virtual addresses. *)
 
-val install_page : t -> addr:int -> Page.data -> resident:bool -> unit
+val install_page : t -> addr:int -> Page.value -> resident:bool -> unit
 (** Materialise one page of real data at the page-aligned [addr]; resident
     pages take a physical frame (possibly evicting), others go straight to
     the paging disk.  Overwrites any previous backing for that page. *)
 
+val install_values :
+  ?segment:string -> t -> addr:int -> Page.value array -> resident:bool -> unit
+(** Install a run of page values starting at the page-aligned [addr], one
+    page per value, without materialising any of them.  [segment] labels
+    the Accent VM segment this data belongs to (program text, a mapped
+    file...) purely for the excision cost model; unlabelled installs count
+    as one anonymous segment. *)
+
 val install_bytes :
   ?segment:string -> t -> addr:int -> bytes -> resident:bool -> unit
-(** Install a whole page-aligned run of data, page by page; a trailing
-    partial page is zero-padded.  [segment] labels the Accent VM segment
-    this data belongs to (program text, a mapped file...) purely for the
-    excision cost model; unlabelled installs count as one anonymous
-    segment. *)
+(** Bytes-edge convenience over {!install_values}: split the buffer into
+    pages (a trailing partial page is zero-padded) and install each. *)
 
 (** {2 Classification} *)
 
@@ -80,8 +85,8 @@ val resolve_zero_fault : t -> Page.index -> unit
 val resolve_disk_fault : t -> Page.index -> unit
 (** Bring a [Paged_out] page into a frame; frees its disk block. *)
 
-val resolve_imaginary_fault : t -> Page.index -> Page.data -> unit
-(** Install data that arrived from the backing port, making the page
+val resolve_imaginary_fault : t -> Page.index -> Page.value -> unit
+(** Install the value that arrived from the backing port, making the page
     resident real memory (a subsequent page-out goes to the local disk, as
     in the paper). *)
 
@@ -93,17 +98,22 @@ val touch : t -> Page.index -> unit
 
 (** {2 Page access} *)
 
-val page_data : t -> Page.index -> Page.data option
-(** Copy of a materialised page's bytes, wherever it lives; [None] for
-    zero-pending (all zeros), imaginary or invalid pages. *)
+val page_value : t -> Page.index -> Page.value option
+(** A materialised page's value, wherever it lives — no bytes are copied
+    or generated; [None] for zero-pending (all zeros), imaginary or
+    invalid pages. *)
 
-val write_page : t -> Page.index -> Page.data -> unit
-(** Store new contents into a resident page (marks the frame dirty).
+val page_data : t -> Page.index -> Page.data option
+(** [Option.map Page.to_bytes (page_value t idx)]: a fresh materialised
+    copy, for bytes-edge callers. *)
+
+val write_page : t -> Page.index -> Page.value -> unit
+(** Store a new value into a resident page (marks the frame dirty).
     Raises if the page is not resident. *)
 
-val evict_page : t -> Page.index -> Page.data -> dirty:bool -> unit
+val evict_page : t -> Page.index -> Page.value -> dirty:bool -> unit
 (** Eviction callback: the named resident page lost its frame; record its
-    contents on the paging disk. *)
+    value on the paging disk. *)
 
 (** {2 Inventory} *)
 

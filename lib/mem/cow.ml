@@ -1,4 +1,4 @@
-type phys = { data : Page.data; mutable refs : int }
+type phys = { mutable value : Page.value; mutable refs : int }
 
 type handle = {
   id : int;
@@ -26,10 +26,10 @@ let create_store () =
     logical = 0;
   }
 
-let alloc_phys store data =
+let alloc_phys store value =
   let id = store.next_phys in
   store.next_phys <- id + 1;
-  Hashtbl.replace store.phys id { data; refs = 1 };
+  Hashtbl.replace store.phys id { value; refs = 1 };
   id
 
 let find_phys store id =
@@ -52,9 +52,14 @@ let share store data =
         let page = Page.zero () in
         let off = i * Page.size in
         Bytes.blit data off page 0 (min Page.size (len - off));
-        alloc_phys store page)
+        alloc_phys store (Page.of_bytes page))
   in
   fresh_handle store len pages
+
+let share_values store ~len values =
+  if (len + Page.size - 1) / Page.size <> Array.length values then
+    invalid_arg "Cow.share_values: length does not match page count";
+  fresh_handle store len (Array.map (alloc_phys store) values)
 
 let dup store h =
   check_live h;
@@ -70,29 +75,38 @@ let length _store h =
 let read store h =
   check_live h;
   let out = Bytes.create h.len in
+  let scratch = Bytes.create Page.size in
   Array.iteri
     (fun i id ->
       let p = find_phys store id in
       let off = i * Page.size in
-      Bytes.blit p.data 0 out off (min Page.size (h.len - off)))
+      let n = min Page.size (h.len - off) in
+      if n = Page.size then Page.blit_value p.value out off
+      else begin
+        Page.blit_value p.value scratch 0;
+        Bytes.blit scratch 0 out off n
+      end)
     h.pages;
   out
 
 let read_page store h i =
   check_live h;
-  (find_phys store h.pages.(i)).data
+  (find_phys store h.pages.(i)).value
 
 let pages_of _store h =
   check_live h;
   Array.length h.pages
 
-(* Make page [i] of [h] exclusively owned, copying it if shared. *)
+(* Make page [i] of [h] exclusively owned.  Values are immutable, so
+   "copying" a shared page is just a new phys slot pointing at the same
+   value — the deferred-copy statistic still counts it, since Accent
+   would have copied 512 bytes here. *)
 let privatize store h i =
   let p = find_phys store h.pages.(i) in
   if p.refs > 1 then begin
     p.refs <- p.refs - 1;
     store.copies <- store.copies + 1;
-    h.pages.(i) <- alloc_phys store (Page.copy p.data)
+    h.pages.(i) <- alloc_phys store p.value
   end
 
 let write store h ~offset data =
@@ -104,11 +118,13 @@ let write store h ~offset data =
   for i = first to last do
     privatize store h i;
     let p = find_phys store h.pages.(i) in
+    let page = Page.to_bytes p.value in
     let page_lo = i * Page.size in
     let src_lo = max 0 (page_lo - offset) in
     let dst_lo = max 0 (offset - page_lo) in
     let n = min (len - src_lo) (Page.size - dst_lo) in
-    Bytes.blit data src_lo p.data dst_lo n
+    Bytes.blit data src_lo page dst_lo n;
+    p.value <- Page.of_bytes page
   done
 
 let release store h =

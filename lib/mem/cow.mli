@@ -18,6 +18,11 @@ val share : store -> bytes -> handle
 (** Bring data into the store (one physical copy, page-granular) and return
     a handle with sole ownership. *)
 
+val share_values : store -> len:int -> Page.value array -> handle
+(** Like {!share} but from immutable page values — nothing is copied or
+    materialised.  [len] is the logical byte length; it must round up to
+    exactly [Array.length values] pages. *)
+
 val dup : store -> handle -> handle
 (** A second logical copy: O(pages) reference bumps, no data copied.  This
     is what message send/receive does. *)
@@ -28,8 +33,8 @@ val length : store -> handle -> int
 val read : store -> handle -> bytes
 (** Materialise the full contents (fresh buffer). *)
 
-val read_page : store -> handle -> int -> Page.data
-(** Zero-copy view of the [i]th page.  Callers must not mutate it. *)
+val read_page : store -> handle -> int -> Page.value
+(** The [i]th page's value (immutable, zero-copy). *)
 
 val write : store -> handle -> offset:int -> bytes -> unit
 (** Write through the handle.  Pages still shared with other handles are

@@ -23,15 +23,18 @@ let is_zero data =
   let rec loop i = i >= size || (Bytes.get data i = '\000' && loop (i + 1)) in
   loop 0
 
-let pattern ~tag idx =
-  let data = Bytes.create size in
-  (* A cheap LCG keyed by (tag, idx); every byte depends on both so two
-     pages never coincide unless (tag, idx) do. *)
+(* A cheap LCG keyed by (tag, idx); every byte depends on both so two
+   pages never coincide unless (tag, idx) do. *)
+let fill_pattern buf off ~tag idx =
   let state = ref ((tag * 0x1000193) lxor (idx * 0x9E3779B9) lor 1) in
   for i = 0 to size - 1 do
     state := ((!state * 0x9E3779B9) + 0x7F4A7C15) land max_int;
-    Bytes.set data i (Char.chr ((!state lsr 24) land 0xFF))
-  done;
+    Bytes.set buf (off + i) (Char.chr ((!state lsr 24) land 0xFF))
+  done
+
+let pattern ~tag idx =
+  let data = Bytes.create size in
+  fill_pattern data 0 ~tag idx;
   data
 
 let checksum data =
@@ -42,3 +45,73 @@ let checksum data =
   !h
 
 let copy = Bytes.copy
+
+(* --- immutable page values --------------------------------------------- *)
+
+type value =
+  | Zero
+  | Pattern of { tag : int; idx : index }
+  | Literal of { data : bytes; digest : int }
+
+let zero_value = Zero
+let pattern_value ~tag idx = Pattern { tag; idx }
+
+(* The digest of a value always equals [checksum] of its materialized
+   bytes, so symbolic and literal copies of the same page can never
+   disagree.  Zero's digest is a constant; Pattern digests are memoized
+   (they are re-asked for every checksummed retransmission). *)
+let zero_digest = lazy (checksum (zero ()))
+let pattern_digests : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+
+let digest = function
+  | Zero -> Lazy.force zero_digest
+  | Pattern { tag; idx } -> (
+      match Hashtbl.find_opt pattern_digests (tag, idx) with
+      | Some d -> d
+      | None ->
+          let d = checksum (pattern ~tag idx) in
+          Hashtbl.replace pattern_digests (tag, idx) d;
+          d)
+  | Literal { digest; _ } -> digest
+
+let of_bytes data =
+  if Bytes.length data <> size then
+    invalid_arg "Page.of_bytes: not exactly one page";
+  if is_zero data then Zero
+  else Literal { data = Bytes.copy data; digest = checksum data }
+
+let to_bytes = function
+  | Zero -> zero ()
+  | Pattern { tag; idx } -> pattern ~tag idx
+  | Literal { data; _ } -> Bytes.copy data
+
+let blit_value v buf off =
+  match v with
+  | Zero -> Bytes.fill buf off size '\000'
+  | Pattern { tag; idx } -> fill_pattern buf off ~tag idx
+  | Literal { data; _ } -> Bytes.blit data 0 buf off size
+
+let is_symbolic = function Zero | Pattern _ -> true | Literal _ -> false
+
+let equal_value a b =
+  match (a, b) with
+  | Zero, Zero -> true
+  | Pattern p, Pattern q -> p.tag = q.tag && p.idx = q.idx
+  | Literal l, Literal m -> l.digest = m.digest && Bytes.equal l.data m.data
+  | _ ->
+      (* cross-representation: the digest settles almost every case; the
+         byte comparison closes the (negligible) collision window *)
+      digest a = digest b && Bytes.equal (to_bytes a) (to_bytes b)
+
+(* [len] must be a whole number of pages; each page slice becomes its own
+   value, all-zero slices collapsing to [Zero]. *)
+let values_of_bytes data =
+  let len = Bytes.length data in
+  if len mod size <> 0 then
+    invalid_arg "Page.values_of_bytes: not a page multiple";
+  Array.init (len / size) (fun i -> of_bytes (Bytes.sub data (i * size) size))
+
+let bytes_of_values values =
+  let buf = Bytes.create (Array.length values * size) in
+  Array.iteri (fun i v -> blit_value v buf (i * size)) values;
+  buf

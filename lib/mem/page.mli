@@ -1,8 +1,14 @@
 (** Pages: the 512-byte unit of all memory movement in Accent.
 
-    Page contents are real [bytes] so that the migration machinery can be
-    tested end-to-end: a page generated at the source must arrive at the
-    destination bit-identical, however lazily it travelled. *)
+    A page's contents are an immutable {!value}: either symbolic ([Zero],
+    or [Pattern] — deterministically generated from a [(tag, idx)] key) or
+    a materialized [Literal].  Symbolic pages cost no heap space and are
+    never copied however many hops they travel; a page only becomes
+    [Literal] when something actually writes to it ([of_bytes] at the
+    mutation edge).  Every value carries (or can derive in O(1) amortized
+    time) a digest equal to {!checksum} of its materialized bytes, so the
+    migration machinery can compare and checksum pages without ever
+    allocating their contents. *)
 
 val size : int
 (** 512, as in Accent. *)
@@ -21,7 +27,8 @@ val count_in : lo:int -> hi:int -> int
 (** Number of pages overlapping the byte range. *)
 
 type data = bytes
-(** Always exactly {!size} bytes long. *)
+(** Always exactly {!size} bytes long.  The mutable edge representation;
+    all storage and transport layers hold {!value} instead. *)
 
 val zero : unit -> data
 (** A fresh zero-filled page. *)
@@ -36,3 +43,47 @@ val checksum : data -> int
 (** FNV-1a over the page contents (63-bit, non-cryptographic). *)
 
 val copy : data -> data
+
+(** {1 Immutable page values} *)
+
+type value =
+  | Zero  (** all '\000'; never materialized *)
+  | Pattern of { tag : int; idx : index }
+      (** generator-backed: the bytes [pattern ~tag idx], never
+          materialized until someone needs them *)
+  | Literal of { data : bytes; digest : int }
+      (** materialized contents; [data] is owned by the value and must
+          never be mutated — promotion goes through {!of_bytes} *)
+
+val zero_value : value
+val pattern_value : tag:int -> index -> value
+
+val of_bytes : data -> value
+(** Capture one page of bytes as a value.  The bytes are copied (the
+    caller keeps ownership of its buffer); an all-zero page collapses to
+    [Zero].  Raises if the buffer is not exactly {!size} bytes. *)
+
+val to_bytes : value -> data
+(** Materialize: always a fresh, caller-owned buffer. *)
+
+val blit_value : value -> bytes -> int -> unit
+(** [blit_value v buf off] materializes [v] directly into [buf] at
+    [off] — one page, no intermediate allocation for symbolic values. *)
+
+val digest : value -> int
+(** Equals [checksum (to_bytes v)], without materializing: constant for
+    [Zero], memoized for [Pattern], precomputed for [Literal]. *)
+
+val equal_value : value -> value -> bool
+(** Content equality across representations.  O(1) for same-shape
+    symbolic values and digest-mismatched literals. *)
+
+val is_symbolic : value -> bool
+(** [true] for [Zero] and [Pattern] — pages that occupy no heap. *)
+
+val values_of_bytes : bytes -> value array
+(** Split a page-multiple buffer into one value per page (copying;
+    all-zero pages collapse to [Zero]). *)
+
+val bytes_of_values : value array -> bytes
+(** Concatenate materialized page contents into one fresh buffer. *)

@@ -3,7 +3,7 @@ type owner = { space_id : int; page : Page.index }
 
 type frame = {
   mutable owner : owner;
-  mutable data : Page.data;
+  mutable data : Page.value;
   mutable dirty : bool;
   mutable pinned : bool;
   mutable last_use : int; (* LRU clock stamp *)
@@ -15,7 +15,7 @@ type t = {
   mutable free_list : frame_id list;
   mutable next_id : int;
   mutable clock : int;
-  mutable evict : (owner -> Page.data -> dirty:bool -> unit) option;
+  mutable evict : (owner -> Page.value -> dirty:bool -> unit) option;
   mutable evictions : int;
   (* space_id -> page -> frame, for O(1) resident-set queries *)
   by_space : (int, (Page.index, frame_id) Hashtbl.t) Hashtbl.t;
@@ -104,7 +104,7 @@ let allocate t ~owner data =
   Hashtbl.replace t.frames id
     {
       owner;
-      data = Page.copy data;
+      data;
       dirty = false;
       pinned = false;
       last_use = tick t;
@@ -125,7 +125,7 @@ let read t id =
 
 let write t id data =
   let f = find_frame t id in
-  f.data <- Page.copy data;
+  f.data <- data;
   f.dirty <- true;
   f.last_use <- tick t
 

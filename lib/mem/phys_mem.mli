@@ -17,7 +17,7 @@ type owner = { space_id : int; page : Page.index }
 val create : frames:int -> t
 (** [frames] is the pool size (a 2 MB Perq-class machine has 4096). *)
 
-val set_evict_handler : t -> (owner -> Page.data -> dirty:bool -> unit) -> unit
+val set_evict_handler : t -> (owner -> Page.value -> dirty:bool -> unit) -> unit
 (** Called with the contents of each frame chosen for eviction, before the
     frame is reused.  Must be set before the pool can overflow. *)
 
@@ -25,17 +25,18 @@ val capacity : t -> int
 val in_use : t -> int
 val free_frames : t -> int
 
-val allocate : t -> owner:owner -> Page.data -> frame_id
-(** Take a frame (evicting if needed), fill it with a copy of the given
-    data, and return its id.  The frame starts clean. *)
+val allocate : t -> owner:owner -> Page.value -> frame_id
+(** Take a frame (evicting if needed), fill it with the given value, and
+    return its id.  Values are immutable, so nothing is copied.  The
+    frame starts clean. *)
 
 val free : t -> frame_id -> unit
 (** Release a frame without eviction processing (page discarded). *)
 
-val read : t -> frame_id -> Page.data
-(** The frame's contents (not a copy); bumps LRU recency. *)
+val read : t -> frame_id -> Page.value
+(** The frame's contents; bumps LRU recency. *)
 
-val write : t -> frame_id -> Page.data -> unit
+val write : t -> frame_id -> Page.value -> unit
 (** Overwrite contents, mark dirty, bump recency. *)
 
 val touch : t -> frame_id -> unit

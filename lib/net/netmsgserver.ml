@@ -120,10 +120,17 @@ let substitute_ious t msg =
         Memory_object.map_chunks memory ~f:(fun chunk ->
             match chunk.Memory_object.content with
             | Memory_object.Iou _ -> chunk
-            | Memory_object.Data bytes ->
-                t.cached_bytes <- t.cached_bytes + Bytes.length bytes;
-                Segment_store.put_bytes t.cache ~segment_id
-                  ~offset:chunk.Memory_object.range.Accent_mem.Vaddr.lo bytes;
+            | Memory_object.Data values ->
+                let page_size = Accent_mem.Page.size in
+                let lo = chunk.Memory_object.range.Accent_mem.Vaddr.lo in
+                t.cached_bytes <-
+                  t.cached_bytes + (Array.length values * page_size);
+                Array.iteri
+                  (fun i value ->
+                    Segment_store.put_page t.cache ~segment_id
+                      ~offset:(lo + (i * page_size))
+                      value)
+                  values;
                 {
                   chunk with
                   Memory_object.content =

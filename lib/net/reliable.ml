@@ -20,10 +20,13 @@ let default_params =
     max_retries = 8;
   }
 
-(* Adler-32-style sum over the message's physically-present Data bytes.
-   IOU chunks carry no payload on the wire, so they contribute nothing. *)
+(* Order-sensitive fold of the per-page digests of the message's
+   physically-present Data chunks.  Page digests come for free from the
+   value representation, so the checksum never materialises a symbolic
+   page.  IOU chunks carry no payload on the wire, so they contribute
+   nothing. *)
 let base_checksum msg =
-  let a = ref 1 and b = ref 0 in
+  let h = ref 1 in
   (match msg.Message.memory with
   | None -> ()
   | Some chunks ->
@@ -31,14 +34,15 @@ let base_checksum msg =
         (fun c ->
           match c.Memory_object.content with
           | Memory_object.Iou _ -> ()
-          | Memory_object.Data bytes ->
-              Bytes.iter
-                (fun ch ->
-                  a := (!a + Char.code ch) mod 65521;
-                  b := (!b + !a) mod 65521)
-                bytes)
+          | Memory_object.Data values ->
+              Array.iter
+                (fun v ->
+                  h :=
+                    (!h * 0x100000001B3) land max_int
+                    lxor Accent_mem.Page.digest v)
+                values)
         chunks);
-  (!b lsl 16) lor !a
+  !h land 0x3FFFFFFF
 
 (* Each fragment's checksum mixes the message sum with its sequence
    number, so a fragment replayed under the wrong seq fails to verify. *)

@@ -97,13 +97,13 @@ let build_layout space t =
             Printf.sprintf "seg%d" (!slice_counter mod t.vm_segments)
           in
           incr slice_counter;
-          let buf = Bytes.create (slice_pages * Page.size) in
-          for p = 0 to slice_pages - 1 do
-            let idx = Page.index_of_addr !addr + p in
-            universe := idx :: !universe;
-            Bytes.blit (Page.pattern ~tag idx) 0 buf (p * Page.size) Page.size
-          done;
-          Address_space.install_bytes ~segment:label space ~addr:!addr buf
+          let values =
+            Array.init slice_pages (fun p ->
+                let idx = Page.index_of_addr !addr + p in
+                universe := idx :: !universe;
+                Page.pattern_value ~tag idx)
+          in
+          Address_space.install_values ~segment:label space ~addr:!addr values
             ~resident:false;
           addr := !addr + (slice_pages * Page.size)
         end)

@@ -155,7 +155,7 @@ let test_imaginary_fault_resolution () =
   Address_space.map_imaginary space (Vaddr.of_len 0 (page_bytes 2))
     ~segment_id:3 ~offset:(page_bytes 10);
   let data = Page.pattern ~tag:1 0 in
-  Address_space.resolve_imaginary_fault space 0 data;
+  Address_space.resolve_imaginary_fault space 0 (Page.of_bytes data);
   Alcotest.check acc "fetched page is RealMem" Accessibility.Real_mem
     (Address_space.classify space 0);
   Alcotest.(check int) "segment shrank" (page_bytes 1)
@@ -275,6 +275,30 @@ let prop_accounting_identity =
       + Address_space.imag_bytes space
       = Address_space.total_bytes space)
 
+let test_promotion_on_write () =
+  let space, _, _ = fresh () in
+  let v = Page.pattern_value ~tag:6 0 in
+  Address_space.install_values space ~addr:0 [| v |] ~resident:true;
+  (match Address_space.page_value space 0 with
+  | Some before -> Alcotest.(check bool) "symbolic before the write" true
+      (Page.is_symbolic before)
+  | None -> Alcotest.fail "page missing");
+  (* a write promotes the page to a Literal with the new contents *)
+  let data = Page.to_bytes v in
+  Bytes.set data 0 'W';
+  Address_space.write_page space 0 (Page.of_bytes data);
+  match Address_space.page_value space 0 with
+  | Some after ->
+      Alcotest.(check bool) "literal after the write" false
+        (Page.is_symbolic after);
+      Alcotest.(check char) "write landed" 'W'
+        (Bytes.get (Page.to_bytes after) 0);
+      Alcotest.(check bool) "rest of the page preserved" true
+        (Bytes.equal data (Page.to_bytes after));
+      Alcotest.(check bool) "no longer equal to the original" false
+        (Page.equal_value v after)
+  | None -> Alcotest.fail "page vanished"
+
 let suite =
   ( "address_space",
     [
@@ -302,5 +326,6 @@ let suite =
       Alcotest.test_case "amap of space" `Quick test_amap_of_space;
       Alcotest.test_case "amap rejects overlap" `Quick test_amap_rejects_overlap;
       Alcotest.test_case "amap ranges_of" `Quick test_amap_ranges_of;
+      Alcotest.test_case "promotion on write" `Quick test_promotion_on_write;
       QCheck_alcotest.to_alcotest prop_accounting_identity;
     ] )

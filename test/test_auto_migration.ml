@@ -95,6 +95,54 @@ let test_auto_migrator_balances () =
       Alcotest.(check bool) "moves off the loaded host" true (src <> dst))
     (Auto_migrator.decisions migrator)
 
+let test_auto_migrator_publishes_decisions () =
+  (* the same imbalanced setup as the balancing test, with a bus observer:
+     every migration must be explained by a threshold crossing and a
+     candidate choice on the event stream *)
+  let world = World.create ~n_hosts:3 () in
+  let h0 = World.host world 0 in
+  let procs =
+    List.init 4 (fun i ->
+        Accent_workloads.Spec.build h0
+          (worker ~name:(Printf.sprintf "w%d" i) ~base_mb:(1 + (8 * i))))
+  in
+  List.iter (fun p -> Proc_runner.start h0 p) procs;
+  let thresholds = ref [] and candidates = ref [] in
+  World.on_migration_event world (fun ev ->
+      match ev.Mig_event.kind with
+      | Mig_event.Auto_threshold { src; spread } ->
+          thresholds := (ev.Mig_event.proc_id, src, spread) :: !thresholds
+      | Mig_event.Auto_candidate { proc_name; src; dst } ->
+          candidates := (ev.Mig_event.proc_id, proc_name, src, dst)
+          :: !candidates
+      | _ -> ());
+  let migrator =
+    Auto_migrator.start world
+      { Auto_migrator.default_policy with Auto_migrator.period_ms = 1_000. }
+  in
+  ignore (World.run world);
+  let triggered = Auto_migrator.migrations_triggered migrator in
+  Alcotest.(check bool) "migrations happened" true (triggered >= 1);
+  Alcotest.(check int) "one candidate event per migration" triggered
+    (List.length !candidates);
+  Alcotest.(check bool) "threshold crossings precede candidates" true
+    (List.length !thresholds >= List.length !candidates);
+  List.iter
+    (fun (_, src, spread) ->
+      Alcotest.(check bool) "spread above the policy threshold" true
+        (spread > Auto_migrator.default_policy.Auto_migrator.imbalance_threshold);
+      Alcotest.(check bool) "overloaded host named" true (src >= 0 && src < 3))
+    !thresholds;
+  (* candidate events line up with the migrator's own decision log *)
+  List.iter2
+    (fun (proc_id, name, src, dst) (_, log_name, log_src, log_dst) ->
+      Alcotest.(check string) "same process" log_name name;
+      Alcotest.(check int) "same source" log_src src;
+      Alcotest.(check int) "same destination" log_dst dst;
+      Alcotest.(check bool) "real proc id" true (proc_id >= 0))
+    (List.rev !candidates)
+    (Auto_migrator.decisions migrator)
+
 let test_auto_migrator_respects_threshold () =
   (* one process on each of two hosts: balanced, nothing should move *)
   let world = World.create ~n_hosts:2 () in
@@ -146,6 +194,8 @@ let suite =
       Alcotest.test_case "dispersion" `Quick
         test_dispersion_after_partial_migration;
       Alcotest.test_case "balances load" `Quick test_auto_migrator_balances;
+      Alcotest.test_case "publishes decisions" `Quick
+        test_auto_migrator_publishes_decisions;
       Alcotest.test_case "respects threshold" `Quick
         test_auto_migrator_respects_threshold;
       Alcotest.test_case "affinity pull" `Quick test_affinity_pull;

@@ -31,7 +31,7 @@ let test_unknown_payload_with_memory () =
       [
         {
           Memory_object.range = Vaddr.range 0 512;
-          content = Memory_object.Data (Bytes.create 512);
+          content = Memory_object.Data [| Accent_mem.Page.zero_value |];
         };
       ];
   ignore (World.run world);

@@ -50,6 +50,63 @@ let test_clear () =
   Alcotest.check ranges_t "hole" [ (0, 10, "a"); (20, 30, "a") ] (ranges m);
   Alcotest.(check int) "length" 20 (Interval_map.total_length m)
 
+(* carve (via clear) boundary-overhang edge cases: an interval may stick
+   out of the cleared range on the left, the right, both sides, or
+   neither. *)
+
+let test_carve_overhang_left_only () =
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:0 ~hi:20 "a" in
+  let m = Interval_map.clear m ~lo:10 ~hi:30 in
+  Alcotest.check ranges_t "left stub survives" [ (0, 10, "a") ] (ranges m);
+  Alcotest.(check bool) "invariants" true (Interval_map.check_invariants m)
+
+let test_carve_overhang_right_only () =
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:10 ~hi:30 "a" in
+  let m = Interval_map.clear m ~lo:0 ~hi:20 in
+  Alcotest.check ranges_t "right stub survives" [ (20, 30, "a") ] (ranges m);
+  Alcotest.(check bool) "invariants" true (Interval_map.check_invariants m)
+
+let test_carve_exact_match () =
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:10 ~hi:20 "a" in
+  let m = Interval_map.clear m ~lo:10 ~hi:20 in
+  Alcotest.(check bool) "fully removed" true (Interval_map.is_empty m)
+
+let test_carve_boundary_abutting_untouched () =
+  (* neighbours that merely abut the cleared range must not be split *)
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:0 ~hi:10 "a" in
+  let m = Interval_map.set m ~lo:10 ~hi:20 "b" in
+  let m = Interval_map.set m ~lo:20 ~hi:30 "c" in
+  let m = Interval_map.clear m ~lo:10 ~hi:20 in
+  Alcotest.check ranges_t "neighbours intact"
+    [ (0, 10, "a"); (20, 30, "c") ]
+    (ranges m);
+  Alcotest.(check int) "two intervals" 2 (Interval_map.cardinal m)
+
+let test_carve_spanning_many () =
+  (* the cleared range swallows whole intervals and clips the two ends *)
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:0 ~hi:10 "a" in
+  let m = Interval_map.set m ~lo:15 ~hi:25 "b" in
+  let m = Interval_map.set m ~lo:30 ~hi:40 "c" in
+  let m = Interval_map.clear m ~lo:5 ~hi:35 in
+  Alcotest.check ranges_t "ends clipped, middle gone"
+    [ (0, 5, "a"); (35, 40, "c") ]
+    (ranges m);
+  Alcotest.(check int) "length" 10 (Interval_map.total_length m);
+  Alcotest.(check bool) "invariants" true (Interval_map.check_invariants m)
+
+let test_carve_empty_range_noop () =
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:0 ~hi:10 "a" in
+  let m' = Interval_map.clear m ~lo:5 ~hi:5 in
+  Alcotest.check ranges_t "untouched" [ (0, 10, "a") ] (ranges m')
+
+let test_carve_in_gap_noop () =
+  let m = Interval_map.set (Interval_map.empty ()) ~lo:0 ~hi:10 "a" in
+  let m = Interval_map.set m ~lo:20 ~hi:30 "b" in
+  let m = Interval_map.clear m ~lo:12 ~hi:18 in
+  Alcotest.check ranges_t "gap clear is a no-op"
+    [ (0, 10, "a"); (20, 30, "b") ]
+    (ranges m)
+
 let test_empty_range_noop () =
   let m = Interval_map.set (Interval_map.empty ()) ~lo:5 ~hi:5 "a" in
   Alcotest.(check bool) "still empty" true (Interval_map.is_empty m)
@@ -196,6 +253,16 @@ let suite =
       Alcotest.test_case "middle overwrite rejoins" `Quick
         test_middle_overwrite_rejoins;
       Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "carve overhang left" `Quick
+        test_carve_overhang_left_only;
+      Alcotest.test_case "carve overhang right" `Quick
+        test_carve_overhang_right_only;
+      Alcotest.test_case "carve exact match" `Quick test_carve_exact_match;
+      Alcotest.test_case "carve leaves abutting neighbours" `Quick
+        test_carve_boundary_abutting_untouched;
+      Alcotest.test_case "carve spans many" `Quick test_carve_spanning_many;
+      Alcotest.test_case "carve empty range" `Quick test_carve_empty_range_noop;
+      Alcotest.test_case "carve in gap" `Quick test_carve_in_gap_noop;
       Alcotest.test_case "empty range noop" `Quick test_empty_range_noop;
       Alcotest.test_case "fold_range clips" `Quick test_fold_range_clips;
       Alcotest.test_case "fold_range spans gaps" `Quick

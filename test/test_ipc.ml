@@ -23,7 +23,8 @@ let test_port_rights_names () =
 let data_chunk ~lo len =
   {
     Memory_object.range = Accent_mem.Vaddr.of_len lo len;
-    content = Memory_object.Data (Bytes.make len 'd');
+    content =
+      Memory_object.Data (Accent_mem.Page.values_of_bytes (Bytes.make len 'd'));
   }
 
 let iou_chunk ids ~lo len =
@@ -56,7 +57,9 @@ let test_memory_object_rejects_bad_length () =
   let chunk =
     {
       Memory_object.range = Accent_mem.Vaddr.of_len 0 1024;
-      content = Memory_object.Data (Bytes.make 512 'd');
+      content =
+        Memory_object.Data
+          (Accent_mem.Page.values_of_bytes (Bytes.make 512 'd'));
     }
   in
   Alcotest.check_raises "length mismatch"
@@ -111,7 +114,9 @@ let test_segment_store_roundtrip () =
   Segment_store.put_bytes store ~segment_id:1 ~offset:0 (Bytes.make 1200 'a');
   Alcotest.(check int) "pages" 3 (Segment_store.segment_pages store ~segment_id:1);
   (match Segment_store.get_page store ~segment_id:1 ~offset:512 with
-  | Some page -> Alcotest.(check char) "content" 'a' (Bytes.get page 0)
+  | Some page ->
+      Alcotest.(check char) "content" 'a'
+        (Bytes.get (Accent_mem.Page.to_bytes page) 0)
   | None -> Alcotest.fail "page missing");
   Alcotest.(check (option Alcotest.reject)) "absent offset" None
     (Option.map ignore (Segment_store.get_page store ~segment_id:1 ~offset:4096))
@@ -121,7 +126,7 @@ let test_segment_store_read_run () =
   Segment_store.put_bytes store ~segment_id:1 ~offset:0 (Bytes.make 1024 'a');
   (* a hole at page 2, then another page *)
   Segment_store.put_page store ~segment_id:1 ~offset:1536
-    (Bytes.make 512 'b');
+    (Accent_mem.Page.of_bytes (Bytes.make 512 'b'));
   Alcotest.(check int) "run stops at hole" 2
     (List.length (Segment_store.read_run store ~segment_id:1 ~offset:0 ~pages:8));
   Alcotest.(check int) "empty when first absent" 0
@@ -129,6 +134,24 @@ let test_segment_store_read_run () =
        (Segment_store.read_run store ~segment_id:1 ~offset:1024 ~pages:2));
   Alcotest.(check int) "bounded by pages" 1
     (List.length (Segment_store.read_run store ~segment_id:1 ~offset:0 ~pages:1))
+
+let test_segment_store_keeps_symbolic () =
+  (* a Pattern value travels through the store without materializing *)
+  let store = Segment_store.create () in
+  let v = Accent_mem.Page.pattern_value ~tag:21 3 in
+  Segment_store.put_page store ~segment_id:2 ~offset:512 v;
+  (match Segment_store.get_page store ~segment_id:2 ~offset:512 with
+  | Some back ->
+      Alcotest.(check bool) "still symbolic" true
+        (Accent_mem.Page.is_symbolic back);
+      Alcotest.(check bool) "content intact" true
+        (Accent_mem.Page.equal_value v back)
+  | None -> Alcotest.fail "page missing");
+  match Segment_store.read_run store ~segment_id:2 ~offset:512 ~pages:4 with
+  | [ back ] ->
+      Alcotest.(check bool) "read_run preserves the value" true
+        (Accent_mem.Page.equal_value v back)
+  | run -> Alcotest.failf "expected a 1-page run, got %d" (List.length run)
 
 let test_segment_store_drop () =
   let store = Segment_store.create () in
@@ -242,6 +265,8 @@ let suite =
         test_segment_store_roundtrip;
       Alcotest.test_case "segment store read_run" `Quick
         test_segment_store_read_run;
+      Alcotest.test_case "segment store keeps symbolic" `Quick
+        test_segment_store_keeps_symbolic;
       Alcotest.test_case "segment store drop" `Quick test_segment_store_drop;
       Alcotest.test_case "kernel local delivery" `Quick
         test_kernel_local_delivery;

@@ -36,6 +36,82 @@ let test_page_checksum () =
   Alcotest.(check bool) "checksum discriminates" true
     (Page.checksum a <> Page.checksum (Page.zero ()))
 
+(* --- Page.value --- *)
+
+let test_value_digest_agreement () =
+  (* digest v = checksum (to_bytes v) for every representation *)
+  let zero = Page.zero_value in
+  Alcotest.(check int) "zero digest" (Page.checksum (Page.zero ()))
+    (Page.digest zero);
+  let pat = Page.pattern_value ~tag:9 17 in
+  Alcotest.(check int) "pattern digest"
+    (Page.checksum (Page.pattern ~tag:9 17))
+    (Page.digest pat);
+  let buf = Page.pattern ~tag:9 17 in
+  let lit = Page.of_bytes buf in
+  Alcotest.(check int) "literal digest" (Page.checksum buf) (Page.digest lit);
+  Alcotest.(check int) "digest is representation-independent"
+    (Page.digest pat) (Page.digest lit)
+
+let test_value_equality_across_reps () =
+  let pat = Page.pattern_value ~tag:3 5 in
+  let lit = Page.of_bytes (Page.pattern ~tag:3 5) in
+  Alcotest.(check bool) "pattern = literal of same bytes" true
+    (Page.equal_value pat lit);
+  Alcotest.(check bool) "symmetric" true (Page.equal_value lit pat);
+  Alcotest.(check bool) "distinct tags differ" false
+    (Page.equal_value pat (Page.pattern_value ~tag:4 5));
+  Alcotest.(check bool) "distinct indices differ" false
+    (Page.equal_value pat (Page.pattern_value ~tag:3 6));
+  Alcotest.(check bool) "zero = literal zeros" true
+    (Page.equal_value Page.zero_value (Page.of_bytes (Page.zero ())));
+  Alcotest.(check bool) "zero <> pattern" false
+    (Page.equal_value Page.zero_value pat)
+
+let test_value_of_bytes_collapses_zero () =
+  (* an all-zero buffer collapses to the symbolic Zero value *)
+  Alcotest.(check bool) "zero buffer is symbolic" true
+    (Page.is_symbolic (Page.of_bytes (Page.zero ())));
+  Alcotest.(check bool) "pattern value is symbolic" true
+    (Page.is_symbolic (Page.pattern_value ~tag:1 1));
+  Alcotest.(check bool) "nonzero buffer is literal" false
+    (Page.is_symbolic (Page.of_bytes (Page.pattern ~tag:1 1)))
+
+let test_value_of_bytes_copies () =
+  let buf = Page.pattern ~tag:2 2 in
+  let v = Page.of_bytes buf in
+  Bytes.set buf 0 '\255';
+  Alcotest.(check bool) "caller's buffer stays owned by caller" true
+    (Bytes.equal (Page.to_bytes v) (Page.pattern ~tag:2 2));
+  Alcotest.check_raises "wrong size rejected"
+    (Invalid_argument "Page.of_bytes: not exactly one page") (fun () ->
+      ignore (Page.of_bytes (Bytes.create 100)))
+
+let test_values_bytes_roundtrip () =
+  let buf = Bytes.create (3 * Page.size) in
+  Bytes.blit (Page.pattern ~tag:7 0) 0 buf 0 Page.size;
+  Bytes.fill buf Page.size Page.size '\000';
+  Bytes.blit (Page.pattern ~tag:7 2) 0 buf (2 * Page.size) Page.size;
+  let values = Page.values_of_bytes buf in
+  Alcotest.(check int) "one value per page" 3 (Array.length values);
+  Alcotest.(check bool) "middle page collapses to Zero" true
+    (Page.is_symbolic values.(1));
+  Alcotest.(check bool) "roundtrip" true
+    (Bytes.equal buf (Page.bytes_of_values values));
+  Alcotest.check_raises "non-multiple rejected"
+    (Invalid_argument "Page.values_of_bytes: not a page multiple") (fun () ->
+      ignore (Page.values_of_bytes (Bytes.create 100)))
+
+let prop_value_roundtrip_and_digest =
+  QCheck.Test.make ~name:"of_bytes/to_bytes roundtrip preserves digest"
+    QCheck.(pair (int_range 0 1000) small_nat)
+    (fun (tag, idx) ->
+      let buf = Page.pattern ~tag idx in
+      let v = Page.of_bytes buf in
+      Bytes.equal buf (Page.to_bytes v)
+      && Page.digest v = Page.checksum buf
+      && Page.equal_value v (Page.pattern_value ~tag idx))
+
 let prop_span_count_consistent =
   QCheck.Test.make ~name:"span and count agree"
     QCheck.(pair (int_range 0 100_000) (int_range 1 100_000))
@@ -85,21 +161,21 @@ let owner space_id page = { Phys_mem.space_id; page }
 let test_phys_alloc_read () =
   let mem = Phys_mem.create ~frames:4 in
   let data = Page.pattern ~tag:1 0 in
-  let f = Phys_mem.allocate mem ~owner:(owner 1 0) data in
+  let f = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.of_bytes data) in
   Alcotest.(check bool) "content preserved" true
-    (Bytes.equal data (Phys_mem.read mem f));
+    (Bytes.equal data (Page.to_bytes (Phys_mem.read mem f)));
   Alcotest.(check int) "in use" 1 (Phys_mem.in_use mem);
   Alcotest.(check int) "free" 3 (Phys_mem.free_frames mem);
-  (* allocate copies: mutating the source must not affect the frame *)
+  (* of_bytes copies: mutating the source must not affect the frame *)
   Bytes.set data 0 'X';
   Alcotest.(check bool) "defensive copy" false
-    (Bytes.equal data (Phys_mem.read mem f))
+    (Bytes.equal data (Page.to_bytes (Phys_mem.read mem f)))
 
 let test_phys_write_dirty () =
   let mem = Phys_mem.create ~frames:2 in
-  let f = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
+  let f = Phys_mem.allocate mem ~owner:(owner 1 0) Page.zero_value in
   Alcotest.(check bool) "clean initially" false (Phys_mem.is_dirty mem f);
-  Phys_mem.write mem f (Page.pattern ~tag:2 0);
+  Phys_mem.write mem f (Page.pattern_value ~tag:2 0);
   Alcotest.(check bool) "dirty after write" true (Phys_mem.is_dirty mem f)
 
 let test_phys_lru_eviction () =
@@ -107,11 +183,11 @@ let test_phys_lru_eviction () =
   let evicted = ref [] in
   Phys_mem.set_evict_handler mem (fun o _ ~dirty:_ ->
       evicted := o.Phys_mem.page :: !evicted);
-  let f0 = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
-  let _f1 = Phys_mem.allocate mem ~owner:(owner 1 1) (Page.zero ()) in
+  let f0 = Phys_mem.allocate mem ~owner:(owner 1 0) Page.zero_value in
+  let _f1 = Phys_mem.allocate mem ~owner:(owner 1 1) Page.zero_value in
   (* touch page 0 so page 1 is the LRU victim *)
   Phys_mem.touch mem f0;
-  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 2) (Page.zero ()) in
+  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 2) Page.zero_value in
   Alcotest.(check (list int)) "evicted the LRU page" [ 1 ] !evicted;
   Alcotest.(check int) "eviction count" 1 (Phys_mem.evictions mem)
 
@@ -120,18 +196,18 @@ let test_phys_pin_protects () =
   let evicted = ref [] in
   Phys_mem.set_evict_handler mem (fun o _ ~dirty:_ ->
       evicted := o.Phys_mem.page :: !evicted);
-  let f0 = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
-  let _f1 = Phys_mem.allocate mem ~owner:(owner 1 1) (Page.zero ()) in
+  let f0 = Phys_mem.allocate mem ~owner:(owner 1 0) Page.zero_value in
+  let _f1 = Phys_mem.allocate mem ~owner:(owner 1 1) Page.zero_value in
   Phys_mem.pin mem f0;
   (* page 0 is older but pinned; page 1 must be chosen *)
-  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 2) (Page.zero ()) in
+  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 2) Page.zero_value in
   Alcotest.(check (list int)) "pinned survives" [ 1 ] !evicted
 
 let test_phys_frames_of_space () =
   let mem = Phys_mem.create ~frames:8 in
-  ignore (Phys_mem.allocate mem ~owner:(owner 1 10) (Page.zero ()));
-  ignore (Phys_mem.allocate mem ~owner:(owner 2 20) (Page.zero ()));
-  ignore (Phys_mem.allocate mem ~owner:(owner 1 11) (Page.zero ()));
+  ignore (Phys_mem.allocate mem ~owner:(owner 1 10) Page.zero_value);
+  ignore (Phys_mem.allocate mem ~owner:(owner 2 20) Page.zero_value);
+  ignore (Phys_mem.allocate mem ~owner:(owner 1 11) Page.zero_value);
   let pages = List.map fst (Phys_mem.frames_of_space mem 1) in
   Alcotest.(check (list int)) "per-space resident pages" [ 10; 11 ] pages;
   Alcotest.(check (list int)) "other space" [ 20 ]
@@ -141,24 +217,24 @@ let test_phys_frames_of_space () =
 
 let test_phys_free_recycles () =
   let mem = Phys_mem.create ~frames:1 in
-  let f = Phys_mem.allocate mem ~owner:(owner 1 0) (Page.zero ()) in
+  let f = Phys_mem.allocate mem ~owner:(owner 1 0) Page.zero_value in
   Phys_mem.free mem f;
   Alcotest.(check int) "freed" 0 (Phys_mem.in_use mem);
   (* no evict handler needed: the freed frame is reused *)
-  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 1) (Page.zero ()) in
+  let _f2 = Phys_mem.allocate mem ~owner:(owner 1 1) Page.zero_value in
   Alcotest.(check int) "reused" 1 (Phys_mem.in_use mem)
 
 (* --- Paging_disk --- *)
 
 let test_disk_roundtrip () =
   let disk = Paging_disk.create () in
-  let data = Page.pattern ~tag:5 3 in
-  let b = Paging_disk.alloc disk data in
+  let value = Page.pattern_value ~tag:5 3 in
+  let b = Paging_disk.alloc disk value in
   Alcotest.(check bool) "roundtrip" true
-    (Bytes.equal data (Paging_disk.read disk b));
-  Paging_disk.write disk b (Page.zero ());
+    (Page.equal_value value (Paging_disk.read disk b));
+  Paging_disk.write disk b Page.zero_value;
   Alcotest.(check bool) "overwrite" true
-    (Page.is_zero (Paging_disk.read disk b));
+    (Page.is_zero (Page.to_bytes (Paging_disk.read disk b)));
   Alcotest.(check int) "in use" 1 (Paging_disk.blocks_in_use disk);
   Paging_disk.free disk b;
   Alcotest.(check int) "freed" 0 (Paging_disk.blocks_in_use disk)
@@ -168,6 +244,41 @@ let test_disk_unknown_block () =
   Alcotest.check_raises "read unknown"
     (Invalid_argument "Paging_disk: unknown block") (fun () ->
       ignore (Paging_disk.read disk 42))
+
+let test_disk_double_free () =
+  let disk = Paging_disk.create () in
+  let b = Paging_disk.alloc disk Page.zero_value in
+  Paging_disk.free disk b;
+  Alcotest.check_raises "second free rejected"
+    (Invalid_argument "Paging_disk.free: double free") (fun () ->
+      Paging_disk.free disk b);
+  Alcotest.check_raises "read after free"
+    (Invalid_argument "Paging_disk: block already freed") (fun () ->
+      ignore (Paging_disk.read disk b));
+  Alcotest.check_raises "freeing a never-allocated block"
+    (Invalid_argument "Paging_disk.free: unknown block") (fun () ->
+      Paging_disk.free disk 9999)
+
+let test_disk_realloc_clears_freed_mark () =
+  let disk = Paging_disk.create () in
+  let b = Paging_disk.alloc disk Page.zero_value in
+  Paging_disk.free disk b;
+  (* the free list recycles the block id; the stale-free mark must clear *)
+  let b' = Paging_disk.alloc disk (Page.pattern_value ~tag:1 1) in
+  Alcotest.(check int) "block id recycled" b b';
+  Alcotest.(check bool) "readable again" true
+    (Page.equal_value (Page.pattern_value ~tag:1 1) (Paging_disk.read disk b'));
+  Paging_disk.free disk b'
+  (* a clean single free of the recycled block must not raise *)
+
+let test_disk_pattern_stays_symbolic () =
+  let disk = Paging_disk.create () in
+  let v = Page.pattern_value ~tag:11 4 in
+  let b = Paging_disk.alloc disk v in
+  let back = Paging_disk.read disk b in
+  Alcotest.(check bool) "no materialization on the disk" true
+    (Page.is_symbolic back);
+  Alcotest.(check bool) "content intact" true (Page.equal_value v back)
 
 (* --- Working_set --- *)
 
@@ -283,6 +394,16 @@ let suite =
       Alcotest.test_case "page pattern" `Quick test_page_pattern_deterministic;
       Alcotest.test_case "page zero" `Quick test_page_zero;
       Alcotest.test_case "page checksum" `Quick test_page_checksum;
+      Alcotest.test_case "value digest agreement" `Quick
+        test_value_digest_agreement;
+      Alcotest.test_case "value equality across reps" `Quick
+        test_value_equality_across_reps;
+      Alcotest.test_case "of_bytes collapses zero" `Quick
+        test_value_of_bytes_collapses_zero;
+      Alcotest.test_case "of_bytes copies" `Quick test_value_of_bytes_copies;
+      Alcotest.test_case "values/bytes roundtrip" `Quick
+        test_values_bytes_roundtrip;
+      QCheck_alcotest.to_alcotest prop_value_roundtrip_and_digest;
       QCheck_alcotest.to_alcotest prop_span_count_consistent;
       Alcotest.test_case "vaddr basics" `Quick test_vaddr_basic;
       Alcotest.test_case "vaddr invalid" `Quick test_vaddr_invalid;
@@ -297,6 +418,11 @@ let suite =
       Alcotest.test_case "phys free recycles" `Quick test_phys_free_recycles;
       Alcotest.test_case "disk roundtrip" `Quick test_disk_roundtrip;
       Alcotest.test_case "disk unknown block" `Quick test_disk_unknown_block;
+      Alcotest.test_case "disk double free" `Quick test_disk_double_free;
+      Alcotest.test_case "disk realloc clears freed mark" `Quick
+        test_disk_realloc_clears_freed_mark;
+      Alcotest.test_case "disk keeps pages symbolic" `Quick
+        test_disk_pattern_stays_symbolic;
       Alcotest.test_case "working set window" `Quick test_working_set_window;
       Alcotest.test_case "working set refresh" `Quick
         test_working_set_rereference_refreshes;

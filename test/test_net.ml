@@ -224,7 +224,9 @@ let test_nms_large_message_fragments () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 20);
-        content = Memory_object.Data (Bytes.make (512 * 20) 'x');
+        content =
+          Memory_object.Data
+            (Accent_mem.Page.values_of_bytes (Bytes.make (512 * 20) 'x'));
       };
     ]
   in
@@ -248,7 +250,7 @@ let test_nms_iou_caching () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 8);
-        content = Memory_object.Data payload_bytes;
+        content = Memory_object.Data (Accent_mem.Page.values_of_bytes payload_bytes);
       };
     ]
   in
@@ -275,7 +277,9 @@ let test_nms_no_ious_bit_respected () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 512;
-        content = Memory_object.Data (Bytes.make 512 'z');
+        content =
+          Memory_object.Data
+            (Accent_mem.Page.values_of_bytes (Bytes.make 512 'z'));
       };
     ]
   in
@@ -299,7 +303,9 @@ let test_nms_caching_disabled_by_params () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 512;
-        content = Memory_object.Data (Bytes.make 512 'z');
+        content =
+          Memory_object.Data
+            (Accent_mem.Page.values_of_bytes (Bytes.make 512 'z'));
       };
     ]
   in
@@ -319,7 +325,7 @@ let test_nms_serves_cached_faults_and_death () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 4);
-        content = Memory_object.Data payload;
+        content = Memory_object.Data (Accent_mem.Page.values_of_bytes payload);
       };
     ]
   in
@@ -356,7 +362,7 @@ let test_nms_serves_cached_faults_and_death () =
   | Some { Message.payload = Protocol.Imaginary_read_reply r; _ } ->
       Alcotest.(check int) "offset echoed" 512 r.offset;
       Alcotest.(check int) "two pages" 2 (List.length r.page_data);
-      let first = List.hd r.page_data in
+      let first = Accent_mem.Page.to_bytes (List.hd r.page_data) in
       Alcotest.(check bool) "page contents are the cached data" true
         (Bytes.equal first (Bytes.sub payload 512 512))
   | _ -> Alcotest.fail "expected a read reply");
@@ -395,7 +401,9 @@ let bulk_message w ~dest ~pages =
         {
           Memory_object.range = Accent_mem.Vaddr.of_len 0 len;
           content =
-            Memory_object.Data (Bytes.init len (fun i -> Char.chr (i mod 251)));
+            Memory_object.Data
+              (Accent_mem.Page.values_of_bytes
+                 (Bytes.init len (fun i -> Char.chr (i mod 251))));
         };
       ]
     ~no_ious:true ~category:Message.Bulk (Message.Ping 0)

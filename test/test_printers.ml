@@ -69,13 +69,13 @@ let test_phys_mem_full_without_handler () =
   ignore
     (Phys_mem.allocate mem
        ~owner:{ Phys_mem.space_id = 1; page = 0 }
-       (Page.zero ()));
+       Page.zero_value);
   Alcotest.check_raises "no evict handler"
     (Failure "Phys_mem: pool full and no evict handler set") (fun () ->
       ignore
         (Phys_mem.allocate mem
            ~owner:{ Phys_mem.space_id = 1; page = 1 }
-           (Page.zero ())))
+           Page.zero_value))
 
 let test_phys_mem_all_pinned () =
   let mem = Phys_mem.create ~frames:1 in
@@ -83,7 +83,7 @@ let test_phys_mem_all_pinned () =
   let f =
     Phys_mem.allocate mem
       ~owner:{ Phys_mem.space_id = 1; page = 0 }
-      (Page.zero ())
+      Page.zero_value
   in
   Phys_mem.pin mem f;
   Alcotest.check_raises "all pinned"
@@ -91,13 +91,13 @@ let test_phys_mem_all_pinned () =
       ignore
         (Phys_mem.allocate mem
            ~owner:{ Phys_mem.space_id = 1; page = 1 }
-           (Page.zero ())));
+           Page.zero_value));
   Phys_mem.unpin mem f;
   (* now eviction can proceed *)
   ignore
     (Phys_mem.allocate mem
        ~owner:{ Phys_mem.space_id = 1; page = 1 }
-       (Page.zero ()))
+       Page.zero_value)
 
 let test_kernel_cost_threshold_boundary () =
   let params = Kernel_ipc.default_params in
