@@ -53,6 +53,7 @@ let scale_spec ~name ~real_pages =
   }
 
 type trial = {
+  strategy : string;
   real_pages : int;
   n_hosts : int;
   wall_s : float;
@@ -63,7 +64,7 @@ type trial = {
   completed : int;
 }
 
-let run_trial ~real_pages ~n_hosts =
+let run_trial ~strategy ~real_pages ~n_hosts =
   let wall0 = Unix.gettimeofday () in
   let alloc0 = Gc.allocated_bytes () in
   let world = World.create ~n_hosts () in
@@ -75,10 +76,15 @@ let run_trial ~real_pages ~n_hosts =
   let completed = ref 0 in
   List.iteri
     (fun i proc ->
+      (* live-migration strategies push rounds against a running process *)
+      (match strategy.Strategy.transfer with
+      | Strategy.Pre_copy _ | Strategy.Working_set _ | Strategy.Hybrid _ ->
+          Accent_kernel.Proc_runner.start (World.host world i) proc
+      | Strategy.Pure_copy | Strategy.Pure_iou | Strategy.Resident_set -> ());
       ignore
         (Migration_manager.migrate (World.manager world i) ~proc
            ~dest:(Migration_manager.port (World.manager world ((i + 1) mod n_hosts)))
-           ~strategy:(Strategy.pure_iou ())
+           ~strategy
            ~on_complete:(fun _ _ -> incr completed)
            ()))
     procs;
@@ -91,6 +97,7 @@ let run_trial ~real_pages ~n_hosts =
       (Printf.sprintf "scale: only %d/%d migrations completed" !completed
          n_hosts);
   {
+    strategy = Strategy.name strategy;
     real_pages;
     n_hosts;
     wall_s;
@@ -130,14 +137,14 @@ let fig41_probe () =
         probe_wall_s = wall_s;
         allocated_bytes;
       })
-    [ Strategy.pure_copy; Strategy.pure_iou () ]
+    [ Strategy.pure_copy; Strategy.pure_iou (); Strategy.hybrid () ]
 
 (* --- JSON output ------------------------------------------------------- *)
 
-let trial_json t =
+let trial_json (t : trial) =
   Printf.sprintf
-    {|    {"real_pages": %d, "hosts": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d}|}
-    t.real_pages t.n_hosts t.wall_s t.allocated_words t.events
+    {|    {"strategy": "%s", "real_pages": %d, "hosts": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d}|}
+    t.strategy t.real_pages t.n_hosts t.wall_s t.allocated_words t.events
     t.events_per_sec t.sim_ms t.completed
 
 let probe_json p =
@@ -178,18 +185,21 @@ let () =
     if fig41_only then []
     else
       List.concat_map
-        (fun real_pages ->
-          List.map
-            (fun n_hosts ->
-              let t = run_trial ~real_pages ~n_hosts in
-              Printf.printf
-                "scale: %6d pages x %d hosts  %7.3f s  %12.0f words  %8d \
-                 events (%8.0f ev/s)\n%!"
-                t.real_pages t.n_hosts t.wall_s t.allocated_words t.events
-                t.events_per_sec;
-              t)
-            hosts)
-        sizes
+        (fun strategy ->
+          List.concat_map
+            (fun real_pages ->
+              List.map
+                (fun n_hosts ->
+                  let t = run_trial ~strategy ~real_pages ~n_hosts in
+                  Printf.printf
+                    "scale: %-6s %6d pages x %d hosts  %7.3f s  %12.0f words  \
+                     %8d events (%8.0f ev/s)\n%!"
+                    t.strategy t.real_pages t.n_hosts t.wall_s
+                    t.allocated_words t.events t.events_per_sec;
+                  t)
+                hosts)
+            sizes)
+        [ Strategy.pure_iou (); Strategy.hybrid () ]
   in
   let probes =
     if smoke then []

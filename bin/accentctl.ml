@@ -12,6 +12,7 @@ let strategy_of_string name prefetch =
       Ok (Accent_core.Strategy.resident_set ~prefetch ())
   | "precopy" | "pre-copy" -> Ok (Accent_core.Strategy.pre_copy ())
   | "ws" | "working-set" -> Ok (Accent_core.Strategy.working_set ~prefetch ())
+  | "hybrid" -> Ok (Accent_core.Strategy.hybrid ())
   | other -> Error (Printf.sprintf "unknown strategy %S" other)
 
 let workload_arg =
@@ -22,7 +23,7 @@ let workload_arg =
   Arg.(value & opt string "minprog" & info [ "w"; "workload" ] ~doc)
 
 let strategy_arg =
-  let doc = "Transfer strategy: copy, iou, rs, ws, or precopy." in
+  let doc = "Transfer strategy: copy, iou, rs, ws, precopy, or hybrid." in
   Arg.(value & opt string "iou" & info [ "s"; "strategy" ] ~doc)
 
 let prefetch_arg =
@@ -372,6 +373,7 @@ let compare_workload workload prefetch seed =
           Strategy.pure_iou ~prefetch ();
           Strategy.resident_set ~prefetch ();
           Strategy.pre_copy ();
+          Strategy.hybrid ();
         ];
       Accent_util.Text_table.print table
 

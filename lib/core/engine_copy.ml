@@ -48,6 +48,13 @@ let start ctx ~proc ~dest ~strategy ~report ~on_complete ~on_restart =
 
 let create ctx =
   let pending : (int, partial) Hashtbl.t = Hashtbl.create 4 in
+  (* If the transport abandons one half of the Core/RIMAS pair, the other
+     half's partial entry can never complete: drop it. *)
+  Mig_event.subscribe ctx.bus (fun ev ->
+      match ev.Mig_event.kind with
+      | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
+          Hashtbl.remove pending ev.Mig_event.proc_id
+      | _ -> ());
   let partial_for proc_id =
     match Hashtbl.find_opt pending proc_id with
     | Some p -> p
@@ -98,4 +105,5 @@ let create ctx =
     start = start ctx;
     handle;
     give_up_proc;
+    debug_stats = (fun () -> [ ("pending", Hashtbl.length pending) ]);
   }

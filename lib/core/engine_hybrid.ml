@@ -1,0 +1,346 @@
+open Accent_mem
+open Accent_ipc
+open Accent_kernel
+open Transfer_engine
+
+type Message.payload +=
+  | Mig_hybrid_pages of {
+      proc_id : int;
+      round : int;
+      src_port : Port.id;  (** where the acknowledgement goes *)
+    }  (** memory object: working-set Data chunks, vaddr coordinates *)
+  | Mig_hybrid_ack of { proc_id : int; round : int }
+  | Mig_hybrid_final of {
+      core : Context.core;
+      report : Report.t;
+      on_complete : (Proc.t -> Report.t -> unit) option;
+    }
+      (** memory object: residual dirty pages as Data plus the cold tail
+          as IOU chunks, vaddr coordinates *)
+
+type outbound = {
+  proc : Proc.t;
+  dest : Port.id;
+  max_rounds : int;
+  threshold_pages : int;
+  out_report : Report.t;
+  out_on_complete : (Proc.t -> Report.t -> unit) option;
+  sent : (Page.index, unit) Hashtbl.t;  (** pages ever pushed *)
+}
+
+(* --- source side -------------------------------------------------------- *)
+
+let send_round ctx outbound (state : outbound) ~round ~pages =
+  let proc_id = state.proc.Proc.id in
+  match Engine_precopy.vaddr_data_chunks (Proc.space_exn state.proc) pages with
+  | exception Abort reason ->
+      Hashtbl.remove outbound proc_id;
+      abort_migration ctx ~proc_id reason
+  | chunks ->
+      List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
+      emit ctx ~proc_id
+        (Mig_event.Precopy_round
+           { round; bytes = Memory_object.data_bytes chunks });
+      Kernel_ipc.send (Host.kernel ctx.host)
+        (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+           ~inline_bytes:64 ~memory:chunks ~no_ious:true
+           ~category:Message.Bulk
+           (Mig_hybrid_pages { proc_id; round; src_port = ctx.port }))
+
+(* Everything real that no round ever pushed and the freeze did not catch
+   dirty becomes the cold tail: its values move into the manager's backing
+   server (keyed by virtual address) and the final message carries IOUs
+   for the destination to pull on reference. *)
+let cold_iou_chunks ctx space ~cold_pages =
+  match cold_pages with
+  | [] -> []
+  | cold_pages ->
+      let segment_id = Backing_server.new_segment ctx.backing in
+      let backing_port = Backing_server.port ctx.backing in
+      let runs =
+        List.fold_left
+          (fun acc page ->
+            match acc with
+            | (lo, hi) :: rest when page = hi -> (lo, page + 1) :: rest
+            | _ -> (page, page + 1) :: acc)
+          [] cold_pages
+        |> List.rev
+      in
+      List.map
+        (fun (lo_page, hi_page) ->
+          let lo = Page.addr_of_index lo_page
+          and hi = Page.addr_of_index hi_page in
+          for idx = lo_page to hi_page - 1 do
+            match Address_space.page_value space idx with
+            | Some value ->
+                Backing_server.put_page ctx.backing ~segment_id
+                  ~offset:(Page.addr_of_index idx) value
+            | None -> raise (Abort "hybrid: cold page vanished at freeze")
+          done;
+          {
+            Memory_object.range = Vaddr.range lo hi;
+            content = Memory_object.Iou { segment_id; backing_port; offset = lo };
+          })
+        runs
+
+let freeze ctx outbound (state : outbound) =
+  let proc_id = state.proc.Proc.id in
+  freeze_until_quiescent ctx state.proc ~k:(fun () ->
+      let space = Proc.space_exn state.proc in
+      (* residual = pages dirtied since the last round; unlike pre-copy,
+         never-pushed pages are not shipped — they go cold *)
+      let residual = Proc.drain_written_log state.proc in
+      match
+        let residual_chunks =
+          Engine_precopy.vaddr_data_chunks space residual
+        in
+        List.iter (fun p -> Hashtbl.replace state.sent p ()) residual;
+        let cold_pages =
+          List.filter
+            (fun p -> not (Hashtbl.mem state.sent p))
+            (Engine_precopy.all_real_pages space)
+        in
+        (residual_chunks, cold_iou_chunks ctx space ~cold_pages)
+      with
+      | exception Abort reason ->
+          Hashtbl.remove outbound proc_id;
+          abort_migration ctx ~proc_id reason
+      | residual_chunks, cold_chunks ->
+          emit ctx ~proc_id
+            (Mig_event.Frozen
+               { residual_bytes = Memory_object.data_bytes residual_chunks });
+          Hashtbl.remove outbound proc_id;
+          Excise.excise ctx.host state.proc ~k:(fun excised ->
+              emit ctx ~proc_id (Mig_event.Excised excised.Excise.timings);
+              let memory =
+                List.sort
+                  (fun a b ->
+                    compare a.Memory_object.range.Vaddr.lo
+                      b.Memory_object.range.Vaddr.lo)
+                  (residual_chunks @ cold_chunks
+                  @ Engine_precopy.iou_chunks_in_vaddr excised)
+              in
+              Memory_object.validate memory;
+              Kernel_ipc.send (Host.kernel ctx.host)
+                (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+                   ~inline_bytes:
+                     (Context.core_wire_bytes (Host.costs ctx.host)
+                        excised.Excise.core)
+                   ~rights:excised.Excise.core.Context.port_rights ~memory
+                   ~no_ious:true ~category:Message.Bulk
+                   (Mig_hybrid_final
+                      {
+                        core = excised.Excise.core;
+                        report = state.out_report;
+                        on_complete = state.out_on_complete;
+                      }))))
+
+let handle_ack ctx outbound ~proc_id ~round =
+  match Hashtbl.find_opt outbound proc_id with
+  | None -> Logs.warn (fun m -> m "MigrationManager: stray hybrid ack")
+  | Some state ->
+      let dirty = Hashtbl.length state.proc.Proc.written_log in
+      if round >= state.max_rounds || dirty <= state.threshold_pages then
+        freeze ctx outbound state
+      else
+        send_round ctx outbound state ~round:(round + 1)
+          ~pages:(Proc.drain_written_log state.proc)
+
+(* --- destination side --------------------------------------------------- *)
+
+(* Assemble a collapsed-coordinate RIMAS: staged pages (pushed rounds and
+   the residual) become Data runs, everything else must be covered by an
+   IOU chunk of the final message — the cold tail or a pre-existing
+   imaginary region. *)
+let assemble_rimas store ~proc_id ~amap ~iou_chunks =
+  let cursor = ref 0 and rev_chunks = ref [] in
+  let emit_chunk len content =
+    rev_chunks :=
+      { Memory_object.range = Vaddr.range !cursor (!cursor + len); content }
+      :: !rev_chunks;
+    cursor := !cursor + len
+  in
+  (* Cover [lo, hi) out of the final message's IOU chunks, splitting on
+     chunk boundaries. *)
+  let rec emit_iou_cover ~lo ~hi =
+    if lo < hi then (
+      let chunk =
+        match
+          List.find_opt
+            (fun c ->
+              c.Memory_object.range.Vaddr.lo <= lo
+              && lo < c.Memory_object.range.Vaddr.hi)
+            iou_chunks
+        with
+        | Some c -> c
+        | None -> raise (Abort "hybrid: page neither staged nor IOU-backed")
+      in
+      let piece_hi = min hi chunk.Memory_object.range.Vaddr.hi in
+      (match chunk.Memory_object.content with
+      | Memory_object.Iou { segment_id; backing_port; offset } ->
+          emit_chunk (piece_hi - lo)
+            (Memory_object.Iou
+               {
+                 segment_id;
+                 backing_port;
+                 offset = offset + lo - chunk.Memory_object.range.Vaddr.lo;
+               })
+      | Memory_object.Data _ -> assert false);
+      emit_iou_cover ~lo:piece_hi ~hi)
+  in
+  List.iter
+    (fun (lo, hi, cls) ->
+      match (cls : Accessibility.t) with
+      | Real_zero_mem | Bad_mem -> ()
+      | Real_mem | Imag_mem ->
+          (* walk the range page by page, grouping staged runs into Data
+             chunks and covering unstaged runs from the IOUs (an Imag_mem
+             range simply never hits the store) *)
+          let first = Page.index_of_addr lo
+          and last = Page.index_of_addr (hi - 1) in
+          let staged_at idx =
+            Segment_store.get_page store ~segment_id:proc_id
+              ~offset:(Page.addr_of_index idx)
+          in
+          let run = ref [] and run_lo = ref first in
+          let flush_data upto =
+            if !run <> [] then
+              emit_chunk
+                ((upto - !run_lo) * Page.size)
+                (Memory_object.Data (Array.of_list (List.rev !run)));
+            run := []
+          in
+          let idx = ref first in
+          while !idx <= last do
+            (match staged_at !idx with
+            | Some value ->
+                if !run = [] then run_lo := !idx;
+                run := value :: !run;
+                incr idx
+            | None ->
+                flush_data !idx;
+                (* extend the unstaged run as far as it goes *)
+                let stop = ref !idx in
+                while !stop <= last && staged_at !stop = None do
+                  incr stop
+                done;
+                emit_iou_cover
+                  ~lo:(Page.addr_of_index !idx)
+                  ~hi:(Page.addr_of_index !stop);
+                idx := !stop);
+            ()
+          done;
+          flush_data (last + 1))
+    (Amap.ranges amap);
+  List.rev !rev_chunks
+
+(* --- the engine --------------------------------------------------------- *)
+
+let start ctx outbound ~proc ~dest ~strategy ~report ~on_complete
+    ~on_restart:_ =
+  match strategy.Strategy.transfer with
+  | Strategy.Hybrid { max_rounds; threshold_pages; window_ms } ->
+      (* the process keeps executing at the source while rounds push its
+         working set ahead of it *)
+      let state =
+        {
+          proc;
+          dest;
+          max_rounds;
+          threshold_pages;
+          out_report = report;
+          out_on_complete = on_complete;
+          sent = Hashtbl.create 256;
+        }
+      in
+      Hashtbl.replace outbound proc.Proc.id state;
+      (* writes before the migration are plain source execution: the pages
+         they touched ship with current values either in the window push
+         or as cold IOUs, so reset dirty tracking to the rounds' epoch *)
+      ignore (Proc.drain_written_log proc);
+      send_round ctx outbound state ~round:1
+        ~pages:(Engine_iou.shippable_ws_pages ctx proc ~window_ms)
+  | _ -> assert false (* the manager dispatches on [claims] *)
+
+let create ctx =
+  (* source side of in-progress hybrid migrations, by proc id *)
+  let outbound : (int, outbound) Hashtbl.t = Hashtbl.create 4 in
+  (* destination side: pages staged by push rounds, keyed by proc id *)
+  let staged : (int, Segment_store.t) Hashtbl.t = Hashtbl.create 4 in
+  Mig_event.subscribe ctx.bus (fun ev ->
+      match ev.Mig_event.kind with
+      | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
+          Hashtbl.remove outbound ev.Mig_event.proc_id;
+          Hashtbl.remove staged ev.Mig_event.proc_id
+      | _ -> ());
+  let handle msg =
+    match msg.Message.payload with
+    | Mig_hybrid_pages { proc_id; round; src_port } ->
+        let store = Engine_precopy.staged_store staged proc_id in
+        Engine_precopy.stage_chunks store ~proc_id
+          (Option.value msg.Message.memory ~default:[]);
+        Kernel_ipc.send (Host.kernel ctx.host)
+          (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
+             ~inline_bytes:32
+             (Mig_hybrid_ack { proc_id; round }));
+        true
+    | Mig_hybrid_ack { proc_id; round } ->
+        handle_ack ctx outbound ~proc_id ~round;
+        true
+    | Mig_hybrid_final { core; report; on_complete } ->
+        ctx.note_received ();
+        let proc_id = core.Context.proc_id in
+        let memory = Option.value msg.Message.memory ~default:[] in
+        emit ctx ~proc_id Mig_event.Core_delivered;
+        emit ctx ~proc_id
+          (Mig_event.Rimas_delivered
+             { data_bytes = Memory_object.data_bytes memory });
+        let store = Engine_precopy.staged_store staged proc_id in
+        Engine_precopy.stage_chunks store ~proc_id memory;
+        let iou_chunks =
+          List.filter
+            (fun c ->
+              match c.Memory_object.content with
+              | Memory_object.Iou _ -> true
+              | Memory_object.Data _ -> false)
+            memory
+        in
+        (match
+           assemble_rimas store ~proc_id ~amap:core.Context.amap ~iou_chunks
+         with
+        | exception Abort reason ->
+            Hashtbl.remove staged proc_id;
+            abort_migration ctx ~proc_id reason
+        | rimas ->
+            Hashtbl.remove staged proc_id;
+            ctx.insert
+              {
+                core;
+                rimas;
+                prefetch = 0;
+                report;
+                on_complete;
+                on_restart = None;
+              });
+        true
+    | _ -> false
+  in
+  let give_up_proc = function
+    | Mig_hybrid_pages { proc_id; _ } -> Some proc_id
+    | Mig_hybrid_final { core; _ } -> Some core.Context.proc_id
+    (* a lost ack only delays the next round decision *)
+    | _ -> None
+  in
+  {
+    name = "hybrid";
+    claims = (function Strategy.Hybrid _ -> true | _ -> false);
+    start = start ctx outbound;
+    handle;
+    give_up_proc;
+    debug_stats =
+      (fun () ->
+        [
+          ("outbound", Hashtbl.length outbound);
+          ("staged", Hashtbl.length staged);
+        ]);
+  }

@@ -1,0 +1,40 @@
+(** The hybrid push/pull transfer engine.
+
+    Pre-copy ships everything eagerly and pays for cold pages up front;
+    pure-IOU ships nothing and pays a network fault per referenced page.
+    The hybrid splits the difference along the working-set estimate: while
+    the process keeps executing at the source, rounds push the pages
+    referenced within the strategy's recency window (round 1) and then
+    whatever got dirtied since (rounds 2+), exactly like pre-copy.  At
+    freeze the residual dirty pages ship as Data in the final message, but
+    the cold tail — real pages no round ever pushed — is banked on the
+    manager's own backing server and shipped as IOU chunks, so the
+    destination pulls them only on reference (or never).
+
+    The destination stages round pages in a segment store and assembles a
+    RIMAS at insertion time in which unstaged runs are covered by the
+    final message's IOUs.
+
+    Wire protocol, round pacing, abort semantics and give-up/abort table
+    cleanup mirror {!Engine_precopy}; the RIMAS-splitting idea mirrors
+    {!Engine_iou.partial_rimas}. *)
+
+type Accent_ipc.Message.payload +=
+  | Mig_hybrid_pages of {
+      proc_id : int;
+      round : int;
+      src_port : Accent_ipc.Port.id;  (** where the acknowledgement goes *)
+    }  (** memory object: working-set Data chunks, vaddr coordinates *)
+  | Mig_hybrid_ack of { proc_id : int; round : int }
+  | Mig_hybrid_final of {
+      core : Accent_kernel.Context.core;
+      report : Report.t;
+      on_complete : (Accent_kernel.Proc.t -> Report.t -> unit) option;
+    }
+      (** memory object: residual dirty pages as Data plus the cold tail
+          as IOU chunks, vaddr coordinates *)
+
+val create : Transfer_engine.ctx -> Transfer_engine.t
+(** Claims [Hybrid].  Degraded paths abort that one migration with an
+    {!Mig_event.Engine_abort} event; a transport give-up or engine abort
+    clears the migration's staged pages and round state. *)

@@ -96,7 +96,7 @@ let start ctx ~proc ~dest ~strategy ~report ~on_complete ~on_restart =
                   true )
             | Strategy.Working_set _ ->
                 (partial_rimas ctx excised ~keep_pages:ws_pages, true)
-            | Strategy.Pure_copy | Strategy.Pre_copy _ ->
+            | Strategy.Pure_copy | Strategy.Pre_copy _ | Strategy.Hybrid _ ->
                 assert false (* other engines claim these *)
           in
           Engine_copy.send_context ctx ~dest ~excised ~rimas ~no_ious
@@ -110,10 +110,11 @@ let create ctx =
       (function
       | Strategy.Pure_iou | Strategy.Resident_set | Strategy.Working_set _ ->
           true
-      | Strategy.Pure_copy | Strategy.Pre_copy _ -> false);
+      | Strategy.Pure_copy | Strategy.Pre_copy _ | Strategy.Hybrid _ -> false);
     start = start ctx;
     (* the classic wire protocol is Engine_copy's; nothing arrives that is
        specifically ours *)
     handle = (fun _ -> false);
     give_up_proc = (fun _ -> None);
+    debug_stats = (fun () -> []);
   }

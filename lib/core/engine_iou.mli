@@ -22,6 +22,15 @@ val partial_rimas :
     manager's own server, leaving the kept pages physical.  Chunk
     coordinates are collapsed offsets throughout.  (Exposed for tests.) *)
 
+val shippable_ws_pages :
+  Transfer_engine.ctx ->
+  Accent_kernel.Proc.t ->
+  window_ms:float ->
+  Accent_mem.Page.index list
+(** The live process's pages referenced within the last [window_ms] that
+    actually carry data (resident or paged out) — the estimated working
+    set a push phase can ship physically.  Shared with {!Engine_hybrid}. *)
+
 val create : Transfer_engine.ctx -> Transfer_engine.t
 (** Claims [Pure_iou], [Resident_set] and [Working_set]; destination
     handling is {!Engine_copy}'s, so [handle] consumes nothing. *)

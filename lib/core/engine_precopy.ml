@@ -48,7 +48,7 @@ let vaddr_data_chunks space pages =
         Array.init (hi_page - lo_page) (fun i ->
             match Address_space.page_value space (lo_page + i) with
             | Some value -> value
-            | None -> failwith "pre-copy: page vanished mid-round")
+            | None -> raise (Abort "pre-copy: page vanished mid-round"))
       in
       {
         Memory_object.range = Vaddr.range lo hi;
@@ -63,17 +63,22 @@ let all_real_pages space =
       List.init (last - first + 1) (fun i -> first + i))
     (Address_space.real_ranges space)
 
-let send_round ctx (state : outbound) ~round ~pages =
-  let space = Proc.space_exn state.proc in
-  let chunks = vaddr_data_chunks space pages in
-  List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
-  emit ctx ~proc_id:state.proc.Proc.id
-    (Mig_event.Precopy_round { round; bytes = Memory_object.data_bytes chunks });
-  Kernel_ipc.send (Host.kernel ctx.host)
-    (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest ~inline_bytes:64
-       ~memory:chunks ~no_ious:true ~category:Message.Bulk
-       (Mig_precopy_pages
-          { proc_id = state.proc.Proc.id; round; src_port = ctx.port }))
+let send_round ctx outbound (state : outbound) ~round ~pages =
+  let proc_id = state.proc.Proc.id in
+  match vaddr_data_chunks (Proc.space_exn state.proc) pages with
+  | exception Abort reason ->
+      Hashtbl.remove outbound proc_id;
+      abort_migration ctx ~proc_id reason
+  | chunks ->
+      List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
+      emit ctx ~proc_id
+        (Mig_event.Precopy_round
+           { round; bytes = Memory_object.data_bytes chunks });
+      Kernel_ipc.send (Host.kernel ctx.host)
+        (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+           ~inline_bytes:64 ~memory:chunks ~no_ious:true
+           ~category:Message.Bulk
+           (Mig_precopy_pages { proc_id; round; src_port = ctx.port }))
 
 (* Convert any surviving IOU chunks of an excised RIMAS back to
    virtual-address coordinates using the excision layout, so the final
@@ -121,9 +126,13 @@ let freeze ctx outbound (state : outbound) =
           (fun p -> not (Hashtbl.mem state.sent p))
           (all_real_pages space)
       in
-      let residual_chunks =
+      match
         vaddr_data_chunks space (List.sort_uniq compare (written @ unsent))
-      in
+      with
+      | exception Abort reason ->
+          Hashtbl.remove outbound proc_id;
+          abort_migration ctx ~proc_id reason
+      | residual_chunks ->
       emit ctx ~proc_id
         (Mig_event.Frozen
            { residual_bytes = Memory_object.data_bytes residual_chunks });
@@ -160,7 +169,7 @@ let handle_ack ctx outbound ~proc_id ~round =
       if round >= state.max_rounds || dirty <= state.threshold_pages then
         freeze ctx outbound state
       else
-        send_round ctx state ~round:(round + 1)
+        send_round ctx outbound state ~round:(round + 1)
           ~pages:(Proc.drain_written_log state.proc)
 
 (* --- destination side --------------------------------------------------- *)
@@ -207,7 +216,8 @@ let assemble_rimas store ~proc_id ~amap ~iou_chunks =
                     ~offset:(Page.addr_of_index (first + i))
                 with
                 | Some value -> value
-                | None -> failwith "pre-copy: staged page missing at insertion")
+                | None ->
+                    raise (Abort "pre-copy: staged page missing at insertion"))
           in
           rev_chunks :=
             {
@@ -227,7 +237,7 @@ let assemble_rimas store ~proc_id ~amap ~iou_chunks =
                 iou_chunks
             with
             | Some c -> c
-            | None -> failwith "pre-copy: imaginary range without an IOU"
+            | None -> raise (Abort "pre-copy: imaginary range without an IOU")
           in
           (match iou.Memory_object.content with
           | Memory_object.Iou { segment_id; backing_port; offset } ->
@@ -268,7 +278,8 @@ let start ctx outbound ~proc ~dest ~strategy ~report ~on_complete
         }
       in
       Hashtbl.replace outbound proc.Proc.id state;
-      send_round ctx state ~round:1 ~pages:(all_real_pages (Proc.space_exn proc))
+      send_round ctx outbound state ~round:1
+        ~pages:(all_real_pages (Proc.space_exn proc))
   | _ -> assert false (* the manager dispatches on [claims] *)
 
 let create ctx =
@@ -277,6 +288,16 @@ let create ctx =
   (* destination side: pages staged by pre-copy rounds, keyed by proc id;
      the inner store indexes pages by virtual address *)
   let staged : (int, Segment_store.t) Hashtbl.t = Hashtbl.create 4 in
+  (* An abandoned migration never sees Mig_precopy_final, which is the only
+     normal exit for both tables: drop its state when the transport gives
+     up on it (or the engine itself aborts it), or the staged pages of
+     every failed migration stay resident forever. *)
+  Mig_event.subscribe ctx.bus (fun ev ->
+      match ev.Mig_event.kind with
+      | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
+          Hashtbl.remove outbound ev.Mig_event.proc_id;
+          Hashtbl.remove staged ev.Mig_event.proc_id
+      | _ -> ());
   let handle msg =
     match msg.Message.payload with
     | Mig_precopy_pages { proc_id; round; src_port } ->
@@ -294,10 +315,14 @@ let create ctx =
     | Mig_precopy_final { core; report; on_complete } ->
         ctx.note_received ();
         let proc_id = core.Context.proc_id in
-        emit ctx ~proc_id Mig_event.Core_delivered;
-        emit ctx ~proc_id (Mig_event.Rimas_delivered { data_bytes = 0 });
-        let store = staged_store staged proc_id in
         let memory = Option.value msg.Message.memory ~default:[] in
+        emit ctx ~proc_id Mig_event.Core_delivered;
+        (* the residual dirty pages are the RIMAS data this final message
+           physically carries; the staged rounds were accounted per round *)
+        emit ctx ~proc_id
+          (Mig_event.Rimas_delivered
+             { data_bytes = Memory_object.data_bytes memory });
+        let store = staged_store staged proc_id in
         stage_chunks store ~proc_id memory;
         let iou_chunks =
           List.filter
@@ -307,19 +332,23 @@ let create ctx =
               | Memory_object.Data _ -> false)
             memory
         in
-        let rimas =
-          assemble_rimas store ~proc_id ~amap:core.Context.amap ~iou_chunks
-        in
-        Hashtbl.remove staged proc_id;
-        ctx.insert
-          {
-            core;
-            rimas;
-            prefetch = 0;
-            report;
-            on_complete;
-            on_restart = None;
-          };
+        (match
+           assemble_rimas store ~proc_id ~amap:core.Context.amap ~iou_chunks
+         with
+        | exception Abort reason ->
+            Hashtbl.remove staged proc_id;
+            abort_migration ctx ~proc_id reason
+        | rimas ->
+            Hashtbl.remove staged proc_id;
+            ctx.insert
+              {
+                core;
+                rimas;
+                prefetch = 0;
+                report;
+                on_complete;
+                on_restart = None;
+              });
         true
     | _ -> false
   in
@@ -336,4 +365,10 @@ let create ctx =
     start = start ctx outbound;
     handle;
     give_up_proc;
+    debug_stats =
+      (fun () ->
+        [
+          ("outbound", Hashtbl.length outbound);
+          ("staged", Hashtbl.length staged);
+        ]);
   }

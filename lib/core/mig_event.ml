@@ -13,6 +13,7 @@ type kind =
   | Fault of fault_kind
   | Prefetch of prefetch_kind
   | Transport_give_up
+  | Engine_abort of { reason : string }
   | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
   | Auto_threshold of { src : int; spread : float }
   | Auto_candidate of { proc_name : string; src : int; dst : int }
@@ -68,6 +69,11 @@ let apply (r : Report.t) ev =
       end
   | Transport_give_up ->
       r.Report.transport_give_ups <- r.Report.transport_give_ups + 1;
+      if r.Report.outcome = Report.Completed then
+        r.Report.outcome <-
+          (if r.Report.restarted_at = None then Report.Aborted
+           else Report.Degraded)
+  | Engine_abort _ ->
       if r.Report.outcome = Report.Completed then
         r.Report.outcome <-
           (if r.Report.restarted_at = None then Report.Aborted
@@ -140,6 +146,7 @@ let kind_name = function
   | Fault _ -> "fault"
   | Prefetch _ -> "prefetch"
   | Transport_give_up -> "transport-give-up"
+  | Engine_abort _ -> "engine-abort"
   | Outcome _ -> "outcome"
   | Auto_threshold _ -> "auto-threshold"
   | Auto_candidate _ -> "auto-candidate"
@@ -187,6 +194,8 @@ let to_json ev =
     | Auto_candidate { proc_name; src; dst } ->
         Printf.sprintf {|,"proc_name":"%s","src":%d,"dst":%d|}
           (json_escape proc_name) src dst
+    | Engine_abort { reason } ->
+        Printf.sprintf {|,"reason":"%s"|} (json_escape reason)
     | Core_delivered | Restarted | Transport_give_up -> ""
   in
   Printf.sprintf {|{"t_ms":%.3f,"proc":%d,"event":"%s"%s}|}
@@ -220,6 +229,7 @@ let pp ppf ev =
         Printf.sprintf " host %d overloaded (spread %.2f)" src spread
     | Auto_candidate { proc_name; src; dst } ->
         Printf.sprintf " %s: host %d -> host %d" proc_name src dst
+    | Engine_abort { reason } -> Printf.sprintf " (%s)" reason
     | Core_delivered | Restarted | Transport_give_up -> ""
   in
   Format.fprintf ppf "%10.3f ms  proc %d  %s%s"

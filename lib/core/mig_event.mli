@@ -41,6 +41,11 @@ type kind =
           prefetched page was referenced *)
   | Transport_give_up
       (** the reliable transport abandoned a migration message *)
+  | Engine_abort of { reason : string }
+      (** a transfer engine hit an unrecoverable inconsistency (e.g. a
+          page that should have been staged never arrived) and abandoned
+          the migration instead of crashing; the fold marks the report
+          [Aborted] (never restarted) or [Degraded] *)
   | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
       (** the relocated process finished its remote execution *)
   | Auto_threshold of { src : int; spread : float }

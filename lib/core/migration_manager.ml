@@ -88,7 +88,12 @@ let create ?bus host =
     }
   in
   t.engines <-
-    [ Engine_copy.create ctx; Engine_iou.create ctx; Engine_precopy.create ctx ];
+    [
+      Engine_copy.create ctx;
+      Engine_iou.create ctx;
+      Engine_precopy.create ctx;
+      Engine_hybrid.create ctx;
+    ];
   Kernel_ipc.bind (Host.kernel host) port (handle t);
   (* When the reliable transport abandons one of our context or pre-copy
      messages, the migration it belonged to can never proceed normally:
@@ -141,9 +146,15 @@ let migrate t ~proc ~dest ~strategy ?on_complete ?on_restart () =
       engine.Transfer_engine.start ~proc ~dest ~strategy ~report ~on_complete
         ~on_restart
   | None ->
-      (* unreachable while the three stock engines cover Strategy.transfer *)
+      (* unreachable while the four stock engines cover Strategy.transfer *)
       invalid_arg "Migration_manager.migrate: no engine claims this strategy");
   report
 
 let migrations_started t = t.started
 let migrations_received t = t.received
+
+let engine_stats t =
+  List.map
+    (fun (e : Transfer_engine.t) ->
+      (e.Transfer_engine.name, e.Transfer_engine.debug_stats ()))
+    t.engines

@@ -4,6 +4,7 @@ type transfer =
   | Resident_set
   | Working_set of { window_ms : float }
   | Pre_copy of { max_rounds : int; threshold_pages : int }
+  | Hybrid of { max_rounds : int; threshold_pages : int; window_ms : float }
 
 type t = { transfer : transfer; prefetch : int }
 
@@ -17,6 +18,9 @@ let working_set ?(window_ms = 5_000.) ?(prefetch = 0) () =
 let pre_copy ?(max_rounds = 5) ?(threshold_pages = 8) () =
   { transfer = Pre_copy { max_rounds; threshold_pages }; prefetch = 0 }
 
+let hybrid ?(max_rounds = 5) ?(threshold_pages = 8) ?(window_ms = 5_000.) () =
+  { transfer = Hybrid { max_rounds; threshold_pages; window_ms }; prefetch = 0 }
+
 let paper_prefetch_values = [ 0; 1; 3; 7; 15 ]
 
 let transfer_name = function
@@ -25,6 +29,7 @@ let transfer_name = function
   | Resident_set -> "rs"
   | Working_set _ -> "ws"
   | Pre_copy _ -> "precopy"
+  | Hybrid _ -> "hybrid"
 
 let name t =
   if t.prefetch = 0 then transfer_name t.transfer

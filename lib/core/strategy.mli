@@ -38,6 +38,22 @@ type transfer =
       threshold_pages : int;
           (** freeze once a round leaves at most this many dirty pages *)
     }
+  | Hybrid of {
+      max_rounds : int;  (** freeze after this many rounds regardless *)
+      threshold_pages : int;
+          (** freeze once a round leaves at most this many dirty pages *)
+      window_ms : float;
+          (** the recency window defining the pushed working set *)
+    }
+      (** The post-copy-style middle ground (Hines & Gopalan's push/pull,
+          CRIU lazy-pages): push only the {e estimated working set} —
+          pages referenced within [window_ms] — in pre-copy-style rounds
+          while the process keeps executing, re-sending pages dirtied per
+          round; at the freeze, ship the residual dirty pages physically
+          and leave every never-pushed page as an IOU against the
+          manager's backing server, to be pulled on reference.  Bounds
+          freeze downtime like pre-copy while moving only
+          referenced-or-dirty bytes eagerly like copy-on-reference. *)
 
 type t = { transfer : transfer; prefetch : int }
 
@@ -50,6 +66,11 @@ val working_set : ?window_ms:float -> ?prefetch:int -> unit -> t
 
 val pre_copy : ?max_rounds:int -> ?threshold_pages:int -> unit -> t
 (** Defaults: at most 5 rounds, freeze below 8 dirty pages. *)
+
+val hybrid :
+  ?max_rounds:int -> ?threshold_pages:int -> ?window_ms:float -> unit -> t
+(** Defaults: at most 5 rounds, freeze below 8 dirty pages, 5000 ms
+    recency window. *)
 
 val paper_prefetch_values : int list
 (** 0, 1, 3, 7, 15 — the sweep of §4.3.3. *)

@@ -32,11 +32,19 @@ type t = {
     unit;
   handle : Accent_ipc.Message.t -> bool;
   give_up_proc : Accent_ipc.Message.payload -> int option;
+  debug_stats : unit -> (string * int) list;
 }
+
+exception Abort of string
 
 let emit ctx ~proc_id kind =
   Mig_event.publish ctx.bus
     { Mig_event.at = Engine.now (Host.engine ctx.host); proc_id; kind }
+
+let abort_migration ctx ~proc_id reason =
+  Logs.warn (fun m ->
+      m "MigrationManager: aborting migration of proc %d (%s)" proc_id reason);
+  emit ctx ~proc_id (Mig_event.Engine_abort { reason })
 
 (* Freeze first: a live process may have a fault in flight, which must
    retire before ExciseProcess can dismantle the space. *)

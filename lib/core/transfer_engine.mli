@@ -58,12 +58,26 @@ type t = {
       (** when the reliable transport abandons this payload, which
           migration (by proc id) can no longer proceed normally?  [None]
           for payloads whose loss is harmless (e.g. pre-copy acks). *)
+  debug_stats : unit -> (string * int) list;
+      (** sizes of the engine's internal tables (staged stores, in-flight
+          round state), for leak tests and diagnostics; engines with no
+          state answer [[]] *)
 }
+
+exception Abort of string
+(** Raised by an engine when a migration cannot proceed (a page value
+    vanished mid-round, a staged page never arrived).  Engines catch it at
+    their protocol boundaries and turn it into an {!Mig_event.Engine_abort}
+    event — it must never escape to the simulation loop. *)
 
 (** {2 Helpers shared by engines} *)
 
 val emit : ctx -> proc_id:int -> Mig_event.kind -> unit
 (** Publish an event stamped with the host's current virtual time. *)
+
+val abort_migration : ctx -> proc_id:int -> string -> unit
+(** Log and publish {!Mig_event.Engine_abort} for one migration; the event
+    fold marks its report [Aborted]/[Degraded]. *)
 
 val freeze_until_quiescent : ctx -> Accent_kernel.Proc.t -> k:(unit -> unit) -> unit
 (** Interrupt the process and call [k] once any in-flight fault has

@@ -95,8 +95,15 @@ let run_all ?seed ?on_event ?(progress = true) ?(out = Format.std_formatter)
         *. (1.
            -. Figure_4_5.peak_rate iou /. Figure_4_5.peak_rate copy))
   | _ -> ());
+  (* beyond the paper: the hybrid engine against its two parents *)
+  let hybrid = Hybrid_compare.rows ?seed () in
+  out_newline ();
+  out_string (Hybrid_compare.render hybrid);
   match csv_dir with
   | None -> ()
   | Some dir ->
       Csv_export.write_all ~dir sweep panels;
+      let oc = open_out (Filename.concat dir "hybrid_compare.csv") in
+      output_string oc (Hybrid_compare.to_csv hybrid);
+      close_out oc;
       outf "\nCSV artifacts written to %s/\n" dir

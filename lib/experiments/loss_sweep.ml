@@ -17,7 +17,9 @@ let default_rates_pct = [ 0.; 1.; 2.; 5.; 10. ]
 
 let run ?(seed = 42L) ?(spec = Accent_workloads.Representative.pm_start)
     ?(rates_pct = default_rates_pct) () =
-  let strategies = [ Strategy.pure_copy; Strategy.pure_iou () ] in
+  let strategies =
+    [ Strategy.pure_copy; Strategy.pure_iou (); Strategy.hybrid () ]
+  in
   let points =
     List.concat_map
       (fun strategy ->

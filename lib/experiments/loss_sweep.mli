@@ -33,8 +33,9 @@ val run :
   ?rates_pct:float list ->
   unit ->
   t
-(** Pure-copy and pure-IOU trials of [spec] (default PM-Start, the
-    migration the paper uses for its traffic figures) at each loss rate.
+(** Pure-copy, pure-IOU and hybrid trials of [spec] (default PM-Start,
+    the migration the paper uses for its traffic figures) at each loss
+    rate.
     One seed, shared across the grid: differences between cells are the
     loss rate and nothing else. *)
 

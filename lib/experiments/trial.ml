@@ -25,7 +25,7 @@ let run ?seed ?costs ?fault_plan ?write_fraction ?(migrate_after_ms = 0.)
   | None -> ());
   (* live-migration strategies need the process executing at the source *)
   (match strategy.Strategy.transfer with
-  | Strategy.Pre_copy _ | Strategy.Working_set _ ->
+  | Strategy.Pre_copy _ | Strategy.Working_set _ | Strategy.Hybrid _ ->
       Accent_kernel.Proc_runner.start (World.host world 0) proc
   | Strategy.Pure_copy | Strategy.Pure_iou | Strategy.Resident_set ->
       if migrate_after_ms > 0. then

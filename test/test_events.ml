@@ -135,4 +135,6 @@ let suite =
         (replay_matches (Strategy.working_set ()));
       Alcotest.test_case "replay = live report (pre-copy)" `Quick
         (replay_matches (Strategy.pre_copy ()));
+      Alcotest.test_case "replay = live report (hybrid)" `Quick
+        (replay_matches (Strategy.hybrid ()));
     ] )

@@ -127,6 +127,93 @@ let test_precopy_vs_iou_bytes () =
     (Report.bytes_total iou.Trial.report * 2
     < Report.bytes_total pre.Trial.report)
 
+(* --- regressions --------------------------------------------------------- *)
+
+(* The final message's Rimas_delivered event must report the residual
+   Data bytes it actually carries, not a hardcoded zero. *)
+let test_final_reports_residual_bytes () =
+  let events = ref [] in
+  let result =
+    Trial.run ~write_fraction:0.9 ~spec
+      ~strategy:(Strategy.pre_copy ~max_rounds:3 ~threshold_pages:4 ())
+      ~on_event:(fun ev -> events := ev :: !events)
+      ()
+  in
+  let residual_bytes =
+    List.filter_map
+      (fun ev ->
+        match ev.Mig_event.kind with
+        | Mig_event.Rimas_delivered { data_bytes } -> Some data_bytes
+        | _ -> None)
+      !events
+  in
+  Alcotest.(check bool) "completed" true
+    (result.Trial.report.Report.completed_at <> None);
+  Alcotest.(check bool)
+    "Rimas_delivered carries the residual's actual bytes" true
+    (List.exists (fun b -> b > 0) residual_bytes)
+
+(* A transport give-up must clear the destination's staged pages (and the
+   source's round state) — before the fix, entries were only removed on
+   Mig_precopy_final and an abandoned migration leaked them forever. *)
+let test_giveup_clears_staged () =
+  let world = World.create ~n_hosts:2 () in
+  let host0 = World.host world 0 in
+  let manager1 = World.manager world 1 in
+  Accent_ipc.Kernel_ipc.send (Host.kernel host0)
+    (Accent_ipc.Message.make ~ids:(Host.ids host0)
+       ~dest:(Migration_manager.port manager1)
+       ~inline_bytes:64
+       ~memory:
+         [
+           {
+             Accent_ipc.Memory_object.range = Accent_mem.Vaddr.range 0 Page.size;
+             content = Accent_ipc.Memory_object.Data [| Page.zero_value |];
+           };
+         ]
+       (Engine_precopy.Mig_precopy_pages
+          {
+            proc_id = 777;
+            round = 1;
+            src_port = Migration_manager.port (World.manager world 0);
+          }));
+  ignore (World.run world);
+  let staged () =
+    List.assoc "staged" (List.assoc "precopy" (Migration_manager.engine_stats manager1))
+  in
+  Alcotest.(check int) "round pages staged" 1 (staged ());
+  Mig_event.publish
+    (Migration_manager.bus manager1)
+    {
+      Mig_event.at = Accent_sim.Engine.now (Host.engine host0);
+      proc_id = 777;
+      kind = Mig_event.Transport_give_up;
+    };
+  Alcotest.(check int) "give-up cleared the staged store" 0 (staged ())
+
+(* A crafted final message whose pages were never staged must abort that
+   one migration with an Engine_abort event — before the fix the manager
+   died with "staged page missing at insertion". *)
+let test_missing_staged_pages_abort_not_crash () =
+  let world = World.create ~n_hosts:2 () in
+  let host0 = World.host world 0 in
+  let bus = Migration_manager.bus (World.manager world 0) in
+  let proc = Accent_workloads.Spec.build host0 Test_helpers.small_spec in
+  let report =
+    Report.create ~proc_name:"crafted" ~strategy:(Strategy.pre_copy ())
+  in
+  Mig_event.register bus ~proc_id:proc.Proc.id report;
+  Excise.excise host0 proc ~k:(fun excised ->
+      Accent_ipc.Kernel_ipc.send (Host.kernel host0)
+        (Accent_ipc.Message.make ~ids:(Host.ids host0)
+           ~dest:(Migration_manager.port (World.manager world 1))
+           ~inline_bytes:128
+           (Engine_precopy.Mig_precopy_final
+              { core = excised.Excise.core; report; on_complete = None })));
+  ignore (World.run world);
+  Alcotest.(check bool) "aborted, not crashed" true
+    (report.Report.outcome = Report.Aborted)
+
 let test_writes_tracked_in_log () =
   let world, proc = Trial.build_only ~write_fraction:1.0 ~spec () in
   Proc_runner.start (World.host world 0) proc;
@@ -152,4 +239,10 @@ let suite =
       Alcotest.test_case "IOU still wins on bytes" `Quick
         test_precopy_vs_iou_bytes;
       Alcotest.test_case "write log" `Quick test_writes_tracked_in_log;
+      Alcotest.test_case "final reports residual bytes" `Quick
+        test_final_reports_residual_bytes;
+      Alcotest.test_case "give-up clears staged store" `Quick
+        test_giveup_clears_staged;
+      Alcotest.test_case "missing staged pages abort, not crash" `Quick
+        test_missing_staged_pages_abort_not_crash;
     ] )
