@@ -1,0 +1,242 @@
+(* The hot-path micro-benchmark: per-operation cost of the three
+   structures every simulated event leans on, measured in isolation so
+   a regression cannot hide inside whole-trial noise.
+
+     eviction storm    Phys_mem.allocate against a full pool — every
+                       allocation evicts.  The claim under test: cost
+                       per eviction is flat in pool size (the old
+                       linear victim scan was O(frames)).
+     working-set churn Working_set queries against a long-lived
+                       process — cost per query is flat in lifetime
+                       footprint (the old fold was O(every page ever
+                       referenced)).
+     ARQ timer churn   Event_queue under the reliable transport's
+                       push/cancel pattern — mass-cancelled backoff
+                       timers must not accumulate (compaction), and
+                       per-op cost stays O(log live).
+
+   Results land in BENCH_hotpath.json next to BENCH_scale.json.
+
+   Run with:  dune exec bench/hotpath.exe            (full sweep)
+              dune exec bench/hotpath.exe -- --smoke (tiny sweep, for CI) *)
+
+open Accent_mem
+
+let time_it f =
+  let wall0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. wall0
+
+(* --- eviction storm ---------------------------------------------------- *)
+
+type evict_row = { pool : int; ops : int; ev_wall_s : float; ns_per_op : float }
+
+(* Fill the pool, then allocate [ops] more pages: each allocation must
+   evict the LRU frame.  Once the pool is full the live frame-id set
+   is stable (the victim's id is immediately reused), so interleaved
+   touches — which exercise the lazy-invalidation path — stay valid. *)
+let eviction_storm ~pool ~ops =
+  let mem = Phys_mem.create ~frames:pool in
+  Phys_mem.set_evict_handler mem (fun _ _ ~dirty:_ -> ());
+  for i = 0 to pool - 1 do
+    ignore
+      (Phys_mem.allocate mem ~owner:{ Phys_mem.space_id = 0; page = i }
+         Page.zero_value)
+  done;
+  let wall =
+    time_it (fun () ->
+        for i = 0 to ops - 1 do
+          Phys_mem.touch mem (i * 7919 mod pool);
+          ignore
+            (Phys_mem.allocate mem
+               ~owner:{ Phys_mem.space_id = 0; page = pool + i }
+               Page.zero_value)
+        done)
+  in
+  assert (Phys_mem.evictions mem = ops);
+  { pool; ops; ev_wall_s = wall; ns_per_op = wall /. float_of_int ops *. 1e9 }
+
+(* --- working-set churn ------------------------------------------------- *)
+
+type ws_row = {
+  footprint : int;
+  queries : int;
+  ws_wall_s : float;
+  ns_per_query : float;
+}
+
+(* Touch [footprint] distinct pages over a long virtual lifetime so
+   only ~[tau] worth of them stay in-window, then interleave
+   references and the three query forms the engines use at migration
+   start.  The old fold paid O(footprint) per query. *)
+let working_set_churn ~footprint ~queries =
+  let tau = 1_000. in
+  let dt = tau /. 512. in
+  let ws = Working_set.create ~window:tau in
+  for i = 0 to footprint - 1 do
+    Working_set.reference ws ~time:(float_of_int i *. dt) i
+  done;
+  let t0 = float_of_int footprint *. dt in
+  let wall =
+    time_it (fun () ->
+        for q = 0 to queries - 1 do
+          let now = t0 +. (float_of_int q *. dt) in
+          Working_set.reference ws ~time:now (q mod footprint);
+          ignore (Working_set.size_at ws ~time:now);
+          ignore (Working_set.pages_within ws ~time:now ~window:(tau /. 2.))
+        done)
+  in
+  {
+    footprint;
+    queries;
+    ws_wall_s = wall;
+    ns_per_query = wall /. float_of_int queries *. 1e9;
+  }
+
+(* --- ARQ timer churn --------------------------------------------------- *)
+
+type timer_row = {
+  window : int;
+  rounds : int;
+  timer_ops : int;
+  tm_wall_s : float;
+  tm_ns_per_op : float;
+  compactions : int;
+  max_physical : int;
+}
+
+(* The reliable transport's pattern: a window of per-fragment backoff
+   timers goes up, a cumulative ack cancels almost all of them, the
+   stragglers fire.  Dead entries must be compacted away, not popped
+   one corpse at a time. *)
+let timer_churn ~window ~rounds =
+  let q = Accent_sim.Event_queue.create () in
+  let handles = Array.make window None in
+  let max_physical = ref 0 in
+  let ops = ref 0 in
+  let wall =
+    time_it (fun () ->
+        for round = 0 to rounds - 1 do
+          let base = float_of_int (round * window) in
+          for i = 0 to window - 1 do
+            handles.(i) <-
+              Some
+                (Accent_sim.Event_queue.push q
+                   ~time:(base +. float_of_int ((i * 13) mod 997))
+                   i);
+            incr ops
+          done;
+          (* the ack: every 20th fragment was genuinely lost *)
+          for i = 0 to window - 1 do
+            if i mod 20 <> 0 then begin
+              (match handles.(i) with
+              | Some h -> Accent_sim.Event_queue.cancel q h
+              | None -> ());
+              incr ops
+            end
+          done;
+          max_physical :=
+            max !max_physical (Accent_sim.Event_queue.physical_size q);
+          while Accent_sim.Event_queue.pop q <> None do
+            incr ops
+          done
+        done)
+  in
+  {
+    window;
+    rounds;
+    timer_ops = !ops;
+    tm_wall_s = wall;
+    tm_ns_per_op = wall /. float_of_int !ops *. 1e9;
+    compactions = Accent_sim.Event_queue.compactions q;
+    max_physical = !max_physical;
+  }
+
+(* --- JSON output ------------------------------------------------------- *)
+
+let evict_json r =
+  Printf.sprintf
+    {|    {"pool_frames": %d, "evictions": %d, "wall_s": %.4f, "ns_per_eviction": %.1f}|}
+    r.pool r.ops r.ev_wall_s r.ns_per_op
+
+let ws_json r =
+  Printf.sprintf
+    {|    {"footprint_pages": %d, "queries": %d, "wall_s": %.4f, "ns_per_query": %.1f}|}
+    r.footprint r.queries r.ws_wall_s r.ns_per_query
+
+let timer_json r =
+  Printf.sprintf
+    {|    {"window": %d, "rounds": %d, "ops": %d, "wall_s": %.4f, "ns_per_op": %.1f, "compactions": %d, "max_physical": %d}|}
+    r.window r.rounds r.timer_ops r.tm_wall_s r.tm_ns_per_op r.compactions
+    r.max_physical
+
+let write_json ~path ~mode ~evict ~ws ~timers =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc {|  "benchmark": "hotpath",%s|} "\n";
+  Printf.fprintf oc {|  "mode": "%s",%s|} mode "\n";
+  Printf.fprintf oc {|  "page_bytes": %d,%s|} Page.size "\n";
+  Printf.fprintf oc "  \"eviction_storm\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map evict_json evict));
+  Printf.fprintf oc "  \"working_set_churn\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map ws_json ws));
+  Printf.fprintf oc "  \"timer_churn\": [\n%s\n  ]\n"
+    (String.concat ",\n" (List.map timer_json timers));
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let rec out_path = function
+    | "--out" :: path :: _ -> path
+    | _ :: rest -> out_path rest
+    | [] -> "BENCH_hotpath.json"
+  in
+  let out = out_path args in
+  let pools, evict_ops =
+    if smoke then ([ 256; 1_024 ], 20_000)
+    else ([ 1_024; 4_096; 16_384; 65_536 ], 200_000)
+  in
+  let footprints, ws_queries =
+    if smoke then ([ 1_024; 4_096 ], 2_000)
+    else ([ 4_096; 32_768; 262_144 ], 20_000)
+  in
+  let windows, rounds =
+    if smoke then ([ 1_000; 10_000 ], 5) else ([ 1_000; 10_000; 100_000 ], 20)
+  in
+  let evict =
+    List.map
+      (fun pool ->
+        let r = eviction_storm ~pool ~ops:evict_ops in
+        Printf.printf "hotpath: evict  pool %6d  %8d ops  %7.1f ns/op\n%!"
+          r.pool r.ops r.ns_per_op;
+        r)
+      pools
+  in
+  let ws =
+    List.map
+      (fun footprint ->
+        let r = working_set_churn ~footprint ~queries:ws_queries in
+        Printf.printf "hotpath: wset   foot %6d  %8d qrys %7.1f ns/query\n%!"
+          r.footprint r.queries r.ns_per_query;
+        r)
+      footprints
+  in
+  let timers =
+    List.map
+      (fun window ->
+        let r = timer_churn ~window ~rounds in
+        Printf.printf
+          "hotpath: timer  win  %6d  %8d ops  %7.1f ns/op  %d compactions  \
+           max heap %d\n\
+           %!"
+          r.window r.timer_ops r.tm_ns_per_op r.compactions r.max_physical;
+        r)
+      windows
+  in
+  write_json ~path:out ~mode:(if smoke then "smoke" else "full") ~evict ~ws
+    ~timers;
+  Printf.printf "hotpath: wrote %s\n%!" out

@@ -56,6 +56,7 @@ type trial = {
   strategy : string;
   real_pages : int;
   n_hosts : int;
+  frames : int;
   wall_s : float;
   allocated_words : float;
   events : int;
@@ -64,10 +65,16 @@ type trial = {
   completed : int;
 }
 
-let run_trial ~strategy ~real_pages ~n_hosts =
+let run_trial ?frames ~strategy ~real_pages ~n_hosts () =
+  let costs =
+    match frames with
+    | None -> Accent_kernel.Cost_model.default
+    | Some frames_per_host ->
+        { Accent_kernel.Cost_model.default with frames_per_host }
+  in
   let wall0 = Unix.gettimeofday () in
   let alloc0 = Gc.allocated_bytes () in
-  let world = World.create ~n_hosts () in
+  let world = World.create ~costs ~n_hosts () in
   let procs =
     List.init n_hosts (fun i ->
         Accent_workloads.Spec.build (World.host world i)
@@ -100,6 +107,7 @@ let run_trial ~strategy ~real_pages ~n_hosts =
     strategy = Strategy.name strategy;
     real_pages;
     n_hosts;
+    frames = costs.Accent_kernel.Cost_model.frames_per_host;
     wall_s;
     allocated_words;
     events;
@@ -143,9 +151,9 @@ let fig41_probe () =
 
 let trial_json (t : trial) =
   Printf.sprintf
-    {|    {"strategy": "%s", "real_pages": %d, "hosts": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d}|}
-    t.strategy t.real_pages t.n_hosts t.wall_s t.allocated_words t.events
-    t.events_per_sec t.sim_ms t.completed
+    {|    {"strategy": "%s", "real_pages": %d, "hosts": %d, "frames": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d}|}
+    t.strategy t.real_pages t.n_hosts t.frames t.wall_s t.allocated_words
+    t.events t.events_per_sec t.sim_ms t.completed
 
 let probe_json p =
   Printf.sprintf
@@ -179,26 +187,48 @@ let () =
   let out = out_path args in
   let sizes, hosts =
     if smoke then ([ 64; 256 ], [ 2; 3 ])
-    else ([ 128; 1_024; 8_192; 65_536 ], [ 2; 4; 8 ])
+    else ([ 128; 1_024; 8_192; 32_768; 65_536 ], [ 2; 4; 8 ])
+  in
+  (* same sweep again against a quarter-size frame pool: spaces that
+     exceed it force an eviction per fault, so the sim's own eviction
+     path is on the critical path of every one of these points *)
+  let constrained =
+    if smoke then [ (256, 64, 2) ]
+    else [ (8_192, 1_024, 2); (8_192, 1_024, 4); (32_768, 1_024, 2) ]
+  in
+  let report (t : trial) =
+    Printf.printf
+      "scale: %-6s %6d pages x %d hosts (%5d frames)  %7.3f s  %12.0f words  \
+       %8d events (%8.0f ev/s)\n\
+       %!"
+      t.strategy t.real_pages t.n_hosts t.frames t.wall_s t.allocated_words
+      t.events t.events_per_sec
   in
   let trials =
     if fig41_only then []
     else
       List.concat_map
         (fun strategy ->
-          List.concat_map
-            (fun real_pages ->
-              List.map
-                (fun n_hosts ->
-                  let t = run_trial ~strategy ~real_pages ~n_hosts in
-                  Printf.printf
-                    "scale: %-6s %6d pages x %d hosts  %7.3f s  %12.0f words  \
-                     %8d events (%8.0f ev/s)\n%!"
-                    t.strategy t.real_pages t.n_hosts t.wall_s
-                    t.allocated_words t.events t.events_per_sec;
-                  t)
-                hosts)
-            sizes)
+          let unconstrained =
+            List.concat_map
+              (fun real_pages ->
+                List.map
+                  (fun n_hosts ->
+                    let t = run_trial ~strategy ~real_pages ~n_hosts () in
+                    report t;
+                    t)
+                  hosts)
+              sizes
+          in
+          let pressured =
+            List.map
+              (fun (real_pages, frames, n_hosts) ->
+                let t = run_trial ~frames ~strategy ~real_pages ~n_hosts () in
+                report t;
+                t)
+              constrained
+          in
+          unconstrained @ pressured)
         [ Strategy.pure_iou (); Strategy.hybrid () ]
   in
   let probes =

@@ -153,7 +153,7 @@ let inspect workload loss partition =
       Format.printf "  RealMem   %11s  (%d pages, %d resident)@."
         (Accent_util.Bytesize.with_commas (Address_space.real_bytes space))
         (Address_space.pages_materialized space)
-        (List.length (Address_space.resident_pages space));
+        (Address_space.resident_page_count space);
       Format.printf "  RealZero  %11s@."
         (Accent_util.Bytesize.with_commas (Address_space.zero_bytes space));
       Format.printf "  Total     %11s in %d regions, %d VM segments@."

@@ -63,6 +63,9 @@ let put_bytes t ~segment_id ~offset data =
 let put_page t ~segment_id ~offset value =
   Segment_store.put_page t.store ~segment_id ~offset value
 
+let put_extent t ~segment_id ~offset values =
+  Segment_store.put_extent t.store ~segment_id ~offset values
+
 let segment_bytes t ~segment_id = Segment_store.segment_bytes t.store ~segment_id
 
 let map_into t dest_host space ~at ~segment_id ~offset ~len =

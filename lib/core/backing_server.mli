@@ -32,6 +32,11 @@ val put_page :
   t -> segment_id:int -> offset:int -> Accent_mem.Page.value -> unit
 (** Provide one page value at the page-aligned [offset] — no copy. *)
 
+val put_extent :
+  t -> segment_id:int -> offset:int -> Accent_mem.Page.value array -> unit
+(** Provide a whole run of page values starting at the page-aligned
+    [offset] in O(1) — see {!Accent_ipc.Segment_store.put_extent}. *)
+
 val segment_bytes : t -> segment_id:int -> int
 
 val map_into :

@@ -50,33 +50,46 @@ let send_round ctx outbound (state : outbound) ~round ~pages =
 (* Everything real that no round ever pushed and the freeze did not catch
    dirty becomes the cold tail: its values move into the manager's backing
    server (keyed by virtual address) and the final message carries IOUs
-   for the destination to pull on reference. *)
-let cold_iou_chunks ctx space ~cold_pages =
-  match cold_pages with
+   for the destination to pull on reference.  The cold runs are computed
+   as the real ranges minus the (small) sent set, and each run's values
+   are gathered and stored as one extent — never one lookup and one insert
+   per cold page, which would make every hybrid freeze O(space). *)
+let cold_iou_chunks ctx space ~sent =
+  let runs =
+    List.concat_map
+      (fun (lo, hi) ->
+        let first = Page.index_of_addr lo
+        and last = Page.index_of_addr (hi - 1) in
+        let sent_inside =
+          Hashtbl.fold
+            (fun p () acc -> if first <= p && p <= last then p :: acc else acc)
+            sent []
+          |> List.sort compare
+        in
+        let rec gaps pos sent acc =
+          match sent with
+          | [] -> if pos <= last then (pos, last + 1) :: acc else acc
+          | s :: rest ->
+              gaps (s + 1) rest (if s > pos then (pos, s) :: acc else acc)
+        in
+        List.rev (gaps first sent_inside []))
+      (Address_space.real_ranges space)
+  in
+  match runs with
   | [] -> []
-  | cold_pages ->
+  | runs ->
       let segment_id = Backing_server.new_segment ctx.backing in
       let backing_port = Backing_server.port ctx.backing in
-      let runs =
-        List.fold_left
-          (fun acc page ->
-            match acc with
-            | (lo, hi) :: rest when page = hi -> (lo, page + 1) :: rest
-            | _ -> (page, page + 1) :: acc)
-          [] cold_pages
-        |> List.rev
-      in
       List.map
         (fun (lo_page, hi_page) ->
           let lo = Page.addr_of_index lo_page
           and hi = Page.addr_of_index hi_page in
-          for idx = lo_page to hi_page - 1 do
-            match Address_space.page_value space idx with
-            | Some value ->
-                Backing_server.put_page ctx.backing ~segment_id
-                  ~offset:(Page.addr_of_index idx) value
-            | None -> raise (Abort "hybrid: cold page vanished at freeze")
-          done;
+          let values =
+            try Address_space.range_values space ~lo ~hi
+            with Failure _ ->
+              raise (Abort "hybrid: cold page vanished at freeze")
+          in
+          Backing_server.put_extent ctx.backing ~segment_id ~offset:lo values;
           {
             Memory_object.range = Vaddr.range lo hi;
             content = Memory_object.Iou { segment_id; backing_port; offset = lo };
@@ -95,12 +108,7 @@ let freeze ctx outbound (state : outbound) =
           Engine_precopy.vaddr_data_chunks space residual
         in
         List.iter (fun p -> Hashtbl.replace state.sent p ()) residual;
-        let cold_pages =
-          List.filter
-            (fun p -> not (Hashtbl.mem state.sent p))
-            (Engine_precopy.all_real_pages space)
-        in
-        (residual_chunks, cold_iou_chunks ctx space ~cold_pages)
+        (residual_chunks, cold_iou_chunks ctx space ~sent:state.sent)
       with
       | exception Abort reason ->
           Hashtbl.remove outbound proc_id;
@@ -188,49 +196,68 @@ let assemble_rimas store ~proc_id ~amap ~iou_chunks =
       | Memory_object.Data _ -> assert false);
       emit_iou_cover ~lo:piece_hi ~hi)
   in
+  let staged_offsets = Segment_store.offsets store ~segment_id:proc_id in
   List.iter
     (fun (lo, hi, cls) ->
       match (cls : Accessibility.t) with
       | Real_zero_mem | Bad_mem -> ()
       | Real_mem | Imag_mem ->
-          (* walk the range page by page, grouping staged runs into Data
-             chunks and covering unstaged runs from the IOUs (an Imag_mem
-             range simply never hits the store) *)
+          (* walk only the staged page indices inside the range and the
+             gaps between them — staged runs become Data chunks, gaps are
+             covered from the IOUs (an Imag_mem range simply has no staged
+             pages).  Probing every page of the range instead would make
+             assembly O(space) per migration. *)
           let first = Page.index_of_addr lo
           and last = Page.index_of_addr (hi - 1) in
-          let staged_at idx =
-            Segment_store.get_page store ~segment_id:proc_id
-              ~offset:(Page.addr_of_index idx)
+          let staged_idx =
+            List.filter_map
+              (fun off ->
+                let idx = Page.index_of_addr off in
+                if first <= idx && idx <= last then Some idx else None)
+              staged_offsets
           in
-          let run = ref [] and run_lo = ref first in
-          let flush_data upto =
-            if !run <> [] then
-              emit_chunk
-                ((upto - !run_lo) * Page.size)
-                (Memory_object.Data (Array.of_list (List.rev !run)));
-            run := []
+          let emit_data run_lo run_hi =
+            let values =
+              Array.init
+                (run_hi - run_lo + 1)
+                (fun i ->
+                  match
+                    Segment_store.get_page store ~segment_id:proc_id
+                      ~offset:(Page.addr_of_index (run_lo + i))
+                  with
+                  | Some value -> value
+                  | None -> assert false)
+            in
+            emit_chunk
+              ((run_hi - run_lo + 1) * Page.size)
+              (Memory_object.Data values)
           in
-          let idx = ref first in
-          while !idx <= last do
-            (match staged_at !idx with
-            | Some value ->
-                if !run = [] then run_lo := !idx;
-                run := value :: !run;
-                incr idx
-            | None ->
-                flush_data !idx;
-                (* extend the unstaged run as far as it goes *)
-                let stop = ref !idx in
-                while !stop <= last && staged_at !stop = None do
-                  incr stop
-                done;
-                emit_iou_cover
-                  ~lo:(Page.addr_of_index !idx)
-                  ~hi:(Page.addr_of_index !stop);
-                idx := !stop);
-            ()
-          done;
-          flush_data (last + 1))
+          let rec run_end e rest =
+            match rest with
+            | n :: tail when n = e + 1 -> run_end n tail
+            | _ -> (e, rest)
+          in
+          let rec walk pos staged =
+            match staged with
+            | [] ->
+                if pos <= last then
+                  emit_iou_cover
+                    ~lo:(Page.addr_of_index pos)
+                    ~hi:(Page.addr_of_index last + Page.size)
+            | s :: tail ->
+                if s > pos then begin
+                  emit_iou_cover
+                    ~lo:(Page.addr_of_index pos)
+                    ~hi:(Page.addr_of_index s);
+                  walk s staged
+                end
+                else begin
+                  let e, rest = run_end s tail in
+                  emit_data s e;
+                  walk (e + 1) rest
+                end
+          in
+          walk first staged_idx)
     (Amap.ranges amap);
   List.rev !rev_chunks
 

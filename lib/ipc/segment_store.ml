@@ -1,43 +1,80 @@
 open Accent_mem
 
-type t = (int, (int, Page.value) Hashtbl.t) Hashtbl.t
+(* A segment is an overlay of individually-written pages over a small list
+   of bulk extents.  [put_extent] adopts a whole page-value array in O(1)
+   instead of one table insert per page — the NetMsgServer caches every
+   outbound Data chunk this way, so the per-page path would otherwise put
+   an O(space) insert loop on every migration send. *)
+type seg = {
+  pages : (int, Page.value) Hashtbl.t; (* singles; consulted first *)
+  mutable extents : (int * Page.value array) list; (* (byte offset, run) *)
+}
+
+type t = (int, seg) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
-let segment_table t segment_id =
+let segment t segment_id =
   match Hashtbl.find_opt t segment_id with
-  | Some tbl -> tbl
+  | Some seg -> seg
   | None ->
-      let tbl = Hashtbl.create 256 in
-      Hashtbl.replace t segment_id tbl;
-      tbl
+      let seg = { pages = Hashtbl.create 256; extents = [] } in
+      Hashtbl.replace t segment_id seg;
+      seg
 
-let add_segment t ~segment_id = ignore (segment_table t segment_id)
+let add_segment t ~segment_id = ignore (segment t segment_id)
 
 let put_page t ~segment_id ~offset value =
   if offset mod Page.size <> 0 then
     invalid_arg "Segment_store.put_page: unaligned offset";
-  Hashtbl.replace (segment_table t segment_id) offset value
+  Hashtbl.replace (segment t segment_id).pages offset value
+
+let extent_bytes values = Array.length values * Page.size
+
+let put_extent t ~segment_id ~offset values =
+  if offset mod Page.size <> 0 then
+    invalid_arg "Segment_store.put_extent: unaligned offset";
+  if Array.length values > 0 then begin
+    let seg = segment t segment_id in
+    let hi = offset + extent_bytes values in
+    List.iter
+      (fun (lo, vs) ->
+        if offset < lo + extent_bytes vs && lo < hi then
+          invalid_arg "Segment_store.put_extent: overlapping extent")
+      seg.extents;
+    seg.extents <- (offset, values) :: seg.extents
+  end
 
 let put_bytes t ~segment_id ~offset data =
   if offset mod Page.size <> 0 then
     invalid_arg "Segment_store.put_bytes: unaligned offset";
   let len = Bytes.length data in
   let n = (len + Page.size - 1) / Page.size in
+  let seg = segment t segment_id in
   for i = 0 to n - 1 do
     let page = Page.zero () in
     let off = i * Page.size in
     Bytes.blit data off page 0 (min Page.size (len - off));
-    Hashtbl.replace
-      (segment_table t segment_id)
-      (offset + (i * Page.size))
-      (Page.of_bytes page)
+    Hashtbl.replace seg.pages (offset + (i * Page.size)) (Page.of_bytes page)
   done
+
+let extent_find seg offset =
+  let rec loop = function
+    | [] -> None
+    | (lo, vs) :: rest ->
+        if lo <= offset && offset < lo + extent_bytes vs then
+          Some vs.((offset - lo) / Page.size)
+        else loop rest
+  in
+  loop seg.extents
 
 let get_page t ~segment_id ~offset =
   match Hashtbl.find_opt t segment_id with
   | None -> None
-  | Some tbl -> Hashtbl.find_opt tbl offset
+  | Some seg -> (
+      match Hashtbl.find_opt seg.pages offset with
+      | Some _ as v -> v
+      | None -> extent_find seg offset)
 
 let read_run t ~segment_id ~offset ~pages =
   assert (pages >= 1);
@@ -52,14 +89,42 @@ let read_run t ~segment_id ~offset ~pages =
 
 let has_segment t ~segment_id = Hashtbl.mem t segment_id
 
+let offsets t ~segment_id =
+  match Hashtbl.find_opt t segment_id with
+  | None -> []
+  | Some seg ->
+      let acc = Hashtbl.fold (fun off _ acc -> off :: acc) seg.pages [] in
+      let acc =
+        List.fold_left
+          (fun acc (lo, vs) ->
+            let rec add i acc =
+              if i >= Array.length vs then acc
+              else add (i + 1) ((lo + (i * Page.size)) :: acc)
+            in
+            add 0 acc)
+          acc seg.extents
+      in
+      List.sort_uniq compare acc
+
+(* Overlay pages that shadow an extent slot must not be double-counted. *)
 let segment_pages t ~segment_id =
   match Hashtbl.find_opt t segment_id with
   | None -> 0
-  | Some tbl -> Hashtbl.length tbl
+  | Some seg ->
+      let in_extents =
+        List.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 seg.extents
+      in
+      let overlay_only =
+        Hashtbl.fold
+          (fun offset _ acc ->
+            if extent_find seg offset = None then acc + 1 else acc)
+          seg.pages 0
+      in
+      in_extents + overlay_only
 
 let segment_bytes t ~segment_id = segment_pages t ~segment_id * Page.size
 let drop_segment t ~segment_id = Hashtbl.remove t segment_id
 let segments t = Hashtbl.fold (fun id _ acc -> id :: acc) t [] |> List.sort compare
 
 let total_bytes t =
-  Hashtbl.fold (fun _ tbl acc -> acc + (Hashtbl.length tbl * Page.size)) t 0
+  Hashtbl.fold (fun id _ acc -> acc + segment_bytes t ~segment_id:id) t 0

@@ -19,6 +19,14 @@ val put_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.value ->
 (** Store one page value at the page-aligned [offset].  Implicitly declares
     the segment.  Nothing is copied — values are immutable. *)
 
+val put_extent : t -> segment_id:int -> offset:int ->
+  Accent_mem.Page.value array -> unit
+(** Adopt a whole run of page values starting at the page-aligned [offset]
+    in O(1) — the array is referenced, not copied, so callers must not
+    mutate it afterwards.  Raises [Invalid_argument] if the run overlaps an
+    extent already stored; offsets already present via {!put_page} keep
+    shadowing the extent. *)
+
 val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
 (** Bytes-edge convenience: store a run of pages; trailing partial page
     zero-padded. *)
@@ -33,6 +41,12 @@ val read_run : t -> segment_id:int -> offset:int -> pages:int ->
     Empty if the first page is absent. *)
 
 val has_segment : t -> segment_id:int -> bool
+
+val offsets : t -> segment_id:int -> int list
+(** All present page offsets of the segment, ascending — O(present pages),
+    so callers can walk what the store holds instead of probing every
+    offset of a range. *)
+
 val segment_pages : t -> segment_id:int -> int
 val segment_bytes : t -> segment_id:int -> int
 

@@ -13,7 +13,7 @@ type excised = {
 }
 
 let estimate_timings (costs : Cost_model.t) space =
-  let resident_pages = List.length (Address_space.resident_pages space) in
+  let resident_pages = Address_space.resident_page_count space in
   let real_pages = Address_space.pages_materialized space in
   let disk_pages = real_pages - resident_pages in
   let amap_ms =
@@ -35,15 +35,9 @@ let estimate_timings (costs : Cost_model.t) space =
     overall_ms = costs.excise_base_ms +. amap_ms +. rimas_ms;
   }
 
-(* Collect the materialised page values of [lo, hi) — no bytes move. *)
-let range_values space ~lo ~hi =
-  let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-  Array.init
-    (last - first + 1)
-    (fun i ->
-      match Address_space.page_value space (first + i) with
-      | Some value -> value
-      | None -> failwith "Excise: Real range with missing page")
+(* Collect the materialised page values of [lo, hi) — no bytes move, and
+   bulk-installed runs are blitted rather than looked up page by page. *)
+let range_values space ~lo ~hi = Address_space.range_values space ~lo ~hi
 
 (* Walk the region list, assigning collapsed offsets to content-bearing
    ranges and building the chunk list; adjacent Data chunks merge into the
@@ -82,26 +76,50 @@ let collapse pager space =
           cursor := !cursor + len)
     (Address_space.backed_ranges space);
   (* Merge adjacent Data chunks: the collapse produces one contiguous
-     physical area, not one chunk per source region. *)
-  let merged =
-    List.fold_left
-      (fun acc chunk ->
-        match (acc, chunk.Memory_object.content) with
-        | ( { Memory_object.range = prev_range; content = Data prev_data }
-            :: rest,
-            Memory_object.Data data )
-          when prev_range.Vaddr.hi = chunk.Memory_object.range.Vaddr.lo ->
-            {
-              Memory_object.range =
-                Vaddr.range prev_range.Vaddr.lo chunk.Memory_object.range.Vaddr.hi;
-              content = Data (Array.append prev_data data);
-            }
-            :: rest
-        | _ -> chunk :: acc)
-      []
-      (List.rev !chunks)
+     physical area, not one chunk per source region.  Each run of adjacent
+     Data chunks is gathered first and concatenated once — folding with
+     Array.append would recopy the accumulated prefix at every step. *)
+  let flush group acc =
+    match group with
+    | [] -> acc
+    | [ chunk ] -> chunk :: acc
+    | _ ->
+        let parts = List.rev group in
+        let lo =
+          (List.hd parts).Memory_object.range.Vaddr.lo
+        in
+        let hi =
+          (List.hd group).Memory_object.range.Vaddr.hi
+        in
+        let data =
+          Array.concat
+            (List.map
+               (fun c ->
+                 match c.Memory_object.content with
+                 | Memory_object.Data d -> d
+                 | Memory_object.Iou _ -> assert false)
+               parts)
+        in
+        { Memory_object.range = Vaddr.range lo hi; content = Data data }
+        :: acc
   in
-  (List.rev merged, List.rev !layout)
+  let merged =
+    let acc, group =
+      List.fold_left
+        (fun (acc, group) chunk ->
+          match (group, chunk.Memory_object.content) with
+          | ( ({ Memory_object.range = prev_range; _ } :: _ as g),
+              Memory_object.Data _ )
+            when prev_range.Vaddr.hi = chunk.Memory_object.range.Vaddr.lo ->
+              (acc, chunk :: g)
+          | _, Memory_object.Data _ -> (flush group acc, [ chunk ])
+          | _, Memory_object.Iou _ -> (chunk :: flush group acc, []))
+        ([], [])
+        (List.rev !chunks)
+    in
+    List.rev (flush group acc)
+  in
+  (merged, List.rev !layout)
 
 let excise host proc ~k =
   Proc_runner.interrupt proc;

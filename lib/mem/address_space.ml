@@ -12,6 +12,13 @@ type presence =
 
 type location = In_mem of Phys_mem.frame_id | On_disk of Paging_disk.block_id
 
+type cold_run = { first : Page.index; values : Page.value array }
+(* A bulk-installed run of never-touched disk-resident pages, kept as one
+   array instead of one table entry + disk block per page.  Pages leave a
+   run individually (fault-in, overwrite) by being marked in [cold_gone];
+   the run itself is never rewritten.  This is what keeps workload
+   construction and excision O(runs), not O(space). *)
+
 type t = {
   id : int;
   name : string;
@@ -19,6 +26,9 @@ type t = {
   disk : Paging_disk.t;
   mutable regions : backing Interval_map.t;
   pages : (Page.index, location) Hashtbl.t;
+  mutable cold : cold_run list;
+  cold_gone : (Page.index, unit) Hashtbl.t;
+  mutable cold_live : int;
   touched : (Page.index, unit) Hashtbl.t;
   segments : (string, unit) Hashtbl.t;
 }
@@ -39,6 +49,9 @@ let create ~id ~name ~mem ~disk =
     disk;
     regions = Interval_map.empty ~equal:backing_equal ();
     pages = Hashtbl.create 256;
+    cold = [];
+    cold_gone = Hashtbl.create 64;
+    cold_live = 0;
     touched = Hashtbl.create 256;
     segments = Hashtbl.create 8;
   }
@@ -75,15 +88,38 @@ let map_imaginary t range ~segment_id ~offset =
 let page_range idx =
   (Page.addr_of_index idx, Page.addr_of_index idx + Page.size)
 
+let cold_find t idx =
+  if Hashtbl.mem t.cold_gone idx then None
+  else
+    let rec loop = function
+      | [] -> None
+      | { first; values } :: rest ->
+          if first <= idx && idx < first + Array.length values then
+            Some values.(idx - first)
+          else loop rest
+    in
+    loop t.cold
+
+(* Remove the page from its cold run (if it is in one); the slot becomes a
+   hole and the page must thereafter live in [t.pages] or nowhere. *)
+let cold_take t idx =
+  match cold_find t idx with
+  | None -> None
+  | Some _ as v ->
+      Hashtbl.replace t.cold_gone idx ();
+      t.cold_live <- t.cold_live - 1;
+      v
+
 let drop_materialized t idx =
-  match Hashtbl.find_opt t.pages idx with
+  (match Hashtbl.find_opt t.pages idx with
   | None -> ()
   | Some (In_mem frame) ->
       Phys_mem.free t.mem frame;
       Hashtbl.remove t.pages idx
   | Some (On_disk block) ->
       Paging_disk.free t.disk block;
-      Hashtbl.remove t.pages idx
+      Hashtbl.remove t.pages idx);
+  ignore (cold_take t idx)
 
 let materialize t idx value ~resident =
   drop_materialized t idx;
@@ -106,9 +142,44 @@ let install_values ?(segment = "<anon>") t ~addr values ~resident =
   if addr mod Page.size <> 0 then
     invalid_arg "Address_space.install_values: unaligned address";
   Hashtbl.replace t.segments segment ();
-  Array.iteri
-    (fun i value -> materialize t (Page.index_of_addr addr + i) value ~resident)
-    values
+  let n = Array.length values in
+  if n > 0 then begin
+    let first = Page.index_of_addr addr in
+    let lo = addr and hi = addr + (n * Page.size) in
+    let overlaps_real =
+      Interval_map.fold_range t.regions ~lo ~hi ~init:false
+        ~f:(fun acc _ _ backing ->
+          acc || match backing with Real -> true | Zero | Imaginary _ -> false)
+    in
+    if (not resident) && (not overlaps_real) && n >= 16 then begin
+      (* Bulk cold install: the run becomes one extent — no per-page table
+         entry, no per-page disk block.  Only valid when no page in the
+         range was previously materialised (no Real backing), which is the
+         workload-construction case this path exists for. *)
+      t.cold <- { first; values = Array.copy values } :: t.cold;
+      t.cold_live <- t.cold_live + n;
+      t.regions <- Interval_map.set t.regions ~lo ~hi Real
+    end
+    else begin
+      (* One interval-map update for the whole run instead of one per
+         page; the per-page location entries remain. *)
+      Array.iteri
+        (fun i value ->
+          let idx = first + i in
+          drop_materialized t idx;
+          let location =
+            if resident then
+              In_mem
+                (Phys_mem.allocate t.mem
+                   ~owner:{ space_id = t.id; page = idx }
+                   value)
+            else On_disk (Paging_disk.alloc t.disk value)
+          in
+          Hashtbl.replace t.pages idx location)
+        values;
+      t.regions <- Interval_map.set t.regions ~lo ~hi Real
+    end
+  end
 
 let install_bytes ?segment t ~addr data ~resident =
   let len = Bytes.length data in
@@ -132,15 +203,20 @@ let presence_of_page t idx =
   | Some (In_mem frame) -> Resident frame
   | Some (On_disk block) -> Paged_out block
   | None -> (
-      let addr = Page.addr_of_index idx in
-      match Interval_map.find t.regions addr with
-      | Some Zero -> Zero_pending
-      | Some (Imaginary { segment_id; base }) ->
-          Imaginary_pending { segment_id; offset = base + addr }
-      | Some Real ->
-          (* Region says Real but no page entry: broken invariant. *)
-          assert false
-      | None -> Invalid)
+      match cold_find t idx with
+      | Some _ ->
+          (* held in a bulk extent, not an individual disk block *)
+          Paged_out (-1)
+      | None -> (
+          let addr = Page.addr_of_index idx in
+          match Interval_map.find t.regions addr with
+          | Some Zero -> Zero_pending
+          | Some (Imaginary { segment_id; base }) ->
+              Imaginary_pending { segment_id; offset = base + addr }
+          | Some Real ->
+              (* Region says Real but no page entry: broken invariant. *)
+              assert false
+          | None -> Invalid))
 
 let presence t addr = presence_of_page t (Page.index_of_addr addr)
 
@@ -170,13 +246,21 @@ let resolve_zero_fault t idx =
   | _ -> invalid_arg "Address_space.resolve_zero_fault: page not zero-pending"
 
 let resolve_disk_fault t idx =
-  match presence_of_page t idx with
-  | Paged_out block ->
+  match Hashtbl.find_opt t.pages idx with
+  | Some (On_disk block) ->
       let value = Paging_disk.read t.disk block in
       Paging_disk.free t.disk block;
       Hashtbl.remove t.pages idx;
       materialize t idx value ~resident:true
-  | _ -> invalid_arg "Address_space.resolve_disk_fault: page not on disk"
+  | Some (In_mem _) ->
+      invalid_arg "Address_space.resolve_disk_fault: page not on disk"
+  | None -> (
+      match cold_find t idx with
+      | Some value ->
+          (* [materialize] marks the cold slot as a hole via
+             [drop_materialized] *)
+          materialize t idx value ~resident:true
+      | None -> invalid_arg "Address_space.resolve_disk_fault: page not on disk")
 
 let resolve_imaginary_fault t idx value =
   match presence_of_page t idx with
@@ -195,7 +279,45 @@ let page_value t idx =
   match Hashtbl.find_opt t.pages idx with
   | Some (In_mem frame) -> Some (Phys_mem.read t.mem frame)
   | Some (On_disk block) -> Some (Paging_disk.read t.disk block)
-  | None -> None
+  | None -> cold_find t idx
+
+(* Page values of the Real range [lo, hi), in page order: blit whole cold
+   runs, then patch the individually-materialised overlay on top.  Cost is
+   O(pages copied + overlay size + runs), with no per-page table lookups —
+   this is the excision path, so it must not re-walk the space one page at
+   a time. *)
+let range_values t ~lo ~hi =
+  let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
+  let n = last - first + 1 in
+  let out = Array.make n Page.zero_value in
+  let filled = Bytes.make n '\000' in
+  List.iter
+    (fun { first = f; values } ->
+      let lo_i = max first f and hi_i = min last (f + Array.length values - 1) in
+      if lo_i <= hi_i then begin
+        Array.blit values (lo_i - f) out (lo_i - first) (hi_i - lo_i + 1);
+        Bytes.fill filled (lo_i - first) (hi_i - lo_i + 1) '\001'
+      end)
+    t.cold;
+  Hashtbl.iter
+    (fun idx () ->
+      if first <= idx && idx <= last then Bytes.set filled (idx - first) '\000')
+    t.cold_gone;
+  Hashtbl.iter
+    (fun idx loc ->
+      if first <= idx && idx <= last then begin
+        (out.(idx - first) <-
+           (match loc with
+           | In_mem frame -> Phys_mem.read t.mem frame
+           | On_disk block -> Paging_disk.read t.disk block));
+        Bytes.set filled (idx - first) '\001'
+      end)
+    t.pages;
+  for i = 0 to n - 1 do
+    if Bytes.get filled i = '\000' then
+      failwith "Address_space.range_values: Real range with missing page"
+  done;
+  out
 
 let page_data t idx = Option.map Page.to_bytes (page_value t idx)
 
@@ -217,8 +339,9 @@ let evict_page t idx value ~dirty =
       invalid_arg "Address_space.evict_page: page not resident"
 
 let resident_pages t = Phys_mem.frames_of_space t.mem t.id
-let resident_bytes t = List.length (resident_pages t) * Page.size
-let real_bytes t = Hashtbl.length t.pages * Page.size
+let resident_page_count t = Phys_mem.resident_count t.mem t.id
+let resident_bytes t = resident_page_count t * Page.size
+let real_bytes t = (Hashtbl.length t.pages + t.cold_live) * Page.size
 
 let zero_bytes t =
   Interval_map.length_where t.regions ~f:(function
@@ -258,7 +381,7 @@ let imag_segments t =
 let region_count t = Interval_map.cardinal t.regions
 let vm_segment_count t = Hashtbl.length t.segments
 let touched_pages t = Hashtbl.length t.touched
-let pages_materialized t = Hashtbl.length t.pages
+let pages_materialized t = Hashtbl.length t.pages + t.cold_live
 
 let destroy t =
   let entries = Hashtbl.fold (fun idx loc acc -> (idx, loc) :: acc) t.pages [] in
@@ -269,4 +392,9 @@ let destroy t =
       | On_disk block -> Paging_disk.free t.disk block)
     entries;
   Hashtbl.reset t.pages;
+  (* cold runs hold no frames and no disk blocks — dropping the list is
+     the whole teardown *)
+  t.cold <- [];
+  t.cold_live <- 0;
+  Hashtbl.reset t.cold_gone;
   t.regions <- Interval_map.empty ~equal:backing_equal ()

@@ -22,6 +22,10 @@ type backing =
 type presence =
   | Resident of Phys_mem.frame_id
   | Paged_out of Paging_disk.block_id
+      (** the block id is [-1] when the page is held in a bulk-installed
+          extent rather than an individual disk block; use the fault
+          resolvers and {!page_value}, never [Paging_disk.read], to reach
+          the contents *)
   | Zero_pending  (** FillZero fault will materialise it *)
   | Imaginary_pending of { segment_id : int; offset : int }
       (** offset is the byte offset of the page within the segment *)
@@ -103,6 +107,14 @@ val page_value : t -> Page.index -> Page.value option
     or generated; [None] for zero-pending (all zeros), imaginary or
     invalid pages. *)
 
+val range_values : t -> lo:int -> hi:int -> Page.value array
+(** The materialised page values of the Real range [lo, hi) in page order,
+    gathered by blitting bulk-installed runs and patching the
+    individually-materialised pages on top — O(pages copied + individually
+    materialised pages), never one table lookup per page.  This is the
+    excision path.  Raises [Failure] if any page of the range has no
+    materialised value. *)
+
 val page_data : t -> Page.index -> Page.data option
 (** [Option.map Page.to_bytes (page_value t idx)]: a fresh materialised
     copy, for bytes-edge callers. *)
@@ -118,6 +130,11 @@ val evict_page : t -> Page.index -> Page.value -> dirty:bool -> unit
 (** {2 Inventory} *)
 
 val resident_pages : t -> (Page.index * Phys_mem.frame_id) list
+
+val resident_page_count : t -> int
+(** [List.length (resident_pages t)] in O(1), off the frame pool's
+    per-space index. *)
+
 val resident_bytes : t -> int
 val real_bytes : t -> int
 (** Bytes of materialised (RealMem) data, resident or on disk. *)

@@ -7,6 +7,8 @@ type frame = {
   mutable dirty : bool;
   mutable pinned : bool;
   mutable last_use : int; (* LRU clock stamp *)
+  mutable lru_handle : Accent_util.Lazy_heap.handle option;
+      (* live entry in [lru] below; [None] iff pinned or freed *)
 }
 
 type t = {
@@ -19,7 +21,17 @@ type t = {
   mutable evictions : int;
   (* space_id -> page -> frame, for O(1) resident-set queries *)
   by_space : (int, (Page.index, frame_id) Hashtbl.t) Hashtbl.t;
+  (* eviction candidates ordered by stamp: the heap top is always the
+     least-recently-used unpinned frame.  Recency bumps push a fresh
+     entry and cancel the old one (lazy invalidation), so every entry
+     that is live in the heap reflects current frame state. *)
+  lru : (int * frame_id) Accent_util.Lazy_heap.t;
 }
+
+(* Stamps are unique (the clock ticks on every bump), so ordering by
+   stamp alone is already total; the frame id tie-break is belt and
+   braces for the determinism contract. *)
+let lru_earlier (sa, ia) (sb, ib) = sa < sb || (sa = sb && ia < ib)
 
 let create ~frames =
   assert (frames > 0);
@@ -32,6 +44,7 @@ let create ~frames =
     evict = None;
     evictions = 0;
     by_space = Hashtbl.create 16;
+    lru = Accent_util.Lazy_heap.create ~earlier:lru_earlier ();
   }
 
 let set_evict_handler t f = t.evict <- Some f
@@ -66,25 +79,41 @@ let find_frame t id =
   | Some f -> f
   | None -> invalid_arg "Phys_mem: unknown frame"
 
-(* Choose the unpinned frame with the smallest LRU stamp. *)
+let retire_lru t f =
+  match f.lru_handle with
+  | None -> ()
+  | Some handle ->
+      Accent_util.Lazy_heap.cancel t.lru handle;
+      f.lru_handle <- None
+
+let enqueue_lru t id f =
+  f.lru_handle <- Some (Accent_util.Lazy_heap.push t.lru (f.last_use, id))
+
+let bump t id f =
+  f.last_use <- tick t;
+  if not f.pinned then begin
+    retire_lru t f;
+    enqueue_lru t id f
+  end
+
+(* The unpinned frame with the smallest LRU stamp, without evicting it.
+   Live heap entries always mirror current frame state, so the top is
+   the answer — the same victim the old O(frames) fold chose. *)
 let choose_victim t =
-  Hashtbl.fold
-    (fun id f best ->
-      if f.pinned then best
-      else
-        match best with
-        | Some (_, best_f) when best_f.last_use <= f.last_use -> best
-        | _ -> Some (id, f))
-    t.frames None
+  match Accent_util.Lazy_heap.peek t.lru with
+  | None -> None
+  | Some (_, id) -> Some id
 
 let evict_one t =
   match choose_victim t with
   | None -> failwith "Phys_mem: all frames pinned, cannot evict"
-  | Some (id, f) ->
+  | Some id ->
+      let f = find_frame t id in
       (match t.evict with
       | Some handler -> handler f.owner f.data ~dirty:f.dirty
       | None -> failwith "Phys_mem: pool full and no evict handler set");
       t.evictions <- t.evictions + 1;
+      retire_lru t f;
       unindex_owner t f.owner;
       Hashtbl.remove t.frames id;
       t.free_list <- id :: t.free_list
@@ -101,40 +130,50 @@ let allocate t ~owner data =
         t.next_id <- id + 1;
         id
   in
-  Hashtbl.replace t.frames id
-    {
-      owner;
-      data;
-      dirty = false;
-      pinned = false;
-      last_use = tick t;
-    };
+  let f =
+    { owner; data; dirty = false; pinned = false; last_use = tick t; lru_handle = None }
+  in
+  Hashtbl.replace t.frames id f;
+  enqueue_lru t id f;
   index_owner t owner id;
   id
 
 let free t id =
   let f = find_frame t id in
+  retire_lru t f;
   unindex_owner t f.owner;
   Hashtbl.remove t.frames id;
   t.free_list <- id :: t.free_list
 
 let read t id =
   let f = find_frame t id in
-  f.last_use <- tick t;
+  bump t id f;
   f.data
 
 let write t id data =
   let f = find_frame t id in
   f.data <- data;
   f.dirty <- true;
-  f.last_use <- tick t
+  bump t id f
 
 let touch t id =
   let f = find_frame t id in
-  f.last_use <- tick t
+  bump t id f
 
-let pin t id = (find_frame t id).pinned <- true
-let unpin t id = (find_frame t id).pinned <- false
+let pin t id =
+  let f = find_frame t id in
+  if not f.pinned then begin
+    f.pinned <- true;
+    retire_lru t f
+  end
+
+let unpin t id =
+  let f = find_frame t id in
+  if f.pinned then begin
+    f.pinned <- false;
+    enqueue_lru t id f
+  end
+
 let owner_of t id = (find_frame t id).owner
 let is_dirty t id = (find_frame t id).dirty
 
@@ -144,5 +183,10 @@ let frames_of_space t space_id =
   | Some tbl ->
       Hashtbl.fold (fun page id acc -> (page, id) :: acc) tbl []
       |> List.sort compare
+
+let resident_count t space_id =
+  match Hashtbl.find_opt t.by_space space_id with
+  | None -> 0
+  | Some tbl -> Hashtbl.length tbl
 
 let evictions t = t.evictions

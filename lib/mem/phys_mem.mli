@@ -7,7 +7,15 @@
     learns that its page must move to the paging disk.  Accent used physical
     memory as a disk cache — a behaviour the paper blames for resident-set
     shipment bringing over dead file pages — and this module reproduces
-    that: nothing is evicted until the pool is full. *)
+    that: nothing is evicted until the pool is full.
+
+    Victim selection is O(log frames), not O(frames): eviction
+    candidates live in a lazy-invalidation min-heap keyed on the LRU
+    stamp ({!Accent_util.Lazy_heap}, the same structure the event
+    queue uses).  Every recency bump pushes a fresh entry and cancels
+    the stale one, so the heap top is always the least-recently-used
+    unpinned frame.  Stamps are unique, which makes the order total
+    and the chosen victim identical to the old linear scan's. *)
 
 type t
 type frame_id = int
@@ -50,9 +58,18 @@ val unpin : t -> frame_id -> unit
 val owner_of : t -> frame_id -> owner
 val is_dirty : t -> frame_id -> bool
 
+val choose_victim : t -> frame_id option
+(** The frame the next eviction would take — the unpinned frame with
+    the smallest LRU stamp — without evicting it.  [None] when every
+    frame is pinned (or the pool is empty). *)
+
 val frames_of_space : t -> int -> (Page.index * frame_id) list
 (** All frames currently owned by the given address-space id: its resident
     set. *)
+
+val resident_count : t -> int -> int
+(** Number of frames owned by the given address-space id; O(1), unlike
+    building the {!frames_of_space} list just to measure it. *)
 
 val evictions : t -> int
 (** Total evictions performed (for tests and reports). *)

@@ -1,35 +1,134 @@
-type t = {
-  window : Accent_sim.Time.t;
-  last_ref : (Page.index, Accent_sim.Time.t) Hashtbl.t;
-  mutable refs : int;
+(* Pages live in a doubly-linked recency list, most recent at the
+   head.  Reference times are non-decreasing, so a move-to-front on
+   every reference keeps the list sorted by [last] descending and an
+   in-window query only ever walks the prefix it returns — O(|answer|)
+   instead of the old fold over every page the process ever touched.
+
+   Pruning is amortized against references: entries that have aged out
+   of the largest window ever asked about are unlinked from the list
+   (the page record itself stays in the table, keeping [distinct_pages]
+   and re-reference exact).  [pruned_before] records the high-water
+   cutoff; the rare query that reaches further back than any previous
+   prune falls back to the exhaustive fold, so answers are identical
+   to the old implementation for every (time, window). *)
+
+type node = {
+  idx : Page.index;
+  mutable last : Accent_sim.Time.t;
+  mutable prev : node option;
+  mutable next : node option;
+  mutable linked : bool;
 }
 
-let create ~window = { window; last_ref = Hashtbl.create 256; refs = 0 }
+type t = {
+  window : Accent_sim.Time.t;
+  nodes : (Page.index, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable refs : int;
+  mutable newest : Accent_sim.Time.t;
+  mutable max_window : Accent_sim.Time.t;
+  mutable pruned_before : Accent_sim.Time.t;
+}
+
+let create ~window =
+  {
+    window;
+    nodes = Hashtbl.create 256;
+    head = None;
+    tail = None;
+    refs = 0;
+    newest = neg_infinity;
+    max_window = window;
+    pruned_before = neg_infinity;
+  }
+
 let window t = t.window
+
+let unlink t n =
+  if n.linked then begin
+    (match n.prev with
+    | Some p -> p.next <- n.next
+    | None -> t.head <- n.next);
+    (match n.next with
+    | Some s -> s.prev <- n.prev
+    | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None;
+    n.linked <- false
+  end
+
+let link_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n;
+  n.linked <- true
+
+(* Unlink entries that no window reaching back [max_window] from the
+   newest reference can see.  Each node is unlinked at most once per
+   time it was linked, so the tail walk is O(1) amortized. *)
+let prune t =
+  let cutoff = t.newest -. t.max_window in
+  let rec drop () =
+    match t.tail with
+    | Some n when n.last < cutoff ->
+        unlink t n;
+        drop ()
+    | Some _ | None -> ()
+  in
+  drop ();
+  if cutoff > t.pruned_before then t.pruned_before <- cutoff
 
 let reference t ~time idx =
   t.refs <- t.refs + 1;
-  Hashtbl.replace t.last_ref idx time
+  if time > t.newest then t.newest <- time;
+  (match Hashtbl.find_opt t.nodes idx with
+  | Some n ->
+      n.last <- time;
+      unlink t n;
+      link_front t n
+  | None ->
+      let n = { idx; last = time; prev = None; next = None; linked = false } in
+      Hashtbl.replace t.nodes idx n;
+      link_front t n);
+  prune t
 
-let in_window t ~time last = last >= time -. t.window && last <= time
+(* Walk the recency prefix: skip entries newer than [time] (a query
+   can look back from before the newest reference), take entries
+   inside the window, stop at the first older one — everything behind
+   it is older still. *)
+let fold_prefix t ~time ~lo ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        if n.last > time then go acc n.next
+        else if n.last >= lo then go (f acc n.idx) n.next
+        else acc
+  in
+  go init t.head
+
+let fold_all t ~time ~lo ~init ~f =
+  Hashtbl.fold
+    (fun idx n acc -> if n.last >= lo && n.last <= time then f acc idx else acc)
+    t.nodes init
+
+let fold_window t ~time ~window ~init ~f =
+  if window > t.max_window then t.max_window <- window;
+  let lo = time -. window in
+  if lo >= t.pruned_before then fold_prefix t ~time ~lo ~init ~f
+  else fold_all t ~time ~lo ~init ~f
 
 let size_at t ~time =
-  Hashtbl.fold
-    (fun _ last acc -> if in_window t ~time last then acc + 1 else acc)
-    t.last_ref 0
+  fold_window t ~time ~window:t.window ~init:0 ~f:(fun acc _ -> acc + 1)
 
 let pages_at t ~time =
-  Hashtbl.fold
-    (fun idx last acc -> if in_window t ~time last then idx :: acc else acc)
-    t.last_ref []
+  fold_window t ~time ~window:t.window ~init:[] ~f:(fun acc idx -> idx :: acc)
   |> List.sort compare
 
 let pages_within t ~time ~window =
-  Hashtbl.fold
-    (fun idx last acc ->
-      if last >= time -. window && last <= time then idx :: acc else acc)
-    t.last_ref []
+  fold_window t ~time ~window ~init:[] ~f:(fun acc idx -> idx :: acc)
   |> List.sort compare
 
 let references t = t.refs
-let distinct_pages t = Hashtbl.length t.last_ref
+let distinct_pages t = Hashtbl.length t.nodes

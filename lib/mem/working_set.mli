@@ -3,7 +3,15 @@
 
     Feeds on the reference stream of a process and answers "which pages were
     touched in the last τ time units".  Used by the resident-set analysis
-    and by the ablation that asks how quickly working sets drift. *)
+    and by the ablation that asks how quickly working sets drift.
+
+    Queries cost O(answer), not O(lifetime footprint): pages sit on a
+    recency-ordered list (most recent at the head), {!reference} is an
+    O(1) move-to-front, and an in-window query walks exactly the
+    prefix it returns.  Entries older than the largest window ever
+    queried are pruned from the list amortized; a query reaching
+    further back than any prior prune falls back to an exhaustive
+    fold, so every answer is identical to the naive scan's. *)
 
 type t
 

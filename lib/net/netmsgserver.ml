@@ -125,12 +125,9 @@ let substitute_ious t msg =
                 let lo = chunk.Memory_object.range.Accent_mem.Vaddr.lo in
                 t.cached_bytes <-
                   t.cached_bytes + (Array.length values * page_size);
-                Array.iteri
-                  (fun i value ->
-                    Segment_store.put_page t.cache ~segment_id
-                      ~offset:(lo + (i * page_size))
-                      value)
-                  values;
+                (* the chunk's value array becomes the segment extent
+                   wholesale — no per-page insert loop on the send path *)
+                Segment_store.put_extent t.cache ~segment_id ~offset:lo values;
                 {
                   chunk with
                   Memory_object.content =

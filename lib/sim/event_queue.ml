@@ -1,102 +1,38 @@
-type 'a entry = {
-  time : Time.t;
-  seq : int;
-  payload : 'a;
-  mutable cancelled : bool;
-}
-
-type handle = H : 'a entry -> handle
+type 'a item = { time : Time.t; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array; (* heap.(0) unused when empty *)
-  mutable len : int;
+  heap : 'a item Accent_util.Lazy_heap.t;
   mutable next_seq : int;
-  mutable live : int;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0; live = 0 }
-let is_empty t = t.live = 0
-let size t = t.live
+type handle = Accent_util.Lazy_heap.handle
 
+(* (time, seq) is a strict total order — seq is unique — so the shared
+   lazy heap's determinism contract holds and pop order is exactly the
+   scheduling order at equal times. *)
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t entry =
-  let cap = Array.length t.heap in
-  if t.len = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let heap = Array.make ncap entry in
-    Array.blit t.heap 0 heap 0 t.len;
-    t.heap <- heap
-  end
+let create () =
+  { heap = Accent_util.Lazy_heap.create ~earlier (); next_seq = 0 }
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let is_empty t = Accent_util.Lazy_heap.is_empty t.heap
+let size t = Accent_util.Lazy_heap.live t.heap
+let physical_size t = Accent_util.Lazy_heap.physical_size t.heap
+let compactions t = Accent_util.Lazy_heap.compactions t.heap
 
 let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload; cancelled = false } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.heap.(t.len) <- entry;
-  t.len <- t.len + 1;
-  t.live <- t.live + 1;
-  sift_up t (t.len - 1);
-  H entry
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Accent_util.Lazy_heap.push t.heap { time; seq; payload }
 
-let cancel t (H entry) =
-  if not entry.cancelled then begin
-    entry.cancelled <- true;
-    t.live <- t.live - 1
-  end
+let cancel t handle = Accent_util.Lazy_heap.cancel t.heap handle
 
-let pop_entry t =
-  if t.len = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      sift_down t 0
-    end;
-    Some top
-  end
-
-let rec pop t =
-  match pop_entry t with
+let pop t =
+  match Accent_util.Lazy_heap.pop t.heap with
   | None -> None
-  | Some entry ->
-      if entry.cancelled then pop t
-      else begin
-        t.live <- t.live - 1;
-        Some (entry.time, entry.payload)
-      end
+  | Some item -> Some (item.time, item.payload)
 
-let rec peek_time t =
-  if t.len = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    if top.cancelled then begin
-      ignore (pop_entry t);
-      peek_time t
-    end
-    else Some top.time
-  end
+let peek_time t =
+  match Accent_util.Lazy_heap.peek t.heap with
+  | None -> None
+  | Some item -> Some item.time

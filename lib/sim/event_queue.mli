@@ -1,7 +1,12 @@
 (** Pending-event set for the discrete-event engine.
 
-    A binary min-heap ordered by (time, insertion sequence): events at equal
-    times fire in scheduling order, which keeps runs deterministic. *)
+    A lazy-invalidation binary min-heap ({!Accent_util.Lazy_heap})
+    ordered by (time, insertion sequence): events at equal times fire
+    in scheduling order, which keeps runs deterministic.  Cancelled
+    events are dropped lazily on pop, and the heap compacts itself
+    when dead entries outnumber live ones — so lossy ARQ runs, whose
+    acknowledgements cancel whole windows of backoff timers at once,
+    cannot grow the pending set without bound. *)
 
 type 'a t
 
@@ -13,6 +18,13 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 (** Live (non-cancelled) events currently queued. *)
+
+val physical_size : 'a t -> int
+(** Entries physically held, live or cancelled — bounded by compaction
+    at under 2x {!size} (above a small floor); exposed for tests. *)
+
+val compactions : 'a t -> int
+(** Times the underlying heap compacted, for tests. *)
 
 val push : 'a t -> time:Time.t -> 'a -> handle
 (** Schedule a payload at [time] and return its cancellation handle. *)

@@ -1,0 +1,132 @@
+type 'a entry = { payload : 'a; mutable dead : bool }
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  earlier : 'a -> 'a -> bool;
+  min_compact : int;
+  mutable heap : 'a entry array; (* slots >= len are stale padding *)
+  mutable len : int;
+  mutable live : int;
+  mutable compactions : int;
+}
+
+let create ?(min_compact = 64) ~earlier () =
+  { earlier; min_compact; heap = [||]; len = 0; live = 0; compactions = 0 }
+
+let is_empty t = t.live = 0
+let live t = t.live
+let physical_size t = t.len
+let compactions t = t.compactions
+let entry_earlier t a b = t.earlier a.payload b.payload
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.len = cap then begin
+    let heap = Array.make (max 16 (cap * 2)) entry in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_earlier t t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && entry_earlier t t.heap.(l) t.heap.(!smallest) then
+    smallest := l;
+  if r < t.len && entry_earlier t t.heap.(r) t.heap.(!smallest) then
+    smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t payload =
+  let entry = { payload; dead = false } in
+  grow t entry;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  H entry
+
+(* Filter the dead entries out and heapify what is left.  Because
+   [earlier] is a strict total order, the heap rebuilt here pops in
+   exactly the sequence the un-compacted heap would have. *)
+let compact t =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = t.heap.(i) in
+    if not e.dead then begin
+      t.heap.(!kept) <- e;
+      incr kept
+    end
+  done;
+  (* drop references beyond the live prefix so payloads can be GC'd *)
+  (if !kept > 0 then
+     let filler = t.heap.(0) in
+     for i = !kept to t.len - 1 do
+       t.heap.(i) <- filler
+     done);
+  t.len <- !kept;
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t.compactions <- t.compactions + 1
+
+let maybe_compact t =
+  if t.len >= t.min_compact && t.len - t.live > t.live then compact t
+
+let cancel t (H entry) =
+  if not entry.dead then begin
+    entry.dead <- true;
+    t.live <- t.live - 1;
+    maybe_compact t
+  end
+
+let pop_entry t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_entry t with
+  | None -> None
+  | Some entry ->
+      if entry.dead then pop t
+      else begin
+        (* a popped entry leaves the heap for good: mark it so a later
+           [cancel] through a retained handle stays a no-op *)
+        entry.dead <- true;
+        t.live <- t.live - 1;
+        Some entry.payload
+      end
+
+let rec peek t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    if top.dead then begin
+      ignore (pop_entry t);
+      peek t
+    end
+    else Some top.payload
+  end

@@ -1,0 +1,55 @@
+(** Binary min-heap with lazy invalidation and amortized compaction.
+
+    The one priority structure shared by every hot path that needs
+    "cheapest element now" under churn: the discrete-event pending set
+    ([Event_queue]) and the LRU frame index ([Phys_mem]).  Both follow
+    the same discipline — never rebuild state eagerly on change:
+
+    - {!push} returns a {!handle}; {!cancel} marks the entry dead in
+      O(1) without touching the heap shape.
+    - {!pop} and {!peek} discard dead entries lazily as they surface.
+    - When dead entries outnumber live ones the heap compacts itself
+      (filter + heapify, O(n) amortized against the cancels that made
+      the garbage), so mass cancellation — an ARQ ack wiping a window
+      of backoff timers, an eviction storm restamping frames — cannot
+      leave the array dominated by corpses.
+
+    Determinism contract: [earlier] must be a {e strict total} order
+    (no two live entries compare equal either way).  Under that
+    contract the pop sequence is a pure function of the live set, so
+    internal layout differences introduced by compaction can never
+    reorder observable events. *)
+
+type 'a t
+
+type handle
+(** Names a pushed entry so it can be cancelled.  Handles stay valid
+    (and {!cancel} stays a no-op) after the entry has been popped or
+    compacted away. *)
+
+val create : ?min_compact:int -> earlier:('a -> 'a -> bool) -> unit -> 'a t
+(** [earlier a b] means [a] must pop before [b].  [min_compact]
+    (default 64) is the smallest physical size at which compaction is
+    considered, so tiny heaps never pay the rebuild. *)
+
+val is_empty : 'a t -> bool
+val live : 'a t -> int
+
+val physical_size : 'a t -> int
+(** Entries physically in the array, live or dead — what compaction
+    bounds; exposed for tests and debug counters. *)
+
+val push : 'a t -> 'a -> handle
+
+val cancel : 'a t -> handle -> unit
+(** O(1); a no-op if the entry already popped or was cancelled. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the least live element. *)
+
+val peek : 'a t -> 'a option
+(** The least live element without removing it (dead entries found on
+    top are discarded). *)
+
+val compactions : 'a t -> int
+(** Times the heap compacted, for tests. *)

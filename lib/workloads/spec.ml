@@ -71,7 +71,9 @@ let build_layout space t =
   let gap_sizes =
     Array.of_list (shares (realz_bytes t / Page.size) (runs + 1))
   in
-  let universe = ref [] and zero_candidates = ref [] in
+  let universe = Array.make (real_pages t) 0 in
+  let u_fill = ref 0 in
+  let zero_candidates = ref [] in
   let slices = max runs t.vm_segments in
   let slice_counter = ref 0 in
   let addr = ref t.base_addr in
@@ -97,12 +99,13 @@ let build_layout space t =
             Printf.sprintf "seg%d" (!slice_counter mod t.vm_segments)
           in
           incr slice_counter;
-          let values =
-            Array.init slice_pages (fun p ->
-                let idx = Page.index_of_addr !addr + p in
-                universe := idx :: !universe;
-                Page.pattern_value ~tag idx)
-          in
+          let values = Array.make slice_pages Page.zero_value in
+          for p = 0 to slice_pages - 1 do
+            let idx = Page.index_of_addr !addr + p in
+            universe.(!u_fill) <- idx;
+            incr u_fill;
+            values.(p) <- Page.pattern_value ~tag idx
+          done;
           Address_space.install_values ~segment:label space ~addr:!addr values
             ~resident:false;
           addr := !addr + (slice_pages * Page.size)
@@ -116,12 +119,21 @@ let build_layout space t =
       emit_run i run_pages)
     run_sizes;
   emit_gap gap_sizes.(runs);
-  (Array.of_list (List.rev !universe), List.rev !zero_candidates)
+  assert (!u_fill = real_pages t);
+  (universe, List.rev !zero_candidates)
 
 (* Pick [k] elements of [arr] spread evenly, excluding [excluded]. *)
 let spread_pick arr k ~excluded =
-  let eligible = Array.of_list (List.filter (fun x -> not (Hashtbl.mem excluded x)) (Array.to_list arr)) in
-  let n = Array.length eligible in
+  let eligible = Array.make (max 1 (Array.length arr)) 0 in
+  let fill = ref 0 in
+  Array.iter
+    (fun x ->
+      if not (Hashtbl.mem excluded x) then begin
+        eligible.(!fill) <- x;
+        incr fill
+      end)
+    arr;
+  let n = !fill in
   if k > n then invalid_arg "spread_pick: not enough eligible elements";
   List.init k (fun i -> eligible.(i * n / max 1 k))
 

@@ -386,6 +386,141 @@ let prop_cow_dup_read_equal =
       let d = Cow.dup store h in
       Bytes.to_string (Cow.read store d) = s)
 
+(* --- hot-path equivalence properties --- *)
+
+(* The old O(frames) victim scan, kept as the executable spec: the
+   heap-based [Phys_mem.choose_victim] must agree with it after every
+   step of any alloc/touch/pin/free trace.  Stamps are unique, so the
+   spec answer is unique and the comparison is exact. *)
+let linear_scan_victim model =
+  Hashtbl.fold
+    (fun id (last_use, pinned) best ->
+      if pinned then best
+      else
+        match best with
+        | Some (_, best_last) when best_last <= last_use -> best
+        | _ -> Some (id, last_use))
+    model None
+  |> Option.map fst
+
+let prop_victim_equals_linear_scan =
+  QCheck.Test.make ~name:"heap-based victim choice = linear-scan fold"
+    QCheck.(
+      list_of_size Gen.(int_range 0 400) (pair (int_range 0 99) small_nat))
+    (fun ops ->
+      let cap = 8 in
+      let mem = Phys_mem.create ~frames:cap in
+      Phys_mem.set_evict_handler mem (fun _ _ ~dirty:_ -> ());
+      (* id -> (last_use, pinned), advanced in lockstep with the pool *)
+      let model : (int, int * bool) Hashtbl.t = Hashtbl.create 16 in
+      let clock = ref 0 in
+      let next_page = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (kind, arg) ->
+          let ids =
+            Hashtbl.fold (fun id _ acc -> id :: acc) model []
+            |> List.sort compare
+          in
+          let n = List.length ids in
+          let pick () = List.nth ids (arg mod n) in
+          (if kind < 40 then begin
+             let full = n >= cap in
+             let all_pinned =
+               Hashtbl.fold (fun _ (_, p) acc -> acc && p) model true
+             in
+             (* a full pool of pinned frames cannot evict; skip the op *)
+             if not (full && all_pinned) then begin
+               if full then
+                 Hashtbl.remove model (Option.get (linear_scan_victim model));
+               incr next_page;
+               let id =
+                 Phys_mem.allocate mem
+                   ~owner:{ Phys_mem.space_id = 0; page = !next_page }
+                   Page.zero_value
+               in
+               incr clock;
+               Hashtbl.replace model id (!clock, false)
+             end
+           end
+           else if n = 0 then ()
+           else if kind < 70 then begin
+             let id = pick () in
+             Phys_mem.touch mem id;
+             incr clock;
+             let _, pinned = Hashtbl.find model id in
+             Hashtbl.replace model id (!clock, pinned)
+           end
+           else if kind < 80 then begin
+             let id = pick () in
+             Phys_mem.pin mem id;
+             let last, _ = Hashtbl.find model id in
+             Hashtbl.replace model id (last, true)
+           end
+           else if kind < 90 then begin
+             let id = pick () in
+             Phys_mem.unpin mem id;
+             let last, _ = Hashtbl.find model id in
+             Hashtbl.replace model id (last, false)
+           end
+           else begin
+             let id = pick () in
+             Phys_mem.free mem id;
+             Hashtbl.remove model id
+           end);
+          if Phys_mem.choose_victim mem <> linear_scan_victim model then
+            ok := false;
+          if Phys_mem.in_use mem <> Hashtbl.length model then ok := false)
+        ops;
+      !ok)
+
+(* The old fold over every page ever referenced, as the spec for the
+   recency-list working set.  Windows range well past τ (exercising
+   the exhaustive-fold fallback behind the prune high-water mark) and
+   query times reach back before the newest reference. *)
+let prop_working_set_equals_fold =
+  QCheck.Test.make ~name:"pruned working-set queries = fold over all refs"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 300)
+        (triple (int_range 0 2) (int_range 0 100) (int_range 0 50)))
+    (fun events ->
+      let tau = 50. in
+      let ws = Working_set.create ~window:tau in
+      let model : (int, float) Hashtbl.t = Hashtbl.create 32 in
+      let now = ref 0. in
+      let ok = ref true in
+      let fold_within ~time ~window =
+        Hashtbl.fold
+          (fun idx last acc ->
+            if last >= time -. window && last <= time then idx :: acc else acc)
+          model []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (kind, a, b) ->
+          match kind with
+          | 0 ->
+              now := !now +. (float_of_int a /. 10.);
+              Working_set.reference ws ~time:!now b;
+              Hashtbl.replace model b !now
+          | 1 ->
+              let window = float_of_int (a * 5) in
+              let time = !now -. (float_of_int b /. 2.) in
+              if
+                Working_set.pages_within ws ~time ~window
+                <> fold_within ~time ~window
+              then ok := false
+          | _ ->
+              let expected = fold_within ~time:!now ~window:tau in
+              if Working_set.pages_at ws ~time:!now <> expected then
+                ok := false;
+              if Working_set.size_at ws ~time:!now <> List.length expected then
+                ok := false)
+        events;
+      if Working_set.distinct_pages ws <> Hashtbl.length model then ok := false;
+      !ok)
+
 let suite =
   ( "mem",
     [
@@ -438,4 +573,6 @@ let suite =
         test_cow_released_handle_rejected;
       Alcotest.test_case "cow sharing ratio" `Quick test_cow_sharing_ratio;
       QCheck_alcotest.to_alcotest prop_cow_dup_read_equal;
+      QCheck_alcotest.to_alcotest prop_victim_equals_linear_scan;
+      QCheck_alcotest.to_alcotest prop_working_set_equals_fold;
     ] )

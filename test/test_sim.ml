@@ -61,6 +61,37 @@ let prop_queue_pops_sorted =
       let popped = drain [] in
       popped = List.stable_sort compare times)
 
+(* A lossy-ARQ run cancels whole windows of backoff timers at once;
+   the dead entries must be compacted out of the heap, not left to be
+   popped one corpse at a time. *)
+let test_queue_compacts_after_mass_cancel () =
+  let q = Event_queue.create () in
+  let handles =
+    List.init 2_000 (fun i ->
+        (i, Event_queue.push q ~time:(float_of_int ((i * 13) mod 997)) i))
+  in
+  Alcotest.(check int) "all queued" 2_000 (Event_queue.physical_size q);
+  List.iter
+    (fun (i, h) -> if i mod 20 <> 0 then Event_queue.cancel q h)
+    handles;
+  Alcotest.(check int) "live survivors" 100 (Event_queue.size q);
+  Alcotest.(check bool) "compacted at least once" true
+    (Event_queue.compactions q > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap shrank after mass cancel (%d entries)"
+       (Event_queue.physical_size q))
+    true
+    (Event_queue.physical_size q < 400);
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, i) -> drain (i :: acc)
+  in
+  let popped = drain [] in
+  Alcotest.(check int) "survivors all pop" 100 (List.length popped);
+  Alcotest.(check bool) "only uncancelled timers fire" true
+    (List.for_all (fun i -> i mod 20 = 0) popped)
+
 (* --- Engine --- *)
 
 let test_engine_runs_in_order () =
@@ -203,6 +234,8 @@ let suite =
       Alcotest.test_case "queue cancel" `Quick test_queue_cancel;
       Alcotest.test_case "queue peek" `Quick test_queue_peek;
       QCheck_alcotest.to_alcotest prop_queue_pops_sorted;
+      Alcotest.test_case "queue compaction" `Quick
+        test_queue_compacts_after_mass_cancel;
       Alcotest.test_case "engine order" `Quick test_engine_runs_in_order;
       Alcotest.test_case "engine nested" `Quick test_engine_nested_scheduling;
       Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
