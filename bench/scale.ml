@@ -63,6 +63,7 @@ type trial = {
   events_per_sec : float;
   sim_ms : float;
   completed : int;
+  wire_bytes : int;
 }
 
 let run_trial ?frames ~strategy ~real_pages ~n_hosts () =
@@ -114,6 +115,7 @@ let run_trial ?frames ~strategy ~real_pages ~n_hosts () =
     events_per_sec = float_of_int events /. Float.max 1e-9 wall_s;
     sim_ms = Accent_sim.Time.to_ms sim_end;
     completed = !completed;
+    wire_bytes = Accent_net.Transfer_monitor.bytes_total world.World.monitor;
   }
 
 (* --- the largest Figure 4-1 trial, as an allocation probe -------------- *)
@@ -151,16 +153,41 @@ let fig41_probe () =
 
 let trial_json (t : trial) =
   Printf.sprintf
-    {|    {"strategy": "%s", "real_pages": %d, "hosts": %d, "frames": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d}|}
+    {|    {"strategy": "%s", "real_pages": %d, "hosts": %d, "frames": %d, "wall_s": %.4f, "allocated_words": %.0f, "events": %d, "events_per_sec": %.0f, "sim_ms": %.3f, "migrations_completed": %d, "wire_bytes": %d}|}
     t.strategy t.real_pages t.n_hosts t.frames t.wall_s t.allocated_words
-    t.events t.events_per_sec t.sim_ms t.completed
+    t.events t.events_per_sec t.sim_ms t.completed t.wire_bytes
 
 let probe_json p =
   Printf.sprintf
     {|    {"workload": "%s", "strategy": "%s", "wall_s": %.4f, "allocated_bytes": %.0f}|}
     p.workload p.strategy p.probe_wall_s p.allocated_bytes
 
-let write_json ~path ~mode ~trials ~probes =
+(* --- the content-addressed transfer headline --------------------------- *)
+
+(* One high-overlap point of the Dedup_sweep experiment: the bytes a
+   re-migration to a warm host costs with and without the digest-first
+   protocol.  Tracked in the bench JSON so the dedup win (and the
+   dedup-off byte count, which must never drift) has a baseline. *)
+let dedup_json () =
+  let t =
+    Accent_experiments.Dedup_sweep.run ~overlaps:[ 0.9 ]
+      ~strategies:[ Strategy.pure_copy; Strategy.hybrid () ]
+      ()
+  in
+  List.map
+    (fun (c : Accent_experiments.Dedup_sweep.cell) ->
+      Printf.sprintf
+        {|    {"strategy": "%s", "overlap": %g, "off_wire_bytes": %d, "on_wire_bytes": %d, "reduction_pct": %.1f, "digest_hits": %d, "pages_checked": %d}|}
+        (Strategy.name c.Accent_experiments.Dedup_sweep.strategy)
+        c.Accent_experiments.Dedup_sweep.overlap
+        (Report.bytes_total c.Accent_experiments.Dedup_sweep.off)
+        (Report.bytes_total c.Accent_experiments.Dedup_sweep.on_)
+        (Accent_experiments.Dedup_sweep.reduction_pct c)
+        c.Accent_experiments.Dedup_sweep.on_.Report.dedup_hits
+        c.Accent_experiments.Dedup_sweep.on_.Report.dedup_pages_checked)
+    t.Accent_experiments.Dedup_sweep.cells
+
+let write_json ~path ~mode ~trials ~probes ~dedup =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc {|  "benchmark": "scale",%s|} "\n";
@@ -168,6 +195,8 @@ let write_json ~path ~mode ~trials ~probes =
   Printf.fprintf oc {|  "page_bytes": %d,%s|} Accent_mem.Page.size "\n";
   Printf.fprintf oc "  \"trials\": [\n%s\n  ],\n"
     (String.concat ",\n" (List.map trial_json trials));
+  Printf.fprintf oc "  \"dedup_sweep\": [\n%s\n  ],\n"
+    (String.concat ",\n" dedup);
   Printf.fprintf oc "  \"fig41_probe\": [\n%s\n  ]\n"
     (String.concat ",\n" (List.map probe_json probes));
   Printf.fprintf oc "}\n";
@@ -243,6 +272,15 @@ let () =
       probes
     end
   in
+  let dedup =
+    if fig41_only then []
+    else begin
+      let cells = dedup_json () in
+      Printf.printf "dedup: %d high-overlap cells measured\n%!"
+        (List.length cells);
+      cells
+    end
+  in
   write_json ~path:out ~mode:(if smoke then "smoke" else "full") ~trials
-    ~probes;
+    ~probes ~dedup;
   Printf.printf "scale: wrote %s\n%!" out

@@ -277,6 +277,35 @@ let losssweep_cmd =
     Term.(
       const losssweep $ losssweep_workload_arg $ seed_arg $ losssweep_csv_arg)
 
+let dedupsweep workload seed csv =
+  let spec =
+    match Accent_workloads.Representative.by_name workload with
+    | Some spec -> spec
+    | None ->
+        Printf.eprintf "unknown workload %S\n" workload;
+        exit 1
+  in
+  let t = Accent_experiments.Dedup_sweep.run ~seed ~spec () in
+  print_string (Accent_experiments.Dedup_sweep.render t);
+  match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Accent_experiments.Dedup_sweep.to_csv t);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+
+let dedupsweep_cmd =
+  let doc =
+    "measure the wire bytes the content-addressed (digest-first) transfer \
+     saves when migrating to a host that already holds part of the \
+     process's pages"
+  in
+  Cmd.v
+    (Cmd.info "dedupsweep" ~doc)
+    Term.(
+      const dedupsweep $ losssweep_workload_arg $ seed_arg $ losssweep_csv_arg)
+
 let trace workload strategy prefetch seed loss partition out pretty =
   match Accent_workloads.Representative.by_name workload with
   | None ->
@@ -402,6 +431,7 @@ let main_cmd =
       compare_cmd;
       workloads_cmd;
       losssweep_cmd;
+      dedupsweep_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

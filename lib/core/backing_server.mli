@@ -9,7 +9,13 @@
 
     Used by the MigrationManager to back the non-resident remainder under
     the resident-set strategy, and directly by applications that want lazy
-    shipment of their own data (see examples/lazy_file_server.ml). *)
+    shipment of their own data (see examples/lazy_file_server.ml).
+
+    Segment contents are kept in the host's shared {!Accent_net.Content_store}
+    (the NetMsgServer's), not a private store: a page value banked here and
+    IOU-cached there is stored once, and with dedup on its digest is
+    answerable no matter which segment originally supplied it.  The server
+    itself only tracks which segment ids it owns. *)
 
 type t
 
@@ -36,6 +42,9 @@ val put_extent :
   t -> segment_id:int -> offset:int -> Accent_mem.Page.value array -> unit
 (** Provide a whole run of page values starting at the page-aligned
     [offset] in O(1) — see {!Accent_ipc.Segment_store.put_extent}. *)
+
+val store : t -> Accent_net.Content_store.t
+(** The host's shared content store this server banks into. *)
 
 val segment_bytes : t -> segment_id:int -> int
 

@@ -1,0 +1,293 @@
+open Accent_sim
+open Accent_mem
+open Accent_ipc
+open Accent_kernel
+
+exception Unresolvable of string
+
+(* A parked outbound send, waiting for the destination's need reply. *)
+type pending = {
+  proc_id : int;
+  memory : Memory_object.t;
+  build : Memory_object.t -> Message.t;
+}
+
+type t = {
+  host : Host.t;
+  port : Port.id;  (** the MigrationManager port need replies come back to *)
+  bus : Mig_event.bus;
+  store : Accent_net.Content_store.t;
+  pending_out : (int, pending) Hashtbl.t;  (** xfer_id -> parked send *)
+  staged : (int, (int, Page.value) Hashtbl.t) Hashtbl.t;
+      (** proc_id -> digest -> hit value; multiplicity via Hashtbl.add *)
+}
+
+let create ~host ~port ~bus =
+  let t =
+    {
+      host;
+      port;
+      bus;
+      store = Accent_net.Netmsgserver.content_store (Host.nms host);
+      pending_out = Hashtbl.create 4;
+      staged = Hashtbl.create 4;
+    }
+  in
+  (* An abandoned migration never resolves its staged hits or sends its
+     parked message: forget both so a re-migration starts clean. *)
+  Mig_event.subscribe bus (fun ev ->
+      match ev.Mig_event.kind with
+      | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
+          let proc_id = ev.Mig_event.proc_id in
+          Hashtbl.remove t.staged proc_id;
+          Hashtbl.iter
+            (fun xfer_id p ->
+              if p.proc_id = proc_id then Hashtbl.remove t.pending_out xfer_id)
+            (Hashtbl.copy t.pending_out)
+      | _ -> ());
+  t
+
+let enabled t = Accent_net.Netmsgserver.dedup_enabled (Host.nms t.host)
+
+let emit t ~proc_id kind =
+  Mig_event.publish t.bus
+    { Mig_event.at = Engine.now (Host.engine t.host); proc_id; kind }
+
+let staged_for t proc_id =
+  match Hashtbl.find_opt t.staged proc_id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.replace t.staged proc_id tbl;
+      tbl
+
+(* --- source side ---------------------------------------------------------- *)
+
+(* An IOU chunk is advertisable too when the source's own store holds the
+   run it points at (the backing server banks into the same store): the
+   destination may already hold those pages, and materialising them there
+   beats pulling them across the wire one fault at a time. *)
+let iou_run_values t (c : Memory_object.chunk) =
+  match c.Memory_object.content with
+  | Memory_object.Data _ | Memory_object.Digest_refs _ -> None
+  | Memory_object.Iou { segment_id; offset; _ } ->
+      let pages = Vaddr.len c.Memory_object.range / Page.size in
+      let values =
+        Accent_net.Content_store.read_run t.store ~segment_id ~offset ~pages
+      in
+      if List.length values = pages then Some (Array.of_list values) else None
+
+let digest_runs t memory =
+  List.filter_map
+    (fun (c : Memory_object.chunk) ->
+      match c.Memory_object.content with
+      | Memory_object.Data values ->
+          Some (c.Memory_object.range.Vaddr.lo, Array.map Page.digest values)
+      | Memory_object.Digest_refs _ -> None
+      | Memory_object.Iou _ ->
+          Option.map
+            (fun values ->
+              (c.Memory_object.range.Vaddr.lo, Array.map Page.digest values))
+            (iou_run_values t c))
+    memory
+
+let send t ~dest ~proc_id ~memory ~build =
+  let direct () = Kernel_ipc.send (Host.kernel t.host) (build memory) in
+  if not (enabled t) then direct ()
+  else
+    match digest_runs t memory with
+    | [] -> direct ()
+    | runs ->
+        let xfer_id = Ids.next (Host.ids t.host) in
+        Hashtbl.replace t.pending_out xfer_id { proc_id; memory; build };
+        Kernel_ipc.send (Host.kernel t.host)
+          (Protocol.mig_digests ~ids:(Host.ids t.host) ~dest ~xfer_id ~proc_id
+             ~src_port:t.port ~runs)
+
+(* Split an advertised chunk into maximal sub-runs: pages the destination
+   asked for keep their original shape (Data bytes, or an IOU to pull
+   through), the rest travel as 8-byte digest references. *)
+let split_chunk (c : Memory_object.chunk) ~values ~need ~mk_needed =
+  let lo = c.Memory_object.range.Vaddr.lo in
+  let n = Array.length values in
+  let needed = Array.make n false in
+  List.iter
+    (fun (off, pages) ->
+      for k = 0 to pages - 1 do
+        let po = off + (k * Page.size) in
+        if po >= lo && po < c.Memory_object.range.Vaddr.hi then
+          needed.((po - lo) / Page.size) <- true
+      done)
+    need;
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n && needed.(!j) = needed.(!i) do
+      incr j
+    done;
+    let sub = Array.sub values !i (!j - !i) in
+    let range =
+      Vaddr.of_len (lo + (!i * Page.size)) (Page.size * (!j - !i))
+    in
+    let content =
+      if needed.(!i) then mk_needed ~first_page:!i sub
+      else Memory_object.Digest_refs (Array.map Page.digest sub)
+    in
+    out := { Memory_object.range; content } :: !out;
+    i := !j
+  done;
+  List.rev !out
+
+let prune t memory need =
+  List.concat_map
+    (fun (c : Memory_object.chunk) ->
+      match c.Memory_object.content with
+      | Memory_object.Digest_refs _ -> [ c ]
+      | Memory_object.Data values ->
+          split_chunk c ~values ~need ~mk_needed:(fun ~first_page:_ sub ->
+              Memory_object.Data sub)
+      | Memory_object.Iou { segment_id; backing_port; offset } -> (
+          match iou_run_values t c with
+          | None -> [ c ] (* was not advertised; ship the IOU whole *)
+          | Some values ->
+              split_chunk c ~values ~need
+                ~mk_needed:(fun ~first_page sub ->
+                  ignore sub;
+                  Memory_object.Iou
+                    {
+                      segment_id;
+                      backing_port;
+                      offset = offset + (first_page * Page.size);
+                    })))
+    memory
+
+(* --- the protocol handler ------------------------------------------------- *)
+
+(* For each advertised run, stage the hits and coalesce the misses into
+   (offset, pages) sub-runs.  Runs never merge across chunk boundaries. *)
+let check_runs t staged runs =
+  let pages = ref 0 and hits = ref 0 in
+  let need = ref [] in
+  let open_run = ref None in
+  let flush () =
+    (match !open_run with Some r -> need := r :: !need | None -> ());
+    open_run := None
+  in
+  List.iter
+    (fun (off, digests) ->
+      Array.iteri
+        (fun i d ->
+          incr pages;
+          let page_off = off + (i * Page.size) in
+          match Accent_net.Content_store.find t.store d with
+          | Some v ->
+              incr hits;
+              Hashtbl.add staged d v;
+              flush ()
+          | None -> (
+              match !open_run with
+              | Some (start, count) when start + (count * Page.size) = page_off
+                ->
+                  open_run := Some (start, count + 1)
+              | _ ->
+                  flush ();
+                  open_run := Some (page_off, 1)))
+        digests;
+      flush ())
+    runs;
+  (!pages, !hits, List.rev !need)
+
+let handle t msg =
+  match msg.Message.payload with
+  | Protocol.Mig_digests { xfer_id; proc_id; src_port; runs } ->
+      let staged = staged_for t proc_id in
+      let pages, hits, need = check_runs t staged runs in
+      emit t ~proc_id (Mig_event.Dedup_digests { pages; hits });
+      Kernel_ipc.send (Host.kernel t.host)
+        (Protocol.mig_need ~ids:(Host.ids t.host) ~dest:src_port ~xfer_id
+           ~proc_id ~need);
+      true
+  | Protocol.Mig_need { xfer_id; proc_id; need } ->
+      (match Hashtbl.find_opt t.pending_out xfer_id with
+      | None ->
+          (* the migration was abandoned while the reply was in flight *)
+          Logs.warn (fun m ->
+              m "Dedup: need reply for unknown transfer %d (proc %d)" xfer_id
+                proc_id)
+      | Some p ->
+          Hashtbl.remove t.pending_out xfer_id;
+          let pruned = prune t p.memory need in
+          let elided =
+            Memory_object.data_bytes p.memory
+            - Memory_object.data_bytes pruned
+          in
+          emit t ~proc_id:p.proc_id (Mig_event.Dedup_elided { bytes = elided });
+          Kernel_ipc.send (Host.kernel t.host) (p.build pruned));
+      true
+  | _ -> false
+
+let give_up_proc = function
+  | Protocol.Mig_digests { proc_id; _ } | Protocol.Mig_need { proc_id; _ } ->
+      Some proc_id
+  | _ -> None
+
+(* --- destination side ----------------------------------------------------- *)
+
+let resolve t ~proc_id memory =
+  if not (enabled t) then memory
+  else begin
+    let staged = Hashtbl.find_opt t.staged proc_id in
+    let take_staged d =
+      Option.bind staged (fun tbl ->
+          match Hashtbl.find_opt tbl d with
+          | Some v ->
+              Hashtbl.remove tbl d;
+              Some v
+          | None -> None)
+    in
+    let resolved =
+      List.map
+        (fun (c : Memory_object.chunk) ->
+          match c.Memory_object.content with
+          | Memory_object.Iou _ -> c
+          | Memory_object.Data values ->
+              (* page data that did cross the wire seeds future hits *)
+              Array.iter
+                (fun v ->
+                  ignore (Accent_net.Content_store.insert_wire t.store v))
+                values;
+              c
+          | Memory_object.Digest_refs digests ->
+              let values =
+                Array.map
+                  (fun d ->
+                    match take_staged d with
+                    | Some v -> v
+                    | None -> (
+                        match Accent_net.Content_store.find t.store d with
+                        | Some v -> v
+                        | None ->
+                            raise
+                              (Unresolvable
+                                 (Printf.sprintf
+                                    "dedup: digest %#x vanished before \
+                                     materialisation"
+                                    d))))
+                  digests
+              in
+              { c with Memory_object.content = Memory_object.Data values })
+        memory
+    in
+    (* at most one negotiated transfer per proc is in flight (rounds are
+       ack-serialised), so whatever this message did not consume can never
+       be referenced again *)
+    Hashtbl.remove t.staged proc_id;
+    resolved
+  end
+
+let debug_stats t =
+  [
+    ("pending_out", Hashtbl.length t.pending_out);
+    ("staged_procs", Hashtbl.length t.staged);
+  ]

@@ -29,12 +29,11 @@ let send_context ctx ~dest ~(excised : Excise.excised) ~rimas ~no_ious
       (Mig_core
          { core = excised.Excise.core; prefetch; report; on_complete; on_restart })
   in
-  let rimas_msg =
-    Message.make ~ids ~dest ~inline_bytes:64 ~memory:rimas ~no_ious
-      ~category:Message.Bulk
-      (Mig_rimas { proc_id = excised.Excise.core.Context.proc_id; report })
-  in
-  Kernel_ipc.send (Host.kernel ctx.host) rimas_msg;
+  let proc_id = excised.Excise.core.Context.proc_id in
+  Dedup.send ctx.dedup ~dest ~proc_id ~memory:rimas
+    ~build:(fun memory ->
+      Message.make ~ids ~dest ~inline_bytes:64 ~memory ~no_ious
+        ~category:Message.Bulk (Mig_rimas { proc_id; report }));
   Kernel_ipc.send (Host.kernel ctx.host) core_msg
 
 let start ctx ~proc ~dest ~strategy ~report ~on_complete ~on_restart =
@@ -85,12 +84,17 @@ let create ctx =
         true
     | Mig_rimas { proc_id; report = _ } ->
         let rimas = Option.value msg.Message.memory ~default:[] in
+        (* wire accounting first: data_bytes of the pruned object *)
         emit ctx ~proc_id
           (Mig_event.Rimas_delivered
              { data_bytes = Memory_object.data_bytes rimas });
-        let partial = partial_for proc_id in
-        partial.arrived_rimas <- Some rimas;
-        maybe_insert proc_id partial;
+        (match Dedup.resolve ctx.dedup ~proc_id rimas with
+        | rimas ->
+            let partial = partial_for proc_id in
+            partial.arrived_rimas <- Some rimas;
+            maybe_insert proc_id partial
+        | exception Dedup.Unresolvable reason ->
+            abort_migration ctx ~proc_id reason);
         true
     | _ -> false
   in

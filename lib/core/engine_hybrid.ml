@@ -41,11 +41,11 @@ let send_round ctx outbound (state : outbound) ~round ~pages =
       emit ctx ~proc_id
         (Mig_event.Precopy_round
            { round; bytes = Memory_object.data_bytes chunks });
-      Kernel_ipc.send (Host.kernel ctx.host)
-        (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-           ~inline_bytes:64 ~memory:chunks ~no_ious:true
-           ~category:Message.Bulk
-           (Mig_hybrid_pages { proc_id; round; src_port = ctx.port }))
+      Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
+        ~build:(fun memory ->
+          Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+            ~inline_bytes:64 ~memory ~no_ious:true ~category:Message.Bulk
+            (Mig_hybrid_pages { proc_id; round; src_port = ctx.port }))
 
 (* Everything real that no round ever pushed and the freeze did not catch
    dirty becomes the cold tail: its values move into the manager's backing
@@ -129,19 +129,20 @@ let freeze ctx outbound (state : outbound) =
                   @ Engine_precopy.iou_chunks_in_vaddr excised)
               in
               Memory_object.validate memory;
-              Kernel_ipc.send (Host.kernel ctx.host)
-                (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-                   ~inline_bytes:
-                     (Context.core_wire_bytes (Host.costs ctx.host)
-                        excised.Excise.core)
-                   ~rights:excised.Excise.core.Context.port_rights ~memory
-                   ~no_ious:true ~category:Message.Bulk
-                   (Mig_hybrid_final
-                      {
-                        core = excised.Excise.core;
-                        report = state.out_report;
-                        on_complete = state.out_on_complete;
-                      }))))
+              Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory
+                ~build:(fun memory ->
+                  Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+                    ~inline_bytes:
+                      (Context.core_wire_bytes (Host.costs ctx.host)
+                         excised.Excise.core)
+                    ~rights:excised.Excise.core.Context.port_rights ~memory
+                    ~no_ious:true ~category:Message.Bulk
+                    (Mig_hybrid_final
+                       {
+                         core = excised.Excise.core;
+                         report = state.out_report;
+                         on_complete = state.out_on_complete;
+                       }))))
 
 let handle_ack ctx outbound ~proc_id ~round =
   match Hashtbl.find_opt outbound proc_id with
@@ -193,7 +194,7 @@ let assemble_rimas store ~proc_id ~amap ~iou_chunks =
                  backing_port;
                  offset = offset + lo - chunk.Memory_object.range.Vaddr.lo;
                })
-      | Memory_object.Data _ -> assert false);
+      | Memory_object.Data _ | Memory_object.Digest_refs _ -> assert false);
       emit_iou_cover ~lo:piece_hi ~hi)
   in
   let staged_offsets = Segment_store.offsets store ~segment_id:proc_id in
@@ -303,13 +304,19 @@ let create ctx =
   let handle msg =
     match msg.Message.payload with
     | Mig_hybrid_pages { proc_id; round; src_port } ->
-        let store = Engine_precopy.staged_store staged proc_id in
-        Engine_precopy.stage_chunks store ~proc_id
-          (Option.value msg.Message.memory ~default:[]);
-        Kernel_ipc.send (Host.kernel ctx.host)
-          (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
-             ~inline_bytes:32
-             (Mig_hybrid_ack { proc_id; round }));
+        (match
+           Dedup.resolve ctx.dedup ~proc_id
+             (Option.value msg.Message.memory ~default:[])
+         with
+        | exception Dedup.Unresolvable reason ->
+            abort_migration ctx ~proc_id reason
+        | memory ->
+            let store = Engine_precopy.staged_store staged proc_id in
+            Engine_precopy.stage_chunks store ~proc_id memory;
+            Kernel_ipc.send (Host.kernel ctx.host)
+              (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
+                 ~inline_bytes:32
+                 (Mig_hybrid_ack { proc_id; round })));
         true
     | Mig_hybrid_ack { proc_id; round } ->
         handle_ack ctx outbound ~proc_id ~round;
@@ -322,6 +329,11 @@ let create ctx =
         emit ctx ~proc_id
           (Mig_event.Rimas_delivered
              { data_bytes = Memory_object.data_bytes memory });
+        (match Dedup.resolve ctx.dedup ~proc_id memory with
+        | exception Dedup.Unresolvable reason ->
+            Hashtbl.remove staged proc_id;
+            abort_migration ctx ~proc_id reason
+        | memory ->
         let store = Engine_precopy.staged_store staged proc_id in
         Engine_precopy.stage_chunks store ~proc_id memory;
         let iou_chunks =
@@ -329,7 +341,7 @@ let create ctx =
             (fun c ->
               match c.Memory_object.content with
               | Memory_object.Iou _ -> true
-              | Memory_object.Data _ -> false)
+              | Memory_object.Data _ | Memory_object.Digest_refs _ -> false)
             memory
         in
         (match
@@ -348,7 +360,7 @@ let create ctx =
                 report;
                 on_complete;
                 on_restart = None;
-              });
+              }));
         true
     | _ -> false
   in

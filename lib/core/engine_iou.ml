@@ -35,7 +35,8 @@ let partial_rimas ctx (excised : Excise.excised) ~keep_pages =
   List.iter
     (fun chunk ->
       match chunk.Memory_object.content with
-      | Memory_object.Iou _ -> rev_chunks := chunk :: !rev_chunks
+      | Memory_object.Iou _ | Memory_object.Digest_refs _ ->
+          rev_chunks := chunk :: !rev_chunks
       | Memory_object.Data values ->
           let lo = chunk.Memory_object.range.Vaddr.lo in
           let hi = chunk.Memory_object.range.Vaddr.hi in

@@ -74,11 +74,11 @@ let send_round ctx outbound (state : outbound) ~round ~pages =
       emit ctx ~proc_id
         (Mig_event.Precopy_round
            { round; bytes = Memory_object.data_bytes chunks });
-      Kernel_ipc.send (Host.kernel ctx.host)
-        (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-           ~inline_bytes:64 ~memory:chunks ~no_ious:true
-           ~category:Message.Bulk
-           (Mig_precopy_pages { proc_id; round; src_port = ctx.port }))
+      Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
+        ~build:(fun memory ->
+          Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+            ~inline_bytes:64 ~memory ~no_ious:true ~category:Message.Bulk
+            (Mig_precopy_pages { proc_id; round; src_port = ctx.port }))
 
 (* Convert any surviving IOU chunks of an excised RIMAS back to
    virtual-address coordinates using the excision layout, so the final
@@ -87,7 +87,7 @@ let iou_chunks_in_vaddr (excised : Excise.excised) =
   List.concat_map
     (fun chunk ->
       match chunk.Memory_object.content with
-      | Memory_object.Data _ -> []
+      | Memory_object.Data _ | Memory_object.Digest_refs _ -> []
       | Memory_object.Iou { segment_id; backing_port; offset } ->
           let clo = chunk.Memory_object.range.Vaddr.lo in
           let chi = chunk.Memory_object.range.Vaddr.hi in
@@ -147,19 +147,20 @@ let freeze ctx outbound (state : outbound) =
               (residual_chunks @ iou_chunks_in_vaddr excised)
           in
           Memory_object.validate memory;
-          Kernel_ipc.send (Host.kernel ctx.host)
-            (Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-               ~inline_bytes:
-                 (Context.core_wire_bytes (Host.costs ctx.host)
-                    excised.Excise.core)
-               ~rights:excised.Excise.core.Context.port_rights ~memory
-               ~no_ious:true ~category:Message.Bulk
-               (Mig_precopy_final
-                  {
-                    core = excised.Excise.core;
-                    report = state.out_report;
-                    on_complete = state.out_on_complete;
-                  }))))
+          Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory
+            ~build:(fun memory ->
+              Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+                ~inline_bytes:
+                  (Context.core_wire_bytes (Host.costs ctx.host)
+                     excised.Excise.core)
+                ~rights:excised.Excise.core.Context.port_rights ~memory
+                ~no_ious:true ~category:Message.Bulk
+                (Mig_precopy_final
+                   {
+                     core = excised.Excise.core;
+                     report = state.out_report;
+                     on_complete = state.out_on_complete;
+                   }))))
 
 let handle_ack ctx outbound ~proc_id ~round =
   match Hashtbl.find_opt outbound proc_id with
@@ -194,7 +195,9 @@ let stage_chunks store ~proc_id memory =
                 ~offset:(lo + (i * Page.size))
                 value)
             values
-      | Memory_object.Iou _ -> ())
+      (* digest chunks are resolved to Data before staging; none should
+         survive to here, and an unresolved one carries no bytes to stage *)
+      | Memory_object.Iou _ | Memory_object.Digest_refs _ -> ())
     memory
 
 (* Assemble a collapsed-coordinate RIMAS for InsertProcess from the staged
@@ -253,7 +256,8 @@ let assemble_rimas store ~proc_id ~amap ~iou_chunks =
                       };
                 }
                 :: !rev_chunks
-          | Memory_object.Data _ -> assert false);
+          | Memory_object.Data _ | Memory_object.Digest_refs _ ->
+              assert false);
           cursor := !cursor + len)
     (Amap.ranges amap);
   (* merge adjacent data chunks so the result mirrors a normal collapse *)
@@ -301,13 +305,19 @@ let create ctx =
   let handle msg =
     match msg.Message.payload with
     | Mig_precopy_pages { proc_id; round; src_port } ->
-        let store = staged_store staged proc_id in
-        stage_chunks store ~proc_id
-          (Option.value msg.Message.memory ~default:[]);
-        Kernel_ipc.send (Host.kernel ctx.host)
-          (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
-             ~inline_bytes:32
-             (Mig_precopy_ack { proc_id; round }));
+        (match
+           Dedup.resolve ctx.dedup ~proc_id
+             (Option.value msg.Message.memory ~default:[])
+         with
+        | exception Dedup.Unresolvable reason ->
+            abort_migration ctx ~proc_id reason
+        | memory ->
+            let store = staged_store staged proc_id in
+            stage_chunks store ~proc_id memory;
+            Kernel_ipc.send (Host.kernel ctx.host)
+              (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
+                 ~inline_bytes:32
+                 (Mig_precopy_ack { proc_id; round })));
         true
     | Mig_precopy_ack { proc_id; round } ->
         handle_ack ctx outbound ~proc_id ~round;
@@ -322,6 +332,11 @@ let create ctx =
         emit ctx ~proc_id
           (Mig_event.Rimas_delivered
              { data_bytes = Memory_object.data_bytes memory });
+        (match Dedup.resolve ctx.dedup ~proc_id memory with
+        | exception Dedup.Unresolvable reason ->
+            Hashtbl.remove staged proc_id;
+            abort_migration ctx ~proc_id reason
+        | memory ->
         let store = staged_store staged proc_id in
         stage_chunks store ~proc_id memory;
         let iou_chunks =
@@ -329,7 +344,7 @@ let create ctx =
             (fun c ->
               match c.Memory_object.content with
               | Memory_object.Iou _ -> true
-              | Memory_object.Data _ -> false)
+              | Memory_object.Data _ | Memory_object.Digest_refs _ -> false)
             memory
         in
         (match
@@ -348,7 +363,7 @@ let create ctx =
                 report;
                 on_complete;
                 on_restart = None;
-              });
+              }));
         true
     | _ -> false
   in

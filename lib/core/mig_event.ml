@@ -12,6 +12,11 @@ type kind =
   | Precopy_round of { round : int; bytes : int }
   | Fault of fault_kind
   | Prefetch of prefetch_kind
+  | Dedup_digests of { pages : int; hits : int }
+      (** destination checked an advertisement of [pages] digests and
+          already held [hits] of them *)
+  | Dedup_elided of { bytes : int }
+      (** source withheld [bytes] of page data the destination already had *)
   | Transport_give_up
   | Engine_abort of { reason : string }
   | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
@@ -67,6 +72,11 @@ let apply (r : Report.t) ev =
             r.Report.prefetch_extra <- r.Report.prefetch_extra + 1
         | Prefetch_hit -> r.Report.prefetch_hits <- r.Report.prefetch_hits + 1
       end
+  | Dedup_digests { pages; hits } ->
+      r.Report.dedup_pages_checked <- r.Report.dedup_pages_checked + pages;
+      r.Report.dedup_hits <- r.Report.dedup_hits + hits
+  | Dedup_elided { bytes } ->
+      r.Report.dedup_bytes_elided <- r.Report.dedup_bytes_elided + bytes
   | Transport_give_up ->
       r.Report.transport_give_ups <- r.Report.transport_give_ups + 1;
       if r.Report.outcome = Report.Completed then
@@ -145,6 +155,8 @@ let kind_name = function
   | Precopy_round _ -> "precopy-round"
   | Fault _ -> "fault"
   | Prefetch _ -> "prefetch"
+  | Dedup_digests _ -> "dedup-digests"
+  | Dedup_elided _ -> "dedup-elided"
   | Transport_give_up -> "transport-give-up"
   | Engine_abort _ -> "engine-abort"
   | Outcome _ -> "outcome"
@@ -185,6 +197,9 @@ let to_json ev =
     | Fault kind -> Printf.sprintf {|,"kind":"%s"|} (fault_kind_name kind)
     | Prefetch kind ->
         Printf.sprintf {|,"kind":"%s"|} (prefetch_kind_name kind)
+    | Dedup_digests { pages; hits } ->
+        Printf.sprintf {|,"pages":%d,"hits":%d|} pages hits
+    | Dedup_elided { bytes } -> Printf.sprintf {|,"bytes":%d|} bytes
     | Outcome { outcome; remote_touched_pages } ->
         Printf.sprintf {|,"outcome":"%s","remote_touched_pages":%d|}
           (Report.outcome_name outcome)
@@ -221,6 +236,9 @@ let pp ppf ev =
         Printf.sprintf " %d (%d B)" round bytes
     | Fault kind -> " " ^ fault_kind_name kind
     | Prefetch kind -> " " ^ prefetch_kind_name kind
+    | Dedup_digests { pages; hits } ->
+        Printf.sprintf " %d/%d pages already held" hits pages
+    | Dedup_elided { bytes } -> Printf.sprintf " (%d B withheld)" bytes
     | Outcome { outcome; remote_touched_pages } ->
         Printf.sprintf " %s (%d pages touched)"
           (Report.outcome_name outcome)

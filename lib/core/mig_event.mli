@@ -39,6 +39,12 @@ type kind =
   | Prefetch of prefetch_kind
       (** an extra page was installed by prefetch, or a previously
           prefetched page was referenced *)
+  | Dedup_digests of { pages : int; hits : int }
+      (** dedup: the destination checked an advertisement of [pages] page
+          digests and already held [hits] of them in its content store *)
+  | Dedup_elided of { bytes : int }
+      (** dedup: the source withheld [bytes] of page data whose digests
+          the destination reported as already held *)
   | Transport_give_up
       (** the reliable transport abandoned a migration message *)
   | Engine_abort of { reason : string }

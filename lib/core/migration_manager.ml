@@ -77,14 +77,32 @@ let create ?bus host =
       received = 0;
     }
   in
+  let dedup = Dedup.create ~host ~port ~bus in
   let ctx =
     {
       Transfer_engine.host;
       port;
       backing = t.backing;
       bus;
+      dedup;
       insert = insert_arrival t;
       note_received = (fun () -> t.received <- t.received + 1);
+    }
+  in
+  (* The digest-first handshake is strategy-independent, so it mounts as
+     a fifth pseudo-engine: it claims no strategy, only the
+     Mig_digests/Mig_need protocol messages. *)
+  let dedup_engine =
+    {
+      Transfer_engine.name = "dedup";
+      claims = (fun _ -> false);
+      start =
+        (fun ~proc:_ ~dest:_ ~strategy:_ ~report:_ ~on_complete:_
+             ~on_restart:_ ->
+          invalid_arg "Migration_manager: dedup pseudo-engine cannot start");
+      handle = Dedup.handle dedup;
+      give_up_proc = Dedup.give_up_proc;
+      debug_stats = (fun () -> Dedup.debug_stats dedup);
     }
   in
   t.engines <-
@@ -93,6 +111,7 @@ let create ?bus host =
       Engine_iou.create ctx;
       Engine_precopy.create ctx;
       Engine_hybrid.create ctx;
+      dedup_engine;
     ];
   Kernel_ipc.bind (Host.kernel host) port (handle t);
   (* When the reliable transport abandons one of our context or pre-copy

@@ -34,6 +34,9 @@ type t = {
   mutable bytes_ack : int;
   mutable retransmits : int;
   mutable transport_give_ups : int;
+  mutable dedup_pages_checked : int;
+  mutable dedup_hits : int;
+  mutable dedup_bytes_elided : int;
   mutable network_messages : int;
   mutable message_seconds : float;
   mutable outcome : outcome;
@@ -69,6 +72,9 @@ let create ~proc_name ~strategy =
     bytes_ack = 0;
     retransmits = 0;
     transport_give_ups = 0;
+    dedup_pages_checked = 0;
+    dedup_hits = 0;
+    dedup_bytes_elided = 0;
     network_messages = 0;
     message_seconds = 0.;
     outcome = Completed;
@@ -138,4 +144,10 @@ let pp_summary ppf t =
       t.retransmits
       (Accent_util.Bytesize.to_string t.bytes_ack)
       t.transport_give_ups (outcome_name t.outcome);
+  if t.dedup_pages_checked > 0 then
+    Format.fprintf ppf
+      "@,\
+      \  dedup: %d/%d digests already at destination, %s elided"
+      t.dedup_hits t.dedup_pages_checked
+      (Accent_util.Bytesize.to_string t.dedup_bytes_elided);
   Format.fprintf ppf "@]"

@@ -58,6 +58,12 @@ type t = {
   mutable retransmits : int;  (** fragment retransmissions, both hosts *)
   mutable transport_give_ups : int;
       (** messages the reliable transport abandoned, both hosts *)
+  mutable dedup_pages_checked : int;
+      (** page digests advertised to and checked by the destination *)
+  mutable dedup_hits : int;
+      (** of those, pages the destination's content store already held *)
+  mutable dedup_bytes_elided : int;
+      (** page-data bytes never sent because their digests hit *)
   mutable network_messages : int;
   mutable message_seconds : float;
       (** node time spent manipulating messages, summed over both hosts *)

@@ -15,6 +15,7 @@ type ctx = {
   port : Accent_ipc.Port.id;
   backing : Backing_server.t;
   bus : Mig_event.bus;
+  dedup : Dedup.t;
   insert : arrival -> unit;
   note_received : unit -> unit;
 }

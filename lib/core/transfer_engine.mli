@@ -31,6 +31,10 @@ type ctx = {
   backing : Backing_server.t;
       (** the manager's own backing server (resident-set/working-set IOUs) *)
   bus : Mig_event.bus;
+  dedup : Dedup.t;
+      (** the manager's digest-first negotiator; engines route page-data
+          sends through {!Dedup.send} and arrivals through
+          {!Dedup.resolve} *)
   insert : arrival -> unit;
       (** manager-provided: run InsertProcess and the restart lifecycle *)
   note_received : unit -> unit;

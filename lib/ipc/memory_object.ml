@@ -3,6 +3,7 @@ open Accent_mem
 type content =
   | Data of Page.value array
   | Iou of { segment_id : int; backing_port : Port.id; offset : int }
+  | Digest_refs of int array
 
 type chunk = { range : Vaddr.range; content : content }
 type t = chunk list
@@ -15,6 +16,9 @@ let validate t =
     | Data values ->
         if Array.length values * Page.size <> Vaddr.len range then
           invalid_arg "Memory_object: data length disagrees with range"
+    | Digest_refs digests ->
+        if Array.length digests * Page.size <> Vaddr.len range then
+          invalid_arg "Memory_object: digest count disagrees with range"
     | Iou _ -> ()
   in
   let rec check_order = function
@@ -32,13 +36,26 @@ let data_bytes t =
     (fun acc c ->
       match c.content with
       | Data values -> acc + (Array.length values * Page.size)
-      | Iou _ -> acc)
+      | Iou _ | Digest_refs _ -> acc)
     0 t
 
 let iou_bytes t =
   List.fold_left
     (fun acc c ->
-      match c.content with Iou _ -> acc + Vaddr.len c.range | Data _ -> acc)
+      match c.content with
+      | Iou _ -> acc + Vaddr.len c.range
+      | Data _ | Digest_refs _ -> acc)
+    0 t
+
+let digest_ref_bytes_per_page = 8
+
+let digest_bytes t =
+  List.fold_left
+    (fun acc c ->
+      match c.content with
+      | Digest_refs digests ->
+          acc + (Array.length digests * digest_ref_bytes_per_page)
+      | Data _ | Iou _ -> acc)
     0 t
 
 let total_bytes t =
@@ -53,7 +70,7 @@ let iou_ports t =
     (fun acc c ->
       match c.content with
       | Iou { backing_port; _ } -> Port.Set.add backing_port acc
-      | Data _ -> acc)
+      | Data _ | Digest_refs _ -> acc)
     Port.Set.empty t
   |> Port.Set.elements
 

@@ -18,6 +18,12 @@ type content =
           is the segment offset corresponding to the chunk's [range.lo]
           (they coincide for freshly-cached data but diverge when an IOU is
           re-shipped, e.g. on a second migration) *)
+  | Digest_refs of int array
+      (** content named by digest, one per page: the receiver already holds
+          these bytes in its content store (it said so during the
+          digest-first handshake), so only the 8-byte names travel.  The
+          migration layer resolves these back to [Data] before anything
+          below it sees the object. *)
 
 type chunk = { range : Accent_mem.Vaddr.range; content : content }
 (** [range] is in the {e collapsed} coordinate space of the memory object —
@@ -36,6 +42,9 @@ val data_bytes : t -> int
 
 val iou_bytes : t -> int
 (** Bytes promised by IOUs. *)
+
+val digest_bytes : t -> int
+(** Wire bytes spent on digest references: 8 per elided page. *)
 
 val total_bytes : t -> int
 val chunk_count : t -> int

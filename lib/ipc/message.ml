@@ -50,7 +50,10 @@ let wire_size t =
   +
   match t.memory with
   | None -> 0
-  | Some m -> Memory_object.descriptor_bytes m + Memory_object.data_bytes m
+  | Some m ->
+      Memory_object.descriptor_bytes m
+      + Memory_object.data_bytes m
+      + Memory_object.digest_bytes m
 
 let with_memory t memory =
   Option.iter Memory_object.validate memory;

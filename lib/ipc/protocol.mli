@@ -26,6 +26,24 @@ type Message.payload +=
               the segment ends or has holes *)
     }
   | Imaginary_segment_death of { segment_id : int }
+  | Mig_digests of {
+      xfer_id : int;  (** fresh id pairing the need reply to this offer *)
+      proc_id : int;
+      src_port : Port.id;  (** where the need reply goes *)
+      runs : (int * int array) list;
+          (** (object byte offset, one digest per page) for every Data run
+              the sender is prepared to elide *)
+    }
+      (** The digest-first half of a content-addressed transfer: instead of
+          shipping page bytes, the sender first names them.  The receiver
+          checks its content store and answers {!Mig_need} with the subset
+          it cannot produce locally. *)
+  | Mig_need of {
+      xfer_id : int;
+      proc_id : int;
+      need : (int * int) list;
+          (** (object byte offset, page count) runs the receiver lacks *)
+    }
 
 val read_request :
   ids:Accent_sim.Ids.t ->
@@ -49,3 +67,23 @@ val read_reply :
 
 val segment_death :
   ids:Accent_sim.Ids.t -> dest:Port.id -> segment_id:int -> Message.t
+
+val mig_digests :
+  ids:Accent_sim.Ids.t ->
+  dest:Port.id ->
+  xfer_id:int ->
+  proc_id:int ->
+  src_port:Port.id ->
+  runs:(int * int array) list ->
+  Message.t
+(** Build a digest advertisement; its inline size charges 8 bytes per
+    digest plus a 12-byte header per run (Control category). *)
+
+val mig_need :
+  ids:Accent_sim.Ids.t ->
+  dest:Port.id ->
+  xfer_id:int ->
+  proc_id:int ->
+  need:(int * int) list ->
+  Message.t
+(** Build the missing-subset reply (Control category). *)

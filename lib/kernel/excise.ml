@@ -97,7 +97,8 @@ let collapse pager space =
                (fun c ->
                  match c.Memory_object.content with
                  | Memory_object.Data d -> d
-                 | Memory_object.Iou _ -> assert false)
+                 | Memory_object.Iou _ | Memory_object.Digest_refs _ ->
+                     assert false)
                parts)
         in
         { Memory_object.range = Vaddr.range lo hi; content = Data data }
@@ -113,7 +114,8 @@ let collapse pager space =
             when prev_range.Vaddr.hi = chunk.Memory_object.range.Vaddr.lo ->
               (acc, chunk :: g)
           | _, Memory_object.Data _ -> (flush group acc, [ chunk ])
-          | _, Memory_object.Iou _ -> (chunk :: flush group acc, []))
+          | _, (Memory_object.Iou _ | Memory_object.Digest_refs _) ->
+              (chunk :: flush group acc, []))
         ([], [])
         (List.rev !chunks)
     in

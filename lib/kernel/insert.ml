@@ -48,7 +48,11 @@ let install_content host space chunks ~c ~vaddr ~len =
         Pager.register_segment pager ~space_id:(Address_space.id space)
           ~segment_id ~backing_port;
         Pager.register_segment_range pager ~segment_id ~offset:seg_off
-          ~len:piece ~vaddr:!vaddr);
+          ~len:piece ~vaddr:!vaddr
+    | Memory_object.Digest_refs _ ->
+        (* the migration layer resolves digest references back to Data
+           before insertion; one reaching this deep is a protocol bug *)
+        failwith "Insert: RIMAS contains an unresolved digest chunk");
     c := !c + piece;
     vaddr := !vaddr + piece;
     remaining := !remaining - piece

@@ -1,0 +1,102 @@
+(** The per-host content-addressed page store.
+
+    One instance lives in each host's NetMsgServer and is shared with the
+    MigrationManager's backing server, replacing the private per-purpose
+    Segment_stores those layers used to keep.  It layers a digest-keyed
+    view over the familiar segment/offset view:
+
+    - {b segment/offset}: the authoritative contents of cached and banked
+      imaginary segments, exactly as {!Accent_ipc.Segment_store} kept them
+      (O(1) extent adoption, overlay pages, per-segment drop);
+
+    - {b digest}: every page value this host has seen, across all
+      segments and all migrations, keyed by content digest.  This is the
+      cache the digest-first handshake ({!Protocol.Mig_digests} /
+      [Mig_need]) consults, and it is {e opportunistic}: LRU-bounded to
+      [capacity_pages] entries (evictions reuse
+      {!Accent_util.Lazy_heap}), and safe to lose entries from at any
+      time, because segment contents reference their values directly.
+
+    With [dedup = false] (the default everywhere) the digest layer is
+    never consulted or populated by the segment operations, making the
+    store behaviourally identical to the Segment_store it replaced —
+    the compatibility guarantee behind dedup being default-off. *)
+
+type t
+
+val create : ?dedup:bool -> ?capacity_pages:int -> unit -> t
+(** [capacity_pages] bounds the digest index ([4096] by default, i.e.
+    2 MB of 512-byte pages); [0] disables the digest layer cleanly —
+    every find misses and inserts drop.  [dedup] controls whether the
+    segment operations feed the digest layer. *)
+
+val dedup_enabled : t -> bool
+val capacity_pages : t -> int
+
+(** {2 Digest layer} *)
+
+val find : t -> int -> Accent_mem.Page.value option
+(** Look a digest up; counts a hit or miss and freshens the entry's LRU
+    position. *)
+
+val mem : t -> int -> bool
+(** Membership without touching LRU order or the hit/miss counters. *)
+
+val insert : t -> Accent_mem.Page.value -> unit
+(** Remember a locally-produced (trusted) value under its own digest. *)
+
+val insert_wire : t -> ?claimed:int -> Accent_mem.Page.value -> bool
+(** Remember a value that arrived off the wire.  The digest is re-derived
+    from the materialised bytes and checked against [claimed] (the name
+    the sender advertised; the value's own digest when omitted): on
+    mismatch the value is dropped, the reject counter bumped, and
+    [false] returned — a poisoned page never enters the store, so it can
+    never serve a later digest hit.  The requester refetches. *)
+
+val verify : t -> bool
+(** Integrity sweep: every indexed value's bytes hash to its key. *)
+
+val indexed_pages : t -> int
+
+(** {2 Segment/offset layer}
+
+    Mirrors {!Accent_ipc.Segment_store}.  When [dedup] is on, stored
+    values are also registered in (and interned through) the digest
+    layer, so the NMS cache and the backing server share one physical
+    copy of any page value they both hold. *)
+
+val put_page :
+  t -> segment_id:int -> offset:int -> Accent_mem.Page.value -> unit
+
+val put_extent :
+  t -> segment_id:int -> offset:int -> Accent_mem.Page.value array -> unit
+
+val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
+val get_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.value option
+
+val read_run :
+  t -> segment_id:int -> offset:int -> pages:int -> Accent_mem.Page.value list
+
+val has_segment : t -> segment_id:int -> bool
+val offsets : t -> segment_id:int -> int list
+val segment_pages : t -> segment_id:int -> int
+val segment_bytes : t -> segment_id:int -> int
+
+val drop_segment : t -> segment_id:int -> unit
+(** Forgets the segment's offsets but not its digests: dropped content
+    still counts as seen. *)
+
+val segments : t -> int list
+val total_bytes : t -> int
+
+(** {2 Accounting} *)
+
+val hits : t -> int
+val misses : t -> int
+val insertions : t -> int
+val evictions : t -> int
+val rejects : t -> int
+
+val interned : t -> int
+(** Stores that found the value already present and reused the existing
+    physical copy instead of keeping a duplicate. *)

@@ -12,6 +12,8 @@ type params = {
   iou_caching : bool;
   flow_window : int;
   arq : Reliable.params option;
+  dedup : bool;
+  dedup_capacity_pages : int;
 }
 
 (* Calibrated (see Accent_kernel.Cost_model and test/test_calibration.ml)
@@ -31,6 +33,8 @@ let default_params =
     iou_caching = true;
     flow_window = 1;
     arq = None;
+    dedup = false;
+    dedup_capacity_pages = 4096;
   }
 
 type t = {
@@ -43,7 +47,7 @@ type t = {
   monitor : Transfer_monitor.t;
   params : params;
   cpu : Queue_server.t;
-  cache : Segment_store.t;
+  cache : Content_store.t;
   backing_ports : (int, Port.id) Hashtbl.t; (* segment -> port *)
   mutable handled : int;
   mutable cached_bytes : int;
@@ -74,7 +78,7 @@ let serve_fault t msg segment_id offset pages =
         (Engine.schedule t.engine ~delay:(Time.ms t.params.backing_lookup_ms)
            (fun () ->
              let page_data =
-               Segment_store.read_run t.cache ~segment_id ~offset ~pages
+               Content_store.read_run t.cache ~segment_id ~offset ~pages
              in
              t.faults_served <- t.faults_served + 1;
              t.pages_served <- t.pages_served + List.length page_data;
@@ -85,7 +89,7 @@ let serve_fault t msg segment_id offset pages =
              Kernel_ipc.send t.kernel reply))
 
 let drop_segment t segment_id =
-  Segment_store.drop_segment t.cache ~segment_id;
+  Content_store.drop_segment t.cache ~segment_id;
   match Hashtbl.find_opt t.backing_ports segment_id with
   | None -> ()
   | Some port ->
@@ -119,7 +123,7 @@ let substitute_ious t msg =
       let memory =
         Memory_object.map_chunks memory ~f:(fun chunk ->
             match chunk.Memory_object.content with
-            | Memory_object.Iou _ -> chunk
+            | Memory_object.Iou _ | Memory_object.Digest_refs _ -> chunk
             | Memory_object.Data values ->
                 let page_size = Accent_mem.Page.size in
                 let lo = chunk.Memory_object.range.Accent_mem.Vaddr.lo in
@@ -127,7 +131,7 @@ let substitute_ious t msg =
                   t.cached_bytes + (Array.length values * page_size);
                 (* the chunk's value array becomes the segment extent
                    wholesale — no per-page insert loop on the send path *)
-                Segment_store.put_extent t.cache ~segment_id ~offset:lo values;
+                Content_store.put_extent t.cache ~segment_id ~offset:lo values;
                 {
                   chunk with
                   Memory_object.content =
@@ -151,8 +155,23 @@ let iou_chunks msg =
            (fun c ->
              match c.Memory_object.content with
              | Memory_object.Iou _ -> true
-             | Memory_object.Data _ -> false)
+             | Memory_object.Data _ | Memory_object.Digest_refs _ -> false)
            m)
+
+(* A completed inbound message enters the local kernel.  With dedup on,
+   imaginary read replies populate the content store on receipt first:
+   each page is re-hashed and kept only if the bytes match their name
+   (Content_store.insert_wire), so future digest-first transfers of the
+   same content can elide it. *)
+let deliver_local t msg =
+  (if t.params.dedup then
+     match msg.Message.payload with
+     | Protocol.Imaginary_read_reply { page_data; _ } ->
+         List.iter
+           (fun v -> ignore (Content_store.insert_wire t.cache v))
+           page_data
+     | _ -> ());
+  Kernel_ipc.send t.kernel msg
 
 (* Inbound: one fragment arrived off the wire.  Reassembly cost is charged
    per fragment; the per-message costs (stand-in creation for IOU chunks,
@@ -172,7 +191,7 @@ let receive t (frag : Net_registry.fragment) =
     else 0.
   in
   Queue_server.submit t.cpu ~service_time:(Time.ms cost) (fun () ->
-      if last then Kernel_ipc.send t.kernel msg;
+      if last then deliver_local t msg;
       frag.Net_registry.ack ())
 
 (* Outbound: the kernel had no local receiver; route over the network.
@@ -264,7 +283,9 @@ let create engine ~ids ~host_id ~kernel ~link ~registry ~monitor ~params =
       monitor;
       params;
       cpu = Queue_server.create engine ~name:(Printf.sprintf "nms%d" host_id);
-      cache = Segment_store.create ();
+      cache =
+        Content_store.create ~dedup:params.dedup
+          ~capacity_pages:params.dedup_capacity_pages ();
       backing_ports = Hashtbl.create 16;
       handled = 0;
       cached_bytes = 0;
@@ -300,7 +321,7 @@ let create engine ~ids ~host_id ~kernel ~link ~registry ~monitor ~params =
                  else 0.
                in
                Queue_server.submit t.cpu ~service_time:(Time.ms cost)
-                 (fun () -> if completes then Kernel_ipc.send t.kernel msg))
+                 (fun () -> if completes then deliver_local t msg))
              ~on_give_up:(fun ~msg ~dst:_ ->
                t.transport_give_ups <- t.transport_give_ups + 1;
                Logs.warn (fun m ->
@@ -313,6 +334,8 @@ let create engine ~ids ~host_id ~kernel ~link ~registry ~monitor ~params =
 let busy_time t = Queue_server.busy_time t.cpu
 let messages_handled t = t.handled
 let reliability t = t.rel
+let content_store t = t.cache
+let dedup_enabled t = t.params.dedup
 
 let on_transport_give_up t handler =
   t.give_up_handlers <- handler :: t.give_up_handlers

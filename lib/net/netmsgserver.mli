@@ -42,6 +42,16 @@ type params = {
           acknowledgement packets, retransmission with backoff, checksums —
           which is required for the link's {!Fault_plan} to be survivable.
           [flow_window] is ignored in that case; [p.window] governs. *)
+  dedup : bool;
+      (** content-addressed transfer: when on, the migration layer
+          negotiates digests before shipping page bytes and the NMS feeds
+          every page value it sees into its {!Content_store}.  Off by
+          default — with it off the wire traffic, costs, and id sequence
+          are byte-identical to a build without the feature (the dedup
+          experiments turn it on themselves). *)
+  dedup_capacity_pages : int;
+      (** LRU bound on the digest index of the host's content store;
+          0 disables opportunistic digest caching cleanly *)
 }
 
 val default_params : params
@@ -65,6 +75,15 @@ val host_id : t -> int
 
 val reliability : t -> Reliable.t option
 (** The host's reliable transport, when [params.arq] asked for one. *)
+
+val content_store : t -> Content_store.t
+(** The host's shared content-addressed page store.  The NMS keeps its
+    IOU-cache segments in it, and the MigrationManager's backing server
+    shares the same instance, so one host stores any given page value
+    once no matter which layer banked it. *)
+
+val dedup_enabled : t -> bool
+(** Whether [params.dedup] asked for digest-first transfers. *)
 
 val on_transport_give_up : t -> (Accent_ipc.Message.t -> unit) -> unit
 (** Register a handler run when the reliable transport abandons an

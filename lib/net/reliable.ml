@@ -40,7 +40,12 @@ let base_checksum msg =
                   h :=
                     (!h * 0x100000001B3) land max_int
                     lxor Accent_mem.Page.digest v)
-                values)
+                values
+          | Memory_object.Digest_refs digests ->
+              (* the references themselves are wire payload *)
+              Array.iter
+                (fun d -> h := (!h * 0x100000001B3) land max_int lxor d)
+                digests)
         chunks);
   !h land 0x3FFFFFFF
 

@@ -81,7 +81,7 @@ let test_excise_preserves_iou_chunks () =
       (fun c ->
         match c.Memory_object.content with
         | Memory_object.Iou { segment_id = s; offset; _ } -> Some (s, offset)
-        | Memory_object.Data _ -> None)
+        | Memory_object.Data _ | Memory_object.Digest_refs _ -> None)
       e.Excise.rimas
   with
   | Some (s, offset) ->

@@ -101,12 +101,20 @@ let check_equivalent ~live ~folded =
     folded.Report.remote_touched_pages;
   Alcotest.(check int)
     "remote_real_bytes_fetched" live.Report.remote_real_bytes_fetched
-    folded.Report.remote_real_bytes_fetched
+    folded.Report.remote_real_bytes_fetched;
+  Alcotest.(check int)
+    "dedup_pages_checked" live.Report.dedup_pages_checked
+    folded.Report.dedup_pages_checked;
+  Alcotest.(check int)
+    "dedup_hits" live.Report.dedup_hits folded.Report.dedup_hits;
+  Alcotest.(check int)
+    "dedup_bytes_elided" live.Report.dedup_bytes_elided
+    folded.Report.dedup_bytes_elided
 
-let replay_matches strategy () =
+let replay_matches ?costs strategy () =
   let events = ref [] in
   let result =
-    Accent_experiments.Trial.run ~write_fraction:0.1
+    Accent_experiments.Trial.run ?costs ~write_fraction:0.1
       ~on_event:(fun ev -> events := ev :: !events)
       ~spec:Test_helpers.small_spec ~strategy ()
   in
@@ -137,4 +145,8 @@ let suite =
         (replay_matches (Strategy.pre_copy ()));
       Alcotest.test_case "replay = live report (hybrid)" `Quick
         (replay_matches (Strategy.hybrid ()));
+      Alcotest.test_case "replay = live report (pure-copy, dedup)" `Quick
+        (replay_matches ~costs:Test_helpers.dedup_costs Strategy.pure_copy);
+      Alcotest.test_case "replay = live report (hybrid, dedup)" `Quick
+        (replay_matches ~costs:Test_helpers.dedup_costs (Strategy.hybrid ()));
     ] )

@@ -27,6 +27,17 @@ let small_spec =
     base_addr = 0x40000;
   }
 
+(* A cost model with the content-addressed transfer switched on. *)
+let dedup_costs =
+  {
+    Accent_kernel.Cost_model.default with
+    Accent_kernel.Cost_model.nms =
+      {
+        Accent_net.Netmsgserver.default_params with
+        Accent_net.Netmsgserver.dedup = true;
+      };
+  }
+
 let random_spec =
   {
     small_spec with
