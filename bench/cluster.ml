@@ -1,0 +1,155 @@
+(* The cluster benchmark: the open-workload (churn) scenario at
+   datacenter scale.
+
+   Three sections land in BENCH_cluster.json:
+
+     - "policies": the four placement policies (static, random,
+       threshold, destination-swap) compared on one churn configuration —
+       migration rate, p50/p99 downtime, bytes on the wire, turnaround;
+     - "big_run": a 1000-host run sized to execute over a million
+       simulation events, as a single-world scalability probe;
+     - "sweep": the same seed sweep run sequentially and fanned over
+       OCaml domains (Accent_util.Domain_pool), with the per-seed results
+       asserted structurally identical and the measured speedup reported.
+       The speedup is honest: it also records how many cores the machine
+       actually has, since a single-core box cannot show one.
+
+   Run with:  dune exec bench/cluster.exe            (full sweep)
+              dune exec bench/cluster.exe -- --smoke (tiny, for CI)
+   Flags: --out PATH, --domains N, --seeds K. *)
+
+open Accent_core
+open Accent_experiments
+
+let time f =
+  let wall0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. wall0)
+
+(* --- configurations ----------------------------------------------------- *)
+
+let smoke_config =
+  {
+    Cluster_scenario.default_churn with
+    Cluster_scenario.hosts = 20;
+    jobs = 200;
+    arrival_rate_per_s = 20.;
+    job_think_ms = 2_000.;
+  }
+
+(* ~55 events per job (measured), so 20_000 jobs clears a million events
+   comfortably while a thousand hosts keep per-host contention low *)
+let big_config =
+  {
+    Cluster_scenario.default_churn with
+    Cluster_scenario.hosts = 1_000;
+    jobs = 20_000;
+    arrival_rate_per_s = 400.;
+    job_think_ms = 3_000.;
+  }
+
+let sweep_config smoke =
+  if smoke then smoke_config
+  else
+    {
+      Cluster_scenario.default_churn with
+      Cluster_scenario.hosts = 200;
+      jobs = 2_000;
+      arrival_rate_per_s = 100.;
+    }
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let rec flag name default = function
+    | f :: v :: _ when f = name -> v
+    | _ :: rest -> flag name default rest
+    | [] -> default
+  in
+  let out = flag "--out" "BENCH_cluster.json" args in
+  let domains =
+    int_of_string (flag "--domains" (if smoke then "2" else "4") args)
+  in
+  let n_seeds = int_of_string (flag "--seeds" (if smoke then "2" else "4") args) in
+  let config = if smoke then smoke_config else Cluster_scenario.default_churn in
+
+  (* 1. policy comparison *)
+  let policies, policies_wall =
+    time (fun () -> Cluster_scenario.compare_churn ~config ())
+  in
+  print_string (Cluster_scenario.render_churn policies);
+  Printf.printf "cluster: policy comparison in %.2f s\n%!" policies_wall;
+
+  (* 2. the 1000-host million-event run (full mode only) *)
+  let big =
+    if smoke then None
+    else begin
+      let r, wall =
+        time (fun () ->
+            Cluster_scenario.run_churn ~config:big_config
+              ~policy:(Placement_policy.threshold ()) ())
+      in
+      Printf.printf
+        "cluster: big run  %d hosts  %d events  %d migrations  %.2f s wall\n%!"
+        r.Cluster_scenario.hosts_n r.Cluster_scenario.events
+        r.Cluster_scenario.migrations wall;
+      if r.Cluster_scenario.events < 1_000_000 then
+        failwith
+          (Printf.sprintf "cluster: big run executed only %d events (< 1M)"
+             r.Cluster_scenario.events);
+      Some (r, wall)
+    end
+  in
+
+  (* 3. sequential vs domain-parallel seed sweep *)
+  let seeds = List.init n_seeds (fun i -> Int64.of_int (1 + i)) in
+  let sw_config = sweep_config smoke in
+  let policy = Placement_policy.threshold () in
+  let seq, seq_wall =
+    time (fun () ->
+        Cluster_scenario.churn_seed_sweep ~config:sw_config ~domains:1 ~policy
+          ~seeds ())
+  in
+  let par, par_wall =
+    time (fun () ->
+        Cluster_scenario.churn_seed_sweep ~config:sw_config ~domains ~policy
+          ~seeds ())
+  in
+  if seq <> par then
+    failwith "cluster: parallel sweep diverged from sequential results";
+  let cores = Accent_util.Domain_pool.recommended () in
+  let speedup = seq_wall /. Float.max 1e-9 par_wall in
+  Printf.printf
+    "cluster: sweep of %d seeds  seq %.2f s  %d-domain %.2f s  speedup %.2fx \
+     (machine has %d cores)  per-seed results identical\n\
+     %!"
+    n_seeds seq_wall domains par_wall speedup cores;
+
+  (* --- JSON ------------------------------------------------------------- *)
+  let oc = open_out out in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc {|  "benchmark": "cluster",%s|} "\n";
+  Printf.fprintf oc {|  "mode": "%s",%s|} (if smoke then "smoke" else "full") "\n";
+  Printf.fprintf oc "  \"policies\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r -> "    " ^ Cluster_scenario.churn_json r)
+          policies));
+  (match big with
+  | Some (r, wall) ->
+      Printf.fprintf oc "  \"big_run\": {\"wall_s\": %.3f, \"result\": %s},\n"
+        wall
+        (Cluster_scenario.churn_json r)
+  | None -> ());
+  Printf.fprintf oc
+    "  \"sweep\": {\"seeds\": %d, \"domains\": %d, \"cores\": %d, \
+     \"seq_wall_s\": %.3f, \"par_wall_s\": %.3f, \"speedup\": %.3f, \
+     \"identical\": true, \"rows\": [\n%s\n  ]}\n"
+    n_seeds domains cores seq_wall par_wall speedup
+    (String.concat ",\n"
+       (List.map (fun r -> "    " ^ Cluster_scenario.churn_json r) seq));
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "cluster: wrote %s\n%!" out

@@ -19,6 +19,11 @@
               dune exec bench/scale.exe -- --smoke (tiny sweep, for CI)
               dune exec bench/scale.exe -- --fig41-only
                 (only the largest Figure 4-1 trial's allocation probe)
+              dune exec bench/scale.exe -- --domains 4
+                (fan the trial grid over OCaml domains; each trial is an
+                independent world, but concurrent trials share the
+                machine, so per-trial wall/ev-per-sec numbers are only
+                comparable across runs at the same domain count)
 
    The --fig41 probe exists because the paper's headline is that
    transfer cost tracks *referenced* bytes, not address-space size; the
@@ -208,12 +213,13 @@ let () =
   let args = Array.to_list Sys.argv in
   let smoke = List.mem "--smoke" args in
   let fig41_only = List.mem "--fig41-only" args in
-  let rec out_path = function
-    | "--out" :: path :: _ -> path
-    | _ :: rest -> out_path rest
-    | [] -> "BENCH_scale.json"
+  let rec flag name default = function
+    | f :: v :: _ when f = name -> v
+    | _ :: rest -> flag name default rest
+    | [] -> default
   in
-  let out = out_path args in
+  let out = flag "--out" "BENCH_scale.json" args in
+  let domains = int_of_string (flag "--domains" "1" args) in
   let sizes, hosts =
     if smoke then ([ 64; 256 ], [ 2; 3 ])
     else ([ 128; 1_024; 8_192; 32_768; 65_536 ], [ 2; 4; 8 ])
@@ -235,30 +241,30 @@ let () =
   in
   let trials =
     if fig41_only then []
-    else
-      List.concat_map
-        (fun strategy ->
-          let unconstrained =
+    else begin
+      (* flatten the grid so it can fan over domains; every trial is an
+         independent world, and merging by index keeps the JSON row
+         order identical for any domain count *)
+      let grid =
+        List.concat_map
+          (fun strategy ->
             List.concat_map
               (fun real_pages ->
-                List.map
-                  (fun n_hosts ->
-                    let t = run_trial ~strategy ~real_pages ~n_hosts () in
-                    report t;
-                    t)
-                  hosts)
+                List.map (fun n_hosts -> (strategy, None, real_pages, n_hosts)) hosts)
               sizes
-          in
-          let pressured =
-            List.map
-              (fun (real_pages, frames, n_hosts) ->
-                let t = run_trial ~frames ~strategy ~real_pages ~n_hosts () in
-                report t;
-                t)
-              constrained
-          in
-          unconstrained @ pressured)
-        [ Strategy.pure_iou (); Strategy.hybrid () ]
+            @ List.map
+                (fun (real_pages, frames, n_hosts) ->
+                  (strategy, Some frames, real_pages, n_hosts))
+                constrained)
+          [ Strategy.pure_iou (); Strategy.hybrid () ]
+      in
+      Accent_util.Domain_pool.map_list ~domains
+        (fun (strategy, frames, real_pages, n_hosts) ->
+          let t = run_trial ?frames ~strategy ~real_pages ~n_hosts () in
+          report t;
+          t)
+        grid
+    end
   in
   let probes =
     if smoke then []

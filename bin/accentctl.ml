@@ -412,6 +412,122 @@ let compare_cmd =
     (Cmd.info "compare" ~doc)
     Term.(const compare_workload $ workload_arg $ prefetch_arg $ seed_arg)
 
+(* --- the cluster runtime ------------------------------------------------ *)
+
+let cluster hosts jobs churn policy domains seed json =
+  if churn <= 0. then begin
+    (* the original closed-batch experiment: a burst of jobs arriving on
+       one host of a small cluster.  Bare `accentctl cluster` reproduces
+       the classic 3-host policy table. *)
+    let config =
+      {
+        Accent_experiments.Cluster_scenario.default_config with
+        Accent_experiments.Cluster_scenario.n_hosts =
+          Option.value ~default:3 hosts;
+        n_jobs = Option.value ~default:6 jobs;
+        seed;
+      }
+    in
+    print_string
+      (Accent_experiments.Cluster_scenario.render
+         (Accent_experiments.Cluster_scenario.compare_policies ~config ()))
+  end
+  else begin
+    (* the open workload: Poisson arrivals at --churn jobs/s cluster-wide,
+       every placement policy compared on its own world *)
+    let config =
+      {
+        Accent_experiments.Cluster_scenario.default_churn with
+        Accent_experiments.Cluster_scenario.hosts =
+          Option.value ~default:100 hosts;
+        jobs = Option.value ~default:2_000 jobs;
+        arrival_rate_per_s = churn;
+        churn_seed = seed;
+      }
+    in
+    let policies =
+      match policy with
+      | None ->
+          Accent_experiments.Cluster_scenario.default_churn_policies ()
+      | Some name -> (
+          match Accent_core.Placement_policy.by_name name with
+          | Some p -> [ p ]
+          | None ->
+              Printf.eprintf
+                "unknown policy %S (threshold, destination-swap, random, \
+                 static)\n"
+                name;
+              exit 1)
+    in
+    let results =
+      Accent_experiments.Cluster_scenario.compare_churn ~config ~domains
+        ~policies ()
+    in
+    print_string
+      (Accent_experiments.Cluster_scenario.render_churn results);
+    match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\n  \"benchmark\": \"cluster\",\n  \"mode\": \"ctl\",\n  \
+           \"policies\": [\n%s\n  ]\n}\n"
+          (String.concat ",\n"
+             (List.map
+                (fun r ->
+                  "    " ^ Accent_experiments.Cluster_scenario.churn_json r)
+                results));
+        close_out oc;
+        Printf.printf "\nwrote %s\n" path
+  end
+
+let cluster_hosts_arg =
+  let doc =
+    "Cluster size (default: 3 for the batch table, 100 under --churn)."
+  in
+  Arg.(value & opt (some int) None & info [ "hosts" ] ~doc)
+
+let cluster_jobs_arg =
+  let doc =
+    "Total jobs (default: 6 for the batch table, 2000 under --churn)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~doc)
+
+let cluster_churn_arg =
+  let doc =
+    "Cluster-wide Poisson arrival rate in jobs per second.  0 (the \
+     default) runs the classic closed-batch comparison instead of the \
+     open workload."
+  in
+  Arg.(value & opt float 0. & info [ "churn" ] ~docv:"RATE" ~doc)
+
+let cluster_policy_arg =
+  let doc =
+    "Run only this placement policy (threshold, destination-swap, random, \
+     static); default compares all four."
+  in
+  Arg.(value & opt (some string) None & info [ "policy" ] ~doc)
+
+let cluster_domains_arg =
+  let doc = "Fan the per-policy worlds over this many OCaml domains." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+
+let cluster_json_arg =
+  let doc = "Also write the churn comparison as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let cluster_cmd =
+  let doc =
+    "compare placement policies on a simulated cluster — the classic \
+     3-host batch table by default, or the open Poisson workload at \
+     datacenter scale with --churn"
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc)
+    Term.(
+      const cluster $ cluster_hosts_arg $ cluster_jobs_arg $ cluster_churn_arg
+      $ cluster_policy_arg $ cluster_domains_arg $ seed_arg $ cluster_json_arg)
+
 let ablate_cmd =
   let doc = "run the design-choice ablations (bandwidth, caching, backer \
              load, memory pressure, strategy face-off)" in
@@ -432,6 +548,7 @@ let main_cmd =
       workloads_cmd;
       losssweep_cmd;
       dedupsweep_cmd;
+      cluster_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -7,6 +7,7 @@ type policy = {
   affinity_weight : float;
   strategy : Strategy.t;
   max_migrations : int;
+  placement : Placement_policy.t option;
 }
 
 let default_policy =
@@ -16,11 +17,15 @@ let default_policy =
     affinity_weight = 2.0;
     strategy = Strategy.pure_iou ~prefetch:1 ();
     max_migrations = 8;
+    placement = None;
   }
 
 type t = {
   world : World.t;
   policy : policy;
+  placement : Placement_policy.t;
+  rng : Accent_util.Rng.t;
+  live : unit -> bool;
   mutable triggered : int;
   mutable decisions : (int * string * int * int) list; (* reversed *)
 }
@@ -32,100 +37,122 @@ let movable proc =
   | Pcb.Running -> not proc.Proc.in_flight
   | Pcb.Ready | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> false
 
-let pick_victim host = List.find_opt movable (Host.procs host)
-
-let pick_destination t ~src proc =
-  let registry = t.world.World.registry in
-  let src_host = World.host t.world src in
-  let best = ref None in
-  Array.iteri
-    (fun i host ->
-      if i <> src then begin
-        let score =
-          Load_metric.host_load host
-          -. (t.policy.affinity_weight
-             *. Load_metric.affinity ~registry src_host proc ~host_id:i)
-        in
-        match !best with
-        | Some (_, best_score) when best_score <= score -> ()
-        | _ -> best := Some (i, score)
-      end)
-    t.world.World.hosts;
-  Option.map fst !best
-
-let live_procs_anywhere t =
+let live_procs_anywhere world =
   Array.exists
     (fun host -> Host.live_proc_count host > 0)
-    t.world.World.hosts
+    world.World.hosts
+
+(* --- sampling the world into a policy snapshot -------------------------- *)
+
+let snapshot t =
+  let world = t.world in
+  let registry = world.World.registry in
+  let loads = Array.map Load_metric.host_load world.World.hosts in
+  let candidate host proc =
+    {
+      Placement_policy.proc_id = proc.Proc.id;
+      proc_name = proc.Proc.name;
+      host = Host.id host;
+      affinity =
+        (fun host_id -> Load_metric.affinity ~registry host proc ~host_id);
+    }
+  in
+  let movable_on i =
+    let host = World.host world i in
+    List.filter_map
+      (fun proc -> if movable proc then Some (candidate host proc) else None)
+      (Host.procs host)
+  in
+  { Placement_policy.loads; movable = movable_on; rng = t.rng }
+
+(* --- executing what the policy decided ---------------------------------- *)
+
+let execute_move t (d : Placement_policy.directive) =
+  let world = t.world in
+  let src = d.Placement_policy.src and dst = d.Placement_policy.dst in
+  match Host.find_proc (World.host world src) d.victim.Placement_policy.proc_id with
+  | None -> () (* departed between snapshot and execution *)
+  | Some proc ->
+      if movable proc && src <> dst then begin
+        t.triggered <- t.triggered + 1;
+        Mig_event.publish world.World.bus
+          {
+            Mig_event.at = World.now world;
+            proc_id = proc.Proc.id;
+            kind =
+              Mig_event.Auto_candidate { proc_name = proc.Proc.name; src; dst };
+          };
+        t.decisions <-
+          ( int_of_float (Time.to_ms (World.now world)),
+            proc.Proc.name,
+            src,
+            dst )
+          :: t.decisions;
+        (* freeze cleanly before excision: wait for any in-flight
+           reference to retire *)
+        Proc_runner.interrupt proc;
+        let rec when_quiet () =
+          if proc.Proc.in_flight then
+            ignore
+              (Engine.schedule world.World.engine ~delay:(Time.ms 2.)
+                 (fun () -> when_quiet ()))
+          else
+            ignore
+              (Migration_manager.migrate
+                 (World.manager world src)
+                 ~proc
+                 ~dest:(Migration_manager.port (World.manager world dst))
+                 ~strategy:t.policy.strategy ())
+        in
+        when_quiet ()
+      end
+
+let execute t = function
+  | Placement_policy.Observe { src; spread } ->
+      Mig_event.publish t.world.World.bus
+        {
+          Mig_event.at = World.now t.world;
+          proc_id = -1;
+          kind = Mig_event.Auto_threshold { src; spread };
+        }
+  | Placement_policy.Move d ->
+      if t.triggered < t.policy.max_migrations then execute_move t d
 
 let rec tick t =
   (* stop when done migrating or when nothing is left running, so the
      engine can go quiescent *)
-  if t.triggered < t.policy.max_migrations && live_procs_anywhere t then begin
-    let loads =
-      Array.map Load_metric.host_load t.world.World.hosts
-    in
-    let max_i = ref 0 and min_load = ref infinity in
-    Array.iteri
-      (fun i l ->
-        if l > loads.(!max_i) then max_i := i;
-        if l < !min_load then min_load := l)
-      loads;
-    (if loads.(!max_i) -. !min_load > t.policy.imbalance_threshold then
-       let src = !max_i in
-       let spread = loads.(!max_i) -. !min_load in
-       Mig_event.publish t.world.World.bus
-         {
-           Mig_event.at = World.now t.world;
-           proc_id = -1;
-           kind = Mig_event.Auto_threshold { src; spread };
-         };
-       match pick_victim (World.host t.world src) with
-       | None -> ()
-       | Some proc -> (
-           match pick_destination t ~src proc with
-           | None -> ()
-           | Some dst ->
-               t.triggered <- t.triggered + 1;
-               Mig_event.publish t.world.World.bus
-                 {
-                   Mig_event.at = World.now t.world;
-                   proc_id = proc.Proc.id;
-                   kind =
-                     Mig_event.Auto_candidate
-                       { proc_name = proc.Proc.name; src; dst };
-                 };
-               t.decisions <-
-                 ( int_of_float (Time.to_ms (World.now t.world)),
-                   proc.Proc.name,
-                   src,
-                   dst )
-                 :: t.decisions;
-               (* freeze cleanly before excision: wait for any in-flight
-                  reference to retire *)
-               Proc_runner.interrupt proc;
-               let rec when_quiet () =
-                 if proc.Proc.in_flight then
-                   ignore
-                     (Engine.schedule t.world.World.engine ~delay:(Time.ms 2.)
-                        (fun () -> when_quiet ()))
-                 else
-                   ignore
-                     (Migration_manager.migrate
-                        (World.manager t.world src)
-                        ~proc
-                        ~dest:
-                          (Migration_manager.port (World.manager t.world dst))
-                        ~strategy:t.policy.strategy ())
-               in
-               when_quiet ()));
+  if t.triggered < t.policy.max_migrations && t.live () then begin
+    List.iter (execute t) (Placement_policy.decide t.placement (snapshot t));
     ignore
       (Engine.schedule t.world.World.engine ~delay:(Time.ms t.policy.period_ms)
          (fun () -> tick t))
   end
 
-let start world policy =
-  let t = { world; policy; triggered = 0; decisions = [] } in
+let start ?live world (policy : policy) =
+  let placement =
+    match policy.placement with
+    | Some p -> p
+    | None ->
+        Placement_policy.threshold
+          ~imbalance_threshold:policy.imbalance_threshold
+          ~affinity_weight:policy.affinity_weight ()
+  in
+  let live =
+    match live with
+    | Some f -> f
+    | None -> fun () -> live_procs_anywhere world
+  in
+  let t =
+    {
+      world;
+      policy;
+      placement;
+      rng = Engine.rng world.World.engine "auto-migrator";
+      live;
+      triggered = 0;
+      decisions = [];
+    }
+  in
   ignore
     (Engine.schedule world.World.engine ~delay:(Time.ms policy.period_ms)
        (fun () -> tick t));
@@ -133,3 +160,4 @@ let start world policy =
 
 let migrations_triggered t = t.triggered
 let decisions t = List.rev t.decisions
+let placement_name t = Placement_policy.name t.placement

@@ -1,34 +1,45 @@
-(** An automatic migration policy — the §6 "creation and evaluation of
+(** The automatic migration daemon — the §6 "creation and evaluation of
     automatic migration strategies" made concrete.
 
-    A daemon samples every host's load on a fixed period.  When the
-    spread between the busiest and idlest host exceeds a threshold, it
-    picks a Running process from the busiest host and relocates it with
-    copy-on-reference shipment.  The destination is chosen by
-    [load - affinity_weight × affinity]: all else equal the process moves
-    {e toward} whichever host already backs its imaginary memory, turning
-    remote page fetches into local IPC (see {!Load_metric.dispersion}). *)
+    The daemon samples every host's load on a fixed period into a
+    {!Placement_policy.snapshot} and executes whatever the configured
+    {!Placement_policy.t} decides: [Observe] actions are published as
+    {!Mig_event.Auto_threshold} events, [Move] directives become real
+    migrations (interrupt, wait for in-flight references to retire,
+    excise and ship with the policy's strategy).  The decision logic
+    itself lives entirely in {!Placement_policy}; this module owns the
+    clock, the event publication and the migration mechanics. *)
 
 type policy = {
   period_ms : float;  (** sampling period *)
   imbalance_threshold : float;
-      (** act when max load - min load exceeds this *)
+      (** act when max load - min load exceeds this (threshold policy) *)
   affinity_weight : float;
       (** how strongly data placement discounts a destination's load *)
   strategy : Strategy.t;  (** how to ship the victims *)
   max_migrations : int;  (** lifetime cap (safety against thrashing) *)
+  placement : Placement_policy.t option;
+      (** decision function; [None] means the classic threshold balancer
+          built from [imbalance_threshold] and [affinity_weight] —
+          decision-for-decision identical to the pre-policy-layer
+          daemon *)
 }
 
 val default_policy : policy
 
 type t
 
-val start : World.t -> policy -> t
+val start : ?live:(unit -> bool) -> World.t -> policy -> t
 (** Begin sampling on the world's engine.  The daemon reschedules itself
-    while the simulation runs and stops once the cap is reached or the
-    world goes quiescent. *)
+    while the simulation runs and stops once the cap is reached or
+    [live ()] turns false (default: some process anywhere is Running or
+    Ready — an open-workload scenario with future arrivals should pass
+    its own [live]). *)
 
 val migrations_triggered : t -> int
 
 val decisions : t -> (int * string * int * int) list
 (** [(time_ms, proc_name, from_host, to_host)] log, oldest first. *)
+
+val placement_name : t -> string
+(** Name of the placement policy actually driving this daemon. *)

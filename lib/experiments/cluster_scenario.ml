@@ -103,6 +103,264 @@ let compare_policies ?(config = default_config) () =
     run ~config ~policy:(Some base_policy) ~label:"load + affinity" ();
   ]
 
+(* ======================================================================
+   The open-workload (churn) scenario: the datacenter-scale steady state.
+
+   Jobs arrive cluster-wide as a Poisson process, land on a uniformly
+   random host, execute a short reference trace and depart.  A placement
+   policy daemon ticks throughout, so load-driven migration is the
+   steady state rather than a one-shot experiment.  Everything is a
+   deterministic function of (seed, config): the churn_result carries no
+   wall-clock fields, which is what lets the parallel sweep harness
+   assert byte-identical results against the sequential runner.
+   ====================================================================== *)
+
+type churn_config = {
+  hosts : int;
+  jobs : int;  (** total arrivals over the run *)
+  arrival_rate_per_s : float;  (** cluster-wide Poisson arrival rate *)
+  job_pages : int;  (** real pages per job *)
+  job_refs : int;  (** post-arrival references per job *)
+  job_think_ms : float;  (** mean compute per job (exponential) *)
+  period_ms : float;  (** policy sampling period *)
+  max_migrations : int;
+  strategy : Strategy.t;
+  churn_seed : int64;
+}
+
+let default_churn =
+  {
+    hosts = 100;
+    jobs = 2_000;
+    arrival_rate_per_s = 50.;
+    job_pages = 16;
+    job_refs = 40;
+    job_think_ms = 4_000.;
+    period_ms = 2_000.;
+    max_migrations = max_int;
+    strategy = Strategy.pure_iou ~prefetch:1 ();
+    churn_seed = 42L;
+  }
+
+type churn_result = {
+  policy_name : string;
+  hosts_n : int;
+  jobs_submitted : int;
+  jobs_completed : int;
+  sim_s : float;
+  events : int;
+  migrations : int;
+  migration_rate_per_s : float;  (** per simulated second *)
+  downtime_ms_p50 : float;
+  downtime_ms_p99 : float;
+  downtime_samples : int;
+  wire_bytes : int;
+  mean_turnaround_s : float;
+  max_host_jobs : int;
+      (** most completions any one host served — a placement-skew probe *)
+}
+
+let churn_job_spec config ~think_ms i =
+  let p = max 4 config.job_pages in
+  let page = Accent_mem.Page.size in
+  let touched = max 2 (p / 2) in
+  let rs = max 2 (p / 2) in
+  let overlap = min touched (max 1 (p / 4)) in
+  {
+    Accent_workloads.Spec.name = Printf.sprintf "j%d" i;
+    description = "churn job";
+    real_bytes = p * page;
+    total_bytes = 2 * p * page;
+    rs_bytes = rs * page;
+    touched_real_pages = touched;
+    rs_touched_overlap = overlap;
+    real_runs = 2;
+    vm_segments = 1;
+    pattern =
+      Accent_workloads.Access_pattern.Hot_cold
+        { hot_fraction = 0.5; hot_prob = 0.8 };
+    refs = max config.job_refs touched;
+    total_think_ms = think_ms;
+    zero_touch_pages = 1;
+    base_addr = 0x40000;
+  }
+
+let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
+  let world = World.create ~seed:config.churn_seed ~n_hosts:config.hosts () in
+  let engine = world.World.engine in
+  let arrivals_rng = Engine.rng engine "cluster-arrivals" in
+  let placement_rng = Engine.rng engine "cluster-placement" in
+  let think_rng = Engine.rng engine "cluster-think" in
+  let submitted = ref 0 in
+  (* arrival stamps by proc id; completions are counted by scanning the
+     host tables after the run rather than via [on_complete], because a
+     migration's insert installs its own completion callback on the new
+     incarnation and the arrival-time one would be lost *)
+  let arrived : (int, Time.t) Hashtbl.t = Hashtbl.create 1024 in
+  (* downtime = Frozen (or Requested, for the stop-and-ship strategies)
+     to Restarted, observed on the event bus *)
+  let mig_start : (int, Time.t) Hashtbl.t = Hashtbl.create 256 in
+  let downtimes_ms = ref [] in
+  World.on_migration_event world (fun ev ->
+      match ev.Mig_event.kind with
+      | Mig_event.Requested _ ->
+          Hashtbl.replace mig_start ev.Mig_event.proc_id ev.Mig_event.at
+      | Mig_event.Frozen _ ->
+          Hashtbl.replace mig_start ev.Mig_event.proc_id ev.Mig_event.at
+      | Mig_event.Restarted -> (
+          match Hashtbl.find_opt mig_start ev.Mig_event.proc_id with
+          | Some t0 ->
+              downtimes_ms :=
+                Time.to_ms (Time.diff ev.Mig_event.at t0) :: !downtimes_ms;
+              Hashtbl.remove mig_start ev.Mig_event.proc_id
+          | None -> ())
+      | _ -> ());
+  let interarrival_ms = 1_000. /. Float.max 1e-6 config.arrival_rate_per_s in
+  let rec arrive i =
+    if i < config.jobs then begin
+      let host_id = Accent_util.Rng.int placement_rng config.hosts in
+      let host = World.host world host_id in
+      let think_ms =
+        Float.max 1. (Accent_util.Rng.exponential think_rng config.job_think_ms)
+      in
+      let spec = churn_job_spec config ~think_ms i in
+      let proc = Accent_workloads.Spec.build host spec in
+      incr submitted;
+      Hashtbl.replace arrived proc.Proc.id (World.now world);
+      Proc_runner.start host proc;
+      ignore
+        (Engine.schedule engine
+           ~delay:
+             (Time.ms (Accent_util.Rng.exponential arrivals_rng interarrival_ms))
+           (fun () -> arrive (i + 1)))
+    end
+  in
+  ignore (Engine.schedule engine ~delay:Time.zero (fun () -> arrive 0));
+  let live () =
+    !submitted < config.jobs
+    || Array.exists (fun h -> Host.live_proc_count h > 0) world.World.hosts
+  in
+  let migrator =
+    Auto_migrator.start ~live world
+      {
+        Auto_migrator.default_policy with
+        Auto_migrator.period_ms = config.period_ms;
+        max_migrations = config.max_migrations;
+        strategy = config.strategy;
+        placement = Some policy;
+      }
+  in
+  ignore (World.run world);
+  let sim_s = Time.to_seconds (World.now world) in
+  let migrations = Auto_migrator.migrations_triggered migrator in
+  (* harvest: excision removes the stale source incarnation from its host
+     table, so each job id survives on exactly the host where it ended up *)
+  let completed = ref 0 in
+  let turnarounds = ref [] in
+  let per_host_completions = Array.make config.hosts 0 in
+  Array.iteri
+    (fun h host ->
+      List.iter
+        (fun p ->
+          match
+            (Hashtbl.find_opt arrived p.Proc.id, p.Proc.finished_at)
+          with
+          | Some t0, Some t when p.Proc.pcb.Pcb.status = Pcb.Terminated ->
+              incr completed;
+              turnarounds :=
+                Time.to_seconds (Time.diff t t0) :: !turnarounds;
+              per_host_completions.(h) <- per_host_completions.(h) + 1
+          | _ -> ())
+        (Host.procs host))
+    world.World.hosts;
+  {
+    policy_name = Placement_policy.name policy;
+    hosts_n = config.hosts;
+    jobs_submitted = !submitted;
+    jobs_completed = !completed;
+    sim_s;
+    events = Engine.events_executed engine;
+    migrations;
+    migration_rate_per_s =
+      (if sim_s <= 0. then 0. else float_of_int migrations /. sim_s);
+    downtime_ms_p50 = Accent_util.Stats.percentile_of !downtimes_ms 50.;
+    downtime_ms_p99 = Accent_util.Stats.percentile_of !downtimes_ms 99.;
+    downtime_samples = List.length !downtimes_ms;
+    wire_bytes =
+      Accent_net.Transfer_monitor.bytes_total world.World.monitor;
+    mean_turnaround_s = Accent_util.Stats.mean_of !turnarounds;
+    max_host_jobs = Array.fold_left max 0 per_host_completions;
+  }
+
+let default_churn_policies () =
+  [
+    Placement_policy.static ();
+    Placement_policy.random ();
+    Placement_policy.threshold ();
+    Placement_policy.destination_swap ();
+  ]
+
+let compare_churn ?(config = default_churn) ?(domains = 1) ?policies () =
+  let policies =
+    match policies with Some p -> p | None -> default_churn_policies ()
+  in
+  (* each policy gets its own world, so the comparison itself can fan
+     across domains *)
+  Accent_util.Domain_pool.map_list ~domains
+    (fun policy -> run_churn ~config ~policy ())
+    policies
+
+let churn_json r =
+  Printf.sprintf
+    {|{"policy": "%s", "hosts": %d, "jobs_submitted": %d, "jobs_completed": %d, "sim_s": %.3f, "events": %d, "migrations": %d, "migration_rate_per_s": %.4f, "downtime_ms_p50": %.3f, "downtime_ms_p99": %.3f, "downtime_samples": %d, "wire_bytes": %d, "mean_turnaround_s": %.3f, "max_host_jobs": %d}|}
+    r.policy_name r.hosts_n r.jobs_submitted r.jobs_completed r.sim_s r.events
+    r.migrations r.migration_rate_per_s r.downtime_ms_p50 r.downtime_ms_p99
+    r.downtime_samples r.wire_bytes r.mean_turnaround_s r.max_host_jobs
+
+let render_churn ?(title = "Cluster churn: placement policies compared")
+    results =
+  let t =
+    Accent_util.Text_table.create ~title
+      [
+        ("policy", Accent_util.Text_table.Left);
+        ("migrations", Accent_util.Text_table.Right);
+        ("rate (/s)", Accent_util.Text_table.Right);
+        ("downtime p50 (ms)", Accent_util.Text_table.Right);
+        ("downtime p99 (ms)", Accent_util.Text_table.Right);
+        ("wire", Accent_util.Text_table.Right);
+        ("turnaround (s)", Accent_util.Text_table.Right);
+        ("done", Accent_util.Text_table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Accent_util.Text_table.add_row t
+        [
+          r.policy_name;
+          string_of_int r.migrations;
+          Accent_util.Text_table.cell_f ~dec:3 r.migration_rate_per_s;
+          Accent_util.Text_table.cell_f ~dec:1 r.downtime_ms_p50;
+          Accent_util.Text_table.cell_f ~dec:1 r.downtime_ms_p99;
+          Accent_util.Text_table.cell_bytes r.wire_bytes;
+          Accent_util.Text_table.cell_f ~dec:1 r.mean_turnaround_s;
+          Printf.sprintf "%d/%d" r.jobs_completed r.jobs_submitted;
+        ])
+    results;
+  Accent_util.Text_table.render t
+
+(* --- the domain-parallel seed sweep ------------------------------------- *)
+
+(* Fan one churn configuration across seeds, each an independent world,
+   merged in seed order.  [domains:1] and [domains:n] produce identical
+   result lists (the churn_result is wall-clock-free), which the test
+   suite and bench both assert. *)
+let churn_seed_sweep ?(config = default_churn) ?(domains = 1)
+    ~(policy : Placement_policy.t) ~seeds () =
+  Accent_util.Domain_pool.map_list ~domains
+    (fun seed ->
+      run_churn ~config:{ config with churn_seed = seed } ~policy ())
+    seeds
+
 let render outcomes =
   let t =
     Accent_util.Text_table.create

@@ -42,3 +42,81 @@ val compare_policies : ?config:config -> unit -> outcome list
 (** The three configurations above. *)
 
 val render : outcome list -> string
+
+(** {2 The open-workload (churn) scenario}
+
+    The datacenter-scale steady state: jobs arrive cluster-wide as a
+    Poisson process, land on a uniformly random host, run a short
+    reference trace and depart, while a {!Accent_core.Placement_policy}
+    daemon migrates continuously.  Every run is a deterministic function
+    of [(churn_seed, config)] — results carry no wall-clock fields, so
+    the sequential and domain-parallel sweep runners can be asserted
+    byte-identical. *)
+
+type churn_config = {
+  hosts : int;
+  jobs : int;  (** total arrivals over the run *)
+  arrival_rate_per_s : float;  (** cluster-wide Poisson arrival rate *)
+  job_pages : int;  (** real pages per job *)
+  job_refs : int;  (** post-arrival references per job *)
+  job_think_ms : float;  (** mean compute per job (exponential) *)
+  period_ms : float;  (** policy sampling period *)
+  max_migrations : int;
+  strategy : Accent_core.Strategy.t;
+  churn_seed : int64;
+}
+
+val default_churn : churn_config
+
+type churn_result = {
+  policy_name : string;
+  hosts_n : int;
+  jobs_submitted : int;
+  jobs_completed : int;
+  sim_s : float;
+  events : int;  (** simulation events executed *)
+  migrations : int;
+  migration_rate_per_s : float;  (** per simulated second *)
+  downtime_ms_p50 : float;
+      (** Frozen (or Requested) → Restarted gap, via the event bus *)
+  downtime_ms_p99 : float;
+  downtime_samples : int;
+  wire_bytes : int;
+  mean_turnaround_s : float;
+  max_host_jobs : int;
+      (** most completions any one host served — a placement-skew probe *)
+}
+
+val run_churn :
+  ?config:churn_config ->
+  policy:Accent_core.Placement_policy.t ->
+  unit ->
+  churn_result
+
+val default_churn_policies : unit -> Accent_core.Placement_policy.t list
+(** static, random, threshold, destination-swap. *)
+
+val compare_churn :
+  ?config:churn_config ->
+  ?domains:int ->
+  ?policies:Accent_core.Placement_policy.t list ->
+  unit ->
+  churn_result list
+(** One world per policy, optionally fanned across OCaml domains; the
+    result order always follows the policy list. *)
+
+val churn_seed_sweep :
+  ?config:churn_config ->
+  ?domains:int ->
+  policy:Accent_core.Placement_policy.t ->
+  seeds:int64 list ->
+  unit ->
+  churn_result list
+(** One independent world per seed, fanned over [domains] OCaml domains
+    ({!Accent_util.Domain_pool}) and merged in seed order; the result
+    list is identical for any domain count. *)
+
+val churn_json : churn_result -> string
+(** One flat JSON object (a BENCH_cluster.json row). *)
+
+val render_churn : ?title:string -> churn_result list -> string

@@ -37,9 +37,12 @@ val run :
   ?spec:Accent_workloads.Spec.t ->
   ?overlaps:float list ->
   ?strategies:Accent_core.Strategy.t list ->
+  ?domains:int ->
   unit ->
   t
-(** Defaults: pm_start, pure-copy and hybrid, {!default_overlaps}. *)
+(** Defaults: pm_start, pure-copy and hybrid, {!default_overlaps}.
+    [domains] fans the (strategy × overlap) cell grid across OCaml
+    domains; the result is identical for any domain count. *)
 
 val to_csv : t -> string
 val render : t -> string

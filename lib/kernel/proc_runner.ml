@@ -10,6 +10,19 @@ let finish host proc =
   | None -> ());
   match proc.Proc.on_complete with None -> () | Some f -> f proc
 
+(* The PCB is shared between a process's incarnations (the context ships
+   it by reference), so after a migration completes the *destination*
+   restart flips the status back to Running — and a stale callback still
+   queued on the source's exec CPU would sail through a status-only
+   check and reference the excised source incarnation.  The queue can
+   stay deep for hundreds of milliseconds under cluster churn, so the
+   callback must also confirm this object is still the host's current
+   incarnation (excision removes it from the host table). *)
+let current_incarnation host proc =
+  match Host.find_proc host proc.Proc.id with
+  | Some p -> p == proc
+  | None -> false
+
 let rec step host proc =
   match proc.Proc.pcb.Pcb.status with
   | Pcb.Running ->
@@ -20,7 +33,10 @@ let rec step host proc =
            processes contend for it *)
         Queue_server.submit (Host.exec_cpu host)
           ~service_time:(Time.ms s.Trace.think_ms) (fun () ->
-               if proc.Proc.pcb.Pcb.status = Pcb.Running then begin
+               if
+                 proc.Proc.pcb.Pcb.status = Pcb.Running
+                 && current_incarnation host proc
+               then begin
                  proc.Proc.in_flight <- true;
                  Pager.reference (Host.pager host) proc s.Trace.page
                    ~k:(fun () ->

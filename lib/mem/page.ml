@@ -58,19 +58,27 @@ let pattern_value ~tag idx = Pattern { tag; idx }
 
 (* The digest of a value always equals [checksum] of its materialized
    bytes, so symbolic and literal copies of the same page can never
-   disagree.  Zero's digest is a constant; Pattern digests are memoized
-   (they are re-asked for every checksummed retransmission). *)
-let zero_digest = lazy (checksum (zero ()))
-let pattern_digests : (int * int, int) Hashtbl.t = Hashtbl.create 4096
+   disagree.  Zero's digest is computed eagerly at module init (a [lazy]
+   here would race when first forced from several domains at once);
+   Pattern digests are memoized per domain — the memo is pure
+   (checksum is a function of (tag, idx) alone), so domain-local tables
+   trade a little recomputation for lock-free safety.  Worlds running on
+   different domains therefore share no mutable state through this
+   module. *)
+let zero_digest = checksum (zero ())
+
+let pattern_digests : (int * int, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
 let digest = function
-  | Zero -> Lazy.force zero_digest
+  | Zero -> zero_digest
   | Pattern { tag; idx } -> (
-      match Hashtbl.find_opt pattern_digests (tag, idx) with
+      let memo = Domain.DLS.get pattern_digests in
+      match Hashtbl.find_opt memo (tag, idx) with
       | Some d -> d
       | None ->
           let d = checksum (pattern ~tag idx) in
-          Hashtbl.replace pattern_digests (tag, idx) d;
+          Hashtbl.replace memo (tag, idx) d;
           d)
   | Literal { digest; _ } -> digest
 

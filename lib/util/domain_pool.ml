@@ -1,0 +1,61 @@
+(* A fixed pool of OCaml 5 domains fanning an indexed job list.
+
+   The contract callers must honour (and the reason this is safe at all)
+   is *worlds share nothing*: each job builds every mutable structure it
+   touches — engine, hosts, RNG streams, event bus — from its own
+   (seed, config) inputs and communicates only through its return value.
+   The one library-level exception, the page-digest memo, is
+   domain-local (see Page.pattern_digests), so jobs on different domains
+   cannot observe each other at all.
+
+   Determinism: results are stored into a slot chosen by job *index*,
+   never by completion order, so [map ~domains:n f] returns exactly
+   [Array.init jobs f] for any [n].  Work is handed out from an atomic
+   counter, which makes the schedule nondeterministic — but since jobs
+   are pure (given the contract above) the merged output is not. *)
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_jobs ~workers ~jobs f slots =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < jobs then begin
+        (slots.(i) <-
+           (try Value (f i)
+            with e -> Raised (e, Printexc.get_raw_backtrace ())));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned
+
+let map ?(domains = 1) ~jobs f =
+  if jobs < 0 then invalid_arg "Domain_pool.map: negative job count";
+  if jobs = 0 then [||]
+  else begin
+    let workers = max 1 (min domains jobs) in
+    if workers = 1 then Array.init jobs f
+    else begin
+      let slots =
+        Array.make jobs
+          (Raised (Failure "Domain_pool: job never ran", Printexc.get_callstack 0))
+      in
+      run_jobs ~workers ~jobs f slots;
+      Array.map
+        (function
+          | Value v -> v
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt)
+        slots
+    end
+  end
+
+let map_list ?domains f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map ?domains ~jobs:(Array.length arr) (fun i -> f arr.(i)))
+
+let recommended () = Domain.recommended_domain_count ()

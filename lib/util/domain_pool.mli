@@ -1,0 +1,33 @@
+(** Fan independent jobs across OCaml 5 domains, merging deterministically.
+
+    The sweep layer's parallel substrate: a job is a pure function of its
+    index (in practice, of a [(seed, config)] pair looked up by index), and
+    the pool guarantees the merged result is {e byte-identical} to the
+    sequential run — results land in slots keyed by index, never by
+    completion order.
+
+    {b The "worlds share nothing" contract.}  Jobs run concurrently with no
+    synchronisation beyond the work counter, so a job must not touch any
+    mutable state it did not create itself.  Simulation worlds satisfy this
+    by construction (engine, hosts, RNG streams and event bus all hang off
+    the [World.t] built inside the job); module-level mutable state is the
+    landmine.  The libraries under [lib/] keep none that is shared across
+    domains — the page-digest memo is domain-local ([Domain.DLS]) and the
+    zero-page digest is computed eagerly at module init.  Audit any new
+    top-level [ref]/[lazy]/[Hashtbl] against this contract before sweeping
+    code that uses it.  See ARCHITECTURE.md §8. *)
+
+val map : ?domains:int -> jobs:int -> (int -> 'a) -> 'a array
+(** [map ~domains ~jobs f] computes [Array.init jobs f], running up to
+    [domains] jobs concurrently (capped at [jobs]; [domains <= 1] runs
+    sequentially in the calling domain with no spawn at all).  Results are
+    ordered by index.  If any job raises, the whole map raises the
+    exception of the lowest-indexed failed job, after all workers have
+    drained. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}; order preserved. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism
+    available to this process. *)

@@ -68,6 +68,20 @@ let mean_of = function
   | [] -> 0.
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
+(* Batch percentile over a list; empty series report 0 rather than
+   raising or propagating a NaN into a report row (a cluster run where a
+   policy triggers zero migrations is a legitimate, empty series). *)
+let percentile_of xs p =
+  match xs with
+  | [] -> 0.
+  | xs ->
+      let t = create () in
+      List.iter (add t) xs;
+      percentile t p
+
+let min_of = function [] -> 0. | xs -> List.fold_left Float.min infinity xs
+let max_of = function [] -> 0. | xs -> List.fold_left Float.max neg_infinity xs
+
 let geometric_mean = function
   | [] -> 0.
   | xs ->

@@ -42,5 +42,20 @@ val pp : Format.formatter -> t -> unit
 (** {2 Batch helpers} *)
 
 val mean_of : float list -> float
+(** Arithmetic mean; 0 if the list is empty. *)
+
+val percentile_of : float list -> float -> float
+(** [percentile_of xs p] as {!percentile} over a one-shot accumulator; 0
+    if the list is empty.  Never raises and never returns NaN for an
+    empty series — report rows built from it stay printable when a
+    policy triggers no migrations at all. *)
+
+val min_of : float list -> float
+(** Smallest element; 0 if the list is empty (unlike {!min_value}, which
+    reports [infinity] on an empty accumulator). *)
+
+val max_of : float list -> float
+(** Largest element; 0 if the list is empty. *)
+
 val geometric_mean : float list -> float
 (** Geometric mean of positive values; 0 if the list is empty. *)
