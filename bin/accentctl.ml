@@ -528,6 +528,155 @@ let cluster_cmd =
       const cluster $ cluster_hosts_arg $ cluster_jobs_arg $ cluster_churn_arg
       $ cluster_policy_arg $ cluster_domains_arg $ seed_arg $ cluster_json_arg)
 
+(* --- checkpoint / restore / crash recovery ------------------------------ *)
+
+let checkpoint workload seed out =
+  match Accent_workloads.Representative.by_name workload with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" workload;
+      exit 1
+  | Some spec ->
+      let open Accent_core in
+      let world, proc = Accent_experiments.Trial.build_only ~seed ~spec () in
+      let h0 = World.host world 0 in
+      let store =
+        Accent_net.Content_store.create
+          ~capacity_pages:((Accent_workloads.Spec.real_pages spec * 2) + 256)
+          ()
+      in
+      let ck =
+        Checkpoint.save ~bus:world.World.bus ~at:(World.now world) store
+          (Accent_kernel.Proc_image.capture h0 proc)
+      in
+      Checkpoint.write_file out store ck;
+      let distinct =
+        List.length (List.sort_uniq compare (Checkpoint.digests ck))
+      in
+      Printf.printf
+        "checkpointed %s at its migration point: %d pages (%d distinct by \
+         digest)\nwrote %s\n"
+        (Checkpoint.proc_name ck) (Checkpoint.pages ck) distinct out
+
+let ckpt_file_arg =
+  let doc = "Checkpoint file." in
+  Arg.(value & opt string "proc.ckpt" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let checkpoint_cmd =
+  let doc =
+    "build a representative process at its migration point and save a \
+     durable, digest-named image of it to a file"
+  in
+  Cmd.v
+    (Cmd.info "checkpoint" ~doc)
+    Term.(const checkpoint $ workload_arg $ seed_arg $ ckpt_file_arg)
+
+let restore file seed =
+  let open Accent_core in
+  let world = World.create ~seed ~n_hosts:1 () in
+  let h0 = World.host world 0 in
+  let store = Accent_net.Content_store.create ~capacity_pages:65_536 () in
+  let ck =
+    try Checkpoint.read_file file store
+    with Sys_error e ->
+      prerr_endline e;
+      exit 1
+  in
+  let finished = ref None in
+  Checkpoint.restore ~bus:world.World.bus store h0 ck ~k:(fun p ->
+      p.Accent_kernel.Proc.on_complete <-
+        Some (fun _ -> finished := Some (World.now world));
+      Accent_kernel.Proc_runner.start h0 p);
+  ignore (World.run world);
+  Printf.printf "restored %s from %s: %d pages digest-verified\n"
+    (Checkpoint.proc_name ck) file (Checkpoint.pages ck);
+  match !finished with
+  | Some at ->
+      Printf.printf "ran its remaining reference trace, done at %.2fs \
+                     (virtual)\n"
+        (Accent_sim.Time.to_seconds at)
+  | None -> Printf.printf "process did not run to completion\n"
+
+let restore_file_arg =
+  let doc = "Checkpoint file written by $(b,accentctl checkpoint)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let restore_cmd =
+  let doc =
+    "rebuild a process from a checkpoint file (every page re-derived and \
+     checked against its recorded digest) and run it to completion"
+  in
+  Cmd.v (Cmd.info "restore" ~doc) Term.(const restore $ restore_file_arg $ seed_arg)
+
+let crashsweep workload seed seeds kills csv json =
+  let spec =
+    match Accent_workloads.Representative.by_name workload with
+    | Some spec -> spec
+    | None ->
+        Printf.eprintf "unknown workload %S\n" workload;
+        exit 1
+  in
+  let kill_fracs =
+    match kills with
+    | None -> Accent_experiments.Crash_recovery.default_kill_fracs
+    | Some s -> (
+        match
+          List.map float_of_string_opt (String.split_on_char ',' s)
+        with
+        | fracs when List.for_all Option.is_some fracs && fracs <> [] ->
+            List.map Option.get fracs
+        | _ ->
+            Printf.eprintf
+              "bad --kills: expected comma-separated fractions, e.g. \
+               0.25,0.5,0.75\n";
+            exit 1)
+  in
+  let t =
+    Accent_experiments.Crash_recovery.run ~seed ~seeds ~spec ~kill_fracs ()
+  in
+  print_string (Accent_experiments.Crash_recovery.render t);
+  (match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Accent_experiments.Crash_recovery.to_csv t);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path);
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Accent_experiments.Crash_recovery.to_json t);
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+
+let crashsweep_seeds_arg =
+  let doc = "Independent worlds per strategy." in
+  Arg.(value & opt int 3 & info [ "seeds" ] ~doc)
+
+let crashsweep_kills_arg =
+  let doc =
+    "Comma-separated kill points as fractions of the clean transfer window \
+     (default 0.25,0.5,0.75)."
+  in
+  Arg.(value & opt (some string) None & info [ "kills" ] ~docv:"FRACS" ~doc)
+
+let crashsweep_json_arg =
+  let doc = "Also write the per-strategy summaries as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let crashsweep_cmd =
+  let doc =
+    "checkpoint, kill the source host mid-migration at swept kill points, \
+     restore on the survivor; report p50/p99 recovery downtime vs. clean \
+     migration for every strategy"
+  in
+  Cmd.v
+    (Cmd.info "crashsweep" ~doc)
+    Term.(
+      const crashsweep $ losssweep_workload_arg $ seed_arg
+      $ crashsweep_seeds_arg $ crashsweep_kills_arg $ losssweep_csv_arg
+      $ crashsweep_json_arg)
+
 let ablate_cmd =
   let doc = "run the design-choice ablations (bandwidth, caching, backer \
              load, memory pressure, strategy face-off)" in
@@ -549,6 +698,9 @@ let main_cmd =
       losssweep_cmd;
       dedupsweep_cmd;
       cluster_cmd;
+      checkpoint_cmd;
+      restore_cmd;
+      crashsweep_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

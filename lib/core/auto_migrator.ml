@@ -8,6 +8,8 @@ type policy = {
   strategy : Strategy.t;
   max_migrations : int;
   placement : Placement_policy.t option;
+  load_smoothing : float option;
+      (* EWMA alpha for the sampled load vector; None = raw signal *)
 }
 
 let default_policy =
@@ -18,12 +20,14 @@ let default_policy =
     strategy = Strategy.pure_iou ~prefetch:1 ();
     max_migrations = 8;
     placement = None;
+    load_smoothing = None;
   }
 
 type t = {
   world : World.t;
   policy : policy;
   placement : Placement_policy.t;
+  smoother : Load_metric.Ewma.t option;
   rng : Accent_util.Rng.t;
   live : unit -> bool;
   mutable triggered : int;
@@ -47,7 +51,12 @@ let live_procs_anywhere world =
 let snapshot t =
   let world = t.world in
   let registry = world.World.registry in
-  let loads = Array.map Load_metric.host_load world.World.hosts in
+  let raw = Array.map Load_metric.host_load world.World.hosts in
+  let loads =
+    match t.smoother with
+    | None -> raw
+    | Some ewma -> Load_metric.Ewma.observe ewma raw
+  in
   let candidate host proc =
     {
       Placement_policy.proc_id = proc.Proc.id;
@@ -147,6 +156,10 @@ let start ?live world (policy : policy) =
       world;
       policy;
       placement;
+      smoother =
+        Option.map
+          (fun alpha -> Load_metric.Ewma.create ~alpha ())
+          policy.load_smoothing;
       rng = Engine.rng world.World.engine "auto-migrator";
       live;
       triggered = 0;

@@ -23,6 +23,11 @@ type policy = {
           built from [imbalance_threshold] and [affinity_weight] —
           decision-for-decision identical to the pre-policy-layer
           daemon *)
+  load_smoothing : float option;
+      (** [Some alpha] folds each sampled load vector through
+          {!Load_metric.Ewma} before the policy sees it, damping one-tick
+          spikes the raw signal would migrate on; [None] (the default)
+          keeps the raw instantaneous signal *)
 }
 
 val default_policy : policy

@@ -1,4 +1,3 @@
-open Accent_mem
 open Accent_ipc
 open Accent_kernel
 open Transfer_engine
@@ -18,253 +17,36 @@ type Message.payload +=
       (** memory object: residual dirty pages as Data plus the cold tail
           as IOU chunks, vaddr coordinates *)
 
-type outbound = {
-  proc : Proc.t;
-  dest : Port.id;
-  max_rounds : int;
-  threshold_pages : int;
-  out_report : Report.t;
-  out_on_complete : (Proc.t -> Report.t -> unit) option;
-  sent : (Page.index, unit) Hashtbl.t;  (** pages ever pushed *)
-}
-
 (* --- source side -------------------------------------------------------- *)
 
-let send_round ctx outbound (state : outbound) ~round ~pages =
-  let proc_id = state.proc.Proc.id in
-  match Engine_precopy.vaddr_data_chunks (Proc.space_exn state.proc) pages with
-  | exception Abort reason ->
-      Hashtbl.remove outbound proc_id;
-      abort_migration ctx ~proc_id reason
-  | chunks ->
-      List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
-      emit ctx ~proc_id
-        (Mig_event.Precopy_round
-           { round; bytes = Memory_object.data_bytes chunks });
-      Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
-        ~build:(fun memory ->
-          Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-            ~inline_bytes:64 ~memory ~no_ious:true ~category:Message.Bulk
-            (Mig_hybrid_pages { proc_id; round; src_port = ctx.port }))
+let round_payload ctx ~proc_id ~round =
+  Mig_hybrid_pages { proc_id; round; src_port = ctx.port }
 
-(* Everything real that no round ever pushed and the freeze did not catch
-   dirty becomes the cold tail: its values move into the manager's backing
-   server (keyed by virtual address) and the final message carries IOUs
-   for the destination to pull on reference.  The cold runs are computed
-   as the real ranges minus the (small) sent set, and each run's values
-   are gathered and stored as one extent — never one lookup and one insert
-   per cold page, which would make every hybrid freeze O(space). *)
-let cold_iou_chunks ctx space ~sent =
-  let runs =
-    List.concat_map
-      (fun (lo, hi) ->
-        let first = Page.index_of_addr lo
-        and last = Page.index_of_addr (hi - 1) in
-        let sent_inside =
-          Hashtbl.fold
-            (fun p () acc -> if first <= p && p <= last then p :: acc else acc)
-            sent []
-          |> List.sort compare
-        in
-        let rec gaps pos sent acc =
-          match sent with
-          | [] -> if pos <= last then (pos, last + 1) :: acc else acc
-          | s :: rest ->
-              gaps (s + 1) rest (if s > pos then (pos, s) :: acc else acc)
-        in
-        List.rev (gaps first sent_inside []))
-      (Address_space.real_ranges space)
+(* residual = pages dirtied since the last round; unlike pre-copy,
+   never-pushed pages are not shipped — they go cold on the manager's
+   backing server and travel as IOUs *)
+let residual_and_extra ctx image ~sent ~written =
+  let residual_chunks =
+    Image_wire.image_data_chunks image
+      ~missing:"pre-copy: page vanished mid-round" written
   in
-  match runs with
-  | [] -> []
-  | runs ->
-      let segment_id = Backing_server.new_segment ctx.backing in
-      let backing_port = Backing_server.port ctx.backing in
-      List.map
-        (fun (lo_page, hi_page) ->
-          let lo = Page.addr_of_index lo_page
-          and hi = Page.addr_of_index hi_page in
-          let values =
-            try Address_space.range_values space ~lo ~hi
-            with Failure _ ->
-              raise (Abort "hybrid: cold page vanished at freeze")
-          in
-          Backing_server.put_extent ctx.backing ~segment_id ~offset:lo values;
-          {
-            Memory_object.range = Vaddr.range lo hi;
-            content = Memory_object.Iou { segment_id; backing_port; offset = lo };
-          })
-        runs
+  List.iter (fun p -> Hashtbl.replace sent p ()) written;
+  (residual_chunks, Image_wire.cold_iou_chunks ctx image ~sent)
 
-let freeze ctx outbound (state : outbound) =
-  let proc_id = state.proc.Proc.id in
-  freeze_until_quiescent ctx state.proc ~k:(fun () ->
-      let space = Proc.space_exn state.proc in
-      (* residual = pages dirtied since the last round; unlike pre-copy,
-         never-pushed pages are not shipped — they go cold *)
-      let residual = Proc.drain_written_log state.proc in
-      match
-        let residual_chunks =
-          Engine_precopy.vaddr_data_chunks space residual
-        in
-        List.iter (fun p -> Hashtbl.replace state.sent p ()) residual;
-        (residual_chunks, cold_iou_chunks ctx space ~sent:state.sent)
-      with
-      | exception Abort reason ->
-          Hashtbl.remove outbound proc_id;
-          abort_migration ctx ~proc_id reason
-      | residual_chunks, cold_chunks ->
-          emit ctx ~proc_id
-            (Mig_event.Frozen
-               { residual_bytes = Memory_object.data_bytes residual_chunks });
-          Hashtbl.remove outbound proc_id;
-          Excise.excise ctx.host state.proc ~k:(fun excised ->
-              emit ctx ~proc_id (Mig_event.Excised excised.Excise.timings);
-              let memory =
-                List.sort
-                  (fun a b ->
-                    compare a.Memory_object.range.Vaddr.lo
-                      b.Memory_object.range.Vaddr.lo)
-                  (residual_chunks @ cold_chunks
-                  @ Engine_precopy.iou_chunks_in_vaddr excised)
-              in
-              Memory_object.validate memory;
-              Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory
-                ~build:(fun memory ->
-                  Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-                    ~inline_bytes:
-                      (Context.core_wire_bytes (Host.costs ctx.host)
-                         excised.Excise.core)
-                    ~rights:excised.Excise.core.Context.port_rights ~memory
-                    ~no_ious:true ~category:Message.Bulk
-                    (Mig_hybrid_final
-                       {
-                         core = excised.Excise.core;
-                         report = state.out_report;
-                         on_complete = state.out_on_complete;
-                       }))))
-
-let handle_ack ctx outbound ~proc_id ~round =
-  match Hashtbl.find_opt outbound proc_id with
-  | None -> Logs.warn (fun m -> m "MigrationManager: stray hybrid ack")
-  | Some state ->
-      let dirty = Hashtbl.length state.proc.Proc.written_log in
-      if round >= state.max_rounds || dirty <= state.threshold_pages then
-        freeze ctx outbound state
-      else
-        send_round ctx outbound state ~round:(round + 1)
-          ~pages:(Proc.drain_written_log state.proc)
-
-(* --- destination side --------------------------------------------------- *)
-
-(* Assemble a collapsed-coordinate RIMAS: staged pages (pushed rounds and
-   the residual) become Data runs, everything else must be covered by an
-   IOU chunk of the final message — the cold tail or a pre-existing
-   imaginary region. *)
-let assemble_rimas store ~proc_id ~amap ~iou_chunks =
-  let cursor = ref 0 and rev_chunks = ref [] in
-  let emit_chunk len content =
-    rev_chunks :=
-      { Memory_object.range = Vaddr.range !cursor (!cursor + len); content }
-      :: !rev_chunks;
-    cursor := !cursor + len
-  in
-  (* Cover [lo, hi) out of the final message's IOU chunks, splitting on
-     chunk boundaries. *)
-  let rec emit_iou_cover ~lo ~hi =
-    if lo < hi then (
-      let chunk =
-        match
-          List.find_opt
-            (fun c ->
-              c.Memory_object.range.Vaddr.lo <= lo
-              && lo < c.Memory_object.range.Vaddr.hi)
-            iou_chunks
-        with
-        | Some c -> c
-        | None -> raise (Abort "hybrid: page neither staged nor IOU-backed")
-      in
-      let piece_hi = min hi chunk.Memory_object.range.Vaddr.hi in
-      (match chunk.Memory_object.content with
-      | Memory_object.Iou { segment_id; backing_port; offset } ->
-          emit_chunk (piece_hi - lo)
-            (Memory_object.Iou
-               {
-                 segment_id;
-                 backing_port;
-                 offset = offset + lo - chunk.Memory_object.range.Vaddr.lo;
-               })
-      | Memory_object.Data _ | Memory_object.Digest_refs _ -> assert false);
-      emit_iou_cover ~lo:piece_hi ~hi)
-  in
-  let staged_offsets = Segment_store.offsets store ~segment_id:proc_id in
-  List.iter
-    (fun (lo, hi, cls) ->
-      match (cls : Accessibility.t) with
-      | Real_zero_mem | Bad_mem -> ()
-      | Real_mem | Imag_mem ->
-          (* walk only the staged page indices inside the range and the
-             gaps between them — staged runs become Data chunks, gaps are
-             covered from the IOUs (an Imag_mem range simply has no staged
-             pages).  Probing every page of the range instead would make
-             assembly O(space) per migration. *)
-          let first = Page.index_of_addr lo
-          and last = Page.index_of_addr (hi - 1) in
-          let staged_idx =
-            List.filter_map
-              (fun off ->
-                let idx = Page.index_of_addr off in
-                if first <= idx && idx <= last then Some idx else None)
-              staged_offsets
-          in
-          let emit_data run_lo run_hi =
-            let values =
-              Array.init
-                (run_hi - run_lo + 1)
-                (fun i ->
-                  match
-                    Segment_store.get_page store ~segment_id:proc_id
-                      ~offset:(Page.addr_of_index (run_lo + i))
-                  with
-                  | Some value -> value
-                  | None -> assert false)
-            in
-            emit_chunk
-              ((run_hi - run_lo + 1) * Page.size)
-              (Memory_object.Data values)
-          in
-          let rec run_end e rest =
-            match rest with
-            | n :: tail when n = e + 1 -> run_end n tail
-            | _ -> (e, rest)
-          in
-          let rec walk pos staged =
-            match staged with
-            | [] ->
-                if pos <= last then
-                  emit_iou_cover
-                    ~lo:(Page.addr_of_index pos)
-                    ~hi:(Page.addr_of_index last + Page.size)
-            | s :: tail ->
-                if s > pos then begin
-                  emit_iou_cover
-                    ~lo:(Page.addr_of_index pos)
-                    ~hi:(Page.addr_of_index s);
-                  walk s staged
-                end
-                else begin
-                  let e, rest = run_end s tail in
-                  emit_data s e;
-                  walk (e + 1) rest
-                end
-          in
-          walk first staged_idx)
-    (Amap.ranges amap);
-  List.rev !rev_chunks
+let freeze ctx outbound pool (state : Image_wire.push) =
+  Image_wire.freeze_and_ship ctx outbound pool state
+    ~residual_and_extra:(residual_and_extra ctx)
+    ~final_payload:(fun ~core ->
+      Mig_hybrid_final
+        {
+          core;
+          report = state.Image_wire.out_report;
+          on_complete = state.Image_wire.out_on_complete;
+        })
 
 (* --- the engine --------------------------------------------------------- *)
 
-let start ctx outbound ~proc ~dest ~strategy ~report ~on_complete
+let start ctx outbound pool ~proc ~dest ~strategy ~report ~on_complete
     ~on_restart:_ =
   match strategy.Strategy.transfer with
   | Strategy.Hybrid { max_rounds; threshold_pages; window_ms } ->
@@ -272,13 +54,13 @@ let start ctx outbound ~proc ~dest ~strategy ~report ~on_complete
          working set ahead of it *)
       let state =
         {
-          proc;
+          Image_wire.proc;
           dest;
           max_rounds;
           threshold_pages;
           out_report = report;
           out_on_complete = on_complete;
-          sent = Hashtbl.create 256;
+          sent = Image_wire.Sent_pool.take pool;
         }
       in
       Hashtbl.replace outbound proc.Proc.id state;
@@ -286,81 +68,42 @@ let start ctx outbound ~proc ~dest ~strategy ~report ~on_complete
          they touched ship with current values either in the window push
          or as cold IOUs, so reset dirty tracking to the rounds' epoch *)
       ignore (Proc.drain_written_log proc);
-      send_round ctx outbound state ~round:1
+      Image_wire.send_push_round ctx state ~round:1
         ~pages:(Engine_iou.shippable_ws_pages ctx proc ~window_ms)
+        ~payload:(round_payload ctx ~proc_id:proc.Proc.id)
   | _ -> assert false (* the manager dispatches on [claims] *)
 
 let create ctx =
   (* source side of in-progress hybrid migrations, by proc id *)
-  let outbound : (int, outbound) Hashtbl.t = Hashtbl.create 4 in
+  let outbound : (int, Image_wire.push) Hashtbl.t = Hashtbl.create 4 in
   (* destination side: pages staged by push rounds, keyed by proc id *)
   let staged : (int, Segment_store.t) Hashtbl.t = Hashtbl.create 4 in
+  let pool = Image_wire.Sent_pool.create () in
   Mig_event.subscribe ctx.bus (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
+          (match Hashtbl.find_opt outbound ev.Mig_event.proc_id with
+          | Some state -> Image_wire.Sent_pool.give pool state.Image_wire.sent
+          | None -> ());
           Hashtbl.remove outbound ev.Mig_event.proc_id;
           Hashtbl.remove staged ev.Mig_event.proc_id
       | _ -> ());
   let handle msg =
     match msg.Message.payload with
     | Mig_hybrid_pages { proc_id; round; src_port } ->
-        (match
-           Dedup.resolve ctx.dedup ~proc_id
-             (Option.value msg.Message.memory ~default:[])
-         with
-        | exception Dedup.Unresolvable reason ->
-            abort_migration ctx ~proc_id reason
-        | memory ->
-            let store = Engine_precopy.staged_store staged proc_id in
-            Engine_precopy.stage_chunks store ~proc_id memory;
-            Kernel_ipc.send (Host.kernel ctx.host)
-              (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
-                 ~inline_bytes:32
-                 (Mig_hybrid_ack { proc_id; round })));
+        Image_wire.handle_staged_pages ctx staged ~proc_id ~round ~src_port
+          ~memory:(Option.value msg.Message.memory ~default:[])
+          ~ack_payload:(fun ~proc_id ~round -> Mig_hybrid_ack { proc_id; round });
         true
     | Mig_hybrid_ack { proc_id; round } ->
-        handle_ack ctx outbound ~proc_id ~round;
+        Image_wire.handle_push_ack ctx outbound ~proc_id ~round ~stray:"hybrid"
+          ~freeze:(freeze ctx outbound pool)
+          ~payload:(round_payload ctx ~proc_id);
         true
     | Mig_hybrid_final { core; report; on_complete } ->
-        ctx.note_received ();
-        let proc_id = core.Context.proc_id in
-        let memory = Option.value msg.Message.memory ~default:[] in
-        emit ctx ~proc_id Mig_event.Core_delivered;
-        emit ctx ~proc_id
-          (Mig_event.Rimas_delivered
-             { data_bytes = Memory_object.data_bytes memory });
-        (match Dedup.resolve ctx.dedup ~proc_id memory with
-        | exception Dedup.Unresolvable reason ->
-            Hashtbl.remove staged proc_id;
-            abort_migration ctx ~proc_id reason
-        | memory ->
-        let store = Engine_precopy.staged_store staged proc_id in
-        Engine_precopy.stage_chunks store ~proc_id memory;
-        let iou_chunks =
-          List.filter
-            (fun c ->
-              match c.Memory_object.content with
-              | Memory_object.Iou _ -> true
-              | Memory_object.Data _ | Memory_object.Digest_refs _ -> false)
-            memory
-        in
-        (match
-           assemble_rimas store ~proc_id ~amap:core.Context.amap ~iou_chunks
-         with
-        | exception Abort reason ->
-            Hashtbl.remove staged proc_id;
-            abort_migration ctx ~proc_id reason
-        | rimas ->
-            Hashtbl.remove staged proc_id;
-            ctx.insert
-              {
-                core;
-                rimas;
-                prefetch = 0;
-                report;
-                on_complete;
-                on_restart = None;
-              }));
+        Image_wire.handle_final ctx staged ~core ~report ~on_complete
+          ~memory:(Option.value msg.Message.memory ~default:[])
+          ~assemble:Image_wire.assemble_lazy;
         true
     | _ -> false
   in
@@ -373,7 +116,7 @@ let create ctx =
   {
     name = "hybrid";
     claims = (function Strategy.Hybrid _ -> true | _ -> false);
-    start = start ctx outbound;
+    start = start ctx outbound pool;
     handle;
     give_up_proc;
     debug_stats =

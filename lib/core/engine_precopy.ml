@@ -1,4 +1,3 @@
-open Accent_mem
 open Accent_ipc
 open Accent_kernel
 open Transfer_engine
@@ -16,282 +15,66 @@ type Message.payload +=
       on_complete : (Proc.t -> Report.t -> unit) option;
     }  (** memory object: the residual dirty pages, vaddr coordinates *)
 
-type outbound = {
-  proc : Proc.t;
-  dest : Port.id;
-  max_rounds : int;
-  threshold_pages : int;
-  out_report : Report.t;
-  out_on_complete : (Proc.t -> Report.t -> unit) option;
-  sent : (Page.index, unit) Hashtbl.t;  (** pages ever shipped *)
-}
-
 (* --- source side -------------------------------------------------------- *)
 
-(* Read the named pages out of the (live) space and coalesce consecutive
-   ones into Data chunks addressed by virtual address. *)
-let vaddr_data_chunks space pages =
-  let pages = List.sort_uniq compare pages in
-  let runs =
-    List.fold_left
-      (fun acc page ->
-        match acc with
-        | (lo, hi) :: rest when page = hi -> (lo, page + 1) :: rest
-        | _ -> (page, page + 1) :: acc)
-      [] pages
-    |> List.rev
+let round_payload ctx ~proc_id ~round =
+  Mig_precopy_pages { proc_id; round; src_port = ctx.port }
+
+(* residual = everything dirtied since the last round, plus any page
+   materialised after round 1 that no round ever shipped — read out of the
+   captured image, which everything the final message carries derives
+   from *)
+let residual_and_extra image ~sent ~written =
+  let unsent =
+    List.filter
+      (fun p -> not (Hashtbl.mem sent p))
+      (Image_wire.image_pages image)
   in
-  List.map
-    (fun (lo_page, hi_page) ->
-      let lo = Page.addr_of_index lo_page and hi = Page.addr_of_index hi_page in
-      let values =
-        Array.init (hi_page - lo_page) (fun i ->
-            match Address_space.page_value space (lo_page + i) with
-            | Some value -> value
-            | None -> raise (Abort "pre-copy: page vanished mid-round"))
-      in
-      {
-        Memory_object.range = Vaddr.range lo hi;
-        content = Memory_object.Data values;
-      })
-    runs
+  ( Image_wire.image_data_chunks image
+      ~missing:"pre-copy: page vanished mid-round" (written @ unsent),
+    [] )
 
-let all_real_pages space =
-  List.concat_map
-    (fun (lo, hi) ->
-      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-      List.init (last - first + 1) (fun i -> first + i))
-    (Address_space.real_ranges space)
-
-let send_round ctx outbound (state : outbound) ~round ~pages =
-  let proc_id = state.proc.Proc.id in
-  match vaddr_data_chunks (Proc.space_exn state.proc) pages with
-  | exception Abort reason ->
-      Hashtbl.remove outbound proc_id;
-      abort_migration ctx ~proc_id reason
-  | chunks ->
-      List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
-      emit ctx ~proc_id
-        (Mig_event.Precopy_round
-           { round; bytes = Memory_object.data_bytes chunks });
-      Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
-        ~build:(fun memory ->
-          Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-            ~inline_bytes:64 ~memory ~no_ious:true ~category:Message.Bulk
-            (Mig_precopy_pages { proc_id; round; src_port = ctx.port }))
-
-(* Convert any surviving IOU chunks of an excised RIMAS back to
-   virtual-address coordinates using the excision layout, so the final
-   pre-copy message can carry them alongside the residual data. *)
-let iou_chunks_in_vaddr (excised : Excise.excised) =
-  List.concat_map
-    (fun chunk ->
-      match chunk.Memory_object.content with
-      | Memory_object.Data _ | Memory_object.Digest_refs _ -> []
-      | Memory_object.Iou { segment_id; backing_port; offset } ->
-          let clo = chunk.Memory_object.range.Vaddr.lo in
-          let chi = chunk.Memory_object.range.Vaddr.hi in
-          List.filter_map
-            (fun (run : Context.layout_run) ->
-              let run_chi =
-                run.Context.collapsed_lo + run.Context.vaddr_hi
-                - run.Context.vaddr_lo
-              in
-              let lo = max clo run.Context.collapsed_lo in
-              let hi = min chi run_chi in
-              if lo >= hi then None
-              else
-                Some
-                  {
-                    Memory_object.range =
-                      Vaddr.range
-                        (run.Context.vaddr_lo + lo - run.Context.collapsed_lo)
-                        (run.Context.vaddr_lo + hi - run.Context.collapsed_lo);
-                    content =
-                      Memory_object.Iou
-                        { segment_id; backing_port; offset = offset + lo - clo };
-                  })
-            excised.Excise.layout)
-    excised.Excise.rimas
-
-let freeze ctx outbound (state : outbound) =
-  let proc_id = state.proc.Proc.id in
-  freeze_until_quiescent ctx state.proc ~k:(fun () ->
-      let space = Proc.space_exn state.proc in
-      (* residual = everything dirtied since the last round, plus any page
-         materialised after round 1 that no round ever shipped *)
-      let written = Proc.drain_written_log state.proc in
-      let unsent =
-        List.filter
-          (fun p -> not (Hashtbl.mem state.sent p))
-          (all_real_pages space)
-      in
-      match
-        vaddr_data_chunks space (List.sort_uniq compare (written @ unsent))
-      with
-      | exception Abort reason ->
-          Hashtbl.remove outbound proc_id;
-          abort_migration ctx ~proc_id reason
-      | residual_chunks ->
-      emit ctx ~proc_id
-        (Mig_event.Frozen
-           { residual_bytes = Memory_object.data_bytes residual_chunks });
-      Hashtbl.remove outbound proc_id;
-      Excise.excise ctx.host state.proc ~k:(fun excised ->
-          emit ctx ~proc_id (Mig_event.Excised excised.Excise.timings);
-          let memory =
-            List.sort
-              (fun a b ->
-                compare a.Memory_object.range.Vaddr.lo
-                  b.Memory_object.range.Vaddr.lo)
-              (residual_chunks @ iou_chunks_in_vaddr excised)
-          in
-          Memory_object.validate memory;
-          Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory
-            ~build:(fun memory ->
-              Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-                ~inline_bytes:
-                  (Context.core_wire_bytes (Host.costs ctx.host)
-                     excised.Excise.core)
-                ~rights:excised.Excise.core.Context.port_rights ~memory
-                ~no_ious:true ~category:Message.Bulk
-                (Mig_precopy_final
-                   {
-                     core = excised.Excise.core;
-                     report = state.out_report;
-                     on_complete = state.out_on_complete;
-                   }))))
-
-let handle_ack ctx outbound ~proc_id ~round =
-  match Hashtbl.find_opt outbound proc_id with
-  | None -> Logs.warn (fun m -> m "MigrationManager: stray pre-copy ack")
-  | Some state ->
-      let dirty = Hashtbl.length state.proc.Proc.written_log in
-      if round >= state.max_rounds || dirty <= state.threshold_pages then
-        freeze ctx outbound state
-      else
-        send_round ctx outbound state ~round:(round + 1)
-          ~pages:(Proc.drain_written_log state.proc)
-
-(* --- destination side --------------------------------------------------- *)
-
-let staged_store staged proc_id =
-  match Hashtbl.find_opt staged proc_id with
-  | Some store -> store
-  | None ->
-      let store = Segment_store.create () in
-      Hashtbl.replace staged proc_id store;
-      store
-
-let stage_chunks store ~proc_id memory =
-  List.iter
-    (fun chunk ->
-      match chunk.Memory_object.content with
-      | Memory_object.Data values ->
-          let lo = chunk.Memory_object.range.Vaddr.lo in
-          Array.iteri
-            (fun i value ->
-              Segment_store.put_page store ~segment_id:proc_id
-                ~offset:(lo + (i * Page.size))
-                value)
-            values
-      (* digest chunks are resolved to Data before staging; none should
-         survive to here, and an unresolved one carries no bytes to stage *)
-      | Memory_object.Iou _ | Memory_object.Digest_refs _ -> ())
-    memory
-
-(* Assemble a collapsed-coordinate RIMAS for InsertProcess from the staged
-   pages plus the final message's IOU chunks. *)
-let assemble_rimas store ~proc_id ~amap ~iou_chunks =
-  let cursor = ref 0 and rev_chunks = ref [] in
-  List.iter
-    (fun (lo, hi, cls) ->
-      match (cls : Accessibility.t) with
-      | Real_zero_mem | Bad_mem -> ()
-      | Real_mem ->
-          let len = hi - lo in
-          let first = Page.index_of_addr lo
-          and last = Page.index_of_addr (hi - 1) in
-          let values =
-            Array.init (last - first + 1) (fun i ->
-                match
-                  Segment_store.get_page store ~segment_id:proc_id
-                    ~offset:(Page.addr_of_index (first + i))
-                with
-                | Some value -> value
-                | None ->
-                    raise (Abort "pre-copy: staged page missing at insertion"))
-          in
-          rev_chunks :=
-            {
-              Memory_object.range = Vaddr.range !cursor (!cursor + len);
-              content = Memory_object.Data values;
-            }
-            :: !rev_chunks;
-          cursor := !cursor + len
-      | Imag_mem ->
-          let len = hi - lo in
-          let iou =
-            match
-              List.find_opt
-                (fun c ->
-                  c.Memory_object.range.Vaddr.lo <= lo
-                  && hi <= c.Memory_object.range.Vaddr.hi)
-                iou_chunks
-            with
-            | Some c -> c
-            | None -> raise (Abort "pre-copy: imaginary range without an IOU")
-          in
-          (match iou.Memory_object.content with
-          | Memory_object.Iou { segment_id; backing_port; offset } ->
-              rev_chunks :=
-                {
-                  Memory_object.range = Vaddr.range !cursor (!cursor + len);
-                  content =
-                    Memory_object.Iou
-                      {
-                        segment_id;
-                        backing_port;
-                        offset = offset + lo - iou.Memory_object.range.Vaddr.lo;
-                      };
-                }
-                :: !rev_chunks
-          | Memory_object.Data _ | Memory_object.Digest_refs _ ->
-              assert false);
-          cursor := !cursor + len)
-    (Amap.ranges amap);
-  (* merge adjacent data chunks so the result mirrors a normal collapse *)
-  List.rev !rev_chunks
+let freeze ctx outbound pool (state : Image_wire.push) =
+  Image_wire.freeze_and_ship ctx outbound pool state ~residual_and_extra
+    ~final_payload:(fun ~core ->
+      Mig_precopy_final
+        {
+          core;
+          report = state.Image_wire.out_report;
+          on_complete = state.Image_wire.out_on_complete;
+        })
 
 (* --- the engine --------------------------------------------------------- *)
 
-let start ctx outbound ~proc ~dest ~strategy ~report ~on_complete
+let start ctx outbound pool ~proc ~dest ~strategy ~report ~on_complete
     ~on_restart:_ =
   match strategy.Strategy.transfer with
   | Strategy.Pre_copy { max_rounds; threshold_pages } ->
       (* the process keeps executing at the source while rounds proceed *)
       let state =
         {
-          proc;
+          Image_wire.proc;
           dest;
           max_rounds;
           threshold_pages;
           out_report = report;
           out_on_complete = on_complete;
-          sent = Hashtbl.create 256;
+          sent = Image_wire.Sent_pool.take pool;
         }
       in
       Hashtbl.replace outbound proc.Proc.id state;
-      send_round ctx outbound state ~round:1
-        ~pages:(all_real_pages (Proc.space_exn proc))
+      Image_wire.send_push_round ctx state ~round:1
+        ~pages:(Image_wire.all_real_pages (Proc.space_exn proc))
+        ~payload:(round_payload ctx ~proc_id:proc.Proc.id)
   | _ -> assert false (* the manager dispatches on [claims] *)
 
 let create ctx =
   (* source side of in-progress pre-copy migrations, by proc id *)
-  let outbound : (int, outbound) Hashtbl.t = Hashtbl.create 4 in
+  let outbound : (int, Image_wire.push) Hashtbl.t = Hashtbl.create 4 in
   (* destination side: pages staged by pre-copy rounds, keyed by proc id;
      the inner store indexes pages by virtual address *)
   let staged : (int, Segment_store.t) Hashtbl.t = Hashtbl.create 4 in
+  let pool = Image_wire.Sent_pool.create () in
   (* An abandoned migration never sees Mig_precopy_final, which is the only
      normal exit for both tables: drop its state when the transport gives
      up on it (or the engine itself aborts it), or the staged pages of
@@ -299,71 +82,30 @@ let create ctx =
   Mig_event.subscribe ctx.bus (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
+          (match Hashtbl.find_opt outbound ev.Mig_event.proc_id with
+          | Some state -> Image_wire.Sent_pool.give pool state.Image_wire.sent
+          | None -> ());
           Hashtbl.remove outbound ev.Mig_event.proc_id;
           Hashtbl.remove staged ev.Mig_event.proc_id
       | _ -> ());
   let handle msg =
     match msg.Message.payload with
     | Mig_precopy_pages { proc_id; round; src_port } ->
-        (match
-           Dedup.resolve ctx.dedup ~proc_id
-             (Option.value msg.Message.memory ~default:[])
-         with
-        | exception Dedup.Unresolvable reason ->
-            abort_migration ctx ~proc_id reason
-        | memory ->
-            let store = staged_store staged proc_id in
-            stage_chunks store ~proc_id memory;
-            Kernel_ipc.send (Host.kernel ctx.host)
-              (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port
-                 ~inline_bytes:32
-                 (Mig_precopy_ack { proc_id; round })));
+        Image_wire.handle_staged_pages ctx staged ~proc_id ~round ~src_port
+          ~memory:(Option.value msg.Message.memory ~default:[])
+          ~ack_payload:(fun ~proc_id ~round ->
+            Mig_precopy_ack { proc_id; round });
         true
     | Mig_precopy_ack { proc_id; round } ->
-        handle_ack ctx outbound ~proc_id ~round;
+        Image_wire.handle_push_ack ctx outbound ~proc_id ~round
+          ~stray:"pre-copy"
+          ~freeze:(freeze ctx outbound pool)
+          ~payload:(round_payload ctx ~proc_id);
         true
     | Mig_precopy_final { core; report; on_complete } ->
-        ctx.note_received ();
-        let proc_id = core.Context.proc_id in
-        let memory = Option.value msg.Message.memory ~default:[] in
-        emit ctx ~proc_id Mig_event.Core_delivered;
-        (* the residual dirty pages are the RIMAS data this final message
-           physically carries; the staged rounds were accounted per round *)
-        emit ctx ~proc_id
-          (Mig_event.Rimas_delivered
-             { data_bytes = Memory_object.data_bytes memory });
-        (match Dedup.resolve ctx.dedup ~proc_id memory with
-        | exception Dedup.Unresolvable reason ->
-            Hashtbl.remove staged proc_id;
-            abort_migration ctx ~proc_id reason
-        | memory ->
-        let store = staged_store staged proc_id in
-        stage_chunks store ~proc_id memory;
-        let iou_chunks =
-          List.filter
-            (fun c ->
-              match c.Memory_object.content with
-              | Memory_object.Iou _ -> true
-              | Memory_object.Data _ | Memory_object.Digest_refs _ -> false)
-            memory
-        in
-        (match
-           assemble_rimas store ~proc_id ~amap:core.Context.amap ~iou_chunks
-         with
-        | exception Abort reason ->
-            Hashtbl.remove staged proc_id;
-            abort_migration ctx ~proc_id reason
-        | rimas ->
-            Hashtbl.remove staged proc_id;
-            ctx.insert
-              {
-                core;
-                rimas;
-                prefetch = 0;
-                report;
-                on_complete;
-                on_restart = None;
-              }));
+        Image_wire.handle_final ctx staged ~core ~report ~on_complete
+          ~memory:(Option.value msg.Message.memory ~default:[])
+          ~assemble:Image_wire.assemble_strict;
         true
     | _ -> false
   in
@@ -377,7 +119,7 @@ let create ctx =
   {
     name = "precopy";
     claims = (function Strategy.Pre_copy _ -> true | _ -> false);
-    start = start ctx outbound;
+    start = start ctx outbound pool;
     handle;
     give_up_proc;
     debug_stats =

@@ -29,39 +29,10 @@ val create : Transfer_engine.ctx -> Transfer_engine.t
     a staged page missing at insertion) abort that one migration with an
     {!Mig_event.Engine_abort} event instead of raising; a transport
     give-up or engine abort also clears the migration's staged pages and
-    round state, so failed migrations leak nothing. *)
+    round state, so failed migrations leak nothing.
 
-(** {2 Push-protocol helpers}
-
-    Shared with {!Engine_hybrid}, which pushes rounds over the working
-    set only and leaves the cold tail as IOUs. *)
-
-val vaddr_data_chunks :
-  Accent_mem.Address_space.t ->
-  Accent_mem.Page.index list ->
-  Accent_ipc.Memory_object.t
-(** Read the named pages out of the (live) space and coalesce consecutive
-    ones into Data chunks addressed by virtual address.  Raises
-    {!Transfer_engine.Abort} if a page value has vanished. *)
-
-val all_real_pages :
-  Accent_mem.Address_space.t -> Accent_mem.Page.index list
-
-val iou_chunks_in_vaddr :
-  Accent_kernel.Excise.excised -> Accent_ipc.Memory_object.t
-(** Convert any surviving IOU chunks of an excised RIMAS back to
-    virtual-address coordinates using the excision layout. *)
-
-val staged_store :
-  (int, Accent_ipc.Segment_store.t) Hashtbl.t ->
-  int ->
-  Accent_ipc.Segment_store.t
-(** Find-or-create the per-process staging store. *)
-
-val stage_chunks :
-  Accent_ipc.Segment_store.t ->
-  proc_id:int ->
-  Accent_ipc.Memory_object.t ->
-  unit
-(** File every Data chunk's pages into the store, keyed by virtual
-    address; IOU chunks are left alone. *)
+    The push protocol itself — round sending and pacing, the image-based
+    freeze, staging and assembly — lives in {!Image_wire}, shared with
+    {!Engine_hybrid}; this module keeps only the wire payloads, the
+    strict assembly choice and the residual policy (ship everything no
+    round ever pushed). *)

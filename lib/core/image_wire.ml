@@ -1,0 +1,466 @@
+open Accent_mem
+open Accent_ipc
+open Accent_kernel
+open Transfer_engine
+
+(* --- pooled scratch ------------------------------------------------------ *)
+
+module Sent_pool = struct
+  type table = (Page.index, unit) Hashtbl.t
+  type t = table list ref
+
+  let create () = ref []
+
+  let take pool =
+    match !pool with
+    | tbl :: rest ->
+        pool := rest;
+        tbl
+    | [] -> Hashtbl.create 256
+
+  let give pool tbl =
+    Hashtbl.reset tbl;
+    pool := tbl :: !pool
+end
+
+(* --- data chunks ---------------------------------------------------------- *)
+
+let data_chunks ~lookup ~missing pages =
+  let pages = List.sort_uniq compare pages in
+  let runs =
+    List.fold_left
+      (fun acc page ->
+        match acc with
+        | (lo, hi) :: rest when page = hi -> (lo, page + 1) :: rest
+        | _ -> (page, page + 1) :: acc)
+      [] pages
+    |> List.rev
+  in
+  List.map
+    (fun (lo_page, hi_page) ->
+      let lo = Page.addr_of_index lo_page and hi = Page.addr_of_index hi_page in
+      let values =
+        Array.init (hi_page - lo_page) (fun i ->
+            match lookup (lo_page + i) with
+            | Some value -> value
+            | None -> raise (Abort missing))
+      in
+      {
+        Memory_object.range = Vaddr.range lo hi;
+        content = Memory_object.Data values;
+      })
+    runs
+
+let vaddr_data_chunks space pages =
+  data_chunks
+    ~lookup:(Address_space.page_value space)
+    ~missing:"pre-copy: page vanished mid-round" pages
+
+let image_data_chunks image ~missing pages =
+  data_chunks ~lookup:(Proc_image.find_value image) ~missing pages
+
+let all_real_pages space =
+  List.concat_map
+    (fun (lo, hi) ->
+      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
+      List.init (last - first + 1) (fun i -> first + i))
+    (Address_space.real_ranges space)
+
+let image_pages image =
+  List.concat_map
+    (fun (lo, hi) ->
+      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
+      List.init (last - first + 1) (fun i -> first + i))
+    (Proc_image.real_ranges image)
+
+(* --- IOU chunks ----------------------------------------------------------- *)
+
+(* The image's imaginary runs as vaddr-coordinate IOU chunks: pre-existing
+   ImagMem (e.g. on a second migration) that the final message must carry
+   alongside the residual data. *)
+let iou_chunks_of_image (image : Proc_image.t) =
+  List.filter_map
+    (fun (run : Address_space.image_run) ->
+      match run with
+      | Address_space.Img_zero _ | Address_space.Img_real _ -> None
+      | Address_space.Img_imag { lo; hi; segment_id; offset } ->
+          Some
+            {
+              Memory_object.range = Vaddr.range lo hi;
+              content =
+                Memory_object.Iou
+                  {
+                    segment_id;
+                    backing_port = Proc_image.backing_port_exn image ~segment_id;
+                    offset;
+                  };
+            })
+    image.Proc_image.mem
+
+(* Everything real that no round ever pushed and the freeze did not catch
+   dirty becomes the cold tail: its values move into the manager's backing
+   server (keyed by virtual address) and the final message carries IOUs
+   for the destination to pull on reference.  The cold runs are computed
+   as the image's real ranges minus the (small) sent set, and each run's
+   values are gathered and stored as one extent — never one lookup and one
+   insert per cold page, which would make every hybrid freeze O(space). *)
+let cold_iou_chunks ctx (image : Proc_image.t) ~sent =
+  let runs =
+    List.concat_map
+      (fun (lo, hi) ->
+        let first = Page.index_of_addr lo
+        and last = Page.index_of_addr (hi - 1) in
+        let sent_inside =
+          Hashtbl.fold
+            (fun p () acc -> if first <= p && p <= last then p :: acc else acc)
+            sent []
+          |> List.sort compare
+        in
+        let rec gaps pos sent acc =
+          match sent with
+          | [] -> if pos <= last then (pos, last + 1) :: acc else acc
+          | s :: rest ->
+              gaps (s + 1) rest (if s > pos then (pos, s) :: acc else acc)
+        in
+        List.rev (gaps first sent_inside []))
+      (Proc_image.real_ranges image)
+  in
+  match runs with
+  | [] -> []
+  | runs ->
+      let segment_id = Backing_server.new_segment ctx.backing in
+      let backing_port = Backing_server.port ctx.backing in
+      List.map
+        (fun (lo_page, hi_page) ->
+          let lo = Page.addr_of_index lo_page
+          and hi = Page.addr_of_index hi_page in
+          let values =
+            try Proc_image.range_values image ~lo ~hi
+            with Failure _ ->
+              raise (Abort "hybrid: cold page vanished at freeze")
+          in
+          Backing_server.put_extent ctx.backing ~segment_id ~offset:lo values;
+          {
+            Memory_object.range = Vaddr.range lo hi;
+            content = Memory_object.Iou { segment_id; backing_port; offset = lo };
+          })
+        runs
+
+(* --- source side: shared push-round protocol ------------------------------ *)
+
+type push = {
+  proc : Proc.t;
+  dest : Port.id;
+  max_rounds : int;
+  threshold_pages : int;
+  out_report : Report.t;
+  out_on_complete : (Proc.t -> Report.t -> unit) option;
+  sent : Sent_pool.table;  (** pages ever pushed; owned by the pool *)
+}
+
+let send_push_round ctx (state : push) ~round ~pages ~payload =
+  let proc_id = state.proc.Proc.id in
+  match vaddr_data_chunks (Proc.space_exn state.proc) pages with
+  | exception Abort reason -> abort_migration ctx ~proc_id reason
+  | chunks ->
+      List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
+      emit ctx ~proc_id
+        (Mig_event.Precopy_round
+           { round; bytes = Memory_object.data_bytes chunks });
+      Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
+        ~build:(fun memory ->
+          Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+            ~inline_bytes:64 ~memory ~no_ious:true ~category:Message.Bulk
+            (payload ~round))
+
+let handle_push_ack ctx outbound ~proc_id ~round ~stray ~freeze ~payload =
+  match Hashtbl.find_opt outbound proc_id with
+  | None -> Logs.warn (fun m -> m "MigrationManager: stray %s ack" stray)
+  | Some state ->
+      let dirty = Hashtbl.length state.proc.Proc.written_log in
+      if round >= state.max_rounds || dirty <= state.threshold_pages then
+        freeze state
+      else
+        send_push_round ctx state ~round:(round + 1)
+          ~pages:(Proc.drain_written_log state.proc)
+          ~payload
+
+(* Freeze, capture the process image, derive the final message from it,
+   dissolve the source incarnation, ship.  [residual_and_extra] computes
+   the Data chunks the final message physically carries plus any engine
+   extras (the hybrid cold tail) — reading the image, never the dying
+   space — and may raise {!Transfer_engine.Abort}, which aborts this one
+   migration with the process intact. *)
+let freeze_and_ship ctx outbound pool (state : push) ~residual_and_extra
+    ~final_payload =
+  let proc_id = state.proc.Proc.id in
+  freeze_until_quiescent ctx state.proc ~k:(fun () ->
+      let written = Proc.drain_written_log state.proc in
+      let excised = Excise.capture ctx.host state.proc in
+      let image = excised.Excise.image in
+      match residual_and_extra image ~sent:state.sent ~written with
+      | exception Abort reason -> abort_migration ctx ~proc_id reason
+      | residual_chunks, extra_chunks ->
+          emit ctx ~proc_id
+            (Mig_event.Frozen
+               { residual_bytes = Memory_object.data_bytes residual_chunks });
+          Hashtbl.remove outbound proc_id;
+          Sent_pool.give pool state.sent;
+          Excise.dissolve ctx.host state.proc excised ~k:(fun excised ->
+              emit ctx ~proc_id (Mig_event.Excised excised.Excise.timings);
+              let memory =
+                List.sort
+                  (fun a b ->
+                    compare a.Memory_object.range.Vaddr.lo
+                      b.Memory_object.range.Vaddr.lo)
+                  (residual_chunks @ extra_chunks @ iou_chunks_of_image image)
+              in
+              Memory_object.validate memory;
+              Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory
+                ~build:(fun memory ->
+                  Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
+                    ~inline_bytes:
+                      (Context.core_wire_bytes (Host.costs ctx.host)
+                         excised.Excise.core)
+                    ~rights:excised.Excise.core.Context.port_rights ~memory
+                    ~no_ious:true ~category:Message.Bulk
+                    (final_payload ~core:excised.Excise.core))))
+
+(* --- destination side: staging ------------------------------------------- *)
+
+let staged_store staged proc_id =
+  match Hashtbl.find_opt staged proc_id with
+  | Some store -> store
+  | None ->
+      let store = Segment_store.create () in
+      Hashtbl.replace staged proc_id store;
+      store
+
+let stage_chunks store ~proc_id memory =
+  List.iter
+    (fun chunk ->
+      match chunk.Memory_object.content with
+      | Memory_object.Data values ->
+          let lo = chunk.Memory_object.range.Vaddr.lo in
+          Array.iteri
+            (fun i value ->
+              Segment_store.put_page store ~segment_id:proc_id
+                ~offset:(lo + (i * Page.size))
+                value)
+            values
+      (* digest chunks are resolved to Data before staging; none should
+         survive to here, and an unresolved one carries no bytes to stage *)
+      | Memory_object.Iou _ | Memory_object.Digest_refs _ -> ())
+    memory
+
+let handle_staged_pages ctx staged ~proc_id ~round ~src_port ~memory
+    ~ack_payload =
+  match Dedup.resolve ctx.dedup ~proc_id memory with
+  | exception Dedup.Unresolvable reason -> abort_migration ctx ~proc_id reason
+  | memory ->
+      let store = staged_store staged proc_id in
+      stage_chunks store ~proc_id memory;
+      Kernel_ipc.send (Host.kernel ctx.host)
+        (Message.make ~ids:(Host.ids ctx.host) ~dest:src_port ~inline_bytes:32
+           (ack_payload ~proc_id ~round))
+
+(* --- destination side: RIMAS assembly ------------------------------------- *)
+
+(* Strict assembly (pre-copy): every Real_mem page must have been staged
+   by some round or the residual; Imag_mem ranges are covered whole by the
+   final message's IOU chunks. *)
+let assemble_strict store ~proc_id ~amap ~iou_chunks =
+  let cursor = ref 0 and rev_chunks = ref [] in
+  List.iter
+    (fun (lo, hi, cls) ->
+      match (cls : Accessibility.t) with
+      | Real_zero_mem | Bad_mem -> ()
+      | Real_mem ->
+          let len = hi - lo in
+          let first = Page.index_of_addr lo
+          and last = Page.index_of_addr (hi - 1) in
+          let values =
+            Array.init (last - first + 1) (fun i ->
+                match
+                  Segment_store.get_page store ~segment_id:proc_id
+                    ~offset:(Page.addr_of_index (first + i))
+                with
+                | Some value -> value
+                | None ->
+                    raise (Abort "pre-copy: staged page missing at insertion"))
+          in
+          rev_chunks :=
+            {
+              Memory_object.range = Vaddr.range !cursor (!cursor + len);
+              content = Memory_object.Data values;
+            }
+            :: !rev_chunks;
+          cursor := !cursor + len
+      | Imag_mem ->
+          let len = hi - lo in
+          let iou =
+            match
+              List.find_opt
+                (fun c ->
+                  c.Memory_object.range.Vaddr.lo <= lo
+                  && hi <= c.Memory_object.range.Vaddr.hi)
+                iou_chunks
+            with
+            | Some c -> c
+            | None -> raise (Abort "pre-copy: imaginary range without an IOU")
+          in
+          (match iou.Memory_object.content with
+          | Memory_object.Iou { segment_id; backing_port; offset } ->
+              rev_chunks :=
+                {
+                  Memory_object.range = Vaddr.range !cursor (!cursor + len);
+                  content =
+                    Memory_object.Iou
+                      {
+                        segment_id;
+                        backing_port;
+                        offset = offset + lo - iou.Memory_object.range.Vaddr.lo;
+                      };
+                }
+                :: !rev_chunks
+          | Memory_object.Data _ | Memory_object.Digest_refs _ ->
+              assert false);
+          cursor := !cursor + len)
+    (Amap.ranges amap);
+  List.rev !rev_chunks
+
+(* Lazy assembly (hybrid): staged pages become Data runs, everything else
+   must be covered by an IOU chunk of the final message — the cold tail or
+   a pre-existing imaginary region. *)
+let assemble_lazy store ~proc_id ~amap ~iou_chunks =
+  let cursor = ref 0 and rev_chunks = ref [] in
+  let emit_chunk len content =
+    rev_chunks :=
+      { Memory_object.range = Vaddr.range !cursor (!cursor + len); content }
+      :: !rev_chunks;
+    cursor := !cursor + len
+  in
+  (* Cover [lo, hi) out of the final message's IOU chunks, splitting on
+     chunk boundaries. *)
+  let rec emit_iou_cover ~lo ~hi =
+    if lo < hi then (
+      let chunk =
+        match
+          List.find_opt
+            (fun c ->
+              c.Memory_object.range.Vaddr.lo <= lo
+              && lo < c.Memory_object.range.Vaddr.hi)
+            iou_chunks
+        with
+        | Some c -> c
+        | None -> raise (Abort "hybrid: page neither staged nor IOU-backed")
+      in
+      let piece_hi = min hi chunk.Memory_object.range.Vaddr.hi in
+      (match chunk.Memory_object.content with
+      | Memory_object.Iou { segment_id; backing_port; offset } ->
+          emit_chunk (piece_hi - lo)
+            (Memory_object.Iou
+               {
+                 segment_id;
+                 backing_port;
+                 offset = offset + lo - chunk.Memory_object.range.Vaddr.lo;
+               })
+      | Memory_object.Data _ | Memory_object.Digest_refs _ -> assert false);
+      emit_iou_cover ~lo:piece_hi ~hi)
+  in
+  let staged_offsets = Segment_store.offsets store ~segment_id:proc_id in
+  List.iter
+    (fun (lo, hi, cls) ->
+      match (cls : Accessibility.t) with
+      | Real_zero_mem | Bad_mem -> ()
+      | Real_mem | Imag_mem ->
+          (* walk only the staged page indices inside the range and the
+             gaps between them — staged runs become Data chunks, gaps are
+             covered from the IOUs (an Imag_mem range simply has no staged
+             pages).  Probing every page of the range instead would make
+             assembly O(space) per migration. *)
+          let first = Page.index_of_addr lo
+          and last = Page.index_of_addr (hi - 1) in
+          let staged_idx =
+            List.filter_map
+              (fun off ->
+                let idx = Page.index_of_addr off in
+                if first <= idx && idx <= last then Some idx else None)
+              staged_offsets
+          in
+          let emit_data run_lo run_hi =
+            let values =
+              Array.init
+                (run_hi - run_lo + 1)
+                (fun i ->
+                  match
+                    Segment_store.get_page store ~segment_id:proc_id
+                      ~offset:(Page.addr_of_index (run_lo + i))
+                  with
+                  | Some value -> value
+                  | None -> assert false)
+            in
+            emit_chunk
+              ((run_hi - run_lo + 1) * Page.size)
+              (Memory_object.Data values)
+          in
+          let rec run_end e rest =
+            match rest with
+            | n :: tail when n = e + 1 -> run_end n tail
+            | _ -> (e, rest)
+          in
+          let rec walk pos staged =
+            match staged with
+            | [] ->
+                if pos <= last then
+                  emit_iou_cover
+                    ~lo:(Page.addr_of_index pos)
+                    ~hi:(Page.addr_of_index last + Page.size)
+            | s :: tail ->
+                if s > pos then begin
+                  emit_iou_cover
+                    ~lo:(Page.addr_of_index pos)
+                    ~hi:(Page.addr_of_index s);
+                  walk s staged
+                end
+                else begin
+                  let e, rest = run_end s tail in
+                  emit_data s e;
+                  walk (e + 1) rest
+                end
+          in
+          walk first staged_idx)
+    (Amap.ranges amap);
+  List.rev !rev_chunks
+
+let handle_final ctx staged ~core ~report ~on_complete ~memory ~assemble =
+  ctx.note_received ();
+  let proc_id = core.Context.proc_id in
+  emit ctx ~proc_id Mig_event.Core_delivered;
+  (* the residual dirty pages are the RIMAS data this final message
+     physically carries; the staged rounds were accounted per round *)
+  emit ctx ~proc_id
+    (Mig_event.Rimas_delivered { data_bytes = Memory_object.data_bytes memory });
+  match Dedup.resolve ctx.dedup ~proc_id memory with
+  | exception Dedup.Unresolvable reason ->
+      Hashtbl.remove staged proc_id;
+      abort_migration ctx ~proc_id reason
+  | memory -> (
+      let store = staged_store staged proc_id in
+      stage_chunks store ~proc_id memory;
+      let iou_chunks =
+        List.filter
+          (fun c ->
+            match c.Memory_object.content with
+            | Memory_object.Iou _ -> true
+            | Memory_object.Data _ | Memory_object.Digest_refs _ -> false)
+          memory
+      in
+      match assemble store ~proc_id ~amap:core.Context.amap ~iou_chunks with
+      | exception Abort reason ->
+          Hashtbl.remove staged proc_id;
+          abort_migration ctx ~proc_id reason
+      | rimas ->
+          Hashtbl.remove staged proc_id;
+          ctx.insert
+            { core; rimas; prefetch = 0; report; on_complete; on_restart = None })

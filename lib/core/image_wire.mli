@@ -1,0 +1,191 @@
+(** Wire-message assembly from first-class process images.
+
+    The push engines ({!Engine_precopy}, {!Engine_hybrid}) share a wire
+    shape: rounds of vaddr-coordinate Data chunks pushed while the process
+    runs, then a freeze that captures a {!Accent_kernel.Proc_image.t},
+    derives the final message {e from the image} — residual Data, any cold
+    tail, IOUs for pre-existing imaginary regions — and dissolves the
+    source incarnation.  The destination stages round pages in a segment
+    store and assembles the insertion RIMAS either strictly (pre-copy:
+    every real page must be staged) or lazily (hybrid: unstaged runs are
+    covered by the final message's IOUs).
+
+    Everything here is that shared machinery; the engines keep only their
+    payload constructors, round policy and table plumbing. *)
+
+open Accent_mem
+open Accent_kernel
+
+(** Pooled scratch tables for the per-migration sent sets: taken at
+    migration start, returned (and reset) at freeze or abort, so steady
+    churn reuses a few tables instead of allocating one 256-bucket table
+    per migration. *)
+module Sent_pool : sig
+  type table = (Page.index, unit) Hashtbl.t
+  type t
+
+  val create : unit -> t
+  val take : t -> table
+  val give : t -> table -> unit
+  (** Resets the table; the caller must not retain it. *)
+end
+
+(** {2 Data chunks} *)
+
+val data_chunks :
+  lookup:(Page.index -> Page.value option) ->
+  missing:string ->
+  Page.index list ->
+  Accent_ipc.Memory_object.t
+(** Coalesce the pages (sorted and deduplicated here) into consecutive
+    runs and read each value through [lookup]; a [None] raises
+    {!Transfer_engine.Abort} with [missing]. *)
+
+val vaddr_data_chunks :
+  Address_space.t -> Page.index list -> Accent_ipc.Memory_object.t
+(** [data_chunks] over the live space — what push rounds read. *)
+
+val image_data_chunks :
+  Proc_image.t -> missing:string -> Page.index list -> Accent_ipc.Memory_object.t
+(** [data_chunks] over a captured image — what the freeze reads. *)
+
+val all_real_pages : Address_space.t -> Page.index list
+val image_pages : Proc_image.t -> Page.index list
+
+(** {2 IOU chunks} *)
+
+val iou_chunks_of_image : Proc_image.t -> Accent_ipc.Memory_object.t
+(** The image's imaginary runs as vaddr-coordinate IOU chunks —
+    pre-existing ImagMem (e.g. on a second migration) the final message
+    must carry. *)
+
+val cold_iou_chunks :
+  Transfer_engine.ctx ->
+  Proc_image.t ->
+  sent:Sent_pool.table ->
+  Accent_ipc.Memory_object.t
+(** Bank every real run the rounds never pushed on the manager's backing
+    server (one extent per run) and return IOU chunks for the destination
+    to pull on reference — the hybrid cold tail. *)
+
+(** {2 Source side: the shared push protocol} *)
+
+type push = {
+  proc : Proc.t;
+  dest : Accent_ipc.Port.id;
+  max_rounds : int;
+  threshold_pages : int;
+  out_report : Report.t;
+  out_on_complete : (Proc.t -> Report.t -> unit) option;
+  sent : Sent_pool.table;  (** pages ever pushed; owned by the pool *)
+}
+
+val send_push_round :
+  Transfer_engine.ctx ->
+  push ->
+  round:int ->
+  pages:Page.index list ->
+  payload:(round:int -> Accent_ipc.Message.payload) ->
+  unit
+(** Read the pages from the live space, account the round, and send one
+    round message.  On {!Transfer_engine.Abort} the migration is aborted;
+    the engine's bus subscriber is expected to clear its outbound entry
+    (and return the sent table) on the resulting [Engine_abort] event. *)
+
+val handle_push_ack :
+  Transfer_engine.ctx ->
+  (int, push) Hashtbl.t ->
+  proc_id:int ->
+  round:int ->
+  stray:string ->
+  freeze:(push -> unit) ->
+  payload:(round:int -> Accent_ipc.Message.payload) ->
+  unit
+(** The round-pacing decision: freeze when the round budget is spent or
+    the dirty log is small enough, else push the drained dirty log as the
+    next round. *)
+
+val freeze_and_ship :
+  Transfer_engine.ctx ->
+  (int, push) Hashtbl.t ->
+  Sent_pool.t ->
+  push ->
+  residual_and_extra:
+    (Proc_image.t ->
+    sent:Sent_pool.table ->
+    written:Page.index list ->
+    Accent_ipc.Memory_object.t * Accent_ipc.Memory_object.t) ->
+  final_payload:(core:Context.core -> Accent_ipc.Message.payload) ->
+  unit
+(** Freeze until quiescent, drain the dirty log, {!Excise.capture} the
+    process image, compute the final message's Data chunks (and engine
+    extras) from the image via [residual_and_extra], emit [Frozen],
+    dissolve the source incarnation, and ship Core + residual + IOUs in
+    one final message once the trap's cost has elapsed.  An [Abort] from
+    [residual_and_extra] aborts this one migration with the process
+    intact. *)
+
+(** {2 Destination side: staging and assembly} *)
+
+val staged_store :
+  (int, Accent_ipc.Segment_store.t) Hashtbl.t ->
+  int ->
+  Accent_ipc.Segment_store.t
+(** Find-or-create the per-process staging store. *)
+
+val stage_chunks :
+  Accent_ipc.Segment_store.t ->
+  proc_id:int ->
+  Accent_ipc.Memory_object.t ->
+  unit
+(** File every Data chunk's pages into the store, keyed by virtual
+    address; IOU chunks are left alone. *)
+
+val handle_staged_pages :
+  Transfer_engine.ctx ->
+  (int, Accent_ipc.Segment_store.t) Hashtbl.t ->
+  proc_id:int ->
+  round:int ->
+  src_port:Accent_ipc.Port.id ->
+  memory:Accent_ipc.Memory_object.t ->
+  ack_payload:(proc_id:int -> round:int -> Accent_ipc.Message.payload) ->
+  unit
+(** Resolve digests, stage the round's pages, acknowledge. *)
+
+val assemble_strict :
+  Accent_ipc.Segment_store.t ->
+  proc_id:int ->
+  amap:Accent_mem.Amap.t ->
+  iou_chunks:Accent_ipc.Memory_object.t ->
+  Accent_ipc.Memory_object.t
+(** Pre-copy assembly: every [Real_mem] page must be staged (missing ones
+    raise [Abort]); [Imag_mem] ranges are covered whole from
+    [iou_chunks]. *)
+
+val assemble_lazy :
+  Accent_ipc.Segment_store.t ->
+  proc_id:int ->
+  amap:Accent_mem.Amap.t ->
+  iou_chunks:Accent_ipc.Memory_object.t ->
+  Accent_ipc.Memory_object.t
+(** Hybrid assembly: staged runs become Data chunks, every gap must be
+    covered by an IOU chunk (splitting on chunk boundaries). *)
+
+val handle_final :
+  Transfer_engine.ctx ->
+  (int, Accent_ipc.Segment_store.t) Hashtbl.t ->
+  core:Context.core ->
+  report:Report.t ->
+  on_complete:(Proc.t -> Report.t -> unit) option ->
+  memory:Accent_ipc.Memory_object.t ->
+  assemble:
+    (Accent_ipc.Segment_store.t ->
+    proc_id:int ->
+    amap:Accent_mem.Amap.t ->
+    iou_chunks:Accent_ipc.Memory_object.t ->
+    Accent_ipc.Memory_object.t) ->
+  unit
+(** The final-message handler: account Core and RIMAS delivery, resolve
+    digests, stage the residual, assemble the insertion RIMAS with
+    [assemble], and hand it to the manager; any failure aborts the
+    migration and clears its staged pages. *)

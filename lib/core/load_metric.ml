@@ -25,6 +25,37 @@ let dispersion ~registry host proc =
   Hashtbl.fold (fun host_id bytes acc -> (host_id, bytes) :: acc) tally []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
+(* §6's load metrics are instantaneous, and the threshold policy acts on
+   a single sample — so a one-tick queue blip can trigger a migration
+   whose cost dwarfs the imbalance it "fixed".  The classic remedy
+   (Barak & Shiloh's MOSIX load vectors, and every load-average since)
+   is exponential smoothing of the per-host signal.  Opt-in: policies
+   consume whatever load vector the sampler hands them. *)
+module Ewma = struct
+  type t = { alpha : float; mutable smoothed : float array option }
+
+  let create ?(alpha = 0.3) () =
+    if not (alpha > 0. && alpha <= 1.) then
+      invalid_arg "Load_metric.Ewma.create: alpha must be in (0, 1]";
+    { alpha; smoothed = None }
+
+  let alpha t = t.alpha
+
+  let observe t raw =
+    let smoothed =
+      match t.smoothed with
+      | None -> Array.copy raw (* seed with the first sample *)
+      | Some prev ->
+          if Array.length prev <> Array.length raw then Array.copy raw
+          else
+            Array.mapi
+              (fun i r -> (t.alpha *. r) +. ((1. -. t.alpha) *. prev.(i)))
+              raw
+    in
+    t.smoothed <- Some smoothed;
+    Array.copy smoothed
+end
+
 let affinity ~registry host proc ~host_id =
   let shares = dispersion ~registry host proc in
   let total = List.fold_left (fun acc (_, b) -> acc + b) 0 shares in

@@ -17,6 +17,13 @@ type kind =
           already held [hits] of them *)
   | Dedup_elided of { bytes : int }
       (** source withheld [bytes] of page data the destination already had *)
+  | Checkpointed of { pages : int; new_bytes : int }
+      (** a durable process image was saved: [pages] page digests banked,
+          of which [new_bytes] of page data were not already in the
+          store *)
+  | Restored of { pages : int }
+      (** a process was rebuilt from a checkpoint; every one of its
+          [pages] digest-resolved pages passed the integrity check *)
   | Transport_give_up
   | Engine_abort of { reason : string }
   | Outcome of { outcome : Report.outcome; remote_touched_pages : int }
@@ -77,6 +84,10 @@ let apply (r : Report.t) ev =
       r.Report.dedup_hits <- r.Report.dedup_hits + hits
   | Dedup_elided { bytes } ->
       r.Report.dedup_bytes_elided <- r.Report.dedup_bytes_elided + bytes
+  | Checkpointed { pages; new_bytes = _ } ->
+      r.Report.checkpointed_at <- at;
+      r.Report.checkpoint_pages <- pages
+  | Restored { pages = _ } -> r.Report.checkpoint_restored_at <- at
   | Transport_give_up ->
       r.Report.transport_give_ups <- r.Report.transport_give_ups + 1;
       if r.Report.outcome = Report.Completed then
@@ -157,6 +168,8 @@ let kind_name = function
   | Prefetch _ -> "prefetch"
   | Dedup_digests _ -> "dedup-digests"
   | Dedup_elided _ -> "dedup-elided"
+  | Checkpointed _ -> "checkpointed"
+  | Restored _ -> "restored"
   | Transport_give_up -> "transport-give-up"
   | Engine_abort _ -> "engine-abort"
   | Outcome _ -> "outcome"
@@ -200,6 +213,9 @@ let to_json ev =
     | Dedup_digests { pages; hits } ->
         Printf.sprintf {|,"pages":%d,"hits":%d|} pages hits
     | Dedup_elided { bytes } -> Printf.sprintf {|,"bytes":%d|} bytes
+    | Checkpointed { pages; new_bytes } ->
+        Printf.sprintf {|,"pages":%d,"new_bytes":%d|} pages new_bytes
+    | Restored { pages } -> Printf.sprintf {|,"pages":%d|} pages
     | Outcome { outcome; remote_touched_pages } ->
         Printf.sprintf {|,"outcome":"%s","remote_touched_pages":%d|}
           (Report.outcome_name outcome)
@@ -239,6 +255,9 @@ let pp ppf ev =
     | Dedup_digests { pages; hits } ->
         Printf.sprintf " %d/%d pages already held" hits pages
     | Dedup_elided { bytes } -> Printf.sprintf " (%d B withheld)" bytes
+    | Checkpointed { pages; new_bytes } ->
+        Printf.sprintf " %d pages (%d B new)" pages new_bytes
+    | Restored { pages } -> Printf.sprintf " %d pages verified" pages
     | Outcome { outcome; remote_touched_pages } ->
         Printf.sprintf " %s (%d pages touched)"
           (Report.outcome_name outcome)

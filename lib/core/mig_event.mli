@@ -45,6 +45,13 @@ type kind =
   | Dedup_elided of { bytes : int }
       (** dedup: the source withheld [bytes] of page data whose digests
           the destination reported as already held *)
+  | Checkpointed of { pages : int; new_bytes : int }
+      (** {!Checkpoint.save} banked a durable process image: [pages] page
+          digests recorded, of which [new_bytes] of page data were not
+          already in the durable store (the rest deduplicated) *)
+  | Restored of { pages : int }
+      (** {!Checkpoint.restore} rebuilt the process; every one of its
+          [pages] digest-resolved pages passed the integrity check *)
   | Transport_give_up
       (** the reliable transport abandoned a migration message *)
   | Engine_abort of { reason : string }

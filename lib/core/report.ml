@@ -18,6 +18,9 @@ type t = {
   mutable excise : Accent_kernel.Excise.timings option;
   mutable insert_ms : float option;
   mutable frozen_at : Accent_sim.Time.t option;
+  mutable checkpointed_at : Accent_sim.Time.t option;
+  mutable checkpoint_restored_at : Accent_sim.Time.t option;
+  mutable checkpoint_pages : int;
   mutable precopy_rounds : int;
   mutable precopy_bytes : int;
   mutable dest_faults_zero : int;
@@ -56,6 +59,9 @@ let create ~proc_name ~strategy =
     excise = None;
     insert_ms = None;
     frozen_at = None;
+    checkpointed_at = None;
+    checkpoint_restored_at = None;
+    checkpoint_pages = 0;
     precopy_rounds = 0;
     precopy_bytes = 0;
     dest_faults_zero = 0;
@@ -109,6 +115,8 @@ let downtime_seconds t =
 let transfer_plus_execution_seconds t =
   transfer_seconds t +. remote_execution_seconds t
 
+let recovery_seconds t = span t.checkpoint_restored_at t.checkpointed_at
+
 let goodput_bytes t = t.bytes_control + t.bytes_bulk + t.bytes_fault
 let overhead_bytes t = t.bytes_retransmit + t.bytes_ack
 let bytes_total t = goodput_bytes t + overhead_bytes t
@@ -150,4 +158,16 @@ let pp_summary ppf t =
       \  dedup: %d/%d digests already at destination, %s elided"
       t.dedup_hits t.dedup_pages_checked
       (Accent_util.Bytesize.to_string t.dedup_bytes_elided);
+  if t.checkpointed_at <> None || t.checkpoint_restored_at <> None then
+    Format.fprintf ppf
+      "@,\
+      \  checkpoint: %d pages%s%s" t.checkpoint_pages
+      (match t.checkpointed_at with
+      | Some at ->
+          Printf.sprintf ", saved at %.2fs" (Accent_sim.Time.to_seconds at)
+      | None -> "")
+      (match t.checkpoint_restored_at with
+      | Some at ->
+          Printf.sprintf ", restored at %.2fs" (Accent_sim.Time.to_seconds at)
+      | None -> "");
   Format.fprintf ppf "@]"

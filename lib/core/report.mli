@@ -36,6 +36,12 @@ type t = {
   mutable frozen_at : Accent_sim.Time.t option;
       (** the process stopped executing at the source (for the classic
           strategies this coincides with the request) *)
+  (* checkpoint/restore (crash recovery only) *)
+  mutable checkpointed_at : Accent_sim.Time.t option;
+      (** a durable image of the process was saved *)
+  mutable checkpoint_restored_at : Accent_sim.Time.t option;
+      (** the process was rebuilt from its checkpoint *)
+  mutable checkpoint_pages : int;  (** pages banked by the checkpoint *)
   mutable precopy_rounds : int;
   mutable precopy_bytes : int;  (** payload bytes shipped by the rounds *)
   (* destination-side execution accounting *)
@@ -98,6 +104,11 @@ val downtime_seconds : t -> float
 
 val transfer_plus_execution_seconds : t -> float
 (** The sum Figure 4-2 compares across strategies. *)
+
+val recovery_seconds : t -> float
+(** Checkpoint save to checkpoint restore — how long the durable image
+    sat before a crash forced it back into service (0 when either stamp
+    is missing). *)
 
 val goodput_bytes : t -> int
 (** Control + bulk + fault — the traffic the 1987 accounting knew about. *)

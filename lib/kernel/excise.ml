@@ -5,6 +5,7 @@ open Accent_ipc
 type timings = { amap_ms : float; rimas_ms : float; overall_ms : float }
 
 type excised = {
+  image : Proc_image.t;
   core : Context.core;
   rimas : Memory_object.t;
   layout : Context.layout_run list;
@@ -35,122 +36,36 @@ let estimate_timings (costs : Cost_model.t) space =
     overall_ms = costs.excise_base_ms +. amap_ms +. rimas_ms;
   }
 
-(* Collect the materialised page values of [lo, hi) — no bytes move, and
-   bulk-installed runs are blitted rather than looked up page by page. *)
-let range_values space ~lo ~hi = Address_space.range_values space ~lo ~hi
-
-(* Walk the region list, assigning collapsed offsets to content-bearing
-   ranges and building the chunk list; adjacent Data chunks merge into the
-   single contiguous area the paper describes. *)
-let collapse pager space =
-  let chunks = ref [] and layout = ref [] and cursor = ref 0 in
-  let emit_chunk range content =
-    chunks := { Memory_object.range; content } :: !chunks
-  in
-  List.iter
-    (fun (lo, hi, backing) ->
-      match (backing : Address_space.backing) with
-      | Zero -> ()
-      | Real ->
-          let len = hi - lo in
-          let range = Vaddr.range !cursor (!cursor + len) in
-          emit_chunk range (Memory_object.Data (range_values space ~lo ~hi));
-          layout :=
-            { Context.vaddr_lo = lo; vaddr_hi = hi; collapsed_lo = !cursor }
-            :: !layout;
-          cursor := !cursor + len
-      | Imaginary { segment_id; base } ->
-          let len = hi - lo in
-          let range = Vaddr.range !cursor (!cursor + len) in
-          let backing_port =
-            match Pager.backing_port pager ~segment_id with
-            | Some port -> port
-            | None ->
-                failwith "Excise: imaginary region with unknown backing port"
-          in
-          emit_chunk range
-            (Memory_object.Iou { segment_id; backing_port; offset = base + lo });
-          layout :=
-            { Context.vaddr_lo = lo; vaddr_hi = hi; collapsed_lo = !cursor }
-            :: !layout;
-          cursor := !cursor + len)
-    (Address_space.backed_ranges space);
-  (* Merge adjacent Data chunks: the collapse produces one contiguous
-     physical area, not one chunk per source region.  Each run of adjacent
-     Data chunks is gathered first and concatenated once — folding with
-     Array.append would recopy the accumulated prefix at every step. *)
-  let flush group acc =
-    match group with
-    | [] -> acc
-    | [ chunk ] -> chunk :: acc
-    | _ ->
-        let parts = List.rev group in
-        let lo =
-          (List.hd parts).Memory_object.range.Vaddr.lo
-        in
-        let hi =
-          (List.hd group).Memory_object.range.Vaddr.hi
-        in
-        let data =
-          Array.concat
-            (List.map
-               (fun c ->
-                 match c.Memory_object.content with
-                 | Memory_object.Data d -> d
-                 | Memory_object.Iou _ | Memory_object.Digest_refs _ ->
-                     assert false)
-               parts)
-        in
-        { Memory_object.range = Vaddr.range lo hi; content = Data data }
-        :: acc
-  in
-  let merged =
-    let acc, group =
-      List.fold_left
-        (fun (acc, group) chunk ->
-          match (group, chunk.Memory_object.content) with
-          | ( ({ Memory_object.range = prev_range; _ } :: _ as g),
-              Memory_object.Data _ )
-            when prev_range.Vaddr.hi = chunk.Memory_object.range.Vaddr.lo ->
-              (acc, chunk :: g)
-          | _, Memory_object.Data _ -> (flush group acc, [ chunk ])
-          | _, (Memory_object.Iou _ | Memory_object.Digest_refs _) ->
-              (chunk :: flush group acc, []))
-        ([], [])
-        (List.rev !chunks)
-    in
-    List.rev (flush group acc)
-  in
-  (merged, List.rev !layout)
-
-let excise host proc ~k =
+let capture host proc =
   Proc_runner.interrupt proc;
   let space = Proc.space_exn proc in
   let pager = Host.pager host in
   if Pager.pending_faults_for pager ~proc_id:proc.Proc.id > 0 then
     invalid_arg "Excise: process has a fault in flight";
   let timings = estimate_timings (Host.costs host) space in
-  let resident = List.map fst (Address_space.resident_pages space) in
-  let rimas, layout = collapse pager space in
+  let image = Proc_image.capture host proc in
+  let rimas, layout = Proc_image.to_rimas image in
   Memory_object.validate rimas;
-  let core =
-    {
-      Context.proc_id = proc.Proc.id;
-      proc_name = proc.Proc.name;
-      pcb = proc.Proc.pcb;
-      port_rights = proc.Proc.ports;
-      amap = Address_space.build_amap space;
-      trace = proc.Proc.trace;
-    }
-  in
-  (* The context now holds everything; the local incarnation dissolves. *)
+  {
+    image;
+    core = image.Proc_image.core;
+    rimas;
+    layout;
+    resident = image.Proc_image.resident;
+    timings;
+  }
+
+let dissolve host proc excised ~k =
+  (* The image now holds everything; the local incarnation dissolves. *)
+  let space = Proc.space_exn proc in
   proc.Proc.pcb.Pcb.status <- Pcb.Excised;
   proc.Proc.pcb.Pcb.migrations <- proc.Proc.pcb.Pcb.migrations + 1;
   proc.Proc.space <- None;
-  Pager.forget_segments pager ~space_id:(Address_space.id space);
+  Pager.forget_segments (Host.pager host) ~space_id:(Address_space.id space);
   Host.drop_space host space;
   Host.remove_proc host proc;
-  let result = { core; rimas; layout; resident; timings } in
   ignore
-    (Engine.schedule (Host.engine host) ~delay:(Time.ms timings.overall_ms)
-       (fun () -> k result))
+    (Engine.schedule (Host.engine host)
+       ~delay:(Time.ms excised.timings.overall_ms) (fun () -> k excised))
+
+let excise host proc ~k = dissolve host proc (capture host proc) ~k

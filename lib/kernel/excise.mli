@@ -17,6 +17,8 @@ type timings = {
 }
 
 type excised = {
+  image : Proc_image.t;
+      (** the first-class process image every other field derives from *)
   core : Context.core;
   rimas : Accent_ipc.Memory_object.t;
       (** the collapsed content: Data chunks for RealMem, Iou chunks for
@@ -29,11 +31,22 @@ type excised = {
   timings : timings;
 }
 
+val capture : Host.t -> Proc.t -> excised
+(** Freeze and extract, leaving the process intact: interrupt it, take a
+    {!Proc_image.t}, collapse it to a RIMAS, and price the trap.  The
+    process must not have a fault in flight.  Pure snapshot — nothing is
+    dismantled and no virtual time passes, so a caller may capture, keep
+    using the live process (e.g. to drain a dirty log) and only then
+    {!dissolve}, or checkpoint the image and walk away. *)
+
+val dissolve : Host.t -> Proc.t -> excised -> k:(excised -> unit) -> unit
+(** Dismantle the local incarnation of a captured process: its space is
+    destroyed (the data now lives in the image), it is removed from the
+    host's tables, and [k] fires once the trap's cost has elapsed. *)
+
 val excise : Host.t -> Proc.t -> k:(excised -> unit) -> unit
-(** Freeze, extract and dismantle: [k] fires once the trap's cost has
-    elapsed, with the context in hand.  The process must not have a fault
-    in flight.  Its space is destroyed (the data now lives in the RIMAS)
-    and the process is removed from the host's tables. *)
+(** [capture] then [dissolve]: freeze, extract and dismantle in one
+    trap — the paper's ExciseProcess. *)
 
 val estimate_timings : Cost_model.t -> Accent_mem.Address_space.t -> timings
 (** The cost model by itself, for tests and what-if analysis. *)

@@ -29,6 +29,18 @@ let create ?(priority = 0) ?(microstate_bytes = 1024) ~tag () =
     migrations = 0;
   }
 
+let copy t =
+  {
+    status = t.status;
+    priority = t.priority;
+    pc = t.pc;
+    microstate = Bytes.copy t.microstate;
+    faults_zero = t.faults_zero;
+    faults_disk = t.faults_disk;
+    faults_imag = t.faults_imag;
+    migrations = t.migrations;
+  }
+
 let size_bytes t = Bytes.length t.microstate
 let checksum t = Accent_mem.Page.checksum t.microstate
 

@@ -23,6 +23,10 @@ val create : ?priority:int -> ?microstate_bytes:int -> tag:int -> unit -> t
 (** Fresh PCB with deterministic microstate contents derived from [tag]
     ([microstate_bytes] defaults to 1024, the paper's "roughly 1 Kbyte"). *)
 
+val copy : t -> t
+(** Deep copy (microstate bytes included) — what checkpointing needs to
+    freeze the microengine state while the live PCB keeps mutating. *)
+
 val size_bytes : t -> int
 val checksum : t -> int
 val status_to_string : status -> string

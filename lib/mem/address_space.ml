@@ -319,6 +319,118 @@ let range_values t ~lo ~hi =
   done;
   out
 
+(* --- process-image export / import ------------------------------------- *)
+
+type page_home = Home_resident | Home_disk | Home_cold
+
+type image_run =
+  | Img_zero of { lo : int; hi : int }
+  | Img_real of { lo : int; values : Page.value array; homes : page_home array }
+  | Img_imag of { lo : int; hi : int; segment_id : int; offset : int }
+
+(* [range_values] plus where each page lives, in one pass over the same
+   structures — cold runs are blitted and stamped [Home_cold], then the
+   individually-materialised overlay patches values and homes together. *)
+let range_values_homes t ~lo ~hi =
+  let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
+  let n = last - first + 1 in
+  let out = Array.make n Page.zero_value in
+  let homes = Array.make n Home_cold in
+  let filled = Bytes.make n '\000' in
+  List.iter
+    (fun { first = f; values } ->
+      let lo_i = max first f and hi_i = min last (f + Array.length values - 1) in
+      if lo_i <= hi_i then begin
+        Array.blit values (lo_i - f) out (lo_i - first) (hi_i - lo_i + 1);
+        Bytes.fill filled (lo_i - first) (hi_i - lo_i + 1) '\001'
+      end)
+    t.cold;
+  Hashtbl.iter
+    (fun idx () ->
+      if first <= idx && idx <= last then Bytes.set filled (idx - first) '\000')
+    t.cold_gone;
+  Hashtbl.iter
+    (fun idx loc ->
+      if first <= idx && idx <= last then begin
+        (match loc with
+        | In_mem frame ->
+            out.(idx - first) <- Phys_mem.read t.mem frame;
+            homes.(idx - first) <- Home_resident
+        | On_disk block ->
+            out.(idx - first) <- Paging_disk.read t.disk block;
+            homes.(idx - first) <- Home_disk);
+        Bytes.set filled (idx - first) '\001'
+      end)
+    t.pages;
+  for i = 0 to n - 1 do
+    if Bytes.get filled i = '\000' then
+      failwith "Address_space.range_values: Real range with missing page"
+  done;
+  (out, homes)
+
+let export_image t =
+  List.map
+    (fun (lo, hi, backing) ->
+      match backing with
+      | Zero -> Img_zero { lo; hi }
+      | Real ->
+          let values, homes = range_values_homes t ~lo ~hi in
+          Img_real { lo; values; homes }
+      | Imaginary { segment_id; base } ->
+          Img_imag { lo; hi; segment_id; offset = base + lo })
+    (Interval_map.ranges t.regions)
+
+let import_image t runs =
+  if Interval_map.cardinal t.regions <> 0 then
+    invalid_arg "Address_space.import_image: space not empty";
+  List.iter
+    (fun run ->
+      match run with
+      | Img_zero { lo; hi } -> validate_zero t (Vaddr.range lo hi)
+      | Img_imag { lo; hi; segment_id; offset } ->
+          map_imaginary t (Vaddr.range lo hi) ~segment_id ~offset
+      | Img_real { lo; values; homes } ->
+          let n = Array.length values in
+          if n = 0 || n <> Array.length homes then
+            invalid_arg "Address_space.import_image: malformed real run";
+          Hashtbl.replace t.segments "image" ();
+          let first = Page.index_of_addr lo in
+          (* cold pages rebuild as bulk extents of any length — per-page
+             table entries and disk blocks only for pages that had them *)
+          let flush_cold run_first rev_run =
+            match rev_run with
+            | [] -> ()
+            | _ ->
+                let values = Array.of_list (List.rev rev_run) in
+                t.cold <- { first = run_first; values } :: t.cold;
+                t.cold_live <- t.cold_live + Array.length values
+          in
+          let run_first = ref 0 and rev_run = ref [] in
+          Array.iteri
+            (fun i value ->
+              let idx = first + i in
+              match homes.(i) with
+              | Home_cold ->
+                  if !rev_run = [] then run_first := idx;
+                  rev_run := value :: !rev_run
+              | Home_resident | Home_disk ->
+                  flush_cold !run_first !rev_run;
+                  rev_run := [];
+                  let location =
+                    if homes.(i) = Home_resident then
+                      In_mem
+                        (Phys_mem.allocate t.mem
+                           ~owner:{ space_id = t.id; page = idx }
+                           value)
+                    else On_disk (Paging_disk.alloc t.disk value)
+                  in
+                  Hashtbl.replace t.pages idx location)
+            values;
+          flush_cold !run_first !rev_run;
+          t.regions <-
+            Interval_map.set t.regions ~lo ~hi:(lo + (n * Page.size)) Real)
+    runs
+
 let page_data t idx = Option.map Page.to_bytes (page_value t idx)
 
 let write_page t idx value =

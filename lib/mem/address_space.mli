@@ -115,6 +115,40 @@ val range_values : t -> lo:int -> hi:int -> Page.value array
     excision path.  Raises [Failure] if any page of the range has no
     materialised value. *)
 
+(** {2 Process-image export / import}
+
+    The address-space slice of a first-class process image: every backed
+    range with its page values {e and} where each page lives, so a space
+    can be rebuilt elsewhere with the same residency and the same bulk
+    cold extents — no per-page table entries or disk blocks for pages
+    that never had them, and no page bytes materialised (symbolic values
+    stay symbolic). *)
+
+type page_home =
+  | Home_resident  (** in a physical frame *)
+  | Home_disk  (** in an individual paging-disk block *)
+  | Home_cold  (** held in a bulk-installed cold extent *)
+
+type image_run =
+  | Img_zero of { lo : int; hi : int }
+  | Img_real of { lo : int; values : Page.value array; homes : page_home array }
+  | Img_imag of { lo : int; hi : int; segment_id : int; offset : int }
+      (** [offset] is the segment offset of address [lo] *)
+
+val export_image : t -> image_run list
+(** Snapshot every backed range in increasing address order —
+    O(pages copied + overlay + runs), the same cost as the excision
+    collapse, and values are shared (never re-materialised). *)
+
+val import_image : t -> image_run list -> unit
+(** Rebuild the exported layout into an {e empty} space: cold pages
+    become bulk extents of any length, disk pages take disk blocks,
+    resident pages take frames (possibly evicting).  Imaginary runs are
+    remapped; registering their backing ports with the pager is the
+    caller's job.  [export_image (import_image t runs) = runs] for any
+    exported [runs].  Raises [Invalid_argument] if the space already has
+    validated regions. *)
+
 val page_data : t -> Page.index -> Page.data option
 (** [Option.map Page.to_bytes (page_value t idx)]: a fresh materialised
     copy, for bytes-edge callers. *)

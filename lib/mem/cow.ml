@@ -139,6 +139,14 @@ let release store h =
       h.pages
   end
 
+(* --- process-image export / import -------------------------------------- *)
+
+let export_image store h =
+  check_live h;
+  (h.len, Array.map (fun id -> (find_phys store id).value) h.pages)
+
+let import_image store (len, values) = share_values store ~len values
+
 let live_pages store = Hashtbl.length store.phys
 let logical_pages store = store.logical
 let deferred_copies store = store.copies

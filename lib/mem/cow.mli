@@ -45,6 +45,18 @@ val release : store -> handle -> unit
 
 val pages_of : store -> handle -> int
 
+(** {2 Process-image export / import} *)
+
+val export_image : store -> handle -> int * Page.value array
+(** [(logical length, page values)] of the handle's contents — the COW
+    slice of a process image.  Zero-copy: values are shared, never
+    materialised, and the handle stays live. *)
+
+val import_image : store -> int * Page.value array -> handle
+(** Rebuild an exported slice as a fresh sole-owner handle (no bytes
+    move; equivalent to {!share_values}).  [export_image store
+    (import_image store img) = img]. *)
+
 (** {2 Accounting} *)
 
 val live_pages : store -> int

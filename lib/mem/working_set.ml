@@ -132,3 +132,26 @@ let pages_within t ~time ~window =
 
 let references t = t.refs
 let distinct_pages t = Hashtbl.length t.nodes
+
+(* --- process-image export / import -------------------------------------- *)
+
+type snapshot = {
+  entries : (Page.index * Accent_sim.Time.t) list;
+  snap_refs : int;
+}
+
+let export t =
+  (* ascending (last, idx): a replay in this order satisfies the
+     non-decreasing-time contract of [reference] *)
+  let entries =
+    Hashtbl.fold (fun idx n acc -> (idx, n.last) :: acc) t.nodes []
+    |> List.sort (fun (i1, t1) (i2, t2) ->
+           match compare t1 t2 with 0 -> compare i1 i2 | c -> c)
+  in
+  { entries; snap_refs = t.refs }
+
+let import t { entries; snap_refs } =
+  if Hashtbl.length t.nodes <> 0 then
+    invalid_arg "Working_set.import: set not empty";
+  List.iter (fun (idx, time) -> reference t ~time idx) entries;
+  t.refs <- snap_refs

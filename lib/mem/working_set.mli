@@ -39,3 +39,23 @@ val references : t -> int
 
 val distinct_pages : t -> int
 (** Distinct pages ever referenced. *)
+
+(** {2 Process-image export / import} *)
+
+type snapshot = {
+  entries : (Page.index * Accent_sim.Time.t) list;
+      (** every page ever referenced with its last-reference time,
+          ascending by (time, page) *)
+  snap_refs : int;  (** total reference count at export *)
+}
+
+val export : t -> snapshot
+(** The recency state as plain data — what migration must carry for the
+    destination's working-set estimator to answer exactly as the
+    source's would have. *)
+
+val import : t -> snapshot -> unit
+(** Replay a snapshot into a {e fresh} estimator: afterwards every
+    [pages_at]/[pages_within]/[size_at]/[references]/[distinct_pages]
+    answer matches the exported set's.  Raises [Invalid_argument] if the
+    estimator has already seen references. *)
