@@ -39,8 +39,8 @@ val put_page :
 (** Provide one page value at the page-aligned [offset] — no copy. *)
 
 val put_extent :
-  t -> segment_id:int -> offset:int -> Accent_mem.Page.value array -> unit
-(** Provide a whole run of page values starting at the page-aligned
+  t -> segment_id:int -> offset:int -> Accent_mem.Page_run.t -> unit
+(** Adopt a whole run of page values starting at the page-aligned
     [offset] in O(1) — see {!Accent_ipc.Segment_store.put_extent}. *)
 
 val store : t -> Accent_net.Content_store.t

@@ -9,7 +9,7 @@ type mem_run =
   | Ck_real of {
       lo : int;
       digests : int array;
-      homes : Address_space.page_home array;
+      homes : (int * Address_space.page_home) list;  (** run-length encoded *)
     }
   | Ck_imag of { lo : int; hi : int; segment_id : int; offset : int }
 
@@ -59,8 +59,8 @@ let save ?bus ?(at = Time.zero) store (image : Proc_image.t) =
       (fun (run : Address_space.image_run) ->
         match run with
         | Address_space.Img_zero { lo; hi } -> Ck_zero { lo; hi }
-        | Address_space.Img_real { lo; values; homes } ->
-            Ck_real { lo; digests = Array.map bank values; homes }
+        | Address_space.Img_real { lo; run; homes } ->
+            Ck_real { lo; digests = Page_run.map_to_array bank run; homes }
         | Address_space.Img_imag { lo; hi; segment_id; offset } ->
             Ck_imag { lo; hi; segment_id; offset })
       image.Proc_image.mem
@@ -109,7 +109,7 @@ let rebuild_image store t =
         | Ck_zero { lo; hi } -> Address_space.Img_zero { lo; hi }
         | Ck_real { lo; digests; homes } ->
             Address_space.Img_real
-              { lo; values = Array.map resolve digests; homes }
+              { lo; run = Page_run.of_array (Array.map resolve digests); homes }
         | Ck_imag { lo; hi; segment_id; offset } ->
             Address_space.Img_imag { lo; hi; segment_id; offset })
       t.mem

@@ -27,7 +27,7 @@ type mem_run =
   | Ck_real of {
       lo : int;
       digests : int array;
-      homes : Address_space.page_home array;
+      homes : (int * Address_space.page_home) list;  (** run-length encoded *)
     }
   | Ck_imag of { lo : int; hi : int; segment_id : int; offset : int }
 

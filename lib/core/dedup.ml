@@ -81,8 +81,10 @@ let digest_runs t memory =
   List.filter_map
     (fun (c : Memory_object.chunk) ->
       match c.Memory_object.content with
-      | Memory_object.Data values ->
-          Some (c.Memory_object.range.Vaddr.lo, Array.map Page.digest values)
+      | Memory_object.Data run ->
+          Some
+            ( c.Memory_object.range.Vaddr.lo,
+              Page_run.map_to_array Page.digest run )
       | Memory_object.Digest_refs _ -> None
       | Memory_object.Iou _ ->
           Option.map
@@ -144,9 +146,10 @@ let prune t memory need =
     (fun (c : Memory_object.chunk) ->
       match c.Memory_object.content with
       | Memory_object.Digest_refs _ -> [ c ]
-      | Memory_object.Data values ->
-          split_chunk c ~values ~need ~mk_needed:(fun ~first_page:_ sub ->
-              Memory_object.Data sub)
+      | Memory_object.Data run ->
+          split_chunk c ~values:(Page_run.to_array run) ~need
+            ~mk_needed:(fun ~first_page:_ sub ->
+              Memory_object.Data (Page_run.of_array sub))
       | Memory_object.Iou { segment_id; backing_port; offset } -> (
           match iou_run_values t c with
           | None -> [ c ] (* was not advertised; ship the IOU whole *)
@@ -251,12 +254,12 @@ let resolve t ~proc_id memory =
         (fun (c : Memory_object.chunk) ->
           match c.Memory_object.content with
           | Memory_object.Iou _ -> c
-          | Memory_object.Data values ->
+          | Memory_object.Data run ->
               (* page data that did cross the wire seeds future hits *)
-              Array.iter
+              Page_run.iter
                 (fun v ->
                   ignore (Accent_net.Content_store.insert_wire t.store v))
-                values;
+                run;
               c
           | Memory_object.Digest_refs digests ->
               let values =
@@ -276,7 +279,11 @@ let resolve t ~proc_id memory =
                                     d))))
                   digests
               in
-              { c with Memory_object.content = Memory_object.Data values })
+              {
+                c with
+                Memory_object.content =
+                  Memory_object.Data (Page_run.of_array values);
+              })
         memory
     in
     (* at most one negotiated transfer per proc is in flight (rounds are
@@ -291,3 +298,4 @@ let debug_stats t =
     ("pending_out", Hashtbl.length t.pending_out);
     ("staged_procs", Hashtbl.length t.staged);
   ]
+

@@ -30,7 +30,7 @@ let residual_and_extra ctx image ~sent ~written =
     Image_wire.image_data_chunks image
       ~missing:"pre-copy: page vanished mid-round" written
   in
-  List.iter (fun p -> Hashtbl.replace sent p ()) written;
+  List.iter (Image_wire.Sent.mark_page sent) written;
   (residual_chunks, Image_wire.cold_iou_chunks ctx image ~sent)
 
 let freeze ctx outbound pool (state : Image_wire.push) =

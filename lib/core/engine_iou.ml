@@ -27,7 +27,7 @@ let partial_rimas ctx (excised : Excise.excised) ~keep_pages =
     if upto > run_lo then
       let range = Vaddr.range run_lo upto in
       if resident then
-        emit range (Memory_object.Data (Array.of_list (List.rev run)))
+        emit range (Memory_object.Data (Page_run.of_list (List.rev run)))
       else
         emit range
           (Memory_object.Iou { segment_id; backing_port; offset = run_lo })
@@ -37,28 +37,27 @@ let partial_rimas ctx (excised : Excise.excised) ~keep_pages =
       match chunk.Memory_object.content with
       | Memory_object.Iou _ | Memory_object.Digest_refs _ ->
           rev_chunks := chunk :: !rev_chunks
-      | Memory_object.Data values ->
+      | Memory_object.Data chunk_run ->
           let lo = chunk.Memory_object.range.Vaddr.lo in
           let hi = chunk.Memory_object.range.Vaddr.hi in
-          let pages = Array.length values in
           let run_lo = ref lo and run_resident = ref true in
           let run = ref [] in
-          for i = 0 to pages - 1 do
-            let c = lo + (i * Page.size) in
-            let resident = Hashtbl.mem resident_offsets c in
-            if c = lo then run_resident := resident
-            else if resident <> !run_resident then begin
-              flush_run ~run:!run ~run_lo:!run_lo ~upto:c
-                ~resident:!run_resident;
-              run := [];
-              run_lo := c;
-              run_resident := resident
-            end;
-            if resident then run := values.(i) :: !run
-            else
-              Backing_server.put_page ctx.backing ~segment_id ~offset:c
-                values.(i)
-          done;
+          Page_run.iteri
+            (fun i v ->
+              let c = lo + (i * Page.size) in
+              let resident = Hashtbl.mem resident_offsets c in
+              if c = lo then run_resident := resident
+              else if resident <> !run_resident then begin
+                flush_run ~run:!run ~run_lo:!run_lo ~upto:c
+                  ~resident:!run_resident;
+                run := [];
+                run_lo := c;
+                run_resident := resident
+              end;
+              if resident then run := v :: !run
+              else
+                Backing_server.put_page ctx.backing ~segment_id ~offset:c v)
+            chunk_run;
           flush_run ~run:!run ~run_lo:!run_lo ~upto:hi ~resident:!run_resident)
     excised.Excise.rimas;
   List.rev !rev_chunks

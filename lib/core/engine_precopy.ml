@@ -23,16 +23,10 @@ let round_payload ctx ~proc_id ~round =
 (* residual = everything dirtied since the last round, plus any page
    materialised after round 1 that no round ever shipped — read out of the
    captured image, which everything the final message carries derives
-   from *)
+   from, as a run subtraction against the sent view rather than an
+   O(pages) enumerate-and-filter *)
 let residual_and_extra image ~sent ~written =
-  let unsent =
-    List.filter
-      (fun p -> not (Hashtbl.mem sent p))
-      (Image_wire.image_pages image)
-  in
-  ( Image_wire.image_data_chunks image
-      ~missing:"pre-copy: page vanished mid-round" (written @ unsent),
-    [] )
+  (Image_wire.precopy_residual_chunks image ~sent ~written, [])
 
 let freeze ctx outbound pool (state : Image_wire.push) =
   Image_wire.freeze_and_ship ctx outbound pool state ~residual_and_extra
@@ -63,8 +57,7 @@ let start ctx outbound pool ~proc ~dest ~strategy ~report ~on_complete
         }
       in
       Hashtbl.replace outbound proc.Proc.id state;
-      Image_wire.send_push_round ctx state ~round:1
-        ~pages:(Image_wire.all_real_pages (Proc.space_exn proc))
+      Image_wire.send_push_all ctx state ~round:1
         ~payload:(round_payload ctx ~proc_id:proc.Proc.id)
   | _ -> assert false (* the manager dispatches on [claims] *)
 

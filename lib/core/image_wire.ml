@@ -3,53 +3,125 @@ open Accent_ipc
 open Accent_kernel
 open Transfer_engine
 
-(* --- pooled scratch ------------------------------------------------------ *)
+(* --- sent sets ------------------------------------------------------------ *)
+
+module Sent = struct
+  (* The pages a migration's rounds have pushed.  Bulk pushes (a pre-copy
+     first round reads whole real ranges) record closed page runs in O(1);
+     per-page marks (dirty-log rounds, the hybrid residual) land in the
+     table.  Nothing ever consults this page-by-page over the address
+     space: a freeze collapses the whole set into one sorted run view and
+     subtracts it from the image's real ranges. *)
+  type t = {
+    tbl : (Page.index, unit) Hashtbl.t;
+    mutable bulk : (Page.index * Page.index) list;  (* closed page runs *)
+  }
+
+  let create () = { tbl = Hashtbl.create 256; bulk = [] }
+
+  let reset t =
+    Hashtbl.reset t.tbl;
+    t.bulk <- []
+
+  let mark_page t p = Hashtbl.replace t.tbl p ()
+
+  let mark_run t ~first ~last =
+    if last >= first then t.bulk <- (first, last) :: t.bulk
+
+  (* Coalesce a sorted list of closed page runs into maximal disjoint
+     ones, merging overlap and adjacency. *)
+  let coalesce = function
+    | [] -> [||]
+    | first :: rest ->
+        let out = ref [] and cur = ref first in
+        List.iter
+          (fun (a, b) ->
+            let ca, cb = !cur in
+            if a <= cb + 1 then cur := (ca, max cb b)
+            else begin
+              out := (ca, cb) :: !out;
+              cur := (a, b)
+            end)
+          rest;
+        out := !cur :: !out;
+        Array.of_list (List.rev !out)
+
+  (* The whole sent set as maximal sorted disjoint closed page runs —
+     built once per freeze, O(marks log marks), never O(space). *)
+  let sorted_view t =
+    coalesce
+      (List.sort compare
+         (Hashtbl.fold (fun p () acc -> (p, p) :: acc) t.tbl t.bulk))
+
+  (* Closed page runs of [first, last] not covered by [view], ascending:
+     one binary search to land on the first overlapping run, then a walk
+     of the runs the range actually intersects. *)
+  let uncovered view ~first ~last =
+    let n = Array.length view in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if snd view.(mid) < first then lo := mid + 1 else hi := mid
+    done;
+    let acc = ref [] and pos = ref first and i = ref !lo in
+    while !pos <= last && !i < n && fst view.(!i) <= last do
+      let a, b = view.(!i) in
+      if a > !pos then acc := (!pos, a - 1) :: !acc;
+      if b >= !pos then pos := b + 1;
+      incr i
+    done;
+    if !pos <= last then acc := (!pos, last) :: !acc;
+    List.rev !acc
+end
 
 module Sent_pool = struct
-  type table = (Page.index, unit) Hashtbl.t
-  type t = table list ref
+  type t = Sent.t list ref
 
   let create () = ref []
 
   let take pool =
     match !pool with
-    | tbl :: rest ->
+    | s :: rest ->
         pool := rest;
-        tbl
-    | [] -> Hashtbl.create 256
+        s
+    | [] -> Sent.create ()
 
-  let give pool tbl =
-    Hashtbl.reset tbl;
-    pool := tbl :: !pool
+  let give pool s =
+    Sent.reset s;
+    pool := s :: !pool
 end
 
 (* --- data chunks ---------------------------------------------------------- *)
 
-let data_chunks ~lookup ~missing pages =
+(* Sorted, deduplicated pages coalesced into maximal closed page runs. *)
+let page_runs_of_pages pages =
   let pages = List.sort_uniq compare pages in
-  let runs =
-    List.fold_left
-      (fun acc page ->
-        match acc with
-        | (lo, hi) :: rest when page = hi -> (lo, page + 1) :: rest
-        | _ -> (page, page + 1) :: acc)
-      [] pages
-    |> List.rev
-  in
+  List.fold_left
+    (fun acc page ->
+      match acc with
+      | (lo, hi) :: rest when page = hi + 1 -> (lo, page) :: rest
+      | _ -> (page, page) :: acc)
+    [] pages
+  |> List.rev
+
+let data_chunks ~lookup ~missing pages =
   List.map
-    (fun (lo_page, hi_page) ->
-      let lo = Page.addr_of_index lo_page and hi = Page.addr_of_index hi_page in
-      let values =
-        Array.init (hi_page - lo_page) (fun i ->
-            match lookup (lo_page + i) with
+    (fun (first, last) ->
+      let run =
+        Page_run.init
+          (last - first + 1)
+          (fun i ->
+            match lookup (first + i) with
             | Some value -> value
             | None -> raise (Abort missing))
       in
       {
-        Memory_object.range = Vaddr.range lo hi;
-        content = Memory_object.Data values;
+        Memory_object.range =
+          Vaddr.range (Page.addr_of_index first)
+            (Page.addr_of_index last + Page.size);
+        content = Memory_object.Data run;
       })
-    runs
+    (page_runs_of_pages pages)
 
 let vaddr_data_chunks space pages =
   data_chunks
@@ -59,18 +131,32 @@ let vaddr_data_chunks space pages =
 let image_data_chunks image ~missing pages =
   data_chunks ~lookup:(Proc_image.find_value image) ~missing pages
 
-let all_real_pages space =
-  List.concat_map
-    (fun (lo, hi) ->
-      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-      List.init (last - first + 1) (fun i -> first + i))
-    (Address_space.real_ranges space)
+(* One Data chunk per Real range of the live space, each carrying the
+   range's values as one shared view — what a pre-copy first round ships.
+   O(cold parts + materialised pages), with no page list, no page array
+   and no value ever copied. *)
+let real_range_chunks space =
+  match Address_space.real_runs space with
+  | exception Failure _ -> raise (Abort "pre-copy: page vanished mid-round")
+  | runs ->
+      List.map
+        (fun (lo, run) ->
+          {
+            Memory_object.range =
+              Vaddr.of_len lo (Page_run.length run * Page.size);
+            content = Memory_object.Data run;
+          })
+        runs
 
-let image_pages image =
+(* Closed page runs of the image's real memory that no round ever pushed —
+   the run-subtraction core of both the hybrid cold tail and the pre-copy
+   residual. *)
+let unsent_runs (image : Proc_image.t) ~sent =
+  let view = Sent.sorted_view sent in
   List.concat_map
     (fun (lo, hi) ->
-      let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-      List.init (last - first + 1) (fun i -> first + i))
+      Sent.uncovered view ~first:(Page.index_of_addr lo)
+        ~last:(Page.index_of_addr (hi - 1)))
     (Proc_image.real_ranges image)
 
 (* --- IOU chunks ----------------------------------------------------------- *)
@@ -100,51 +186,58 @@ let iou_chunks_of_image (image : Proc_image.t) =
 (* Everything real that no round ever pushed and the freeze did not catch
    dirty becomes the cold tail: its values move into the manager's backing
    server (keyed by virtual address) and the final message carries IOUs
-   for the destination to pull on reference.  The cold runs are computed
-   as the image's real ranges minus the (small) sent set, and each run's
-   values are gathered and stored as one extent — never one lookup and one
-   insert per cold page, which would make every hybrid freeze O(space). *)
+   for the destination to pull on reference.  The cold runs come from one
+   run subtraction of the sorted sent view against the image's real
+   ranges, and each run's values are banked as one adopted extent — never
+   a per-range fold over the sent set or a per-page lookup and insert,
+   which would make every hybrid freeze O(space). *)
 let cold_iou_chunks ctx (image : Proc_image.t) ~sent =
-  let runs =
-    List.concat_map
-      (fun (lo, hi) ->
-        let first = Page.index_of_addr lo
-        and last = Page.index_of_addr (hi - 1) in
-        let sent_inside =
-          Hashtbl.fold
-            (fun p () acc -> if first <= p && p <= last then p :: acc else acc)
-            sent []
-          |> List.sort compare
-        in
-        let rec gaps pos sent acc =
-          match sent with
-          | [] -> if pos <= last then (pos, last + 1) :: acc else acc
-          | s :: rest ->
-              gaps (s + 1) rest (if s > pos then (pos, s) :: acc else acc)
-        in
-        List.rev (gaps first sent_inside []))
-      (Proc_image.real_ranges image)
-  in
-  match runs with
+  match unsent_runs image ~sent with
   | [] -> []
   | runs ->
       let segment_id = Backing_server.new_segment ctx.backing in
       let backing_port = Backing_server.port ctx.backing in
       List.map
-        (fun (lo_page, hi_page) ->
-          let lo = Page.addr_of_index lo_page
-          and hi = Page.addr_of_index hi_page in
-          let values =
-            try Proc_image.range_values image ~lo ~hi
+        (fun (first, last) ->
+          let lo = Page.addr_of_index first
+          and hi = Page.addr_of_index last + Page.size in
+          let run =
+            try Proc_image.range_run image ~lo ~hi
             with Failure _ ->
               raise (Abort "hybrid: cold page vanished at freeze")
           in
-          Backing_server.put_extent ctx.backing ~segment_id ~offset:lo values;
+          Backing_server.put_extent ctx.backing ~segment_id ~offset:lo run;
           {
             Memory_object.range = Vaddr.range lo hi;
             content = Memory_object.Iou { segment_id; backing_port; offset = lo };
           })
         runs
+
+(* The pre-copy residual: everything dirtied since the last round plus
+   every real page no round ever pushed — the unsent runs merged with the
+   (small) dirty log, each merged run read out of the image as one shared
+   view.  Replaces the old page-list pipeline (enumerate every image
+   page, filter by a per-page membership probe, re-sort, re-coalesce)
+   whose cost and allocation were O(space) per freeze. *)
+let precopy_residual_chunks (image : Proc_image.t) ~sent ~written =
+  let runs =
+    Sent.coalesce
+      (List.sort compare
+         (List.rev_append (page_runs_of_pages written) (unsent_runs image ~sent)))
+  in
+  Array.to_list runs
+  |> List.map (fun (first, last) ->
+         let lo = Page.addr_of_index first
+         and hi = Page.addr_of_index last + Page.size in
+         let run =
+           try Proc_image.range_run image ~lo ~hi
+           with Failure _ ->
+             raise (Abort "pre-copy: page vanished mid-round")
+         in
+         {
+           Memory_object.range = Vaddr.range lo hi;
+           content = Memory_object.Data run;
+         })
 
 (* --- source side: shared push-round protocol ------------------------------ *)
 
@@ -155,23 +248,41 @@ type push = {
   threshold_pages : int;
   out_report : Report.t;
   out_on_complete : (Proc.t -> Report.t -> unit) option;
-  sent : Sent_pool.table;  (** pages ever pushed; owned by the pool *)
+  sent : Sent.t;  (** pages ever pushed; owned by the pool *)
 }
+
+let send_round_chunks ctx (state : push) ~round ~chunks ~payload =
+  let proc_id = state.proc.Proc.id in
+  emit ctx ~proc_id
+    (Mig_event.Precopy_round { round; bytes = Memory_object.data_bytes chunks });
+  Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
+    ~build:(fun memory ->
+      Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest ~inline_bytes:64
+        ~memory ~no_ious:true ~category:Message.Bulk (payload ~round))
 
 let send_push_round ctx (state : push) ~round ~pages ~payload =
   let proc_id = state.proc.Proc.id in
   match vaddr_data_chunks (Proc.space_exn state.proc) pages with
   | exception Abort reason -> abort_migration ctx ~proc_id reason
   | chunks ->
-      List.iter (fun p -> Hashtbl.replace state.sent p ()) pages;
-      emit ctx ~proc_id
-        (Mig_event.Precopy_round
-           { round; bytes = Memory_object.data_bytes chunks });
-      Dedup.send ctx.dedup ~dest:state.dest ~proc_id ~memory:chunks
-        ~build:(fun memory ->
-          Message.make ~ids:(Host.ids ctx.host) ~dest:state.dest
-            ~inline_bytes:64 ~memory ~no_ious:true ~category:Message.Bulk
-            (payload ~round))
+      List.iter (fun p -> Sent.mark_page state.sent p) pages;
+      send_round_chunks ctx state ~round ~chunks ~payload
+
+(* A pre-copy first round: push every Real range whole, as shared views,
+   and record the coverage as O(ranges) bulk runs rather than one sent
+   mark per page. *)
+let send_push_all ctx (state : push) ~round ~payload =
+  let proc_id = state.proc.Proc.id in
+  match real_range_chunks (Proc.space_exn state.proc) with
+  | exception Abort reason -> abort_migration ctx ~proc_id reason
+  | chunks ->
+      List.iter
+        (fun c ->
+          Sent.mark_run state.sent
+            ~first:(Page.index_of_addr c.Memory_object.range.Vaddr.lo)
+            ~last:(Page.index_of_addr (c.Memory_object.range.Vaddr.hi - 1)))
+        chunks;
+      send_round_chunks ctx state ~round ~chunks ~payload
 
 let handle_push_ack ctx outbound ~proc_id ~round ~stray ~freeze ~payload =
   match Hashtbl.find_opt outbound proc_id with
@@ -240,14 +351,14 @@ let stage_chunks store ~proc_id memory =
   List.iter
     (fun chunk ->
       match chunk.Memory_object.content with
-      | Memory_object.Data values ->
+      | Memory_object.Data run ->
           let lo = chunk.Memory_object.range.Vaddr.lo in
-          Array.iteri
+          Page_run.iteri
             (fun i value ->
               Segment_store.put_page store ~segment_id:proc_id
                 ~offset:(lo + (i * Page.size))
                 value)
-            values
+            run
       (* digest chunks are resolved to Data before staging; none should
          survive to here, and an unresolved one carries no bytes to stage *)
       | Memory_object.Iou _ | Memory_object.Digest_refs _ -> ())
@@ -279,8 +390,8 @@ let assemble_strict store ~proc_id ~amap ~iou_chunks =
           let len = hi - lo in
           let first = Page.index_of_addr lo
           and last = Page.index_of_addr (hi - 1) in
-          let values =
-            Array.init (last - first + 1) (fun i ->
+          let run =
+            Page_run.init (last - first + 1) (fun i ->
                 match
                   Segment_store.get_page store ~segment_id:proc_id
                     ~offset:(Page.addr_of_index (first + i))
@@ -292,7 +403,7 @@ let assemble_strict store ~proc_id ~amap ~iou_chunks =
           rev_chunks :=
             {
               Memory_object.range = Vaddr.range !cursor (!cursor + len);
-              content = Memory_object.Data values;
+              content = Memory_object.Data run;
             }
             :: !rev_chunks;
           cursor := !cursor + len
@@ -389,8 +500,8 @@ let assemble_lazy store ~proc_id ~amap ~iou_chunks =
               staged_offsets
           in
           let emit_data run_lo run_hi =
-            let values =
-              Array.init
+            let run =
+              Page_run.init
                 (run_hi - run_lo + 1)
                 (fun i ->
                   match
@@ -400,9 +511,8 @@ let assemble_lazy store ~proc_id ~amap ~iou_chunks =
                   | Some value -> value
                   | None -> assert false)
             in
-            emit_chunk
-              ((run_hi - run_lo + 1) * Page.size)
-              (Memory_object.Data values)
+            emit_chunk ((run_hi - run_lo + 1) * Page.size)
+              (Memory_object.Data run)
           in
           let rec run_end e rest =
             match rest with
@@ -464,3 +574,4 @@ let handle_final ctx staged ~core ~report ~on_complete ~memory ~assemble =
           Hashtbl.remove staged proc_id;
           ctx.insert
             { core; rimas; prefetch = 0; report; on_complete; on_restart = None })
+

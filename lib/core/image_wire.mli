@@ -16,18 +16,34 @@
 open Accent_mem
 open Accent_kernel
 
-(** Pooled scratch tables for the per-migration sent sets: taken at
-    migration start, returned (and reset) at freeze or abort, so steady
-    churn reuses a few tables instead of allocating one 256-bucket table
-    per migration. *)
-module Sent_pool : sig
-  type table = (Page.index, unit) Hashtbl.t
+(** A migration's sent set: which pages some round has already pushed.
+    Bulk pushes record closed page runs in O(1) ({!Sent.mark_run}); dirty-
+    log rounds mark individual pages.  The set is only ever read by
+    collapsing it into one sorted run view per freeze and subtracting it
+    from the image's real ranges — never by a per-page probe over the
+    address space. *)
+module Sent : sig
   type t
 
   val create : unit -> t
-  val take : t -> table
-  val give : t -> table -> unit
-  (** Resets the table; the caller must not retain it. *)
+  val mark_page : t -> Page.index -> unit
+
+  val mark_run : t -> first:Page.index -> last:Page.index -> unit
+  (** Record the closed page run [first, last] as pushed; no-op when
+      empty. *)
+end
+
+(** Pooled scratch for the per-migration sent sets: taken at migration
+    start, returned (and reset) at freeze or abort, so steady churn
+    reuses a few sets instead of allocating one per migration. *)
+module Sent_pool : sig
+  type t
+
+  val create : unit -> t
+  val take : t -> Sent.t
+
+  val give : t -> Sent.t -> unit
+  (** Resets the set; the caller must not retain it. *)
 end
 
 (** {2 Data chunks} *)
@@ -49,8 +65,18 @@ val image_data_chunks :
   Proc_image.t -> missing:string -> Page.index list -> Accent_ipc.Memory_object.t
 (** [data_chunks] over a captured image — what the freeze reads. *)
 
-val all_real_pages : Address_space.t -> Page.index list
-val image_pages : Proc_image.t -> Page.index list
+val real_range_chunks : Address_space.t -> Accent_ipc.Memory_object.t
+(** One Data chunk per Real range of the live space, each carrying the
+    range's values as one shared view ({!Address_space.real_runs}) — what
+    a pre-copy first round ships.  No page list, no page array, no value
+    copied. *)
+
+val unsent_runs :
+  Proc_image.t -> sent:Sent.t -> (Page.index * Page.index) list
+(** Closed page runs of the image's real memory that no round ever
+    pushed, ascending — the run subtraction at the heart of the hybrid
+    cold tail and the pre-copy residual.  O(real ranges + sent marks log
+    sent marks), independent of the address-space page count. *)
 
 (** {2 IOU chunks} *)
 
@@ -62,11 +88,21 @@ val iou_chunks_of_image : Proc_image.t -> Accent_ipc.Memory_object.t
 val cold_iou_chunks :
   Transfer_engine.ctx ->
   Proc_image.t ->
-  sent:Sent_pool.table ->
+  sent:Sent.t ->
   Accent_ipc.Memory_object.t
 (** Bank every real run the rounds never pushed on the manager's backing
-    server (one extent per run) and return IOU chunks for the destination
-    to pull on reference — the hybrid cold tail. *)
+    server (one adopted extent per run) and return IOU chunks for the
+    destination to pull on reference — the hybrid cold tail.
+    O({!unsent_runs}), never O(pages). *)
+
+val precopy_residual_chunks :
+  Proc_image.t ->
+  sent:Sent.t ->
+  written:Page.index list ->
+  Accent_ipc.Memory_object.t
+(** The pre-copy residual: the dirty log merged with {!unsent_runs}, each
+    maximal run read out of the image as one shared view.  Chunk
+    boundaries are identical to coalescing the equivalent page list. *)
 
 (** {2 Source side: the shared push protocol} *)
 
@@ -77,7 +113,7 @@ type push = {
   threshold_pages : int;
   out_report : Report.t;
   out_on_complete : (Proc.t -> Report.t -> unit) option;
-  sent : Sent_pool.table;  (** pages ever pushed; owned by the pool *)
+  sent : Sent.t;  (** pages ever pushed; owned by the pool *)
 }
 
 val send_push_round :
@@ -90,7 +126,17 @@ val send_push_round :
 (** Read the pages from the live space, account the round, and send one
     round message.  On {!Transfer_engine.Abort} the migration is aborted;
     the engine's bus subscriber is expected to clear its outbound entry
-    (and return the sent table) on the resulting [Engine_abort] event. *)
+    (and return the sent set) on the resulting [Engine_abort] event. *)
+
+val send_push_all :
+  Transfer_engine.ctx ->
+  push ->
+  round:int ->
+  payload:(round:int -> Accent_ipc.Message.payload) ->
+  unit
+(** {!send_push_round} shipping every Real range whole
+    ({!real_range_chunks}), with coverage recorded as O(ranges) bulk sent
+    runs — the pre-copy first round. *)
 
 val handle_push_ack :
   Transfer_engine.ctx ->
@@ -112,7 +158,7 @@ val freeze_and_ship :
   push ->
   residual_and_extra:
     (Proc_image.t ->
-    sent:Sent_pool.table ->
+    sent:Sent.t ->
     written:Page.index list ->
     Accent_ipc.Memory_object.t * Accent_ipc.Memory_object.t) ->
   final_payload:(core:Context.core -> Accent_ipc.Message.payload) ->

@@ -1,7 +1,7 @@
 open Accent_mem
 
 type content =
-  | Data of Page.value array
+  | Data of Page_run.t
   | Iou of { segment_id : int; backing_port : Port.id; offset : int }
   | Digest_refs of int array
 
@@ -13,8 +13,8 @@ let validate t =
     if not (Vaddr.page_aligned range) then
       invalid_arg "Memory_object: chunk range not page-aligned";
     match content with
-    | Data values ->
-        if Array.length values * Page.size <> Vaddr.len range then
+    | Data run ->
+        if Page_run.length run * Page.size <> Vaddr.len range then
           invalid_arg "Memory_object: data length disagrees with range"
     | Digest_refs digests ->
         if Array.length digests * Page.size <> Vaddr.len range then
@@ -35,7 +35,7 @@ let data_bytes t =
   List.fold_left
     (fun acc c ->
       match c.content with
-      | Data values -> acc + (Array.length values * Page.size)
+      | Data run -> acc + (Page_run.length run * Page.size)
       | Iou _ | Digest_refs _ -> acc)
     0 t
 

@@ -8,11 +8,12 @@
     IOU-caching logic (§2.4) operates on this structure. *)
 
 type content =
-  | Data of Accent_mem.Page.value array
+  | Data of Accent_mem.Page_run.t
       (** physically present, one immutable value per page — "present"
           means the receiver need not demand them, not that heap bytes
           exist; symbolic values stay symbolic across any number of
-          hops *)
+          hops, and the run itself is a shared view adopted from
+          whatever produced it, never a copy *)
   | Iou of { segment_id : int; backing_port : Port.id; offset : int }
       (** fetch on demand from the segment via its backing port; [offset]
           is the segment offset corresponding to the chunk's [range.lo]

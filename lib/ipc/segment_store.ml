@@ -7,7 +7,7 @@ open Accent_mem
    an O(space) insert loop on every migration send. *)
 type seg = {
   pages : (int, Page.value) Hashtbl.t; (* singles; consulted first *)
-  mutable extents : (int * Page.value array) list; (* (byte offset, run) *)
+  mutable extents : (int * Page_run.t) list; (* (byte offset, run) *)
 }
 
 type t = (int, seg) Hashtbl.t
@@ -29,20 +29,20 @@ let put_page t ~segment_id ~offset value =
     invalid_arg "Segment_store.put_page: unaligned offset";
   Hashtbl.replace (segment t segment_id).pages offset value
 
-let extent_bytes values = Array.length values * Page.size
+let extent_bytes run = Page_run.length run * Page.size
 
-let put_extent t ~segment_id ~offset values =
+let put_extent t ~segment_id ~offset run =
   if offset mod Page.size <> 0 then
     invalid_arg "Segment_store.put_extent: unaligned offset";
-  if Array.length values > 0 then begin
+  if Page_run.length run > 0 then begin
     let seg = segment t segment_id in
-    let hi = offset + extent_bytes values in
+    let hi = offset + extent_bytes run in
     List.iter
       (fun (lo, vs) ->
         if offset < lo + extent_bytes vs && lo < hi then
           invalid_arg "Segment_store.put_extent: overlapping extent")
       seg.extents;
-    seg.extents <- (offset, values) :: seg.extents
+    seg.extents <- (offset, run) :: seg.extents
   end
 
 let put_bytes t ~segment_id ~offset data =
@@ -63,7 +63,7 @@ let extent_find seg offset =
     | [] -> None
     | (lo, vs) :: rest ->
         if lo <= offset && offset < lo + extent_bytes vs then
-          Some vs.((offset - lo) / Page.size)
+          Some (Page_run.get vs ((offset - lo) / Page.size))
         else loop rest
   in
   loop seg.extents
@@ -98,7 +98,7 @@ let offsets t ~segment_id =
         List.fold_left
           (fun acc (lo, vs) ->
             let rec add i acc =
-              if i >= Array.length vs then acc
+              if i >= Page_run.length vs then acc
               else add (i + 1) ((lo + (i * Page.size)) :: acc)
             in
             add 0 acc)
@@ -112,7 +112,7 @@ let segment_pages t ~segment_id =
   | None -> 0
   | Some seg ->
       let in_extents =
-        List.fold_left (fun acc (_, vs) -> acc + Array.length vs) 0 seg.extents
+        List.fold_left (fun acc (_, vs) -> acc + Page_run.length vs) 0 seg.extents
       in
       let overlay_only =
         Hashtbl.fold

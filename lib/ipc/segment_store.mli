@@ -20,12 +20,11 @@ val put_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.value ->
     the segment.  Nothing is copied — values are immutable. *)
 
 val put_extent : t -> segment_id:int -> offset:int ->
-  Accent_mem.Page.value array -> unit
+  Accent_mem.Page_run.t -> unit
 (** Adopt a whole run of page values starting at the page-aligned [offset]
-    in O(1) — the array is referenced, not copied, so callers must not
-    mutate it afterwards.  Raises [Invalid_argument] if the run overlaps an
-    extent already stored; offsets already present via {!put_page} keep
-    shadowing the extent. *)
+    in O(1) — the run is referenced, not copied.  Raises
+    [Invalid_argument] if the run overlaps an extent already stored;
+    offsets already present via {!put_page} keep shadowing the extent. *)
 
 val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
 (** Bytes-edge convenience: store a run of pages; trailing partial page

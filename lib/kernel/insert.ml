@@ -32,13 +32,14 @@ let install_content host space chunks ~c ~vaddr ~len =
     let chunk_hi = chunk.Memory_object.range.Vaddr.hi in
     let piece = min (chunk_hi - !c) !remaining in
     (match chunk.Memory_object.content with
-    | Memory_object.Data values ->
+    | Memory_object.Data run ->
         (* chunk ranges and AMap ranges are both page-aligned, so the
            overlap is a whole number of pages *)
         let slice =
-          Array.sub values ((!c - chunk_lo) / Page.size) (piece / Page.size)
+          Page_run.sub run ~pos:((!c - chunk_lo) / Page.size)
+            ~len:(piece / Page.size)
         in
-        Address_space.install_values ~segment:"rimas" space ~addr:!vaddr slice
+        Address_space.install_run ~segment:"rimas" space ~addr:!vaddr slice
           ~resident:true
     | Memory_object.Iou { segment_id; backing_port; offset } ->
         let seg_off = offset + (!c - chunk_lo) in

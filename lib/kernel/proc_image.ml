@@ -66,10 +66,10 @@ let to_rimas t =
     (fun (run : Address_space.image_run) ->
       match run with
       | Address_space.Img_zero _ -> ()
-      | Address_space.Img_real { lo; values; homes = _ } ->
-          let len = Array.length values * Page.size in
+      | Address_space.Img_real { lo; run; homes = _ } ->
+          let len = Page_run.length run * Page.size in
           let range = Vaddr.range !cursor (!cursor + len) in
-          emit_chunk range (Memory_object.Data values);
+          emit_chunk range (Memory_object.Data run);
           layout :=
             { Context.vaddr_lo = lo; vaddr_hi = lo + len; collapsed_lo = !cursor }
             :: !layout;
@@ -85,8 +85,7 @@ let to_rimas t =
           cursor := !cursor + len)
     t.mem;
   (* Merge adjacent Data chunks: each run of adjacent Data chunks is
-     gathered first and concatenated once — folding with Array.append
-     would recopy the accumulated prefix at every step. *)
+     gathered and concatenated as views — O(parts), no page is copied. *)
   let flush group acc =
     match group with
     | [] -> acc
@@ -96,7 +95,7 @@ let to_rimas t =
         let lo = (List.hd parts).Memory_object.range.Vaddr.lo in
         let hi = (List.hd group).Memory_object.range.Vaddr.hi in
         let data =
-          Array.concat
+          Page_run.concat
             (List.map
                (fun c ->
                  match c.Memory_object.content with
@@ -134,9 +133,9 @@ let find_value t idx =
   List.find_map
     (fun (run : Address_space.image_run) ->
       match run with
-      | Address_space.Img_real { lo; values; homes = _ }
-        when lo <= addr && addr < lo + (Array.length values * Page.size) ->
-          Some values.((addr - lo) / Page.size)
+      | Address_space.Img_real { lo; run; homes = _ }
+        when lo <= addr && addr < lo + (Page_run.length run * Page.size) ->
+          Some (Page_run.get run ((addr - lo) / Page.size))
       | Address_space.Img_real _ | Address_space.Img_zero _
       | Address_space.Img_imag _ ->
           None)
@@ -146,26 +145,44 @@ let real_ranges t =
   List.filter_map
     (fun (run : Address_space.image_run) ->
       match run with
-      | Address_space.Img_real { lo; values; homes = _ } ->
-          Some (lo, lo + (Array.length values * Page.size))
+      | Address_space.Img_real { lo; run; homes = _ } ->
+          Some (lo, lo + (Page_run.length run * Page.size))
       | Address_space.Img_zero _ | Address_space.Img_imag _ -> None)
     t.mem
 
-let range_values t ~lo ~hi =
-  let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-  Array.init (last - first + 1) (fun i ->
-      match find_value t (first + i) with
-      | Some value -> value
-      | None -> failwith "Proc_image.range_values: missing page")
+(* The pages of [lo, hi) as a shared view — O(log parts), no copying.
+   Freeze-time residual and cold-tail computation lean on this: a range
+   inside one real run costs nothing regardless of how many pages it
+   spans. *)
+let range_run t ~lo ~hi =
+  match
+    List.find_map
+      (fun (run : Address_space.image_run) ->
+        match run with
+        | Address_space.Img_real { lo = rlo; run; homes = _ }
+          when rlo <= lo && hi <= rlo + (Page_run.length run * Page.size) ->
+            Some
+              (Page_run.sub run
+                 ~pos:((lo - rlo) / Page.size)
+                 ~len:((hi - lo) / Page.size))
+        | Address_space.Img_real _ | Address_space.Img_zero _
+        | Address_space.Img_imag _ ->
+            None)
+      t.mem
+  with
+  | Some run -> run
+  | None -> failwith "Proc_image.range_values: missing page"
+
+let range_values t ~lo ~hi = Page_run.to_array (range_run t ~lo ~hi)
 
 let real_page_values t =
   List.concat_map
     (fun (run : Address_space.image_run) ->
       match run with
-      | Address_space.Img_real { lo; values; homes = _ } ->
+      | Address_space.Img_real { lo; run; homes = _ } ->
           List.mapi
             (fun i value -> (Page.index_of_addr lo + i, value))
-            (Array.to_list values)
+            (Array.to_list (Page_run.to_array run))
       | Address_space.Img_zero _ | Address_space.Img_imag _ -> [])
     t.mem
 

@@ -67,9 +67,13 @@ val find_value : t -> Page.index -> Page.value option
 val real_ranges : t -> (int * int) list
 (** Half-open byte ranges of real data, ascending. *)
 
+val range_run : t -> lo:int -> hi:int -> Page_run.t
+(** Values of the real range [lo, hi) in page order as a shared view —
+    O(log parts) however many pages the range spans.  Raises [Failure]
+    on a page the image does not hold. *)
+
 val range_values : t -> lo:int -> hi:int -> Page.value array
-(** Values of the real range [lo, hi) in page order; raises [Failure] on
-    a page the image does not hold. *)
+(** [Page_run.to_array (range_run t ~lo ~hi)]. *)
 
 val real_page_values : t -> (Page.index * Page.value) list
 (** Every real page with its value, ascending by page. *)

@@ -12,12 +12,12 @@ type presence =
 
 type location = In_mem of Phys_mem.frame_id | On_disk of Paging_disk.block_id
 
-type cold_run = { first : Page.index; values : Page.value array }
+type cold_run = { first : Page.index; run : Page_run.t }
 (* A bulk-installed run of never-touched disk-resident pages, kept as one
-   array instead of one table entry + disk block per page.  Pages leave a
-   run individually (fault-in, overwrite) by being marked in [cold_gone];
-   the run itself is never rewritten.  This is what keeps workload
-   construction and excision O(runs), not O(space). *)
+   adopted run instead of one table entry + disk block per page.  Pages
+   leave a run individually (fault-in, overwrite) by being marked in
+   [cold_gone]; the run itself is never rewritten.  This is what keeps
+   workload construction and excision O(runs), not O(space). *)
 
 type t = {
   id : int;
@@ -93,9 +93,9 @@ let cold_find t idx =
   else
     let rec loop = function
       | [] -> None
-      | { first; values } :: rest ->
-          if first <= idx && idx < first + Array.length values then
-            Some values.(idx - first)
+      | { first; run } :: rest ->
+          if first <= idx && idx < first + Page_run.length run then
+            Some (Page_run.get run (idx - first))
           else loop rest
     in
     loop t.cold
@@ -131,18 +131,23 @@ let materialize t idx value ~resident =
   in
   Hashtbl.replace t.pages idx location;
   let lo, hi = page_range idx in
-  t.regions <- Interval_map.set t.regions ~lo ~hi Real
+  (* the common fault path re-materializes a page of an existing Real
+     region; skip the interval-map rebuild when the class already agrees *)
+  (match Interval_map.find t.regions lo with
+  | Some Real -> ()
+  | Some (Zero | Imaginary _) | None ->
+      t.regions <- Interval_map.set t.regions ~lo ~hi Real)
 
 let install_page t ~addr value ~resident =
   if addr mod Page.size <> 0 then
     invalid_arg "Address_space.install_page: unaligned address";
   materialize t (Page.index_of_addr addr) value ~resident
 
-let install_values ?(segment = "<anon>") t ~addr values ~resident =
+let install_run ?(segment = "<anon>") t ~addr run ~resident =
   if addr mod Page.size <> 0 then
-    invalid_arg "Address_space.install_values: unaligned address";
+    invalid_arg "Address_space.install_run: unaligned address";
   Hashtbl.replace t.segments segment ();
-  let n = Array.length values in
+  let n = Page_run.length run in
   if n > 0 then begin
     let first = Page.index_of_addr addr in
     let lo = addr and hi = addr + (n * Page.size) in
@@ -152,18 +157,19 @@ let install_values ?(segment = "<anon>") t ~addr values ~resident =
           acc || match backing with Real -> true | Zero | Imaginary _ -> false)
     in
     if (not resident) && (not overlaps_real) && n >= 16 then begin
-      (* Bulk cold install: the run becomes one extent — no per-page table
-         entry, no per-page disk block.  Only valid when no page in the
-         range was previously materialised (no Real backing), which is the
-         workload-construction case this path exists for. *)
-      t.cold <- { first; values = Array.copy values } :: t.cold;
+      (* Bulk cold install: the run is adopted whole as one extent — no
+         per-page table entry, no per-page disk block, no copy.  Only
+         valid when no page in the range was previously materialised (no
+         Real backing), which is the workload-construction case this path
+         exists for. *)
+      t.cold <- { first; run } :: t.cold;
       t.cold_live <- t.cold_live + n;
       t.regions <- Interval_map.set t.regions ~lo ~hi Real
     end
     else begin
       (* One interval-map update for the whole run instead of one per
          page; the per-page location entries remain. *)
-      Array.iteri
+      Page_run.iteri
         (fun i value ->
           let idx = first + i in
           drop_materialized t idx;
@@ -176,10 +182,13 @@ let install_values ?(segment = "<anon>") t ~addr values ~resident =
             else On_disk (Paging_disk.alloc t.disk value)
           in
           Hashtbl.replace t.pages idx location)
-        values;
+        run;
       t.regions <- Interval_map.set t.regions ~lo ~hi Real
     end
   end
+
+let install_values ?segment t ~addr values ~resident =
+  install_run ?segment t ~addr (Page_run.copy_of_array values) ~resident
 
 let install_bytes ?segment t ~addr data ~resident =
   let len = Bytes.length data in
@@ -281,101 +290,165 @@ let page_value t idx =
   | Some (On_disk block) -> Some (Paging_disk.read t.disk block)
   | None -> cold_find t idx
 
-(* Page values of the Real range [lo, hi), in page order: blit whole cold
-   runs, then patch the individually-materialised overlay on top.  Cost is
-   O(pages copied + overlay size + runs), with no per-page table lookups —
-   this is the excision path, so it must not re-walk the space one page at
-   a time. *)
-let range_values t ~lo ~hi =
-  let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-  let n = last - first + 1 in
-  let out = Array.make n Page.zero_value in
-  let filled = Bytes.make n '\000' in
-  List.iter
-    (fun { first = f; values } ->
-      let lo_i = max first f and hi_i = min last (f + Array.length values - 1) in
-      if lo_i <= hi_i then begin
-        Array.blit values (lo_i - f) out (lo_i - first) (hi_i - lo_i + 1);
-        Bytes.fill filled (lo_i - first) (hi_i - lo_i + 1) '\001'
-      end)
-    t.cold;
-  Hashtbl.iter
-    (fun idx () ->
-      if first <= idx && idx <= last then Bytes.set filled (idx - first) '\000')
-    t.cold_gone;
-  Hashtbl.iter
-    (fun idx loc ->
-      if first <= idx && idx <= last then begin
-        (out.(idx - first) <-
-           (match loc with
-           | In_mem frame -> Phys_mem.read t.mem frame
-           | On_disk block -> Paging_disk.read t.disk block));
-        Bytes.set filled (idx - first) '\001'
-      end)
-    t.pages;
-  for i = 0 to n - 1 do
-    if Bytes.get filled i = '\000' then
-      failwith "Address_space.range_values: Real range with missing page"
-  done;
-  out
-
 (* --- process-image export / import ------------------------------------- *)
 
 type page_home = Home_resident | Home_disk | Home_cold
 
 type image_run =
   | Img_zero of { lo : int; hi : int }
-  | Img_real of { lo : int; values : Page.value array; homes : page_home array }
+  | Img_real of {
+      lo : int;
+      run : Page_run.t;
+      homes : (int * page_home) list;
+    }
   | Img_imag of { lo : int; hi : int; segment_id : int; offset : int }
 
-(* [range_values] plus where each page lives, in one pass over the same
-   structures — cold runs are blitted and stamped [Home_cold], then the
-   individually-materialised overlay patches values and homes together. *)
-let range_values_homes t ~lo ~hi =
+(* The materialized overlay and cold geometry, presorted: one export
+   shares a single O(overlay log overlay) preparation across every Real
+   range instead of re-walking the page table once per range.  The lists
+   are consumed monotonically as [gather_real] is called over ascending
+   ranges. *)
+type overlay = {
+  mutable ov_mats : (Page.index * location) list; (* ascending *)
+  mutable ov_holes : Page.index list; (* ascending; cold slots taken *)
+  mutable ov_cold : (Page.index * Page_run.t) list; (* ascending starts *)
+}
+
+(* Sort via an array: a capture sorts the full materialized set, and a
+   list merge sort's per-level cons cells are the single biggest
+   allocation of the whole export.  The array sort is in-place. *)
+let sorted_list_of_tbl tbl ~dummy ~pair =
+  let a = Array.make (Hashtbl.length tbl) dummy in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      a.(!i) <- pair k v;
+      incr i)
+    tbl;
+  Array.sort
+    (fun (((x : int), _) : int * _) ((y, _) : int * _) ->
+      if x < y then -1 else if x > y then 1 else 0)
+    a;
+  Array.to_list a
+
+let sorted_ints_of_tbl tbl =
+  let a = Array.make (Hashtbl.length tbl) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      a.(!i) <- k;
+      incr i)
+    tbl;
+  Array.sort (fun (x : int) y -> if x < y then -1 else if x > y then 1 else 0) a;
+  Array.to_list a
+
+let overlay_of t =
+  let cold = Array.of_list t.cold in
+  Array.sort
+    (fun a b ->
+      if a.first < b.first then -1 else if a.first > b.first then 1 else 0)
+    cold;
+  {
+    ov_mats =
+      sorted_list_of_tbl t.pages ~dummy:(0, In_mem 0) ~pair:(fun k v -> (k, v));
+    ov_holes = sorted_ints_of_tbl t.cold_gone;
+    ov_cold =
+      Array.fold_right (fun { first; run } acc -> (first, run) :: acc) cold [];
+  }
+
+(* Kernel-side gathering (excision, checkpoint, pre-copy rounds) reads
+   pages without bumping the LRU clock: a migration read is not a process
+   reference, and per-page recency bumps during a capture both distort
+   eviction order and allocate a heap entry per resident page. *)
+let read_location t = function
+  | In_mem frame -> Phys_mem.peek t.mem frame
+  | On_disk block -> Paging_disk.read t.disk block
+
+(* Gather the Real range [lo, hi) as view parts over the cold runs plus
+   materialized singletons, in page order, with a run-length encoding of
+   where each page lives.  O(parts + materialized-in-range), and no page
+   value is ever copied — cold stretches are shared sub-views.  Raises
+   [Failure] if some page of the range has no materialized value. *)
+let gather_real t ov ~lo ~hi =
   let first = Page.index_of_addr lo and last = Page.index_of_addr (hi - 1) in
-  let n = last - first + 1 in
-  let out = Array.make n Page.zero_value in
-  let homes = Array.make n Home_cold in
-  let filled = Bytes.make n '\000' in
-  List.iter
-    (fun { first = f; values } ->
-      let lo_i = max first f and hi_i = min last (f + Array.length values - 1) in
-      if lo_i <= hi_i then begin
-        Array.blit values (lo_i - f) out (lo_i - first) (hi_i - lo_i + 1);
-        Bytes.fill filled (lo_i - first) (hi_i - lo_i + 1) '\001'
-      end)
-    t.cold;
-  Hashtbl.iter
-    (fun idx () ->
-      if first <= idx && idx <= last then Bytes.set filled (idx - first) '\000')
-    t.cold_gone;
-  Hashtbl.iter
-    (fun idx loc ->
-      if first <= idx && idx <= last then begin
-        (match loc with
-        | In_mem frame ->
-            out.(idx - first) <- Phys_mem.read t.mem frame;
-            homes.(idx - first) <- Home_resident
-        | On_disk block ->
-            out.(idx - first) <- Paging_disk.read t.disk block;
-            homes.(idx - first) <- Home_disk);
-        Bytes.set filled (idx - first) '\001'
-      end)
-    t.pages;
-  for i = 0 to n - 1 do
-    if Bytes.get filled i = '\000' then
-      failwith "Address_space.range_values: Real range with missing page"
+  let missing () =
+    failwith "Address_space.range_values: Real range with missing page"
+  in
+  let parts = Page_run.builder () and homes = ref [] in
+  let push_home len home =
+    match !homes with
+    | (n, h) :: rest when h = home -> homes := (n + len, home) :: rest
+    | _ -> homes := (len, home) :: !homes
+  in
+  while (match ov.ov_mats with (i, _) :: _ -> i < first | [] -> false) do
+    ov.ov_mats <- List.tl ov.ov_mats
   done;
-  (out, homes)
+  while (match ov.ov_holes with i :: _ -> i < first | [] -> false) do
+    ov.ov_holes <- List.tl ov.ov_holes
+  done;
+  let pos = ref first in
+  while !pos <= last do
+    match ov.ov_mats with
+    | (i, loc) :: rest when i = !pos ->
+        Page_run.builder_add parts (Page_run.singleton (read_location t loc));
+        push_home 1
+          (match loc with In_mem _ -> Home_resident | On_disk _ -> Home_disk);
+        ov.ov_mats <- rest;
+        incr pos
+    | _ ->
+        (* a cold stretch, up to the next materialized page *)
+        let stop =
+          match ov.ov_mats with
+          | (i, _) :: _ when i <= last -> i - 1
+          | _ -> last
+        in
+        let rec covering () =
+          match ov.ov_cold with
+          | (f, run) :: rest when f + Page_run.length run <= !pos ->
+              ov.ov_cold <- rest;
+              covering ()
+          | (f, run) :: _ when f <= !pos -> (f, run)
+          | _ -> missing ()
+        in
+        let f, run = covering () in
+        let piece_end = min stop (f + Page_run.length run - 1) in
+        (* a hole here is a cold slot whose page was never re-homed *)
+        while (match ov.ov_holes with i :: _ -> i < !pos | [] -> false) do
+          ov.ov_holes <- List.tl ov.ov_holes
+        done;
+        (match ov.ov_holes with
+        | i :: _ when i <= piece_end -> missing ()
+        | _ -> ());
+        let len = piece_end - !pos + 1 in
+        Page_run.builder_add parts (Page_run.sub run ~pos:(!pos - f) ~len);
+        push_home len Home_cold;
+        pos := piece_end + 1
+  done;
+  (Page_run.builder_run parts, List.rev !homes)
+
+let range_run t ~lo ~hi = fst (gather_real t (overlay_of t) ~lo ~hi)
+let range_values t ~lo ~hi = Page_run.to_array (range_run t ~lo ~hi)
+
+(* Every Real range with its values as one shared view, sharing a single
+   overlay preparation across all ranges (regions are ascending, which is
+   the order gather_real consumes the overlay in). *)
+let real_runs t =
+  let ov = overlay_of t in
+  Interval_map.fold t.regions ~init:[] ~f:(fun acc lo hi backing ->
+      match backing with
+      | Real -> (lo, fst (gather_real t ov ~lo ~hi)) :: acc
+      | Zero | Imaginary _ -> acc)
+  |> List.rev
 
 let export_image t =
+  let ov = overlay_of t in
   List.map
     (fun (lo, hi, backing) ->
       match backing with
       | Zero -> Img_zero { lo; hi }
       | Real ->
-          let values, homes = range_values_homes t ~lo ~hi in
-          Img_real { lo; values; homes }
+          let run, homes = gather_real t ov ~lo ~hi in
+          Img_real { lo; run; homes }
       | Imaginary { segment_id; base } ->
           Img_imag { lo; hi; segment_id; offset = base + lo })
     (Interval_map.ranges t.regions)
@@ -389,47 +462,58 @@ let import_image t runs =
       | Img_zero { lo; hi } -> validate_zero t (Vaddr.range lo hi)
       | Img_imag { lo; hi; segment_id; offset } ->
           map_imaginary t (Vaddr.range lo hi) ~segment_id ~offset
-      | Img_real { lo; values; homes } ->
-          let n = Array.length values in
-          if n = 0 || n <> Array.length homes then
+      | Img_real { lo; run; homes } ->
+          let n = Page_run.length run in
+          if n = 0 || List.fold_left (fun a (l, _) -> a + l) 0 homes <> n then
             invalid_arg "Address_space.import_image: malformed real run";
           Hashtbl.replace t.segments "image" ();
           let first = Page.index_of_addr lo in
-          (* cold pages rebuild as bulk extents of any length — per-page
-             table entries and disk blocks only for pages that had them *)
-          let flush_cold run_first rev_run =
-            match rev_run with
-            | [] -> ()
-            | _ ->
-                let values = Array.of_list (List.rev rev_run) in
-                t.cold <- { first = run_first; values } :: t.cold;
-                t.cold_live <- t.cold_live + Array.length values
-          in
-          let run_first = ref 0 and rev_run = ref [] in
-          Array.iteri
-            (fun i value ->
-              let idx = first + i in
-              match homes.(i) with
+          (* cold stretches rebuild as bulk extents of any length, shared
+             as views of the incoming run — per-page table entries and
+             disk blocks only for pages that had them *)
+          let pos = ref 0 in
+          List.iter
+            (fun (len, home) ->
+              (match home with
               | Home_cold ->
-                  if !rev_run = [] then run_first := idx;
-                  rev_run := value :: !rev_run
+                  t.cold <-
+                    { first = first + !pos; run = Page_run.sub run ~pos:!pos ~len }
+                    :: t.cold;
+                  t.cold_live <- t.cold_live + len
               | Home_resident | Home_disk ->
-                  flush_cold !run_first !rev_run;
-                  rev_run := [];
-                  let location =
-                    if homes.(i) = Home_resident then
-                      In_mem
-                        (Phys_mem.allocate t.mem
-                           ~owner:{ space_id = t.id; page = idx }
-                           value)
-                    else On_disk (Paging_disk.alloc t.disk value)
-                  in
-                  Hashtbl.replace t.pages idx location)
-            values;
-          flush_cold !run_first !rev_run;
+                  for i = !pos to !pos + len - 1 do
+                    let idx = first + i in
+                    let value = Page_run.get run i in
+                    let location =
+                      if home = Home_resident then
+                        In_mem
+                          (Phys_mem.allocate t.mem
+                             ~owner:{ space_id = t.id; page = idx }
+                             value)
+                      else On_disk (Paging_disk.alloc t.disk value)
+                    in
+                    Hashtbl.replace t.pages idx location
+                  done);
+              pos := !pos + len)
+            homes;
           t.regions <-
             Interval_map.set t.regions ~lo ~hi:(lo + (n * Page.size)) Real)
     runs
+
+(* Representation-independent equality: image runs compare by content
+   (page values and homes), not by how their runs happen to be sliced. *)
+let image_run_equal a b =
+  match (a, b) with
+  | Img_zero a, Img_zero b -> a.lo = b.lo && a.hi = b.hi
+  | Img_imag a, Img_imag b ->
+      a.lo = b.lo && a.hi = b.hi && a.segment_id = b.segment_id
+      && a.offset = b.offset
+  | Img_real a, Img_real b ->
+      a.lo = b.lo && a.homes = b.homes && Page_run.equal a.run b.run
+  | (Img_zero _ | Img_real _ | Img_imag _), _ -> false
+
+let image_equal a b =
+  List.length a = List.length b && List.for_all2 image_run_equal a b
 
 let page_data t idx = Option.map Page.to_bytes (page_value t idx)
 

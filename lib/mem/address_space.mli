@@ -58,13 +58,20 @@ val install_page : t -> addr:int -> Page.value -> resident:bool -> unit
     pages take a physical frame (possibly evicting), others go straight to
     the paging disk.  Overwrites any previous backing for that page. *)
 
+val install_run :
+  ?segment:string -> t -> addr:int -> Page_run.t -> resident:bool -> unit
+(** Install a run of page values starting at the page-aligned [addr], one
+    page per value, without materialising any of them.  Non-resident runs
+    of 16+ pages over fresh (non-Real) territory are {e adopted} whole as
+    one cold extent — O(1), no copy, so the caller must treat the run as
+    shared from here on.  [segment] labels the Accent VM segment this data
+    belongs to (program text, a mapped file...) purely for the excision
+    cost model; unlabelled installs count as one anonymous segment. *)
+
 val install_values :
   ?segment:string -> t -> addr:int -> Page.value array -> resident:bool -> unit
-(** Install a run of page values starting at the page-aligned [addr], one
-    page per value, without materialising any of them.  [segment] labels
-    the Accent VM segment this data belongs to (program text, a mapped
-    file...) purely for the excision cost model; unlabelled installs count
-    as one anonymous segment. *)
+(** {!install_run} over a defensive copy of the array (array-edge
+    convenience for callers that keep writing to their buffer). *)
 
 val install_bytes :
   ?segment:string -> t -> addr:int -> bytes -> resident:bool -> unit
@@ -107,13 +114,23 @@ val page_value : t -> Page.index -> Page.value option
     or generated; [None] for zero-pending (all zeros), imaginary or
     invalid pages. *)
 
-val range_values : t -> lo:int -> hi:int -> Page.value array
+val range_run : t -> lo:int -> hi:int -> Page_run.t
 (** The materialised page values of the Real range [lo, hi) in page order,
-    gathered by blitting bulk-installed runs and patching the
-    individually-materialised pages on top — O(pages copied + individually
-    materialised pages), never one table lookup per page.  This is the
-    excision path.  Raises [Failure] if any page of the range has no
-    materialised value. *)
+    as a run of shared views: cold extents contribute O(1) sub-views and
+    only individually-materialised pages are read — O(cold parts +
+    materialised pages in range), with no per-page table lookups and no
+    copying.  This is the excision path.  Raises [Failure] if any page of
+    the range has no materialised value. *)
+
+val range_values : t -> lo:int -> hi:int -> Page.value array
+(** [Page_run.to_array (range_run t ~lo ~hi)] — array-edge convenience,
+    O(pages in range). *)
+
+val real_runs : t -> (int * Page_run.t) list
+(** [(lo, run)] for every Real range, ascending — {!range_run} over each
+    range, but sharing a single overlay preparation across all of them
+    (what a pre-copy first round reads).  Raises [Failure] if any Real
+    page has no materialised value. *)
 
 (** {2 Process-image export / import}
 
@@ -131,23 +148,33 @@ type page_home =
 
 type image_run =
   | Img_zero of { lo : int; hi : int }
-  | Img_real of { lo : int; values : Page.value array; homes : page_home array }
+  | Img_real of {
+      lo : int;
+      run : Page_run.t;
+      homes : (int * page_home) list;
+          (** run-length encoded, in page order: [(pages, home)] *)
+    }
   | Img_imag of { lo : int; hi : int; segment_id : int; offset : int }
       (** [offset] is the segment offset of address [lo] *)
 
 val export_image : t -> image_run list
-(** Snapshot every backed range in increasing address order —
-    O(pages copied + overlay + runs), the same cost as the excision
-    collapse, and values are shared (never re-materialised). *)
+(** Snapshot every backed range in increasing address order — O(cold
+    parts + materialised pages + ranges), {e not} O(space): cold extents
+    are shared into the image as sub-views and homes travel run-length
+    encoded, so no per-page array is ever built. *)
 
 val import_image : t -> image_run list -> unit
-(** Rebuild the exported layout into an {e empty} space: cold pages
-    become bulk extents of any length, disk pages take disk blocks,
-    resident pages take frames (possibly evicting).  Imaginary runs are
-    remapped; registering their backing ports with the pager is the
-    caller's job.  [export_image (import_image t runs) = runs] for any
+(** Rebuild the exported layout into an {e empty} space: cold stretches
+    become bulk extents of any length (adopted as views of the image's
+    runs), disk pages take disk blocks, resident pages take frames
+    (possibly evicting).  Imaginary runs are remapped; registering their
+    backing ports with the pager is the caller's job.
+    [image_equal (export_image (import_image t runs)) runs] for any
     exported [runs].  Raises [Invalid_argument] if the space already has
     validated regions. *)
+
+val image_equal : image_run list -> image_run list -> bool
+(** Content equality, independent of how each run happens to be sliced. *)
 
 val page_data : t -> Page.index -> Page.data option
 (** [Option.map Page.to_bytes (page_value t idx)]: a fresh materialised

@@ -44,6 +44,11 @@ val free : t -> frame_id -> unit
 val read : t -> frame_id -> Page.value
 (** The frame's contents; bumps LRU recency. *)
 
+val peek : t -> frame_id -> Page.value
+(** The frame's contents without touching LRU state.  For kernel-side
+    gathering (excision, checkpoint, pre-copy): a migration read is not
+    a process reference and must not distort eviction order. *)
+
 val write : t -> frame_id -> Page.value -> unit
 (** Overwrite contents, mark dirty, bump recency. *)
 

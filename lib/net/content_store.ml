@@ -147,9 +147,12 @@ let put_page t ~segment_id ~offset value =
   let value = if t.dedup then register t value else value in
   Segment_store.put_page t.store ~segment_id ~offset value
 
-let put_extent t ~segment_id ~offset values =
-  let values = if t.dedup then Array.map (register t) values else values in
-  Segment_store.put_extent t.store ~segment_id ~offset values
+let put_extent t ~segment_id ~offset run =
+  let run =
+    if t.dedup then Page_run.of_array (Page_run.map_to_array (register t) run)
+    else run
+  in
+  Segment_store.put_extent t.store ~segment_id ~offset run
 
 let put_bytes t ~segment_id ~offset data =
   Segment_store.put_bytes t.store ~segment_id ~offset data;

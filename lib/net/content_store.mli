@@ -69,7 +69,7 @@ val put_page :
   t -> segment_id:int -> offset:int -> Accent_mem.Page.value -> unit
 
 val put_extent :
-  t -> segment_id:int -> offset:int -> Accent_mem.Page.value array -> unit
+  t -> segment_id:int -> offset:int -> Accent_mem.Page_run.t -> unit
 
 val put_bytes : t -> segment_id:int -> offset:int -> bytes -> unit
 val get_page : t -> segment_id:int -> offset:int -> Accent_mem.Page.value option

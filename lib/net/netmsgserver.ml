@@ -124,14 +124,14 @@ let substitute_ious t msg =
         Memory_object.map_chunks memory ~f:(fun chunk ->
             match chunk.Memory_object.content with
             | Memory_object.Iou _ | Memory_object.Digest_refs _ -> chunk
-            | Memory_object.Data values ->
+            | Memory_object.Data run ->
                 let page_size = Accent_mem.Page.size in
                 let lo = chunk.Memory_object.range.Accent_mem.Vaddr.lo in
                 t.cached_bytes <-
-                  t.cached_bytes + (Array.length values * page_size);
-                (* the chunk's value array becomes the segment extent
-                   wholesale — no per-page insert loop on the send path *)
-                Content_store.put_extent t.cache ~segment_id ~offset:lo values;
+                  t.cached_bytes + (Accent_mem.Page_run.length run * page_size);
+                (* the chunk's run becomes the segment extent wholesale —
+                   no per-page insert loop on the send path *)
+                Content_store.put_extent t.cache ~segment_id ~offset:lo run;
                 {
                   chunk with
                   Memory_object.content =

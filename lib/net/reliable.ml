@@ -34,13 +34,13 @@ let base_checksum msg =
         (fun c ->
           match c.Memory_object.content with
           | Memory_object.Iou _ -> ()
-          | Memory_object.Data values ->
-              Array.iter
+          | Memory_object.Data run ->
+              Accent_mem.Page_run.iter
                 (fun v ->
                   h :=
                     (!h * 0x100000001B3) land max_int
                     lxor Accent_mem.Page.digest v)
-                values
+                run
           | Memory_object.Digest_refs digests ->
               (* the references themselves are wire payload *)
               Array.iter

@@ -79,8 +79,7 @@ let hot_cold_positions ~rng ~universe_len ~count ~hot_fraction =
   in
   hot @ cold [] (count - hot_n)
 
-let choose_touched t ~rng ~universe ~count =
-  let universe_len = Array.length universe in
+let choose_touched_in t ~rng ~universe_len ~page_of ~count =
   if count > universe_len then
     invalid_arg "Access_pattern.choose_touched: count exceeds universe";
   let positions =
@@ -112,7 +111,11 @@ let choose_touched t ~rng ~universe ~count =
       List.sort compare (positions @ !extra)
     end
   in
-  Array.of_list (List.map (fun p -> universe.(p)) positions)
+  Array.of_list (List.map page_of positions)
+
+let choose_touched t ~rng ~universe ~count =
+  choose_touched_in t ~rng ~universe_len:(Array.length universe)
+    ~page_of:(Array.get universe) ~count
 
 (* --- trace generation --------------------------------------------------- *)
 

@@ -28,16 +28,28 @@ type t =
       hot_prob : float;  (** probability a reference goes to the hot set *)
     }
 
+val choose_touched_in :
+  t ->
+  rng:Accent_util.Rng.t ->
+  universe_len:int ->
+  page_of:(int -> Accent_mem.Page.index) ->
+  count:int ->
+  Accent_mem.Page.index array
+(** Select which [count] pages of the universe (all real pages, in address
+    order, presented as its length plus a position → page-index accessor so
+    no O(pages) array is ever built) the program will touch, shaped by the
+    pattern: spans for [Sequential], short clusters for [Clustered_random],
+    a hot span plus scattered singles for [Hot_cold].  The result is in
+    address order. *)
+
 val choose_touched :
   t ->
   rng:Accent_util.Rng.t ->
   universe:Accent_mem.Page.index array ->
   count:int ->
   Accent_mem.Page.index array
-(** Select which [count] pages of the [universe] (all real pages, in
-    address order) the program will touch, shaped by the pattern: spans for
-    [Sequential], short clusters for [Clustered_random], a hot span plus
-    scattered singles for [Hot_cold].  The result is in address order. *)
+(** {!choose_touched_in} over a materialised universe array (test
+    convenience). *)
 
 val generate :
   t ->

@@ -62,8 +62,39 @@ let shares total parts =
   let base = total / parts and extra = total mod parts in
   List.init parts (fun i -> base + if i < extra then 1 else 0)
 
+(* The universe — every real page index, in address order — represented
+   by the layout's installed slices instead of an O(pages) array: a
+   collapsed-space position maps to a page index by binary search over
+   the slices' cumulative page counts, so building and consuming the
+   universe costs O(slices), independent of the address-space size. *)
+type universe = {
+  firsts : int array;  (* first page index of each slice, ascending *)
+  cum : int array;  (* pages in all slices before this one *)
+  u_total : int;
+}
+
+let universe_page u p =
+  (* the slice holding position [p]: largest s with cum.(s) <= p *)
+  let lo = ref 0 and hi = ref (Array.length u.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if u.cum.(mid) <= p then lo := mid else hi := mid - 1
+  done;
+  u.firsts.(!lo) + (p - u.cum.(!lo))
+
+(* Inverse of {!universe_page}; [idx] must be a universe member. *)
+let universe_position u idx =
+  let lo = ref 0 and hi = ref (Array.length u.firsts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if u.firsts.(mid) <= idx then lo := mid else hi := mid - 1
+  done;
+  u.cum.(!lo) + (idx - u.firsts.(!lo))
+
 (* Lay the space out as gap/run/gap/run/.../gap and install run contents
-   (straight to the paging disk, like data faulted in long ago). *)
+   (straight to the paging disk, like data faulted in long ago).  Each
+   slice goes in as one symbolic {!Page_run.pattern} — no value array is
+   ever filled, and 16+-page slices are adopted whole by the space. *)
 let build_layout space t =
   let tag = content_tag t in
   let runs = min t.real_runs (real_pages t) in
@@ -71,8 +102,8 @@ let build_layout space t =
   let gap_sizes =
     Array.of_list (shares (realz_bytes t / Page.size) (runs + 1))
   in
-  let universe = Array.make (real_pages t) 0 in
-  let u_fill = ref 0 in
+  let installed = ref [] in
+  let installed_pages = ref 0 in
   let zero_candidates = ref [] in
   let slices = max runs t.vm_segments in
   let slice_counter = ref 0 in
@@ -99,14 +130,11 @@ let build_layout space t =
             Printf.sprintf "seg%d" (!slice_counter mod t.vm_segments)
           in
           incr slice_counter;
-          let values = Array.make slice_pages Page.zero_value in
-          for p = 0 to slice_pages - 1 do
-            let idx = Page.index_of_addr !addr + p in
-            universe.(!u_fill) <- idx;
-            incr u_fill;
-            values.(p) <- Page.pattern_value ~tag idx
-          done;
-          Address_space.install_values ~segment:label space ~addr:!addr values
+          let first = Page.index_of_addr !addr in
+          installed := (first, slice_pages) :: !installed;
+          installed_pages := !installed_pages + slice_pages;
+          Address_space.install_run ~segment:label space ~addr:!addr
+            (Page_run.pattern ~tag ~first ~len:slice_pages)
             ~resident:false;
           addr := !addr + (slice_pages * Page.size)
         end)
@@ -119,32 +147,45 @@ let build_layout space t =
       emit_run i run_pages)
     run_sizes;
   emit_gap gap_sizes.(runs);
-  assert (!u_fill = real_pages t);
-  (universe, List.rev !zero_candidates)
+  assert (!installed_pages = real_pages t);
+  let slabs = Array.of_list (List.rev !installed) in
+  let n = Array.length slabs in
+  let firsts = Array.map fst slabs in
+  let cum = Array.make n 0 in
+  for s = 1 to n - 1 do
+    cum.(s) <- cum.(s - 1) + snd slabs.(s - 1)
+  done;
+  ({ firsts; cum; u_total = !installed_pages }, List.rev !zero_candidates)
 
-(* Pick [k] elements of [arr] spread evenly, excluding [excluded]. *)
-let spread_pick arr k ~excluded =
-  let eligible = Array.make (max 1 (Array.length arr)) 0 in
-  let fill = ref 0 in
-  Array.iter
-    (fun x ->
-      if not (Hashtbl.mem excluded x) then begin
-        eligible.(!fill) <- x;
-        incr fill
-      end)
-    arr;
-  let n = !fill in
+(* Pick [k] elements of [arr] spread evenly. *)
+let spread_pick arr k =
+  let n = Array.length arr in
   if k > n then invalid_arg "spread_pick: not enough eligible elements";
-  List.init k (fun i -> eligible.(i * n / max 1 k))
+  List.init k (fun i -> arr.(i * n / max 1 k))
+
+(* {!spread_pick} over the whole universe with the touched pages excluded,
+   without materialising the eligible array: the i-th pick is the
+   [i*n/k]-th untouched position, found by walking the sorted touched
+   positions with a cursor (the [r]-th untouched position is [r + ti]
+   where [ti] counts the touched positions at or below it). *)
+let spread_pick_untouched u k ~touched =
+  let excl = Array.map (universe_position u) touched in
+  let n = u.u_total - Array.length excl in
+  if k > n then invalid_arg "spread_pick: not enough eligible elements";
+  let ti = ref 0 and acc = ref [] in
+  for i = 0 to k - 1 do
+    let r = i * n / max 1 k in
+    while !ti < Array.length excl && excl.(!ti) <= r + !ti do
+      incr ti
+    done;
+    acc := universe_page u (r + !ti) :: !acc
+  done;
+  List.rev !acc
 
 let promote_resident space t ~universe ~touched =
-  let touched_set = Hashtbl.create (Array.length touched) in
-  Array.iter (fun p -> Hashtbl.replace touched_set p ()) touched;
-  let from_touched =
-    spread_pick touched t.rs_touched_overlap ~excluded:(Hashtbl.create 0)
-  in
+  let from_touched = spread_pick touched t.rs_touched_overlap in
   let rest = rs_pages t - t.rs_touched_overlap in
-  let from_untouched = spread_pick universe rest ~excluded:touched_set in
+  let from_untouched = spread_pick_untouched universe rest ~touched in
   let resident = List.sort_uniq compare (from_touched @ from_untouched) in
   assert (List.length resident = rs_pages t);
   List.iter (fun idx -> Address_space.resolve_disk_fault space idx) resident
@@ -183,7 +224,8 @@ let build ?(write_fraction = 0.) host t =
   let space = Host.new_space host ~name:t.name in
   let universe, zero_candidates = build_layout space t in
   let touched =
-    Access_pattern.choose_touched t.pattern ~rng ~universe
+    Access_pattern.choose_touched_in t.pattern ~rng
+      ~universe_len:universe.u_total ~page_of:(universe_page universe)
       ~count:t.touched_real_pages
   in
   promote_resident space t ~universe ~touched;

@@ -68,7 +68,7 @@ let run_equal (a : Address_space.image_run) (b : Address_space.image_run) =
   | Address_space.Img_zero a, Address_space.Img_zero b ->
       a.lo = b.lo && a.hi = b.hi
   | Address_space.Img_real a, Address_space.Img_real b ->
-      a.lo = b.lo && a.values = b.values && a.homes = b.homes
+      a.lo = b.lo && Page_run.equal a.run b.run && a.homes = b.homes
   | Address_space.Img_imag a, Address_space.Img_imag b ->
       a.lo = b.lo && a.hi = b.hi
       && a.segment_id = b.segment_id

@@ -116,7 +116,8 @@ let test_insert_cost_monotone_in_data () =
           Memory_object.range = Vaddr.of_len 0 (pages * 512);
           content =
             Memory_object.Data
-              (Page.values_of_bytes (Bytes.make (pages * 512) 'x'));
+              (Page_run.of_array
+                 (Page.values_of_bytes (Bytes.make (pages * 512) 'x')));
         };
       ]
   in

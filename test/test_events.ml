@@ -31,7 +31,9 @@ let test_unknown_payload_with_memory () =
       [
         {
           Memory_object.range = Vaddr.range 0 512;
-          content = Memory_object.Data [| Accent_mem.Page.zero_value |];
+          content =
+            Memory_object.Data
+              (Accent_mem.Page_run.singleton Accent_mem.Page.zero_value);
         };
       ];
   ignore (World.run world);

@@ -24,7 +24,7 @@ let data_chunk ~lo len =
   {
     Memory_object.range = Accent_mem.Vaddr.of_len lo len;
     content =
-      Memory_object.Data (Accent_mem.Page.values_of_bytes (Bytes.make len 'd'));
+      Memory_object.Data (Accent_mem.Page_run.of_array (Accent_mem.Page.values_of_bytes (Bytes.make len 'd')));
   }
 
 let iou_chunk ids ~lo len =
@@ -59,7 +59,8 @@ let test_memory_object_rejects_bad_length () =
       Memory_object.range = Accent_mem.Vaddr.of_len 0 1024;
       content =
         Memory_object.Data
-          (Accent_mem.Page.values_of_bytes (Bytes.make 512 'd'));
+          (Accent_mem.Page_run.of_array
+             (Accent_mem.Page.values_of_bytes (Bytes.make 512 'd')));
     }
   in
   Alcotest.check_raises "length mismatch"

@@ -226,7 +226,8 @@ let test_nms_large_message_fragments () =
         Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 20);
         content =
           Memory_object.Data
-            (Accent_mem.Page.values_of_bytes (Bytes.make (512 * 20) 'x'));
+            (Accent_mem.Page_run.of_array
+               (Accent_mem.Page.values_of_bytes (Bytes.make (512 * 20) 'x')));
       };
     ]
   in
@@ -250,7 +251,7 @@ let test_nms_iou_caching () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 8);
-        content = Memory_object.Data (Accent_mem.Page.values_of_bytes payload_bytes);
+        content = Memory_object.Data (Accent_mem.Page_run.of_array (Accent_mem.Page.values_of_bytes payload_bytes));
       };
     ]
   in
@@ -279,7 +280,8 @@ let test_nms_no_ious_bit_respected () =
         Memory_object.range = Accent_mem.Vaddr.of_len 0 512;
         content =
           Memory_object.Data
-            (Accent_mem.Page.values_of_bytes (Bytes.make 512 'z'));
+            (Accent_mem.Page_run.of_array
+               (Accent_mem.Page.values_of_bytes (Bytes.make 512 'z')));
       };
     ]
   in
@@ -305,7 +307,8 @@ let test_nms_caching_disabled_by_params () =
         Memory_object.range = Accent_mem.Vaddr.of_len 0 512;
         content =
           Memory_object.Data
-            (Accent_mem.Page.values_of_bytes (Bytes.make 512 'z'));
+            (Accent_mem.Page_run.of_array
+               (Accent_mem.Page.values_of_bytes (Bytes.make 512 'z')));
       };
     ]
   in
@@ -325,7 +328,7 @@ let test_nms_serves_cached_faults_and_death () =
     [
       {
         Memory_object.range = Accent_mem.Vaddr.of_len 0 (512 * 4);
-        content = Memory_object.Data (Accent_mem.Page.values_of_bytes payload);
+        content = Memory_object.Data (Accent_mem.Page_run.of_array (Accent_mem.Page.values_of_bytes payload));
       };
     ]
   in
@@ -402,8 +405,9 @@ let bulk_message w ~dest ~pages =
           Memory_object.range = Accent_mem.Vaddr.of_len 0 len;
           content =
             Memory_object.Data
-              (Accent_mem.Page.values_of_bytes
-                 (Bytes.init len (fun i -> Char.chr (i mod 251))));
+              (Accent_mem.Page_run.of_array
+                 (Accent_mem.Page.values_of_bytes
+                    (Bytes.init len (fun i -> Char.chr (i mod 251)))));
         };
       ]
     ~no_ious:true ~category:Message.Bulk (Message.Ping 0)

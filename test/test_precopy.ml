@@ -168,7 +168,9 @@ let test_giveup_clears_staged () =
          [
            {
              Accent_ipc.Memory_object.range = Accent_mem.Vaddr.range 0 Page.size;
-             content = Accent_ipc.Memory_object.Data [| Page.zero_value |];
+             content =
+               Accent_ipc.Memory_object.Data
+                 (Page_run.singleton Page.zero_value);
            };
          ]
        (Engine_precopy.Mig_precopy_pages

@@ -230,10 +230,122 @@ let prop_excise_insert_identity =
       ignore (World.run world);
       !ok)
 
+(* --- run-based residual ≡ page-list computation ------------------------- *)
+
+(* The freeze path computes residual and cold tail by run subtraction
+   against the sorted sent view (Image_wire.unsent_runs), never touching
+   a per-page list.  These properties pin that rewrite to the obvious
+   O(pages) computation: enumerate every real page, drop the sent ones,
+   coalesce what is left. *)
+
+let coalesce_pages pages =
+  List.fold_left
+    (fun acc page ->
+      match acc with
+      | (lo, hi) :: rest when page = hi + 1 -> (lo, page) :: rest
+      | _ -> (page, page) :: acc)
+    [] pages
+  |> List.rev
+
+let real_pages_of_image image =
+  List.concat_map
+    (fun (lo, hi) ->
+      let first = Page.index_of_addr lo in
+      List.init ((hi - lo) / Page.size) (fun i -> first + i))
+    (Proc_image.real_ranges image)
+
+(* Apply random marks to a sent set and mirror them in a plain table;
+   marks index into the image's real pages so they always land somewhere
+   interesting (runs may span gaps — subtraction only sees real ranges). *)
+let apply_marks sent tbl arr marks =
+  if Array.length arr > 0 then
+    List.iter
+      (fun (bulk, i, j) ->
+        let i = i mod Array.length arr and j = j mod Array.length arr in
+        let a = arr.(min i j) and b = arr.(max i j) in
+        if bulk then begin
+          Image_wire.Sent.mark_run sent ~first:a ~last:b;
+          for p = a to b do
+            Hashtbl.replace tbl p ()
+          done
+        end
+        else begin
+          Image_wire.Sent.mark_page sent a;
+          Hashtbl.replace tbl a ()
+        end)
+      marks
+
+let marks_gen =
+  QCheck.Gen.(
+    small_list (triple bool (int_bound 10_000) (int_bound 10_000)))
+
+let marked_image_gen = QCheck.Gen.pair spec_gen marks_gen
+
+let print_marked (spec, marks) =
+  Printf.sprintf "real=%d runs=%d marks=%d"
+    spec.Accent_workloads.Spec.real_bytes spec.Accent_workloads.Spec.real_runs
+    (List.length marks)
+
+let prop_unsent_runs_equiv =
+  QCheck.Test.make ~count:60
+    ~name:"unsent_runs = all real pages minus sent, coalesced"
+    (QCheck.make ~print:print_marked marked_image_gen)
+    (fun (spec, marks) ->
+      let world, proc = Accent_experiments.Trial.build_only ~spec () in
+      let image = Proc_image.capture (World.host world 0) proc in
+      let sent = Image_wire.Sent.create () in
+      let tbl = Hashtbl.create 64 in
+      let real = real_pages_of_image image in
+      apply_marks sent tbl (Array.of_list real) marks;
+      let expected =
+        coalesce_pages (List.filter (fun p -> not (Hashtbl.mem tbl p)) real)
+      in
+      Image_wire.unsent_runs image ~sent = expected)
+
+let chunk_equal (a : Accent_ipc.Memory_object.chunk)
+    (b : Accent_ipc.Memory_object.chunk) =
+  a.Accent_ipc.Memory_object.range = b.Accent_ipc.Memory_object.range
+  &&
+  match (a.content, b.content) with
+  | Accent_ipc.Memory_object.Data ra, Accent_ipc.Memory_object.Data rb ->
+      Page_run.equal ra rb
+  | ca, cb -> ca = cb
+
+let prop_precopy_residual_equiv =
+  QCheck.Test.make ~count:60
+    ~name:"precopy residual chunks = data_chunks over the dirty+unsent list"
+    (QCheck.make
+       ~print:(fun (mi, _) -> print_marked mi)
+       QCheck.Gen.(pair marked_image_gen (small_list (int_bound 10_000))))
+    (fun ((spec, marks), dirty_picks) ->
+      let world, proc = Accent_experiments.Trial.build_only ~spec () in
+      let image = Proc_image.capture (World.host world 0) proc in
+      let sent = Image_wire.Sent.create () in
+      let tbl = Hashtbl.create 64 in
+      let real = real_pages_of_image image in
+      let arr = Array.of_list real in
+      apply_marks sent tbl arr marks;
+      let written =
+        if Array.length arr = 0 then []
+        else List.map (fun i -> arr.(i mod Array.length arr)) dirty_picks
+      in
+      let unsent_pages =
+        List.filter (fun p -> not (Hashtbl.mem tbl p)) real
+      in
+      let expected =
+        Image_wire.image_data_chunks image ~missing:"prop"
+          (written @ unsent_pages)
+      in
+      let got = Image_wire.precopy_residual_chunks image ~sent ~written in
+      List.length got = List.length expected
+      && List.for_all2 chunk_equal got expected)
+
 let suite =
   ( "properties",
     [
       QCheck_alcotest.to_alcotest prop_migration_roundtrip;
+      QCheck_alcotest.to_alcotest prop_unsent_runs_equiv;
+      QCheck_alcotest.to_alcotest prop_precopy_residual_equiv;
       QCheck_alcotest.to_alcotest prop_phase_ordering;
       QCheck_alcotest.to_alcotest prop_iou_ships_fewer_bytes_when_half_touched;
       QCheck_alcotest.to_alcotest prop_lossy_runs_are_deterministic;

@@ -107,9 +107,81 @@ let check_pin pin () =
   Alcotest.(check int) "copy has no imaginary faults" 0
     copy.Trial.report.Report.dest_faults_imag
 
+(* --- allocation regression: migrations must not allocate O(pages) ------ *)
+
+(* A hybrid migration's heap allocation must be a function of what the
+   process *referenced*, never of how big its address space is — the
+   simulator-side mirror of the paper's headline.  Run the same
+   migration at 8192 and at 65536 real pages (8x) and pin the
+   allocation ratio near 1.  Gc.minor_words (not Gc.allocated_bytes,
+   which OCaml 5.1 inflates by promoted words at each minor collection)
+   counts every allocation exactly.  The measured delta is a few
+   hundred words out of ~1M; the 1.25x band is generous slack for
+   incidental structure growth, not for any per-page term: one word per
+   extra page would blow it 50x over. *)
+
+let alloc_spec ~real_pages =
+  let page = Accent_mem.Page.size in
+  let touched = max 4 (min 256 (real_pages / 8)) in
+  let rs_pages = max touched (min (real_pages / 4) 1024) in
+  {
+    Accent_workloads.Spec.name = Printf.sprintf "alloc-%d" real_pages;
+    description = "allocation-regression workload";
+    real_bytes = real_pages * page;
+    total_bytes = 4 * real_pages * page;
+    rs_bytes = rs_pages * page;
+    touched_real_pages = touched;
+    rs_touched_overlap = touched;
+    real_runs = 8;
+    vm_segments = 4;
+    pattern =
+      Accent_workloads.Access_pattern.Sequential
+        { streams = 1; revisit = 0.1; run = 16 };
+    refs = 2 * touched;
+    total_think_ms = 100.;
+    zero_touch_pages = 2;
+    base_addr = 0x40000;
+  }
+
+(* Minor words from migrate() through world drain: the migration itself
+   plus the remote execution it unblocks, excluding world/workload
+   construction. *)
+let hybrid_migration_words ~real_pages =
+  let world = World.create ~n_hosts:2 () in
+  let proc =
+    Accent_workloads.Spec.build (World.host world 0)
+      (alloc_spec ~real_pages)
+  in
+  Accent_kernel.Proc_runner.start (World.host world 0) proc;
+  let completed = ref 0 in
+  let alloc0 = Gc.minor_words () in
+  ignore
+    (Migration_manager.migrate (World.manager world 0) ~proc
+       ~dest:(Migration_manager.port (World.manager world 1))
+       ~strategy:(Strategy.hybrid ())
+       ~on_complete:(fun _ _ -> incr completed)
+       ());
+  ignore (World.run world);
+  let words = Gc.minor_words () -. alloc0 in
+  Alcotest.(check int) "migration completed" 1 !completed;
+  words
+
+let check_size_independent_allocation () =
+  let small = hybrid_migration_words ~real_pages:8_192 in
+  let large = hybrid_migration_words ~real_pages:65_536 in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "hybrid allocation at 65536 pages (%.0f words) within 1.25x of 8192 \
+        pages (%.0f words)"
+       large small)
+    true
+    (large <= 1.25 *. small)
+
 let suite =
   ( "regression",
-    List.map
-      (fun pin ->
-        Alcotest.test_case (pin.name ^ " pinned") `Slow (check_pin pin))
-      pins )
+    Alcotest.test_case "hybrid allocation is size-independent" `Slow
+      check_size_independent_allocation
+    :: List.map
+         (fun pin ->
+           Alcotest.test_case (pin.name ^ " pinned") `Slow (check_pin pin))
+         pins )
