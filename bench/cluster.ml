@@ -7,7 +7,11 @@
        threshold, destination-swap) compared on one churn configuration —
        migration rate, p50/p99 downtime, bytes on the wire, turnaround;
      - "big_run": a 1000-host run sized to execute over a million
-       simulation events, as a single-world scalability probe;
+       simulation events, as a single-world scalability probe, with the
+       allocation meters on (minor words per event, live words after the
+       departed jobs are released) — smoke mode runs a smaller gate
+       configuration so CI can hold both throughput and allocation to a
+       committed baseline (bench/BASELINE_cluster.json);
      - "sweep": the same seed sweep run sequentially and fanned over
        OCaml domains (Accent_util.Domain_pool), with the per-seed results
        asserted structurally identical and the measured speedup reported.
@@ -48,6 +52,16 @@ let big_config =
     job_think_ms = 3_000.;
   }
 
+(* the smoke-mode instrumented run: small enough for CI, large enough
+   that events-per-second and words-per-event are stable *)
+let gate_config =
+  {
+    smoke_config with
+    Cluster_scenario.hosts = 50;
+    jobs = 1_000;
+    arrival_rate_per_s = 50.;
+  }
+
 let sweep_config smoke =
   if smoke then smoke_config
   else
@@ -82,25 +96,31 @@ let () =
   print_string (Cluster_scenario.render_churn policies);
   Printf.printf "cluster: policy comparison in %.2f s\n%!" policies_wall;
 
-  (* 2. the 1000-host million-event run (full mode only) *)
+  (* 2. the single-world probe with the allocation meters on: the
+     1000-host million-event run in full mode, a smaller gate
+     configuration in smoke mode (CI compares it against the committed
+     baseline) *)
   let big =
-    if smoke then None
-    else begin
-      let r, wall =
-        time (fun () ->
-            Cluster_scenario.run_churn ~config:big_config
-              ~policy:(Placement_policy.threshold ()) ())
-      in
-      Printf.printf
-        "cluster: big run  %d hosts  %d events  %d migrations  %.2f s wall\n%!"
-        r.Cluster_scenario.hosts_n r.Cluster_scenario.events
-        r.Cluster_scenario.migrations wall;
-      if r.Cluster_scenario.events < 1_000_000 then
-        failwith
-          (Printf.sprintf "cluster: big run executed only %d events (< 1M)"
-             r.Cluster_scenario.events);
-      Some (r, wall)
-    end
+    let cfg = if smoke then gate_config else big_config in
+    let (r, gc), wall =
+      time (fun () ->
+          Cluster_scenario.run_churn_gc ~config:cfg
+            ~policy:(Placement_policy.threshold ()) ())
+    in
+    Printf.printf
+      "cluster: big run  %d hosts  %d events  %d migrations  %.2f s wall  \
+       %.0f ev/s  %.1f minor words/event  %d live words after\n\
+       %!"
+      r.Cluster_scenario.hosts_n r.Cluster_scenario.events
+      r.Cluster_scenario.migrations wall
+      (float_of_int r.Cluster_scenario.events /. Float.max 1e-9 wall)
+      gc.Cluster_scenario.minor_words_per_event
+      gc.Cluster_scenario.live_words_after;
+    if (not smoke) && r.Cluster_scenario.events < 1_000_000 then
+      failwith
+        (Printf.sprintf "cluster: big run executed only %d events (< 1M)"
+           r.Cluster_scenario.events);
+    (r, gc, wall)
   in
 
   (* 3. sequential vs domain-parallel seed sweep *)
@@ -137,12 +157,16 @@ let () =
        (List.map
           (fun r -> "    " ^ Cluster_scenario.churn_json r)
           policies));
-  (match big with
-  | Some (r, wall) ->
-      Printf.fprintf oc "  \"big_run\": {\"wall_s\": %.3f, \"result\": %s},\n"
-        wall
-        (Cluster_scenario.churn_json r)
-  | None -> ());
+  (let r, gc, wall = big in
+   Printf.fprintf oc
+     "  \"big_run\": {\"wall_s\": %.3f, \"events_per_s\": %.1f, \
+      \"minor_words\": %.0f, \"minor_words_per_event\": %.2f, \
+      \"live_words_after\": %d, \"result\": %s},\n"
+     wall
+     (float_of_int r.Cluster_scenario.events /. Float.max 1e-9 wall)
+     gc.Cluster_scenario.minor_words gc.Cluster_scenario.minor_words_per_event
+     gc.Cluster_scenario.live_words_after
+     (Cluster_scenario.churn_json r));
   Printf.fprintf oc
     "  \"sweep\": {\"seeds\": %d, \"domains\": %d, \"cores\": %d, \
      \"seq_wall_s\": %.3f, \"par_wall_s\": %.3f, \"speedup\": %.3f, \

@@ -79,7 +79,7 @@ module Event_stats = struct
     | [] -> Printf.printf "  %-28s (no samples)\n" label
     | _ ->
         let a = Array.of_list samples in
-        Array.sort compare a;
+        Array.sort Float.compare a;
         let n = Array.length a in
         let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
         Printf.printf

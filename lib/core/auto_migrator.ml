@@ -30,6 +30,12 @@ type t = {
   smoother : Load_metric.Ewma.t option;
   rng : Accent_util.Rng.t;
   live : unit -> bool;
+  loads_buf : float array;
+      (* one load slot per host, refilled in place each tick; policies
+         consume the snapshot synchronously, so the buffer is reusable *)
+  movable_on : int -> Placement_policy.candidate list;
+      (* hoisted: built once at [start], not rebuilt per tick *)
+  mutable tick_k : unit -> unit;
   mutable triggered : int;
   mutable decisions : (int * string * int * int) list; (* reversed *)
 }
@@ -48,31 +54,19 @@ let live_procs_anywhere world =
 
 (* --- sampling the world into a policy snapshot -------------------------- *)
 
+(* The per-tick sample refills the preallocated load buffer in place and
+   smooths it in place; the only snapshot allocation left is the record
+   itself.  [movable_on] was hoisted to [start]. *)
 let snapshot t =
-  let world = t.world in
-  let registry = world.World.registry in
-  let raw = Array.map Load_metric.host_load world.World.hosts in
-  let loads =
-    match t.smoother with
-    | None -> raw
-    | Some ewma -> Load_metric.Ewma.observe ewma raw
-  in
-  let candidate host proc =
-    {
-      Placement_policy.proc_id = proc.Proc.id;
-      proc_name = proc.Proc.name;
-      host = Host.id host;
-      affinity =
-        (fun host_id -> Load_metric.affinity ~registry host proc ~host_id);
-    }
-  in
-  let movable_on i =
-    let host = World.host world i in
-    List.filter_map
-      (fun proc -> if movable proc then Some (candidate host proc) else None)
-      (Host.procs host)
-  in
-  { Placement_policy.loads; movable = movable_on; rng = t.rng }
+  let hosts = t.world.World.hosts in
+  let loads = t.loads_buf in
+  for i = 0 to Array.length hosts - 1 do
+    loads.(i) <- Load_metric.host_load hosts.(i)
+  done;
+  (match t.smoother with
+  | None -> ()
+  | Some ewma -> Load_metric.Ewma.observe_into ewma loads);
+  { Placement_policy.loads; movable = t.movable_on; rng = t.rng }
 
 (* --- executing what the policy decided ---------------------------------- *)
 
@@ -127,14 +121,14 @@ let execute t = function
   | Placement_policy.Move d ->
       if t.triggered < t.policy.max_migrations then execute_move t d
 
-let rec tick t =
+let tick t =
   (* stop when done migrating or when nothing is left running, so the
      engine can go quiescent *)
   if t.triggered < t.policy.max_migrations && t.live () then begin
     List.iter (execute t) (Placement_policy.decide t.placement (snapshot t));
     ignore
       (Engine.schedule t.world.World.engine ~delay:(Time.ms t.policy.period_ms)
-         (fun () -> tick t))
+         t.tick_k)
   end
 
 let start ?live world (policy : policy) =
@@ -151,6 +145,22 @@ let start ?live world (policy : policy) =
     | Some f -> f
     | None -> fun () -> live_procs_anywhere world
   in
+  let registry = world.World.registry in
+  let candidate host proc =
+    {
+      Placement_policy.proc_id = proc.Proc.id;
+      proc_name = proc.Proc.name;
+      host = Host.id host;
+      affinity =
+        (fun host_id -> Load_metric.affinity ~registry host proc ~host_id);
+    }
+  in
+  let movable_on i =
+    let host = World.host world i in
+    List.filter_map
+      (fun proc -> if movable proc then Some (candidate host proc) else None)
+      (Host.procs host)
+  in
   let t =
     {
       world;
@@ -162,13 +172,17 @@ let start ?live world (policy : policy) =
           policy.load_smoothing;
       rng = Engine.rng world.World.engine "auto-migrator";
       live;
+      loads_buf = Array.make (Array.length world.World.hosts) 0.;
+      movable_on;
+      tick_k = (fun () -> ());
       triggered = 0;
       decisions = [];
     }
   in
+  t.tick_k <- (fun () -> tick t);
   ignore
     (Engine.schedule world.World.engine ~delay:(Time.ms policy.period_ms)
-       (fun () -> tick t));
+       t.tick_k);
   t
 
 let migrations_triggered t = t.triggered

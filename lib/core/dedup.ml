@@ -35,7 +35,7 @@ let create ~host ~port ~bus =
   in
   (* An abandoned migration never resolves its staged hits or sends its
      parked message: forget both so a re-migration starts clean. *)
-  Mig_event.subscribe bus (fun ev ->
+  Mig_event.subscribe_cleanup bus (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
           let proc_id = ev.Mig_event.proc_id in

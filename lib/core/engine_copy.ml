@@ -49,7 +49,7 @@ let create ctx =
   let pending : (int, partial) Hashtbl.t = Hashtbl.create 4 in
   (* If the transport abandons one half of the Core/RIMAS pair, the other
      half's partial entry can never complete: drop it. *)
-  Mig_event.subscribe ctx.bus (fun ev ->
+  Mig_event.subscribe_cleanup ctx.bus (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
           Hashtbl.remove pending ev.Mig_event.proc_id

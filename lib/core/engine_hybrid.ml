@@ -79,7 +79,7 @@ let create ctx =
   (* destination side: pages staged by push rounds, keyed by proc id *)
   let staged : (int, Segment_store.t) Hashtbl.t = Hashtbl.create 4 in
   let pool = Image_wire.Sent_pool.create () in
-  Mig_event.subscribe ctx.bus (fun ev ->
+  Mig_event.subscribe_cleanup ctx.bus (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
           (match Hashtbl.find_opt outbound ev.Mig_event.proc_id with

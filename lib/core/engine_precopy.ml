@@ -72,7 +72,7 @@ let create ctx =
      normal exit for both tables: drop its state when the transport gives
      up on it (or the engine itself aborts it), or the staged pages of
      every failed migration stay resident forever. *)
-  Mig_event.subscribe ctx.bus (fun ev ->
+  Mig_event.subscribe_cleanup ctx.bus (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Transport_give_up | Mig_event.Engine_abort _ ->
           (match Hashtbl.find_opt outbound ev.Mig_event.proc_id with

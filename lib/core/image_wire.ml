@@ -5,6 +5,11 @@ open Transfer_engine
 
 (* --- sent sets ------------------------------------------------------------ *)
 
+(* monomorphic order on closed page runs: the freeze-path sorts must not
+   fall back to polymorphic compare *)
+let run_compare ((a1 : int), (a2 : int)) (b1, b2) =
+  match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c
+
 module Sent = struct
   (* The pages a migration's rounds have pushed.  Bulk pushes (a pre-copy
      first round reads whole real ranges) record closed page runs in O(1);
@@ -50,7 +55,7 @@ module Sent = struct
      built once per freeze, O(marks log marks), never O(space). *)
   let sorted_view t =
     coalesce
-      (List.sort compare
+      (List.sort run_compare
          (Hashtbl.fold (fun p () acc -> (p, p) :: acc) t.tbl t.bulk))
 
   (* Closed page runs of [first, last] not covered by [view], ascending:
@@ -95,7 +100,7 @@ end
 
 (* Sorted, deduplicated pages coalesced into maximal closed page runs. *)
 let page_runs_of_pages pages =
-  let pages = List.sort_uniq compare pages in
+  let pages = List.sort_uniq Int.compare pages in
   List.fold_left
     (fun acc page ->
       match acc with
@@ -222,7 +227,7 @@ let cold_iou_chunks ctx (image : Proc_image.t) ~sent =
 let precopy_residual_chunks (image : Proc_image.t) ~sent ~written =
   let runs =
     Sent.coalesce
-      (List.sort compare
+      (List.sort run_compare
          (List.rev_append (page_runs_of_pages written) (unsent_runs image ~sent)))
   in
   Array.to_list runs
@@ -322,7 +327,7 @@ let freeze_and_ship ctx outbound pool (state : push) ~residual_and_extra
               let memory =
                 List.sort
                   (fun a b ->
-                    compare a.Memory_object.range.Vaddr.lo
+                    Int.compare a.Memory_object.range.Vaddr.lo
                       b.Memory_object.range.Vaddr.lo)
                   (residual_chunks @ extra_chunks @ iou_chunks_of_image image)
               in

@@ -23,7 +23,7 @@ let dispersion ~registry host proc =
           | None -> ()))
     (Accent_mem.Address_space.imag_segments space);
   Hashtbl.fold (fun host_id bytes acc -> (host_id, bytes) :: acc) tally []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 (* §6's load metrics are instantaneous, and the threshold policy acts on
    a single sample — so a one-tick queue blip can trigger a migration
@@ -41,19 +41,25 @@ module Ewma = struct
 
   let alpha t = t.alpha
 
+  (* Fold [buf] through the smoother and overwrite it with the smoothed
+     vector, allocating nothing after the state is seeded.  This is the
+     sampler's per-tick path: the caller owns [buf] and reuses it. *)
+  let observe_into t buf =
+    match t.smoothed with
+    | Some prev when Array.length prev = Array.length buf ->
+        for i = 0 to Array.length buf - 1 do
+          let s = (t.alpha *. buf.(i)) +. ((1. -. t.alpha) *. prev.(i)) in
+          prev.(i) <- s;
+          buf.(i) <- s
+        done
+    | None | Some _ ->
+        (* seed (or re-seed after a topology change) with the raw sample *)
+        t.smoothed <- Some (Array.copy buf)
+
   let observe t raw =
-    let smoothed =
-      match t.smoothed with
-      | None -> Array.copy raw (* seed with the first sample *)
-      | Some prev ->
-          if Array.length prev <> Array.length raw then Array.copy raw
-          else
-            Array.mapi
-              (fun i r -> (t.alpha *. r) +. ((1. -. t.alpha) *. prev.(i)))
-              raw
-    in
-    t.smoothed <- Some smoothed;
-    Array.copy smoothed
+    let buf = Array.copy raw in
+    observe_into t buf;
+    buf
 end
 
 let affinity ~registry host proc ~host_id =

@@ -38,6 +38,11 @@ module Ewma : sig
   val observe : t -> float array -> float array
   (** Fold one raw per-host sample into the smoothed state and return the
       smoothed vector (a fresh array). *)
+
+  val observe_into : t -> float array -> unit
+  (** In-place {!observe}: folds [buf] into the smoothed state and
+      overwrites [buf] with the result, allocating nothing once seeded.
+      The per-tick sampler path — the caller owns and reuses [buf]. *)
 end
 
 val dispersion :

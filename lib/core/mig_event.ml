@@ -112,20 +112,76 @@ let apply (r : Report.t) ev =
 
 (* --- the bus ------------------------------------------------------------ *)
 
+(* Subscribers live in a growable array in subscription order: the old
+   list representation appended with [subscribers @ [f]], which copies
+   the whole list per subscription — O(n²) across a churn run that
+   subscribes an observer per migration.
+
+   Full-stream observers are separate from cleanup observers.  Every
+   per-host migration engine wants only the two abandonment events
+   (Transport_give_up / Engine_abort) to drop that migration's staged
+   state — but a datacenter world shares one bus, so with those on the
+   full stream a thousand hosts put four thousand closures in front of
+   every page fault ever published.  Splitting the channels keeps the
+   fault-path publish loop bounded by the handful of genuine
+   trace/stats observers, independent of host count. *)
+type subs = {
+  mutable subs : (t -> unit) array;  (* slots >= n_subs are padding *)
+  mutable n_subs : int;
+}
+
 type bus = {
-  mutable subscribers : (t -> unit) list;  (** in subscription order *)
+  all : subs;
+  cleanup : subs;  (* sees only Transport_give_up / Engine_abort *)
   routes : (int, Report.t) Hashtbl.t;
 }
 
-let create_bus () = { subscribers = []; routes = Hashtbl.create 8 }
-let subscribe bus f = bus.subscribers <- bus.subscribers @ [ f ]
+let create_bus () =
+  {
+    all = { subs = [||]; n_subs = 0 };
+    cleanup = { subs = [||]; n_subs = 0 };
+    routes = Hashtbl.create 8;
+  }
+
+let subs_add s f =
+  if s.n_subs = Array.length s.subs then begin
+    let subs = Array.make (max 8 (2 * s.n_subs)) f in
+    Array.blit s.subs 0 subs 0 s.n_subs;
+    s.subs <- subs
+  end;
+  s.subs.(s.n_subs) <- f;
+  s.n_subs <- s.n_subs + 1
+
+(* index loop, not iter: a subscriber may itself subscribe, and new
+   subscribers must not see the event being delivered *)
+let subs_notify s ev =
+  let n = s.n_subs in
+  for i = 0 to n - 1 do
+    s.subs.(i) ev
+  done
+
+let subscribe bus f = subs_add bus.all f
+let subscribe_cleanup bus f = subs_add bus.cleanup f
+
 let register bus ~proc_id report = Hashtbl.replace bus.routes proc_id report
 
 let publish bus ev =
-  (match Hashtbl.find_opt bus.routes ev.proc_id with
-  | Some report -> apply report ev
-  | None -> ());
-  List.iter (fun f -> f ev) bus.subscribers
+  (match Hashtbl.find bus.routes ev.proc_id with
+  | report ->
+      apply report ev;
+      (* The Outcome is terminal, so drop the route: the table then
+         scales with in-flight migrations, not with every migration a
+         churn run ever completed.  An aborted migration's route stays —
+         a checkpoint restore may still stamp it — until the process's
+         next registration replaces it. *)
+      (match ev.kind with
+      | Outcome _ -> Hashtbl.remove bus.routes ev.proc_id
+      | _ -> ())
+  | exception Not_found -> ());
+  (match ev.kind with
+  | Transport_give_up | Engine_abort _ -> subs_notify bus.cleanup ev
+  | _ -> ());
+  subs_notify bus.all ev
 
 let fold_report ~proc_id events =
   let mine = List.filter (fun ev -> ev.proc_id = proc_id) events in

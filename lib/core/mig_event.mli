@@ -85,6 +85,14 @@ val create_bus : unit -> bus
 val subscribe : bus -> (t -> unit) -> unit
 (** Add an observer; it sees every published event, in publish order. *)
 
+val subscribe_cleanup : bus -> (t -> unit) -> unit
+(** Add an observer that sees only [Transport_give_up] and
+    [Engine_abort] events.  The per-host migration engines use this
+    channel to drop an abandoned migration's staged state, so their
+    number never taxes the fault-path publish loop: with a
+    thousand-host world sharing one bus, full-stream delivery would put
+    every one of their closures in front of every page-fault event. *)
+
 val register : bus -> proc_id:int -> Report.t -> unit
 (** Route events for [proc_id] into [report]: each published event with
     that id is folded into the report via {!apply}.  A later registration

@@ -101,8 +101,8 @@ let destination_swap ?(imbalance_threshold = 1.5) ?(max_pairs = max_int) ()
        deterministic *)
     Array.sort
       (fun a b ->
-        match compare s.loads.(b) s.loads.(a) with
-        | 0 -> compare a b
+        match Float.compare s.loads.(b) s.loads.(a) with
+        | 0 -> Int.compare a b
         | c -> c)
       order;
     let actions = ref [] in

@@ -47,10 +47,16 @@ let job_spec config i =
     base_addr = 0x40000 + (i * 4 * 1024 * 1024);
   }
 
+(* Mean from the accumulator's running total — the same sum/length
+   formula the retained-list implementation used. *)
+let acc_mean acc =
+  let n = Accent_util.Stats.count acc in
+  if n = 0 then 0. else Accent_util.Stats.total acc /. float_of_int n
+
 let run ?(config = default_config) ~policy ~label () =
   let world = World.create ~seed:config.seed ~n_hosts:config.n_hosts () in
   let h0 = World.host world 0 in
-  let turnarounds = ref [] in
+  let turnarounds = Accent_util.Stats.create () in
   (* jobs arrive staggered on host 0 and start executing there *)
   List.iteri
     (fun i spec ->
@@ -67,9 +73,8 @@ let run ?(config = default_config) ~policy ~label () =
                  (fun p ->
                    match p.Proc.finished_at with
                    | Some t ->
-                       turnarounds :=
-                         Time.to_seconds (Time.diff t (Time.ms arrival))
-                         :: !turnarounds
+                       Accent_util.Stats.add turnarounds
+                         (Time.to_seconds (Time.diff t (Time.ms arrival)))
                    | None -> ());
              Proc_runner.start h0 proc)))
     (List.init config.n_jobs (job_spec config));
@@ -78,7 +83,7 @@ let run ?(config = default_config) ~policy ~label () =
   {
     label;
     makespan_s = Time.to_seconds (World.now world);
-    mean_turnaround_s = Accent_util.Stats.mean_of !turnarounds;
+    mean_turnaround_s = acc_mean turnarounds;
     migrations =
       Option.value ~default:0
         (Option.map Auto_migrator.migrations_triggered migrator);
@@ -185,8 +190,14 @@ let churn_job_spec config ~think_ms i =
     base_addr = 0x40000;
   }
 
-let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
+(* The churn body proper.  Also hands back the world and the arrival
+   table so [run_churn_gc] can measure the retained live heap after
+   releasing everything the steady state says should be gone. *)
+let run_churn_aux ?(config = default_churn) ~(policy : Placement_policy.t) () =
   let world = World.create ~seed:config.churn_seed ~n_hosts:config.hosts () in
+  (* the per-message byte series is a single-migration figure's tool; at
+     datacenter scale it is O(messages) retained heap *)
+  Accent_net.Transfer_monitor.set_record_series world.World.monitor false;
   let engine = world.World.engine in
   let arrivals_rng = Engine.rng engine "cluster-arrivals" in
   let placement_rng = Engine.rng engine "cluster-placement" in
@@ -200,7 +211,9 @@ let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
   (* downtime = Frozen (or Requested, for the stop-and-ship strategies)
      to Restarted, observed on the event bus *)
   let mig_start : (int, Time.t) Hashtbl.t = Hashtbl.create 256 in
-  let downtimes_ms = ref [] in
+  (* streams: exact (and byte-identical to the old retained list) below
+     the default capacity, sketch-bounded beyond it *)
+  let downtimes_ms = Accent_util.Stats.create () in
   World.on_migration_event world (fun ev ->
       match ev.Mig_event.kind with
       | Mig_event.Requested _ ->
@@ -210,12 +223,15 @@ let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
       | Mig_event.Restarted -> (
           match Hashtbl.find_opt mig_start ev.Mig_event.proc_id with
           | Some t0 ->
-              downtimes_ms :=
-                Time.to_ms (Time.diff ev.Mig_event.at t0) :: !downtimes_ms;
+              Accent_util.Stats.add downtimes_ms
+                (Time.to_ms (Time.diff ev.Mig_event.at t0));
               Hashtbl.remove mig_start ev.Mig_event.proc_id
           | None -> ())
       | _ -> ());
   let interarrival_ms = 1_000. /. Float.max 1e-6 config.arrival_rate_per_s in
+  let completed = ref 0 in
+  let turnarounds = Accent_util.Stats.create () in
+  let per_host_completions = Array.make config.hosts 0 in
   let rec arrive i =
     if i < config.jobs then begin
       let host_id = Accent_util.Rng.int placement_rng config.hosts in
@@ -226,16 +242,41 @@ let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
       let spec = churn_job_spec config ~think_ms i in
       let proc = Accent_workloads.Spec.build host spec in
       incr submitted;
-      Hashtbl.replace arrived proc.Proc.id (World.now world);
+      let t0 = World.now world in
+      Hashtbl.replace arrived proc.Proc.id t0;
+      (* Departing jobs leave the cluster: account for the completion and
+         release the dead incarnation right away, so the live heap — and
+         with it the major-GC marking bill every surviving event pays —
+         stays a function of cluster size rather than of how many jobs
+         have ever run.  A migration's insert replaces this callback on
+         the new incarnation, so relocated jobs are still harvested from
+         the host tables after the run, exactly as before; and since a
+         terminated process is invisible to live_proc_count, movability
+         and the policy snapshot alike, releasing it changes no
+         simulation event. *)
+      proc.Proc.on_complete <-
+        Some
+          (fun p ->
+            match p.Proc.finished_at with
+            | Some t ->
+                incr completed;
+                Accent_util.Stats.add turnarounds
+                  (Time.to_seconds (Time.diff t t0));
+                per_host_completions.(host_id) <-
+                  per_host_completions.(host_id) + 1;
+                Hashtbl.remove arrived p.Proc.id;
+                Host.remove_proc host p;
+                (match p.Proc.space with
+                | Some space -> Host.drop_space host space
+                | None -> ())
+            | None -> ());
       Proc_runner.start host proc;
-      ignore
-        (Engine.schedule engine
-           ~delay:
-             (Time.ms (Accent_util.Rng.exponential arrivals_rng interarrival_ms))
-           (fun () -> arrive (i + 1)))
+      Engine.post engine
+        ~delay:(Time.ms (Accent_util.Rng.exponential arrivals_rng interarrival_ms))
+        (fun () -> arrive (i + 1))
     end
   in
-  ignore (Engine.schedule engine ~delay:Time.zero (fun () -> arrive 0));
+  Engine.post engine ~delay:Time.zero (fun () -> arrive 0);
   let live () =
     !submitted < config.jobs
     || Array.exists (fun h -> Host.live_proc_count h > 0) world.World.hosts
@@ -253,11 +294,10 @@ let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
   ignore (World.run world);
   let sim_s = Time.to_seconds (World.now world) in
   let migrations = Auto_migrator.migrations_triggered migrator in
-  (* harvest: excision removes the stale source incarnation from its host
-     table, so each job id survives on exactly the host where it ended up *)
-  let completed = ref 0 in
-  let turnarounds = ref [] in
-  let per_host_completions = Array.make config.hosts 0 in
+  (* harvest the relocated jobs (their arrival-time callback was replaced
+     by the migration's insert): excision removes the stale source
+     incarnation from its host table, so each job id survives on exactly
+     the host where it ended up *)
   Array.iteri
     (fun h host ->
       List.iter
@@ -267,30 +307,84 @@ let run_churn ?(config = default_churn) ~(policy : Placement_policy.t) () =
           with
           | Some t0, Some t when p.Proc.pcb.Pcb.status = Pcb.Terminated ->
               incr completed;
-              turnarounds :=
-                Time.to_seconds (Time.diff t t0) :: !turnarounds;
+              Accent_util.Stats.add turnarounds
+                (Time.to_seconds (Time.diff t t0));
               per_host_completions.(h) <- per_host_completions.(h) + 1
           | _ -> ())
         (Host.procs host))
     world.World.hosts;
-  {
-    policy_name = Placement_policy.name policy;
-    hosts_n = config.hosts;
-    jobs_submitted = !submitted;
-    jobs_completed = !completed;
-    sim_s;
-    events = Engine.events_executed engine;
-    migrations;
-    migration_rate_per_s =
-      (if sim_s <= 0. then 0. else float_of_int migrations /. sim_s);
-    downtime_ms_p50 = Accent_util.Stats.percentile_of !downtimes_ms 50.;
-    downtime_ms_p99 = Accent_util.Stats.percentile_of !downtimes_ms 99.;
-    downtime_samples = List.length !downtimes_ms;
-    wire_bytes =
-      Accent_net.Transfer_monitor.bytes_total world.World.monitor;
-    mean_turnaround_s = Accent_util.Stats.mean_of !turnarounds;
-    max_host_jobs = Array.fold_left max 0 per_host_completions;
-  }
+  let result =
+    {
+      policy_name = Placement_policy.name policy;
+      hosts_n = config.hosts;
+      jobs_submitted = !submitted;
+      jobs_completed = !completed;
+      sim_s;
+      events = Engine.events_executed engine;
+      migrations;
+      migration_rate_per_s =
+        (if sim_s <= 0. then 0. else float_of_int migrations /. sim_s);
+      downtime_ms_p50 = Accent_util.Stats.percentile downtimes_ms 50.;
+      downtime_ms_p99 = Accent_util.Stats.percentile downtimes_ms 99.;
+      downtime_samples = Accent_util.Stats.count downtimes_ms;
+      wire_bytes =
+        Accent_net.Transfer_monitor.bytes_total world.World.monitor;
+      mean_turnaround_s = acc_mean turnarounds;
+      max_host_jobs = Array.fold_left max 0 per_host_completions;
+    }
+  in
+  (result, world, arrived)
+
+let run_churn ?config ~policy () =
+  let result, _world, _arrived = run_churn_aux ?config ~policy () in
+  result
+
+type gc_probe = {
+  minor_words : float;
+  minor_words_per_event : float;
+  live_words_after : int;
+}
+
+(* [run_churn] with the allocation meters on.  Kept separate so
+   churn_result stays a pure function of (seed, config): GC counters are
+   per-domain in OCaml 5, and folding them into the result would break
+   the sweep harness's sequential-vs-parallel identity assertion. *)
+let run_churn_gc ?config ~policy () =
+  let minor_before = Gc.minor_words () in
+  let result, world, arrived = run_churn_aux ?config ~policy () in
+  let minor_after = Gc.minor_words () in
+  (* Departed jobs leave the cluster in the steady state, so release
+     everything the harvest kept them rooted for: their host-table
+     entries and address spaces, and the arrival stamps.  What remains
+     live after a full major must then be the world itself — a function
+     of cluster size, not of how many jobs ever ran (the old
+     retain-every-sample Stats broke exactly this). *)
+  Array.iter
+    (fun host ->
+      List.iter
+        (fun p ->
+          if p.Proc.pcb.Pcb.status = Pcb.Terminated then begin
+            Host.remove_proc host p;
+            match p.Proc.space with
+            | Some space -> Host.drop_space host space
+            | None -> ()
+          end)
+        (Host.procs host))
+    world.World.hosts;
+  Hashtbl.reset arrived;
+  Gc.full_major ();
+  let live_words_after = (Gc.stat ()).Gc.live_words in
+  (* the world must stay rooted through the measurement *)
+  ignore (Sys.opaque_identity world);
+  let minor_words = minor_after -. minor_before in
+  ( result,
+    {
+      minor_words;
+      minor_words_per_event =
+        (if result.events = 0 then 0.
+         else minor_words /. float_of_int result.events);
+      live_words_after;
+    } )
 
 let default_churn_policies () =
   [

@@ -93,6 +93,24 @@ val run_churn :
   unit ->
   churn_result
 
+type gc_probe = {
+  minor_words : float;  (** minor-heap words allocated over the run *)
+  minor_words_per_event : float;
+  live_words_after : int;
+      (** live major-heap words after releasing departed jobs and a full
+          major collection — must depend on cluster size, not job count *)
+}
+
+val run_churn_gc :
+  ?config:churn_config ->
+  policy:Accent_core.Placement_policy.t ->
+  unit ->
+  churn_result * gc_probe
+(** {!run_churn} with the allocation meters on.  Kept separate because
+    GC counters are per-domain (OCaml 5): folding them into
+    [churn_result] would break the sweep's sequential-vs-parallel
+    byte-identity.  Single-domain use only. *)
+
 val default_churn_policies : unit -> Accent_core.Placement_policy.t list
 (** static, random, threshold, destination-swap. *)
 

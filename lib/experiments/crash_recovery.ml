@@ -254,16 +254,23 @@ let run ?(seed = 42L) ?(seeds = 3) ?(spec = Accent_workloads.Representative.pm_s
         let mine =
           List.filter (fun (tr : trial) -> tr.strategy == strategy) trials
         in
-        let downtimes = List.map (fun t -> t.recovery_downtime_s) mine in
-        let cleans = List.map (fun t -> t.clean_downtime_s) mine in
+        (* streamed, not retained: identical percentiles (exact mode)
+           without materialising the per-strategy sample lists *)
+        let downtimes = Accent_util.Stats.create () in
+        let cleans = Accent_util.Stats.create () in
+        List.iter
+          (fun t ->
+            Accent_util.Stats.add downtimes t.recovery_downtime_s;
+            Accent_util.Stats.add cleans t.clean_downtime_s)
+          mine;
         {
           strategy;
           trials = List.length mine;
           all_completed = List.for_all (fun t -> t.completed) mine;
           all_verified = List.for_all (fun t -> t.integrity_ok) mine;
-          p50_s = Accent_util.Stats.percentile_of downtimes 50.;
-          p99_s = Accent_util.Stats.percentile_of downtimes 99.;
-          clean_p50_s = Accent_util.Stats.percentile_of cleans 50.;
+          p50_s = Accent_util.Stats.percentile downtimes 50.;
+          p99_s = Accent_util.Stats.percentile downtimes 99.;
+          clean_p50_s = Accent_util.Stats.percentile cleans 50.;
         })
       strategies
   in

@@ -104,7 +104,7 @@ let offsets t ~segment_id =
             add 0 acc)
           acc seg.extents
       in
-      List.sort_uniq compare acc
+      List.sort_uniq Int.compare acc
 
 (* Overlay pages that shadow an extent slot must not be double-counted. *)
 let segment_pages t ~segment_id =
@@ -124,7 +124,7 @@ let segment_pages t ~segment_id =
 
 let segment_bytes t ~segment_id = segment_pages t ~segment_id * Page.size
 let drop_segment t ~segment_id = Hashtbl.remove t segment_id
-let segments t = Hashtbl.fold (fun id _ acc -> id :: acc) t [] |> List.sort compare
+let segments t = Hashtbl.fold (fun id _ acc -> id :: acc) t [] |> List.sort Int.compare
 
 let total_bytes t =
   Hashtbl.fold (fun id _ acc -> acc + segment_bytes t ~segment_id:id) t 0

@@ -114,21 +114,33 @@ let adopt t proc =
     proc.Proc.ports
 
 let remove_proc t proc = Hashtbl.remove t.procs proc.Proc.id
+
+(* Completed processes surrender their port homes: the registry entry is
+   the one per-port record that outlives the proc record itself, and a
+   churn run that never reclaims it retains three table entries for
+   every job that ever ran.  Only for genuinely finished processes —
+   an excised incarnation's ports live on at the destination, which
+   re-homes them via [adopt]. *)
+let release_ports t proc =
+  List.iter
+    (fun port -> Accent_net.Net_registry.forget_port t.registry port)
+    proc.Proc.ports
 let proc_count t = Hashtbl.length t.procs
 let find_proc t id = Hashtbl.find_opt t.procs id
 
 let procs t =
   Hashtbl.fold (fun _ proc acc -> proc :: acc) t.procs []
-  |> List.sort (fun a b -> compare a.Proc.id b.Proc.id)
+  |> List.sort (fun a b -> Int.compare a.Proc.id b.Proc.id)
 
+(* Counted directly off the table: this is the load sampler's per-host
+   per-tick probe, so it must not build (and sort) a proc list. *)
 let live_proc_count t =
-  List.length
-    (List.filter
-       (fun p ->
-         match p.Proc.pcb.Pcb.status with
-         | Pcb.Running | Pcb.Ready -> true
-         | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> false)
-       (procs t))
+  Hashtbl.fold
+    (fun _ p acc ->
+      match p.Proc.pcb.Pcb.status with
+      | Pcb.Running | Pcb.Ready -> acc + 1
+      | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> acc)
+    t.procs 0
 let disk_server t = t.disk_server
 let cpu t = t.cpu
 let exec_cpu t = t.exec_cpu

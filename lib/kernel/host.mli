@@ -73,6 +73,11 @@ val exec_cpu : t -> Accent_sim.Queue_server.t
     serialises here, so co-located processes genuinely contend for the
     machine — what makes load balancing worth anything. *)
 
+val release_ports : t -> Proc.t -> unit
+(** Drop the registry port-home entries of a finished process.  Call
+    only when the process is terminally done on this host — not on
+    excision, where the destination re-homes the same ports. *)
+
 val message_seconds : t -> float
 (** Seconds this host has spent handling messages (NetMsgServer CPU plus
     kernel IPC CPU) — the per-node quantity summed in Figure 4-4. *)

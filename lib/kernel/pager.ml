@@ -115,8 +115,7 @@ let handle_reply t ~segment_id ~offset ~page_data =
       let install_cost =
         Time.ms (t.costs.Cost_model.imag_install_per_page_ms *. float_of_int n)
       in
-      ignore
-        (Engine.schedule t.engine ~delay:install_cost (fun () ->
+        Engine.post t.engine ~delay:install_cost (fun () ->
              let space = Proc.space_exn proc in
              List.iteri
                (fun i data ->
@@ -138,7 +137,7 @@ let handle_reply t ~segment_id ~offset ~page_data =
                          (* already materialised some other way; drop *)
                          ()))
                page_data;
-             k ()))
+             k ())
 
 let reply_handler t msg =
   match msg.Message.payload with
@@ -202,12 +201,11 @@ let imaginary_fault t proc ~segment_id ~offset ~k =
       in
       Hashtbl.replace t.waiting (segment_id, offset) { proc; k; timeout };
       let pages = 1 + max 0 proc.Proc.prefetch in
-      ignore
-        (Engine.schedule t.engine ~delay:(Time.ms t.costs.Cost_model.pager_ms)
-           (fun () ->
-             Kernel_ipc.send t.kernel
-               (Protocol.read_request ~ids:t.ids ~dest ~reply_to:t.port
-                  ~segment_id ~offset ~pages))))
+      Engine.post t.engine ~delay:(Time.ms t.costs.Cost_model.pager_ms)
+        (fun () ->
+          Kernel_ipc.send t.kernel
+            (Protocol.read_request ~ids:t.ids ~dest ~reply_to:t.port ~segment_id
+               ~offset ~pages)))
 
 let reference t proc page ~k =
   let space = Proc.space_exn proc in
@@ -219,31 +217,32 @@ let reference t proc page ~k =
     proc.Proc.prefetch_hits <- proc.Proc.prefetch_hits + 1;
     t.on_prefetch proc `Hit
   end;
-  match Address_space.presence_of_page space page with
-  | Resident _ ->
-      Address_space.touch space page;
-      k ()
-  | Zero_pending ->
+  if Address_space.touch_if_resident space page then k ()
+  else
+    match Address_space.presence_of_page space page with
+    | Resident _ ->
+        (* unreachable: touch_if_resident just said not resident *)
+        Address_space.touch space page;
+        k ()
+    | Zero_pending ->
       t.faults_zero <- t.faults_zero + 1;
       proc.Proc.pcb.Pcb.faults_zero <- proc.Proc.pcb.Pcb.faults_zero + 1;
       t.on_fault proc `Zero;
-      ignore
-        (Engine.schedule t.engine
-           ~delay:(Time.ms t.costs.Cost_model.fill_zero_ms) (fun () ->
-             Address_space.resolve_zero_fault space page;
-             k ()))
+      Engine.post t.engine ~delay:(Time.ms t.costs.Cost_model.fill_zero_ms)
+        (fun () ->
+          Address_space.resolve_zero_fault space page;
+          k ())
   | Paged_out _ ->
       t.faults_disk <- t.faults_disk + 1;
       proc.Proc.pcb.Pcb.faults_disk <- proc.Proc.pcb.Pcb.faults_disk + 1;
       t.on_fault proc `Disk;
-      ignore
-        (Engine.schedule t.engine ~delay:(Time.ms t.costs.Cost_model.pager_ms)
-           (fun () ->
-             Queue_server.submit t.disk
-               ~service_time:(Time.ms t.costs.Cost_model.disk_service_ms)
-               (fun () ->
-                 Address_space.resolve_disk_fault space page;
-                 k ())))
+      Engine.post t.engine ~delay:(Time.ms t.costs.Cost_model.pager_ms)
+        (fun () ->
+          Queue_server.submit t.disk
+            ~service_time:(Time.ms t.costs.Cost_model.disk_service_ms)
+            (fun () ->
+              Address_space.resolve_disk_fault space page;
+              k ()))
   | Imaginary_pending { segment_id; offset } ->
       imaginary_fault t proc ~segment_id ~offset ~k
   | Invalid -> raise (Bad_memory_reference { proc = proc.Proc.name; page })

@@ -32,11 +32,11 @@ let create ~id ~name ~trace ?(ports = []) ~space () =
     on_complete = None;
     working_set =
       Accent_mem.Working_set.create ~window:(Accent_sim.Time.seconds 10.);
-    prefetched_pending = Hashtbl.create 64;
+    prefetched_pending = Hashtbl.create 16;
     prefetch_extra = 0;
     prefetch_hits = 0;
     failed = false;
-    written_log = Hashtbl.create 64;
+    written_log = Hashtbl.create 16;
     in_flight = false;
   }
 
@@ -54,11 +54,11 @@ let reincarnate ~id ~name ~pcb ~trace ~ports ~space =
     on_complete = None;
     working_set =
       Accent_mem.Working_set.create ~window:(Accent_sim.Time.seconds 10.);
-    prefetched_pending = Hashtbl.create 64;
+    prefetched_pending = Hashtbl.create 16;
     prefetch_extra = 0;
     prefetch_hits = 0;
     failed = false;
-    written_log = Hashtbl.create 64;
+    written_log = Hashtbl.create 16;
     in_flight = false;
   }
 
@@ -82,7 +82,7 @@ let remote_execution_time t =
 let drain_written_log t =
   let pages = Hashtbl.fold (fun page () acc -> page :: acc) t.written_log [] in
   Hashtbl.reset t.written_log;
-  List.sort compare pages
+  List.sort Int.compare pages
 
 let write_marker = '\xAB'
 

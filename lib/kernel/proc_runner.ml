@@ -8,6 +8,7 @@ let finish host proc =
       Pager.release_segments (Host.pager host)
         ~space_id:(Accent_mem.Address_space.id space)
   | None -> ());
+  Host.release_ports host proc;
   match proc.Proc.on_complete with None -> () | Some f -> f proc
 
 (* The PCB is shared between a process's incarnations (the context ships
@@ -23,35 +24,62 @@ let current_incarnation host proc =
   | Some p -> p == proc
   | None -> false
 
-let rec step host proc =
+(* One runner per incarnation: its two continuations — CPU grant and
+   fault-service completion — are allocated once at [start] and reused
+   for every trace step, instead of two fresh closures per reference.
+   A process has at most one step outstanding (the next is only
+   submitted from [after_ref]), so stashing the current step's page and
+   write flag in mutable fields is race-free. *)
+type runner = {
+  host : Host.t;
+  proc : Proc.t;
+  mutable page : Accent_mem.Page.index;
+  mutable write : bool;
+  mutable on_cpu : unit -> unit;
+  mutable after_ref : unit -> unit;
+}
+
+let step r =
+  let proc = r.proc in
   match proc.Proc.pcb.Pcb.status with
   | Pcb.Running ->
-      if Proc.is_done proc then finish host proc
+      if Proc.is_done proc then finish r.host proc
       else begin
-        let s = Trace.step proc.Proc.trace proc.Proc.pcb.Pcb.pc in
+        let trace = proc.Proc.trace and pc = proc.Proc.pcb.Pcb.pc in
+        r.page <- Trace.page_at trace pc;
+        r.write <- Trace.write_at trace pc;
         (* compute runs on the host's execution CPU, so co-located
            processes contend for it *)
-        Queue_server.submit (Host.exec_cpu host)
-          ~service_time:(Time.ms s.Trace.think_ms) (fun () ->
-               if
-                 proc.Proc.pcb.Pcb.status = Pcb.Running
-                 && current_incarnation host proc
-               then begin
-                 proc.Proc.in_flight <- true;
-                 Pager.reference (Host.pager host) proc s.Trace.page
-                   ~k:(fun () ->
-                     if s.Trace.write then Proc.apply_write proc s.Trace.page;
-                     proc.Proc.in_flight <- false;
-                     proc.Proc.pcb.Pcb.pc <- proc.Proc.pcb.Pcb.pc + 1;
-                     step host proc)
-               end)
+        Queue_server.submit (Host.exec_cpu r.host)
+          ~service_time:(Time.ms (Trace.think_at trace pc)) r.on_cpu
       end
   | Pcb.Ready | Pcb.Blocked | Pcb.Terminated | Pcb.Excised -> ()
+
+let nop () = ()
+
+let make_runner host proc =
+  let r = { host; proc; page = 0; write = false; on_cpu = nop; after_ref = nop } in
+  r.after_ref <-
+    (fun () ->
+      if r.write then Proc.apply_write proc r.page;
+      proc.Proc.in_flight <- false;
+      proc.Proc.pcb.Pcb.pc <- proc.Proc.pcb.Pcb.pc + 1;
+      step r);
+  r.on_cpu <-
+    (fun () ->
+      if
+        proc.Proc.pcb.Pcb.status = Pcb.Running
+        && current_incarnation host proc
+      then begin
+        proc.Proc.in_flight <- true;
+        Pager.reference (Host.pager host) proc r.page ~k:r.after_ref
+      end);
+  r
 
 let start host proc =
   proc.Proc.pcb.Pcb.status <- Pcb.Running;
   proc.Proc.started_at <- Some (Engine.now (Host.engine host));
-  step host proc
+  step (make_runner host proc)
 
 let interrupt proc =
   if proc.Proc.pcb.Pcb.status = Pcb.Running then

@@ -18,8 +18,32 @@ type t
 
 val of_steps : step list -> t
 val of_array : step array -> t
+
+val of_arrays :
+  pages:Accent_mem.Page.index array ->
+  think_ms:float array ->
+  writes:Bytes.t ->
+  t
+(** Build a trace directly from its flat columns (one byte per step in
+    [writes], zero meaning read).  The arrays are adopted, not copied —
+    the caller must not mutate them afterwards.  This is the
+    allocation-cheap constructor the workload generator uses; raises
+    [Invalid_argument] on length mismatch. *)
+
 val length : t -> int
+
 val step : t -> int -> step
+(** Materialise step [i] as a record (allocates; for tests and cold
+    paths — the hot loop uses the flat accessors below). *)
+
+val page_at : t -> int -> Accent_mem.Page.index
+val think_at : t -> int -> float
+val write_at : t -> int -> bool
+(** Flat column reads of step [i]: no record is built and no float is
+    boxed at the read site. *)
+
+val to_steps : t -> step list
+(** All steps as records, in order (test convenience). *)
 
 val total_think_ms : t -> float
 (** Pure compute time of the whole trace — a lower bound on execution

@@ -48,11 +48,11 @@ let create ~id ~name ~mem ~disk =
     mem;
     disk;
     regions = Interval_map.empty ~equal:backing_equal ();
-    pages = Hashtbl.create 256;
+    pages = Hashtbl.create 16;
     cold = [];
-    cold_gone = Hashtbl.create 64;
+    cold_gone = Hashtbl.create 16;
     cold_live = 0;
-    touched = Hashtbl.create 256;
+    touched = Hashtbl.create 16;
     segments = Hashtbl.create 8;
   }
 
@@ -283,6 +283,18 @@ let touch t idx =
   match Hashtbl.find_opt t.pages idx with
   | Some (In_mem frame) -> Phys_mem.touch t.mem frame
   | Some (On_disk _) | None -> ()
+
+(* The pager's fast path: one page-table probe that both answers "is it
+   resident?" and bumps LRU recency, so the overwhelmingly common
+   no-fault reference never allocates a presence constructor or probes
+   the table twice. *)
+let touch_if_resident t idx =
+  match Hashtbl.find t.pages idx with
+  | In_mem frame ->
+      Phys_mem.touch t.mem frame;
+      true
+  | On_disk _ -> false
+  | exception Not_found -> false
 
 let page_value t idx =
   match Hashtbl.find_opt t.pages idx with
@@ -572,7 +584,8 @@ let imag_segments t =
           Hashtbl.replace tbl segment_id (prev + hi - lo)
       | Zero | Real -> ());
   Hashtbl.fold (fun seg bytes acc -> (seg, bytes) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort (fun ((s1 : int), (b1 : int)) (s2, b2) ->
+         match Int.compare s1 s2 with 0 -> Int.compare b1 b2 | c -> c)
 
 let region_count t = Interval_map.cardinal t.regions
 let vm_segment_count t = Hashtbl.length t.segments

@@ -107,6 +107,12 @@ val note_reference : t -> Page.index -> unit
 val touch : t -> Page.index -> unit
 (** Bump the LRU recency of a resident page; no-op otherwise. *)
 
+val touch_if_resident : t -> Page.index -> bool
+(** [true] iff the page is resident, bumping its LRU recency — the
+    pager's no-fault fast path, equivalent to matching
+    {!presence_of_page} on [Resident] and calling {!touch} but with a
+    single page-table probe and no allocation. *)
+
 (** {2 Page access} *)
 
 val page_value : t -> Page.index -> Page.value option

@@ -10,12 +10,12 @@
     that: nothing is evicted until the pool is full.
 
     Victim selection is O(log frames), not O(frames): eviction
-    candidates live in a lazy-invalidation min-heap keyed on the LRU
-    stamp ({!Accent_util.Lazy_heap}, the same structure the event
-    queue uses).  Every recency bump pushes a fresh entry and cancels
-    the stale one, so the heap top is always the least-recently-used
-    unpinned frame.  Stamps are unique, which makes the order total
-    and the chosen victim identical to the old linear scan's. *)
+    candidates live in a lazy-invalidation min-heap of plain ints, each
+    packing (LRU stamp, frame id) into one immediate word.  There are
+    no cancellation handles — an entry is live iff its frame still
+    carries the stamp it was pushed with — so a recency bump allocates
+    nothing.  Stamps are unique, which makes the order total and the
+    chosen victim identical to the old linear scan's. *)
 
 type t
 type frame_id = int

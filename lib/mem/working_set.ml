@@ -4,92 +4,97 @@
    in-window query only ever walks the prefix it returns — O(|answer|)
    instead of the old fold over every page the process ever touched.
 
+   The list is circular through a sentinel node, so linking and
+   unlinking never allocate an option; each node's reference time lives
+   in a one-slot float array because a float field of a mixed record is
+   boxed and re-boxed on every store.  The same applies to the set-wide
+   time marks (newest reference, widest window asked about, prune
+   high-water cutoff), which share one flat float array.
+
    Pruning is amortized against references: entries that have aged out
    of the largest window ever asked about are unlinked from the list
    (the page record itself stays in the table, keeping [distinct_pages]
-   and re-reference exact).  [pruned_before] records the high-water
-   cutoff; the rare query that reaches further back than any previous
-   prune falls back to the exhaustive fold, so answers are identical
-   to the old implementation for every (time, window). *)
+   and re-reference exact).  The rare query that reaches further back
+   than any previous prune falls back to the exhaustive fold, so
+   answers are identical to the old implementation for every
+   (time, window). *)
 
 type node = {
   idx : Page.index;
-  mutable last : Accent_sim.Time.t;
-  mutable prev : node option;
-  mutable next : node option;
+  last : float array; (* singleton: time of last reference *)
+  mutable prev : node;
+  mutable next : node;
   mutable linked : bool;
 }
 
 type t = {
   window : Accent_sim.Time.t;
   nodes : (Page.index, node) Hashtbl.t;
-  mutable head : node option;
-  mutable tail : node option;
+  nil : node; (* sentinel: nil.next is the head, nil.prev the tail *)
   mutable refs : int;
-  mutable newest : Accent_sim.Time.t;
-  mutable max_window : Accent_sim.Time.t;
-  mutable pruned_before : Accent_sim.Time.t;
+  marks : float array; (* [0] newest; [1] max_window; [2] pruned_before *)
 }
+
+let make_nil () =
+  let rec nil =
+    { idx = -1; last = [| neg_infinity |]; prev = nil; next = nil; linked = false }
+  in
+  nil
 
 let create ~window =
   {
     window;
-    nodes = Hashtbl.create 256;
-    head = None;
-    tail = None;
+    nodes = Hashtbl.create 16;
+    nil = make_nil ();
     refs = 0;
-    newest = neg_infinity;
-    max_window = window;
-    pruned_before = neg_infinity;
+    marks = [| neg_infinity; window; neg_infinity |];
   }
 
 let window t = t.window
 
 let unlink t n =
   if n.linked then begin
-    (match n.prev with
-    | Some p -> p.next <- n.next
-    | None -> t.head <- n.next);
-    (match n.next with
-    | Some s -> s.prev <- n.prev
-    | None -> t.tail <- n.prev);
-    n.prev <- None;
-    n.next <- None;
+    n.prev.next <- n.next;
+    n.next.prev <- n.prev;
+    n.prev <- t.nil;
+    n.next <- t.nil;
     n.linked <- false
   end
 
 let link_front t n =
-  n.prev <- None;
-  n.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n;
+  n.prev <- t.nil;
+  n.next <- t.nil.next;
+  t.nil.next.prev <- n;
+  t.nil.next <- n;
   n.linked <- true
 
 (* Unlink entries that no window reaching back [max_window] from the
    newest reference can see.  Each node is unlinked at most once per
    time it was linked, so the tail walk is O(1) amortized. *)
 let prune t =
-  let cutoff = t.newest -. t.max_window in
+  let cutoff = t.marks.(0) -. t.marks.(1) in
   let rec drop () =
-    match t.tail with
-    | Some n when n.last < cutoff ->
-        unlink t n;
-        drop ()
-    | Some _ | None -> ()
+    let n = t.nil.prev in
+    if n != t.nil && n.last.(0) < cutoff then begin
+      unlink t n;
+      drop ()
+    end
   in
   drop ();
-  if cutoff > t.pruned_before then t.pruned_before <- cutoff
+  if cutoff > t.marks.(2) then t.marks.(2) <- cutoff
 
 let reference t ~time idx =
   t.refs <- t.refs + 1;
-  if time > t.newest then t.newest <- time;
-  (match Hashtbl.find_opt t.nodes idx with
-  | Some n ->
-      n.last <- time;
+  if time > t.marks.(0) then t.marks.(0) <- time;
+  (match Hashtbl.find t.nodes idx with
+  | n ->
+      n.last.(0) <- time;
       unlink t n;
       link_front t n
-  | None ->
-      let n = { idx; last = time; prev = None; next = None; linked = false } in
+  | exception Not_found ->
+      let n =
+        { idx; last = [| time |]; prev = t.nil; next = t.nil; linked = false }
+      in
       Hashtbl.replace t.nodes idx n;
       link_front t n);
   prune t
@@ -99,24 +104,24 @@ let reference t ~time idx =
    inside the window, stop at the first older one — everything behind
    it is older still. *)
 let fold_prefix t ~time ~lo ~init ~f =
-  let rec go acc = function
-    | None -> acc
-    | Some n ->
-        if n.last > time then go acc n.next
-        else if n.last >= lo then go (f acc n.idx) n.next
-        else acc
+  let rec go acc n =
+    if n == t.nil then acc
+    else if n.last.(0) > time then go acc n.next
+    else if n.last.(0) >= lo then go (f acc n.idx) n.next
+    else acc
   in
-  go init t.head
+  go init t.nil.next
 
 let fold_all t ~time ~lo ~init ~f =
   Hashtbl.fold
-    (fun idx n acc -> if n.last >= lo && n.last <= time then f acc idx else acc)
+    (fun idx n acc ->
+      if n.last.(0) >= lo && n.last.(0) <= time then f acc idx else acc)
     t.nodes init
 
 let fold_window t ~time ~window ~init ~f =
-  if window > t.max_window then t.max_window <- window;
+  if window > t.marks.(1) then t.marks.(1) <- window;
   let lo = time -. window in
-  if lo >= t.pruned_before then fold_prefix t ~time ~lo ~init ~f
+  if lo >= t.marks.(2) then fold_prefix t ~time ~lo ~init ~f
   else fold_all t ~time ~lo ~init ~f
 
 let size_at t ~time =
@@ -124,11 +129,11 @@ let size_at t ~time =
 
 let pages_at t ~time =
   fold_window t ~time ~window:t.window ~init:[] ~f:(fun acc idx -> idx :: acc)
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let pages_within t ~time ~window =
   fold_window t ~time ~window ~init:[] ~f:(fun acc idx -> idx :: acc)
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let references t = t.refs
 let distinct_pages t = Hashtbl.length t.nodes
@@ -144,9 +149,9 @@ let export t =
   (* ascending (last, idx): a replay in this order satisfies the
      non-decreasing-time contract of [reference] *)
   let entries =
-    Hashtbl.fold (fun idx n acc -> (idx, n.last) :: acc) t.nodes []
+    Hashtbl.fold (fun idx n acc -> (idx, n.last.(0)) :: acc) t.nodes []
     |> List.sort (fun (i1, t1) (i2, t2) ->
-           match compare t1 t2 with 0 -> compare i1 i2 | c -> c)
+           match Float.compare t1 t2 with 0 -> Int.compare i1 i2 | c -> c)
   in
   { entries; snap_refs = t.refs }
 

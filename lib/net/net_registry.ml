@@ -51,4 +51,4 @@ let deliver_to t ~host_id msg =
   | Some deliver -> deliver msg
   | None -> invalid_arg "Net_registry.deliver_to: unknown host"
 
-let hosts t = Hashtbl.fold (fun id _ acc -> id :: acc) t.inbound [] |> List.sort compare
+let hosts t = Hashtbl.fold (fun id _ acc -> id :: acc) t.inbound [] |> List.sort Int.compare

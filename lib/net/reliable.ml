@@ -76,7 +76,7 @@ type in_msg = {
   src : int;
   count_in : int;
   base_in : int;
-  got : bool array;
+  mutable got : bool array;
   mutable received : int;
   mutable cum : int;
 }
@@ -287,7 +287,7 @@ let handle_data t ~src ~msg ~uid ~seq ~count ~wire_bytes ~checksum =
     (* damaged payload: discard silently and let the sender's timer
        resend — the simulated NMS has no NAK *)
     t.checksum_failures <- t.checksum_failures + 1
-  else if entry.got.(seq) then begin
+  else if entry.received = entry.count_in || entry.got.(seq) then begin
     (* duplicate: the ack must have been lost or late; re-ack so the
        sender stops resending *)
     t.duplicates <- t.duplicates + 1;
@@ -300,7 +300,14 @@ let handle_data t ~src ~msg ~uid ~seq ~count ~wire_bytes ~checksum =
       entry.cum <- entry.cum + 1
     done;
     send_ack t entry ~uid;
-    t.on_deliver ~msg ~wire_bytes ~completes:(entry.received = entry.count_in)
+    t.on_deliver ~msg ~wire_bytes ~completes:(entry.received = entry.count_in);
+    (* Fully delivered: every further fragment is by definition a
+       duplicate (the received-count check above catches them without
+       the bitmap, and [send_ack] never scans past [cum]), so the
+       per-fragment state can go.  The entry itself stays as a tombstone:
+       removing it would let a late retransmit rebuild the message and
+       deliver it a second time. *)
+    if entry.received = entry.count_in then entry.got <- [||]
   end
 
 let receive t (packet : Net_registry.arq_packet) =

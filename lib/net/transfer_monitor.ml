@@ -12,6 +12,10 @@ type t = {
   fault : slot;
   retransmit : slot;
   ack : slot;
+  (* The per-category time series costs a retained cons per transmitted
+     message — fine for a single-migration figure, O(messages) retention
+     for a datacenter churn run, which turns it off. *)
+  mutable record_series : bool;
 }
 
 let fresh_slot () =
@@ -24,6 +28,7 @@ let create () =
     fault = fresh_slot ();
     retransmit = fresh_slot ();
     ack = fresh_slot ();
+    record_series = true;
   }
 
 let slot t (category : Message.category) =
@@ -39,7 +44,10 @@ let all_slots t = [ t.control; t.bulk; t.fault; t.retransmit; t.ack ]
 let record t ~time ~category ~bytes =
   let s = slot t category in
   s.bytes <- s.bytes + bytes;
-  Accent_util.Series.add s.series ~time ~value:(float_of_int bytes)
+  if t.record_series then
+    Accent_util.Series.add s.series ~time ~value:(float_of_int bytes)
+
+let set_record_series t on = t.record_series <- on
 
 let note_message t ~category =
   let s = slot t category in

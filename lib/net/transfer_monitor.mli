@@ -38,5 +38,11 @@ val messages_total : t -> int
 val series_of : t -> Accent_ipc.Message.category -> Accent_util.Series.t
 (** Byte arrivals over time for the class (times in milliseconds). *)
 
+val set_record_series : t -> bool -> unit
+(** Recording the time series retains one sample per transmitted
+    message — what a figure over a single migration wants, and what a
+    datacenter churn run must turn off to keep its live heap a function
+    of cluster size.  Byte and message counters are unaffected. *)
+
 val reset : t -> unit
 (** Zero all counters and series. *)

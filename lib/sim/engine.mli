@@ -27,6 +27,11 @@ val schedule : t -> delay:Time.t -> (unit -> unit) -> Event_queue.handle
 val schedule_at : t -> time:Time.t -> (unit -> unit) -> Event_queue.handle
 (** Absolute-time variant; times in the past are clamped to [now]. *)
 
+val post : t -> delay:Time.t -> (unit -> unit) -> unit
+(** {!schedule} for events that will never be cancelled: no handle is
+    created, so the push itself allocates nothing.  The hot loop's
+    fire-and-forget scheduling path. *)
+
 val cancel : t -> Event_queue.handle -> unit
 
 val run : ?limit:Time.t -> t -> Time.t

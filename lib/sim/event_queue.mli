@@ -1,12 +1,16 @@
 (** Pending-event set for the discrete-event engine.
 
-    A lazy-invalidation binary min-heap ({!Accent_util.Lazy_heap})
-    ordered by (time, insertion sequence): events at equal times fire
-    in scheduling order, which keeps runs deterministic.  Cancelled
-    events are dropped lazily on pop, and the heap compacts itself
-    when dead entries outnumber live ones — so lossy ARQ runs, whose
-    acknowledgements cancel whole windows of backoff timers at once,
-    cannot grow the pending set without bound. *)
+    A lazy-invalidation binary min-heap ordered by (time, insertion
+    sequence): events at equal times fire in scheduling order, which
+    keeps runs deterministic.  Cancelled events are dropped lazily on
+    pop, and the heap compacts itself when dead entries outnumber live
+    ones — so lossy ARQ runs, whose acknowledgements cancel whole
+    windows of backoff timers at once, cannot grow the pending set
+    without bound.
+
+    Entries live in parallel arrays with the time keys in a flat
+    (unboxed) float array: a push allocates only the 2-word handle, and
+    heap comparisons never dereference a boxed float. *)
 
 type 'a t
 
@@ -29,6 +33,10 @@ val compactions : 'a t -> int
 val push : 'a t -> time:Time.t -> 'a -> handle
 (** Schedule a payload at [time] and return its cancellation handle. *)
 
+val push_unit : 'a t -> time:Time.t -> 'a -> unit
+(** {!push} for fire-and-forget events: no handle is created, so the
+    push allocates nothing.  Such events cannot be cancelled. *)
+
 val cancel : 'a t -> handle -> unit
 (** Cancel the event; a no-op if it already fired or was cancelled.
     Cancelled events are dropped lazily on pop. *)
@@ -36,5 +44,20 @@ val cancel : 'a t -> handle -> unit
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest live event, or [None] when empty. *)
 
+val pop_payload : 'a t -> 'a option
+(** Allocation-light {!pop}: the payload alone; the time it was
+    scheduled for is readable via {!last_time} until the next pop. *)
+
+val pop_payload_exn : 'a t -> 'a
+(** {!pop_payload} without the option cell; raises [Invalid_argument]
+    when the queue is empty, so check {!is_empty} first. *)
+
+val last_time : 'a t -> Time.t
+(** Time of the most recently popped event (0 before any pop). *)
+
 val peek_time : 'a t -> Time.t option
 (** Time of the earliest live event without removing it. *)
+
+val next_time : 'a t -> Time.t
+(** Unboxed {!peek_time} for the engine's run-limit check; [infinity]
+    when the queue is empty. *)

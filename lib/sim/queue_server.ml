@@ -1,63 +1,128 @@
-type job = {
-  service_time : Time.t;
-  arrived : Time.t;
-  k : unit -> unit;
-}
+(* A single-server FIFO station, allocation-flat on the per-job path.
+
+   The waiting line is a growable ring buffer of parallel arrays — the
+   two per-job times in flat float arrays, the continuation in a
+   closure array — so [submit] stores three slots instead of building a
+   mixed job record (whose Time.t fields the runtime boxed) plus a
+   Queue cell.  The job in service lives in the same shape: its times
+   sit in a scratch float array and one completion closure, allocated
+   at [create], is rescheduled for every job, where the old code closed
+   over each job record afresh.  Wait/sojourn accounting streams into
+   bounded Stats accumulators (exact_capacity 0): per-host queue
+   statistics no longer retain a float per job served. *)
 
 type t = {
   engine : Engine.t;
   name : string;
-  waiting : job Queue.t;
+  (* ring buffer of waiting jobs; [head] is the next to serve *)
+  mutable q_service : float array;
+  mutable q_arrived : float array;
+  mutable q_k : (unit -> unit) array;
+  mutable head : int;
+  mutable waiting : int;
   mutable in_service : bool;
   mutable completed : int;
-  mutable busy_total : Time.t;
-  mutable waits : Accent_util.Stats.t;
-  mutable sojourns : Accent_util.Stats.t;
+  (* scratch.(0) busy_total; scratch.(1)/(2) current job's service time
+     and arrival — unboxed, so serving a job never boxes a float *)
+  scratch : float array;
+  mutable cur_k : unit -> unit;
+  mutable on_done : unit -> unit;
+  waits : Accent_util.Stats.t;
+  sojourns : Accent_util.Stats.t;
 }
 
+let nop () = ()
+
+let ring_grow t =
+  let cap = Array.length t.q_k in
+  let cap' = max 16 (cap * 2) in
+  let service = Array.make cap' 0. in
+  let arrived = Array.make cap' 0. in
+  let k = Array.make cap' nop in
+  for i = 0 to t.waiting - 1 do
+    let j = (t.head + i) mod max 1 cap in
+    service.(i) <- t.q_service.(j);
+    arrived.(i) <- t.q_arrived.(j);
+    k.(i) <- t.q_k.(j)
+  done;
+  t.q_service <- service;
+  t.q_arrived <- arrived;
+  t.q_k <- k;
+  t.head <- 0
+
+let ring_push t ~service_time ~arrived k =
+  if t.waiting = Array.length t.q_k then ring_grow t;
+  let i = (t.head + t.waiting) mod Array.length t.q_k in
+  t.q_service.(i) <- service_time;
+  t.q_arrived.(i) <- arrived;
+  t.q_k.(i) <- k;
+  t.waiting <- t.waiting + 1
+
+let start_next t =
+  if t.waiting = 0 then t.in_service <- false
+  else begin
+    t.in_service <- true;
+    let i = t.head in
+    let service_time = t.q_service.(i) and arrived = t.q_arrived.(i) in
+    t.cur_k <- t.q_k.(i);
+    t.q_k.(i) <- nop;
+    (* drop the closure so the ring never outlives it *)
+    t.head <- (i + 1) mod Array.length t.q_k;
+    t.waiting <- t.waiting - 1;
+    t.scratch.(1) <- service_time;
+    t.scratch.(2) <- arrived;
+    Accent_util.Stats.add t.waits
+      (Time.diff (Engine.now t.engine) arrived);
+    Engine.post t.engine ~delay:service_time t.on_done
+  end
+
 let create engine ~name =
-  {
-    engine;
-    name;
-    waiting = Queue.create ();
-    in_service = false;
-    completed = 0;
-    busy_total = Time.zero;
-    waits = Accent_util.Stats.create ();
-    sojourns = Accent_util.Stats.create ();
-  }
+  let t =
+    {
+      engine;
+      name;
+      q_service = [||];
+      q_arrived = [||];
+      q_k = [||];
+      head = 0;
+      waiting = 0;
+      in_service = false;
+      completed = 0;
+      scratch = Array.make 3 0.;
+      cur_k = nop;
+      on_done = nop;
+      waits = Accent_util.Stats.create ~exact_capacity:0 ();
+      sojourns = Accent_util.Stats.create ~exact_capacity:0 ();
+    }
+  in
+  (* the one completion continuation: rescheduled for every job *)
+  t.on_done <-
+    (fun () ->
+      t.completed <- t.completed + 1;
+      t.scratch.(0) <- Time.add t.scratch.(0) t.scratch.(1);
+      Accent_util.Stats.add t.sojourns
+        (Time.diff (Engine.now t.engine) t.scratch.(2));
+      let k = t.cur_k in
+      t.cur_k <- nop;
+      k ();
+      start_next t);
+  t
 
 let name t = t.name
 let busy t = t.in_service
-let queue_length t = Queue.length t.waiting
-
-let rec start_next t =
-  match Queue.take_opt t.waiting with
-  | None -> t.in_service <- false
-  | Some job ->
-      t.in_service <- true;
-      let started = Engine.now t.engine in
-      Accent_util.Stats.add t.waits (Time.diff started job.arrived);
-      ignore
-        (Engine.schedule t.engine ~delay:job.service_time (fun () ->
-             t.completed <- t.completed + 1;
-             t.busy_total <- Time.add t.busy_total job.service_time;
-             Accent_util.Stats.add t.sojourns
-               (Time.diff (Engine.now t.engine) job.arrived);
-             job.k ();
-             start_next t))
+let queue_length t = t.waiting
 
 let submit t ~service_time k =
-  Queue.add { service_time; arrived = Engine.now t.engine; k } t.waiting;
+  ring_push t ~service_time ~arrived:(Engine.now t.engine) k;
   if not t.in_service then start_next t
 
 let jobs_completed t = t.completed
-let busy_time t = t.busy_total
+let busy_time t = t.scratch.(0)
 let wait_stats t = t.waits
 let sojourn_stats t = t.sojourns
 
 let reset_accounting t =
   t.completed <- 0;
-  t.busy_total <- Time.zero;
-  t.waits <- Accent_util.Stats.create ();
-  t.sojourns <- Accent_util.Stats.create ()
+  t.scratch.(0) <- Time.zero;
+  Accent_util.Stats.clear t.waits;
+  Accent_util.Stats.clear t.sojourns

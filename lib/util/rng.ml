@@ -1,4 +1,13 @@
-type t = { mutable state : int64 }
+(* splitmix64.  The 8-byte state lives in a [Bytes.t] rather than a
+   mutable [int64] field: the bytes get/set primitives compile to raw
+   unboxed loads and stores, so advancing the generator allocates
+   nothing, where a boxed-int64 field costs a fresh 3-word box per
+   draw — and trace generation draws several times per reference.
+   [next] is [@inline always] so the whole advance-and-mix chain lands
+   inside each caller and every intermediate [int64] stays in
+   registers. *)
+
+type t = { state : Bytes.t }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -9,11 +18,19 @@ let mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let create seed = { state = seed }
+let create seed =
+  let state = Bytes.create 8 in
+  Bytes.set_int64_ne state 0 seed;
+  { state }
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+let[@inline always] next t =
+  let s = Int64.add (Bytes.get_int64_ne t.state 0) golden_gamma in
+  Bytes.set_int64_ne t.state 0 s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t = next t
 
 (* FNV-1a over the label bytes, folded into the parent's seed.  Used only to
    derive stream seeds, not as a general-purpose hash. *)
@@ -26,22 +43,23 @@ let hash_label label =
     label;
   !h
 
-let of_label t label = create (mix (Int64.logxor t.state (hash_label label)))
-let split t = create (bits64 t)
+let of_label t label =
+  create (mix (Int64.logxor (Bytes.get_int64_ne t.state 0) (hash_label label)))
+
+let split t = create (next t)
 
 let int t bound =
   assert (bound > 0);
-  let mask = 0x3FFFFFFFFFFFFFFFL in
-  let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+  let r = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
   r mod bound
 
 let float t bound =
   assert (bound > 0.);
   (* 53 random bits scaled to [0,1), as in the Java reference. *)
-  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  let bits = Int64.shift_right_logical (next t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0) *. bound
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t = Int64.logand (next t) 1L = 1L
 
 let bernoulli t p =
   if p <= 0. then false else if p >= 1. then true else float t 1.0 < p

@@ -119,12 +119,6 @@ let choose_touched t ~rng ~universe ~count =
 
 (* --- trace generation --------------------------------------------------- *)
 
-let steps_of ~rng ~mean_think pages =
-  List.map
-    (fun page ->
-      { Accent_kernel.Trace.page; think_ms = Rng.exponential rng mean_think; write = false })
-    pages
-
 let sequential_order ~rng ~streams ~revisit touched =
   let n = Array.length touched in
   let streams = max 1 (min streams n) in
@@ -173,34 +167,46 @@ let clustered_order ~rng touched =
   |> List.concat_map (fun (lo, hi) ->
          List.init (hi - lo) (fun j -> touched.(lo + j)))
 
+(* Array-based throughout: a churn run builds one trace per arriving
+   job, so the list/append/map chain this replaces was the single
+   largest per-job allocator.  The RNG call sequence is identical
+   (base order, then filler picks in index order, then one think-time
+   draw per step), so generated traces are unchanged. *)
 let generate t ~rng ~touched ~refs ~total_think_ms =
   let n = Array.length touched in
-  if n = 0 then []
+  if n = 0 then
+    Accent_kernel.Trace.of_arrays ~pages:[||] ~think_ms:[||]
+      ~writes:Bytes.empty
   else begin
     let base_order =
       match t with
       | Sequential { streams; revisit; run = _ } ->
-          sequential_order ~rng ~streams ~revisit touched
-      | Clustered_random _ -> clustered_order ~rng touched
-      | Hot_cold { hot_fraction; _ } ->
+          Array.of_list (sequential_order ~rng ~streams ~revisit touched)
+      | Clustered_random _ -> Array.of_list (clustered_order ~rng touched)
+      | Hot_cold _ ->
           (* hot span first (initialisation), then the cold pages *)
-          ignore hot_fraction;
-          Array.to_list touched
+          touched
     in
-    let filler_count = max 0 (refs - List.length base_order) in
-    let filler =
-      match t with
-      | Hot_cold { hot_fraction; hot_prob } ->
-          let hot_n =
-            max 1 (int_of_float (hot_fraction *. float_of_int n))
-          in
-          List.init filler_count (fun _ ->
-              if Rng.bernoulli rng hot_prob then touched.(Rng.int rng hot_n)
-              else touched.(Rng.int rng n))
-      | Sequential _ | Clustered_random _ ->
-          List.init filler_count (fun _ -> touched.(Rng.int rng n))
-    in
-    let pages = base_order @ filler in
-    let mean_think = total_think_ms /. float_of_int (List.length pages) in
-    steps_of ~rng ~mean_think pages
+    let base_len = Array.length base_order in
+    let total = base_len + max 0 (refs - base_len) in
+    let pages = Array.make total 0 in
+    Array.blit base_order 0 pages 0 base_len;
+    (match t with
+    | Hot_cold { hot_fraction; hot_prob } ->
+        let hot_n = max 1 (int_of_float (hot_fraction *. float_of_int n)) in
+        for i = base_len to total - 1 do
+          pages.(i) <-
+            (if Rng.bernoulli rng hot_prob then touched.(Rng.int rng hot_n)
+             else touched.(Rng.int rng n))
+        done
+    | Sequential _ | Clustered_random _ ->
+        for i = base_len to total - 1 do
+          pages.(i) <- touched.(Rng.int rng n)
+        done);
+    let mean_think = total_think_ms /. float_of_int total in
+    (* Array.map applies in index order, so the think-time draws come out
+       in the same RNG sequence as the per-step map this replaces *)
+    let think_ms = Array.map (fun _ -> Rng.exponential rng mean_think) pages in
+    Accent_kernel.Trace.of_arrays ~pages ~think_ms
+      ~writes:(Bytes.make total '\000')
   end

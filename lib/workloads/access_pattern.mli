@@ -57,7 +57,7 @@ val generate :
   touched:Accent_mem.Page.index array ->
   refs:int ->
   total_think_ms:float ->
-  Accent_kernel.Trace.step list
+  Accent_kernel.Trace.t
 (** Produce a [refs]-step reference trace over the touched pages whose
     think times sum to ~[total_think_ms].  Every touched page is referenced
     at least once. *)

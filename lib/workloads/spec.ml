@@ -191,29 +191,33 @@ let promote_resident space t ~universe ~touched =
   List.iter (fun idx -> Address_space.resolve_disk_fault space idx) resident
 
 (* Interleave FillZero touches (stack growth and the like) into the trace
-   at evenly-spread positions. *)
-let add_zero_touches ~rng t ~zero_candidates steps =
+   at evenly-spread positions.  Insertion [i] lands just before original
+   step [(i+1)*n/(z+1)], same slots as the list walk this replaces. *)
+let add_zero_touches ~rng t ~zero_candidates trace =
+  let n = Trace.length trace in
   let z = min t.zero_touch_pages (List.length zero_candidates) in
-  if z = 0 then steps
+  if z = 0 || n = 0 then trace
   else begin
     let candidates = Array.of_list zero_candidates in
     Rng.shuffle rng candidates;
-    let steps = Array.of_list steps in
-    let n = Array.length steps in
-    let insertions =
-      List.init z (fun i ->
-          ( (i + 1) * n / (z + 1),
-            { Trace.page = candidates.(i); think_ms = 1.0; write = false } ))
-    in
-    let out = ref [] in
-    Array.iteri
-      (fun i s ->
-        List.iter
-          (fun (pos, step) -> if pos = i then out := step :: !out)
-          insertions;
-        out := s :: !out)
-      steps;
-    List.rev !out
+    let pages = Array.make (n + z) 0 in
+    let think_ms = Array.make (n + z) 0. in
+    let writes = Bytes.make (n + z) '\000' in
+    let oi = ref 0 and ins = ref 0 in
+    for i = 0 to n - 1 do
+      while !ins < z && (!ins + 1) * n / (z + 1) = i do
+        pages.(!oi) <- candidates.(!ins);
+        think_ms.(!oi) <- 1.0;
+        incr oi;
+        incr ins
+      done;
+      pages.(!oi) <- Trace.page_at trace i;
+      think_ms.(!oi) <- Trace.think_at trace i;
+      if Trace.write_at trace i then Bytes.set writes !oi '\001';
+      incr oi
+    done;
+    assert (!ins = z && !oi = n + z);
+    Trace.of_arrays ~pages ~think_ms ~writes
   end
 
 let build ?(write_fraction = 0.) host t =
@@ -229,11 +233,11 @@ let build ?(write_fraction = 0.) host t =
       ~count:t.touched_real_pages
   in
   promote_resident space t ~universe ~touched;
-  let steps =
+  let trace =
     Access_pattern.generate t.pattern ~rng ~touched ~refs:t.refs
       ~total_think_ms:t.total_think_ms
   in
-  let steps = add_zero_touches ~rng t ~zero_candidates steps in
+  let trace = add_zero_touches ~rng t ~zero_candidates trace in
   (* Post-conditions: state matches the paper's tables exactly. *)
   assert (Address_space.real_bytes space = t.real_bytes);
   assert (Address_space.total_bytes space = t.total_bytes);
@@ -245,7 +249,6 @@ let build ?(write_fraction = 0.) host t =
      resident = t.rs_bytes
      || resident < t.rs_bytes
         && Accent_mem.Phys_mem.free_frames (Host.mem host) = 0));
-  let trace = Trace.of_steps steps in
   let trace =
     if write_fraction > 0. then
       Trace.with_writes ~rng ~fraction:write_fraction trace

@@ -288,6 +288,59 @@ let test_domain_pool_exception () =
 
 (* --- empty-series guards -------------------------------------------------- *)
 
+(* --- allocation regression ----------------------------------------------- *)
+
+(* The hot loop must be allocation-flat and the live heap must scale
+   with cluster size, not job count: doubling the number of jobs through
+   the same cluster may not raise words-per-event (churn is steady
+   state) nor the post-run live heap (departed jobs release everything).
+   The 1.1 slack absorbs amortized growth (hashtable resizes, the event
+   queue finding its high-water mark) and fixed per-run setup; the base
+   job count is large enough that those high-water marks have converged,
+   so a per-job or per-migration retention of even a dozen words still
+   trips the live-heap bound. *)
+let test_allocation_flat_in_job_count () =
+  let base =
+    {
+      Accent_experiments.Cluster_scenario.default_churn with
+      Accent_experiments.Cluster_scenario.hosts = 4;
+      jobs = 1_200;
+      (* keep per-host utilization below 1 (rate/hosts × think ≈ 0.6):
+         an overloaded cluster's backlog structures legitimately grow
+         with job count, which would mask a real leak *)
+      arrival_rate_per_s = 6.;
+      job_pages = 8;
+      job_refs = 20;
+      job_think_ms = 400.;
+    }
+  in
+  let run jobs =
+    let _, gc =
+      Accent_experiments.Cluster_scenario.run_churn_gc
+        ~config:{ base with Accent_experiments.Cluster_scenario.jobs }
+        ~policy:(Placement_policy.threshold ())
+        ()
+    in
+    gc
+  in
+  let g1 = run 1_200 in
+  let g2 = run 2_400 in
+  let words_ratio =
+    g2.Accent_experiments.Cluster_scenario.minor_words_per_event
+    /. g1.Accent_experiments.Cluster_scenario.minor_words_per_event
+  in
+  let live_ratio =
+    float_of_int g2.Accent_experiments.Cluster_scenario.live_words_after
+    /. float_of_int g1.Accent_experiments.Cluster_scenario.live_words_after
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words/event flat in job count (ratio %.3f)"
+       words_ratio)
+    true (words_ratio <= 1.1);
+  Alcotest.(check bool)
+    (Printf.sprintf "live heap flat in job count (ratio %.3f)" live_ratio)
+    true (live_ratio <= 1.1)
+
 let test_stats_empty_series () =
   Alcotest.(check (float 1e-9)) "mean of empty" 0.
     (Accent_util.Stats.mean_of []);
@@ -336,4 +389,6 @@ let suite =
       Alcotest.test_case "domain pool exception" `Quick
         test_domain_pool_exception;
       Alcotest.test_case "stats empty series" `Quick test_stats_empty_series;
+      Alcotest.test_case "allocation flat in job count" `Quick
+        test_allocation_flat_in_job_count;
     ] )

@@ -35,8 +35,9 @@ let test_sequential_streams_interleave () =
       ~count:90
   in
   let steps =
-    Accent_workloads.Access_pattern.generate pattern ~rng ~touched ~refs:90
-      ~total_think_ms:100.
+    Trace.to_steps
+      (Accent_workloads.Access_pattern.generate pattern ~rng ~touched ~refs:90
+         ~total_think_ms:100.)
   in
   (* the first few references must come from different thirds of the
      touched set: streams advance round-robin, not one after another *)

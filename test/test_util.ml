@@ -63,6 +63,60 @@ let prop_welford_matches_naive =
       in
       Float.abs (Stats.variance s -. var) < 1e-6 *. (1. +. var))
 
+(* The two sample-store modes may never disagree on moments: the
+   unboxed moment accumulator is independent of whether samples are
+   retained or collapsed into the sketch, so equality here is exact —
+   bit-for-bit, not within a tolerance. *)
+let prop_moments_mode_independent =
+  QCheck.Test.make ~name:"moments identical in exact and sketch modes"
+    QCheck.(list_of_size Gen.(int_range 0 60) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let exact = Stats.create () in
+      let sketch = Stats.create ~exact_capacity:0 () in
+      List.iter
+        (fun x ->
+          Stats.add exact x;
+          Stats.add sketch x)
+        xs;
+      Stats.count exact = Stats.count sketch
+      && Stats.mean exact = Stats.mean sketch
+      && Stats.stddev exact = Stats.stddev sketch
+      && Stats.min_value exact = Stats.min_value sketch
+      && Stats.max_value exact = Stats.max_value sketch)
+
+let percentile_points = [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ]
+
+(* Below the retention capacity the accumulator IS the historical
+   retain-everything implementation, so it must match the list oracle
+   exactly at every probe point. *)
+let prop_percentile_exact_below_capacity =
+  QCheck.Test.make ~name:"percentile equals list oracle while exact"
+    QCheck.(list_of_size Gen.(int_range 1 60) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = feed xs in
+      Stats.retained_exactly s
+      && List.for_all
+           (fun p -> Stats.percentile s p = Stats.percentile_of xs p)
+           percentile_points)
+
+(* Past the capacity the sketch answers within its documented relative
+   error.  Positive data keeps the relative bound meaningful (the
+   interpolation between adjacent order statistics preserves it only
+   for same-signed samples). *)
+let prop_percentile_sketch_within_alpha =
+  QCheck.Test.make ~name:"sketch percentile within documented tolerance"
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0.001 1e6))
+    (fun xs ->
+      let s = Stats.create ~exact_capacity:0 () in
+      List.iter (Stats.add s) xs;
+      (not (Stats.retained_exactly s))
+      && List.for_all
+           (fun p ->
+             let oracle = Stats.percentile_of xs p in
+             Float.abs (Stats.percentile s p -. oracle)
+             <= (Stats.sketch_alpha *. Float.abs oracle) +. 1e-9)
+           percentile_points)
+
 (* --- Bytesize --- *)
 
 let test_bytesize_format () =
@@ -293,6 +347,9 @@ let suite =
       Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
       QCheck_alcotest.to_alcotest prop_mean_bounded;
       QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+      QCheck_alcotest.to_alcotest prop_moments_mode_independent;
+      QCheck_alcotest.to_alcotest prop_percentile_exact_below_capacity;
+      QCheck_alcotest.to_alcotest prop_percentile_sketch_within_alpha;
       Alcotest.test_case "bytesize format" `Quick test_bytesize_format;
       Alcotest.test_case "bytesize commas" `Quick test_bytesize_commas;
       Alcotest.test_case "bytesize units" `Quick test_bytesize_units;

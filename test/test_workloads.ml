@@ -160,9 +160,10 @@ let test_generate_covers_and_counts () =
       ~rng:(rng ()) ~universe:(universe 200) ~count:50
   in
   let steps =
-    Access_pattern.generate
-      (Access_pattern.Clustered_random { cluster = 2. })
-      ~rng:(rng ()) ~touched ~refs:120 ~total_think_ms:1000.
+    Accent_kernel.Trace.to_steps
+      (Access_pattern.generate
+         (Access_pattern.Clustered_random { cluster = 2. })
+         ~rng:(rng ()) ~touched ~refs:120 ~total_think_ms:1000.)
   in
   Alcotest.(check bool) "at least refs steps" true (List.length steps >= 120);
   let seen = Hashtbl.create 64 in
@@ -187,9 +188,10 @@ let test_hot_cold_concentrates () =
       ~rng:(rng ()) ~universe:(universe 500) ~count:100
   in
   let steps =
-    Access_pattern.generate
-      (Access_pattern.Hot_cold { hot_fraction = 0.2; hot_prob = 0.9 })
-      ~rng:(rng ()) ~touched ~refs:5000 ~total_think_ms:1000.
+    Accent_kernel.Trace.to_steps
+      (Access_pattern.generate
+         (Access_pattern.Hot_cold { hot_fraction = 0.2; hot_prob = 0.9 })
+         ~rng:(rng ()) ~touched ~refs:5000 ~total_think_ms:1000.)
   in
   (* the hot 20% of pages should absorb the bulk of the references *)
   let hot = Hashtbl.create 32 in
